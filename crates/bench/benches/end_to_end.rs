@@ -1,0 +1,63 @@
+//! E4 — end-to-end overhead (paper Figure 1's architecture).
+//!
+//! Compares the full driver path (SQL → XQuery translation → XQuery
+//! evaluation over data services → result transport → result set) with
+//! direct relational execution of the same SQL — quantifying what the
+//! SQL-over-XQuery indirection costs on our substrate. The translation
+//! share of that total is tiny (see E2); evaluation dominates.
+
+use aldsp_bench::{connect, server_at_scale};
+use aldsp_core::Transport;
+use aldsp_relational::execute_query;
+use aldsp_sql::parse_select;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+const QUERIES: &[(&str, &str)] = &[
+    (
+        "filter",
+        "SELECT CUSTOMERID, CUSTOMERNAME FROM CUSTOMERS WHERE CUSTOMERID <= 50",
+    ),
+    (
+        "join",
+        "SELECT CUSTOMERS.CUSTOMERNAME, ORDERS.AMOUNT FROM CUSTOMERS \
+         INNER JOIN ORDERS ON CUSTOMERS.CUSTOMERID = ORDERS.CUSTID",
+    ),
+    (
+        "group",
+        "SELECT REGION, COUNT(*), AVG(CREDIT) FROM CUSTOMERS GROUP BY REGION",
+    ),
+];
+
+fn end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_end_to_end");
+    group.sample_size(15);
+    for &customers in &[100usize, 500] {
+        let server = server_at_scale(customers, 11);
+        let text_conn = connect(&server, Transport::DelimitedText);
+        // Warm server-side materialization.
+        for (_, sql) in QUERIES {
+            text_conn.create_statement().execute_query(sql).unwrap();
+        }
+        let oracle_db = server.database().clone();
+
+        for (name, sql) in QUERIES {
+            group.bench_with_input(
+                BenchmarkId::new(format!("driver_{name}"), customers),
+                sql,
+                |b, sql| b.iter(|| text_conn.create_statement().execute_query(sql).unwrap()),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("direct_{name}"), customers),
+                sql,
+                |b, sql| {
+                    let parsed = parse_select(sql).unwrap();
+                    b.iter(|| execute_query(&oracle_db, &parsed, &[]).unwrap())
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, end_to_end);
+criterion_main!(benches);

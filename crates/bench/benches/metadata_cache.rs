@@ -1,0 +1,57 @@
+//! E3 — the local metadata cache (paper §3.5: "fetched table metadata is
+//! cached locally for further use").
+//!
+//! With a simulated 1 ms metadata round trip, translation with a cold
+//! cache pays one trip per referenced table; a warm cache pays none. The
+//! gap is the cache's contribution — exactly why the paper caches.
+
+use aldsp_catalog::{CachedMetadataApi, InProcessMetadataApi, TableLocator};
+use aldsp_core::{TranslationOptions, Translator, Transport};
+use aldsp_workload::build_application;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+const SQL: &str = "SELECT CUSTOMERS.CUSTOMERNAME, ORDERS.AMOUNT FROM CUSTOMERS \
+                   INNER JOIN ORDERS ON CUSTOMERS.CUSTOMERID = ORDERS.CUSTID";
+
+fn translator_with_latency(
+    latency: Duration,
+) -> Translator<CachedMetadataApi<InProcessMetadataApi>> {
+    let app = build_application();
+    let locator = TableLocator::for_application(&app);
+    Translator::new(CachedMetadataApi::new(InProcessMetadataApi::with_latency(
+        locator, latency,
+    )))
+}
+
+fn metadata_cache(c: &mut Criterion) {
+    let options = TranslationOptions {
+        transport: Transport::Xml,
+    };
+    let mut group = c.benchmark_group("e3_metadata_cache");
+    group.sample_size(20);
+
+    group.bench_function("cold_cache_1ms_rtt", |b| {
+        let translator = translator_with_latency(Duration::from_millis(1));
+        b.iter(|| {
+            translator.metadata().clear();
+            translator.translate(SQL, options).unwrap()
+        })
+    });
+
+    group.bench_function("warm_cache_1ms_rtt", |b| {
+        let translator = translator_with_latency(Duration::from_millis(1));
+        translator.translate(SQL, options).unwrap(); // warm it
+        b.iter(|| translator.translate(SQL, options).unwrap())
+    });
+
+    group.bench_function("warm_cache_zero_rtt", |b| {
+        let translator = translator_with_latency(Duration::ZERO);
+        translator.translate(SQL, options).unwrap();
+        b.iter(|| translator.translate(SQL, options).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, metadata_cache);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! E1 — result transport (paper §4).
+//!
+//! The paper's claim: replacing XML with delimited text as the result
+//! format "measurably improved" performance, because "materializing and
+//! parsing XML on the client side imposes unnecessary overhead". This
+//! bench isolates exactly that driver-side cost: decoding a pre-computed
+//! payload into a result set, XML vs delimited text, across row and
+//! column counts. (Payload sizes are reported by the `harness` binary.)
+
+use aldsp_bench::{payload_for, projection_query, server_at_scale};
+use aldsp_core::Transport;
+use aldsp_driver::ResultSet;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn transport_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_result_transport_decode");
+    for &rows in &[100usize, 1_000, 10_000] {
+        let server = server_at_scale(rows, 42);
+        for &cols in &[2usize, 4] {
+            let sql = projection_query(cols);
+            let (xml_payload, xml_columns) = payload_for(&server, Transport::Xml, sql);
+            let (text_payload, text_columns) = payload_for(&server, Transport::DelimitedText, sql);
+
+            group.throughput(Throughput::Elements(rows as u64));
+            group.bench_with_input(
+                BenchmarkId::new(format!("xml_{cols}col"), rows),
+                &rows,
+                |b, _| b.iter(|| ResultSet::from_xml(xml_columns.clone(), &xml_payload).unwrap()),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("text_{cols}col"), rows),
+                &rows,
+                |b, _| {
+                    b.iter(|| {
+                        ResultSet::from_delimited(text_columns.clone(), &text_payload).unwrap()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = transport_decode
+}
+criterion_main!(benches);

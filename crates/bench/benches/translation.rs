@@ -1,0 +1,47 @@
+//! E2 — translation latency by construct class (paper §3.2 (ii):
+//! "efficient translation methods must be employed" for "intensive, ad
+//! hoc query environments").
+//!
+//! Measures the full three-stage translation (warm metadata cache) for
+//! one canonical query per construct class — the paper's worked examples.
+//! The per-stage breakdown is printed by the harness binary.
+
+use aldsp_catalog::{CachedMetadataApi, InProcessMetadataApi, TableLocator};
+use aldsp_core::{TranslationOptions, Translator, Transport};
+use aldsp_workload::{build_application, paper_queries};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn translation_latency(c: &mut Criterion) {
+    let app = build_application();
+    let locator = TableLocator::for_application(&app);
+    let translator = Translator::new(CachedMetadataApi::new(InProcessMetadataApi::new(locator)));
+    let options = TranslationOptions {
+        transport: Transport::Xml,
+    };
+    // Warm the metadata cache so E2 measures translation, not fetches.
+    for (_, sql) in paper_queries() {
+        translator.translate(sql, options).unwrap();
+    }
+
+    let mut group = c.benchmark_group("e2_translation_latency");
+    for (name, sql) in paper_queries() {
+        group.bench_function(name, |b| {
+            b.iter(|| translator.translate(sql, options).unwrap())
+        });
+    }
+    // The §4 wrapper's extra generation cost.
+    group.bench_function("simple_text_transport", |b| {
+        let text_options = TranslationOptions {
+            transport: Transport::DelimitedText,
+        };
+        b.iter(|| {
+            translator
+                .translate("SELECT * FROM CUSTOMERS", text_options)
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, translation_latency);
+criterion_main!(benches);

@@ -1,0 +1,317 @@
+//! The experiment harness: regenerates every table in EXPERIMENTS.md in
+//! one run.
+//!
+//! ```sh
+//! cargo run --release -p aldsp-bench --bin harness          # all
+//! cargo run --release -p aldsp-bench --bin harness e1 e3    # subset
+//! ```
+
+use aldsp_bench::{connect, payload_for, projection_query, server_at_scale};
+use aldsp_catalog::{CachedMetadataApi, InProcessMetadataApi, TableLocator};
+use aldsp_core::{TranslationOptions, Translator, Transport};
+use aldsp_driver::ResultSet;
+use aldsp_relational::execute_query;
+use aldsp_sql::parse_select;
+use aldsp_workload::{build_application, paper_queries, run_differential, Scale};
+use std::time::{Duration, Instant};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name);
+
+    if want("e1") {
+        e1_result_transport();
+    }
+    if want("e2") {
+        e2_translation_latency();
+    }
+    if want("e3") {
+        e3_metadata_cache();
+    }
+    if want("e4") {
+        e4_end_to_end();
+    }
+    if want("e6") {
+        e6_differential();
+    }
+    if want("e7") {
+        e7_null_machinery_ablation();
+    }
+}
+
+fn time_n<R>(n: usize, mut f: impl FnMut() -> R) -> Duration {
+    // One warm-up, then the mean of n runs.
+    f();
+    let start = Instant::now();
+    for _ in 0..n {
+        std::hint::black_box(f());
+    }
+    start.elapsed() / n as u32
+}
+
+/// E1: payload bytes and driver-side decode time, XML vs delimited text.
+fn e1_result_transport() {
+    println!("== E1: result transport (paper §4) ==");
+    println!(
+        "{:>8} {:>5} {:>12} {:>12} {:>8} {:>14} {:>14} {:>8}",
+        "rows",
+        "cols",
+        "xml_bytes",
+        "text_bytes",
+        "ratio",
+        "xml_decode_us",
+        "text_decode_us",
+        "speedup"
+    );
+    for rows in [100usize, 1_000, 10_000, 100_000] {
+        let server = server_at_scale(rows, 42);
+        for cols in [2usize, 4] {
+            let sql = projection_query(cols);
+            let (xml_payload, xml_columns) = payload_for(&server, Transport::Xml, sql);
+            let (text_payload, text_columns) = payload_for(&server, Transport::DelimitedText, sql);
+            let iterations = (200_000 / rows).clamp(3, 200);
+            let xml_time = time_n(iterations, || {
+                ResultSet::from_xml(xml_columns.clone(), &xml_payload).unwrap()
+            });
+            let text_time = time_n(iterations, || {
+                ResultSet::from_delimited(text_columns.clone(), &text_payload).unwrap()
+            });
+            println!(
+                "{:>8} {:>5} {:>12} {:>12} {:>7.2}x {:>14.1} {:>14.1} {:>7.2}x",
+                rows,
+                cols,
+                xml_payload.len(),
+                text_payload.len(),
+                xml_payload.len() as f64 / text_payload.len() as f64,
+                xml_time.as_secs_f64() * 1e6,
+                text_time.as_secs_f64() * 1e6,
+                xml_time.as_secs_f64() / text_time.as_secs_f64(),
+            );
+        }
+    }
+    println!();
+}
+
+/// E2: per-stage translation latency by construct class.
+fn e2_translation_latency() {
+    println!("== E2: translation latency by construct class (paper §3.2 (ii)) ==");
+    let app = build_application();
+    let locator = TableLocator::for_application(&app);
+    let translator = Translator::new(CachedMetadataApi::new(InProcessMetadataApi::new(locator)));
+    let options = TranslationOptions {
+        transport: Transport::Xml,
+    };
+    println!(
+        "{:>20} {:>10} {:>11} {:>12} {:>10}",
+        "class", "parse_us", "prepare_us", "generate_us", "total_us"
+    );
+    for (name, sql) in paper_queries() {
+        // Warm cache + measure averaged stages.
+        translator.translate(sql, options).unwrap();
+        let n = 500;
+        let (mut parse, mut prepare, mut generate) =
+            (Duration::ZERO, Duration::ZERO, Duration::ZERO);
+        for _ in 0..n {
+            let t = translator.translate(sql, options).unwrap();
+            parse += t.timings.parse;
+            prepare += t.timings.prepare;
+            generate += t.timings.generate;
+        }
+        let us = |d: Duration| d.as_secs_f64() * 1e6 / n as f64;
+        println!(
+            "{:>20} {:>10.1} {:>11.1} {:>12.1} {:>10.1}",
+            name,
+            us(parse),
+            us(prepare),
+            us(generate),
+            us(parse + prepare + generate)
+        );
+    }
+    println!();
+}
+
+/// E3: metadata caching under simulated round-trip latency.
+fn e3_metadata_cache() {
+    println!("== E3: metadata cache (paper §3.5) ==");
+    let sql = "SELECT CUSTOMERS.CUSTOMERNAME, ORDERS.AMOUNT FROM CUSTOMERS \
+               INNER JOIN ORDERS ON CUSTOMERS.CUSTOMERID = ORDERS.CUSTID";
+    let options = TranslationOptions {
+        transport: Transport::Xml,
+    };
+    println!(
+        "{:>12} {:>16} {:>16} {:>9}",
+        "rtt_ms", "cold_us", "warm_us", "speedup"
+    );
+    for rtt_ms in [0u64, 1, 5] {
+        let app = build_application();
+        let locator = TableLocator::for_application(&app);
+        let translator = Translator::new(CachedMetadataApi::new(
+            InProcessMetadataApi::with_latency(locator, Duration::from_millis(rtt_ms)),
+        ));
+        let n = if rtt_ms == 0 { 200 } else { 20 };
+        let cold = time_n(n, || {
+            translator.metadata().clear();
+            translator.translate(sql, options).unwrap()
+        });
+        translator.translate(sql, options).unwrap();
+        let warm = time_n(n, || translator.translate(sql, options).unwrap());
+        println!(
+            "{:>12} {:>16.1} {:>16.1} {:>8.1}x",
+            rtt_ms,
+            cold.as_secs_f64() * 1e6,
+            warm.as_secs_f64() * 1e6,
+            cold.as_secs_f64() / warm.as_secs_f64()
+        );
+    }
+    let app = build_application();
+    let locator = TableLocator::for_application(&app);
+    let translator = Translator::new(CachedMetadataApi::new(InProcessMetadataApi::new(locator)));
+    for _ in 0..50 {
+        translator.translate(sql, options).unwrap();
+    }
+    let stats = translator.metadata().stats();
+    println!(
+        "hit ratio after 50 repeated translations: {:.3} ({} hits / {} misses)",
+        stats.hit_ratio(),
+        stats.hits,
+        stats.misses
+    );
+    println!();
+}
+
+/// E4: full driver path vs direct relational execution.
+fn e4_end_to_end() {
+    println!("== E4: end-to-end driver overhead (paper Figure 1) ==");
+    let queries = [
+        (
+            "filter",
+            "SELECT CUSTOMERID, CUSTOMERNAME FROM CUSTOMERS WHERE CUSTOMERID <= 50",
+        ),
+        (
+            "join",
+            "SELECT CUSTOMERS.CUSTOMERNAME, ORDERS.AMOUNT FROM CUSTOMERS \
+             INNER JOIN ORDERS ON CUSTOMERS.CUSTOMERID = ORDERS.CUSTID",
+        ),
+        (
+            "group",
+            "SELECT REGION, COUNT(*), AVG(CREDIT) FROM CUSTOMERS GROUP BY REGION",
+        ),
+        (
+            "outer_join",
+            "SELECT CUSTOMERS.CUSTOMERID, PAYMENTS.PAYMENT FROM CUSTOMERS \
+             LEFT OUTER JOIN PAYMENTS ON CUSTOMERS.CUSTOMERID = PAYMENTS.CUSTID",
+        ),
+    ];
+    println!(
+        "{:>8} {:>12} {:>14} {:>14} {:>10}",
+        "rows", "query", "driver_us", "direct_us", "overhead"
+    );
+    for customers in [100usize, 500] {
+        let server = server_at_scale(customers, 11);
+        let conn = connect(&server, Transport::DelimitedText);
+        let oracle_db = server.database().clone();
+        for (name, sql) in queries {
+            conn.create_statement().execute_query(sql).unwrap(); // warm
+            let n = if customers <= 100 { 50 } else { 15 };
+            let driver = time_n(n, || conn.create_statement().execute_query(sql).unwrap());
+            let parsed = parse_select(sql).unwrap();
+            let direct = time_n(n, || execute_query(&oracle_db, &parsed, &[]).unwrap());
+            println!(
+                "{:>8} {:>12} {:>14.1} {:>14.1} {:>9.1}x",
+                customers,
+                name,
+                driver.as_secs_f64() * 1e6,
+                direct.as_secs_f64() * 1e6,
+                driver.as_secs_f64() / direct.as_secs_f64()
+            );
+        }
+    }
+    println!();
+}
+
+/// E7: ablation of the NULL-fidelity machinery (DESIGN.md §8, deviations
+/// 1 and 5). The same query runs over a schema whose columns are declared
+/// NOT NULL (paper-plain generation: literal element constructors, no
+/// guards) and over one where every value column is nullable (conditional
+/// construction + emptiness guards). Data is identical and NULL-free, so
+/// the time delta is pure machinery cost.
+fn e7_null_machinery_ablation() {
+    use aldsp_catalog::{ApplicationBuilder, SqlColumnType};
+    use aldsp_driver::{Connection, DspServer};
+    use aldsp_relational::{Database, SqlValue, Table};
+    use std::rc::Rc;
+
+    println!("== E7: ablation — NULL-fidelity machinery cost (DESIGN.md §8) ==");
+    let build = |nullable: bool| -> Rc<DspServer> {
+        let app = ApplicationBuilder::new("AB")
+            .project("P")
+            .data_service("T")
+            .physical_table("T", |t| {
+                t.column("ID", SqlColumnType::Integer, false)
+                    .column("NAME", SqlColumnType::Varchar, nullable)
+                    .column("V", SqlColumnType::Decimal, nullable)
+            })
+            .finish_service()
+            .finish_project()
+            .build();
+        let mut db = Database::new();
+        let schema = app.projects[0].data_services[0].functions[0].schema.clone();
+        let mut table = Table::new(schema);
+        for i in 0..5_000i64 {
+            table.insert(vec![
+                SqlValue::Int(i),
+                SqlValue::Str(format!("name{i}")),
+                SqlValue::Decimal(i as f64 / 4.0),
+            ]);
+        }
+        db.add_table(table);
+        Rc::new(DspServer::new(app, db))
+    };
+
+    let sql = "SELECT ID, UPPER(NAME) U, V FROM T WHERE V > 100 ORDER BY V DESC";
+    println!(
+        "{:>22} {:>14} {:>12}",
+        "schema", "driver_us", "xquery_chars"
+    );
+    for (label, nullable) in [("all NOT NULL", false), ("nullable columns", true)] {
+        let server = build(nullable);
+        let conn = Connection::open(Rc::clone(&server));
+        let translation = conn.create_statement().explain(sql).unwrap();
+        conn.create_statement().execute_query(sql).unwrap(); // warm
+        let elapsed = time_n(10, || conn.create_statement().execute_query(sql).unwrap());
+        println!(
+            "{:>22} {:>14.1} {:>12}",
+            label,
+            elapsed.as_secs_f64() * 1e6,
+            translation.xquery.len()
+        );
+    }
+    println!(
+        "The nullable variant pays for conditional element construction and\n\
+         emptiness guards; the NOT NULL variant generates the paper's plain\n\
+         patterns. Catalog nullability is what arbitrates, per column.\n"
+    );
+}
+
+/// E6: differential correctness counts.
+fn e6_differential() {
+    println!("== E6: differential correctness (paper §3.2 (i)) ==");
+    let mut total = 0;
+    let mut passed = 0;
+    for seed in [1u64, 2, 3, 4, 5] {
+        let report = run_differential(seed, 10, Scale::small());
+        total += report.total();
+        passed += report.passed;
+        if !report.mismatches.is_empty() {
+            for m in &report.mismatches {
+                println!("MISMATCH [{}]: {}\n  {}", m.class.label(), m.sql, m.reason);
+            }
+        }
+    }
+    let classes = aldsp_workload::ConstructClass::all().len();
+    println!(
+        "{passed}/{total} random queries agree across oracle + both transports \
+         (5 seeds x 10 per class x {classes} classes)"
+    );
+    println!();
+}

@@ -1,0 +1,67 @@
+//! # aldsp-bench — shared fixtures for benchmarks and the experiment
+//! harness.
+//!
+//! One bench target per experiment in `EXPERIMENTS.md` (E1–E4), plus the
+//! `harness` binary that prints every experiment's table in one run.
+
+use aldsp_core::{TranslationOptions, Transport};
+use aldsp_driver::{Connection, DspServer};
+use aldsp_workload::{build_application, populate_database, Scale};
+use std::rc::Rc;
+use std::time::Duration;
+
+/// Builds a populated server at the given customer count.
+pub fn server_at_scale(customers: usize, seed: u64) -> Rc<DspServer> {
+    let app = build_application();
+    let db = populate_database(&app, Scale::of(customers), seed);
+    Rc::new(DspServer::new(app, db))
+}
+
+/// Opens a connection with a given transport (no metadata latency).
+pub fn connect(server: &Rc<DspServer>, transport: Transport) -> Connection {
+    Connection::open_with(
+        Rc::clone(server),
+        TranslationOptions { transport },
+        Duration::ZERO,
+    )
+}
+
+/// Produces the transport payload for a query (server side included), so
+/// decode-side benchmarks can isolate driver work — the paper's §4 claim
+/// is specifically about client-side materialization/parsing overhead.
+pub fn payload_for(
+    server: &Rc<DspServer>,
+    transport: Transport,
+    sql: &str,
+) -> (String, Vec<aldsp_core::OutputColumn>) {
+    let conn = connect(server, transport);
+    let translation = conn.create_statement().explain(sql).unwrap();
+    let payload = server.execute_to_payload(&translation.xquery, &[]).unwrap();
+    (payload, translation.columns)
+}
+
+/// A projection query over CUSTOMERS with the given column count (2, 4,
+/// or 5), used by the E1 sweep.
+pub fn projection_query(columns: usize) -> &'static str {
+    match columns {
+        2 => "SELECT CUSTOMERID, CUSTOMERNAME FROM CUSTOMERS",
+        4 => "SELECT CUSTOMERID, CUSTOMERNAME, REGION, CREDIT FROM CUSTOMERS",
+        _ => "SELECT CUSTOMERID, CUSTOMERNAME, REGION, CREDIT, SIGNUP FROM CUSTOMERS",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_produce_payloads() {
+        let server = server_at_scale(20, 1);
+        let (xml, columns) = payload_for(&server, Transport::Xml, projection_query(2));
+        assert!(xml.starts_with("<RECORDSET>"));
+        assert_eq!(columns.len(), 2);
+        let (text, _) = payload_for(&server, Transport::DelimitedText, projection_query(2));
+        assert!(text.starts_with('>'));
+        assert!(text.len() < xml.len(), "text transport must be smaller");
+    }
+}

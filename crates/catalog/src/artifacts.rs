@@ -1,0 +1,246 @@
+//! The DSP artifact hierarchy: application → projects → data services →
+//! functions (paper §3.1).
+
+use crate::types::{SqlColumnType, TableSchema};
+
+/// A deployed DSP application — the SQL *catalog* (paper Figure 2 (i)).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Application {
+    /// Application name, e.g. `TestApp`.
+    pub name: String,
+    /// The application's projects.
+    pub projects: Vec<Project>,
+}
+
+/// A project inside an application; contains data-service files, possibly
+/// nested in folders (the folder path participates in the SQL schema name).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Project {
+    /// Project name, e.g. `TestDataServices`.
+    pub name: String,
+    /// Data services, each knowing its folder path within the project.
+    pub data_services: Vec<DataService>,
+}
+
+/// One `.ds` file — an XQuery file containing a data service's function
+/// definitions (paper §3.1, Example 2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataService {
+    /// File name without the `.ds` extension, e.g. `CUSTOMERS`.
+    pub name: String,
+    /// Folder path inside the project, empty when at the project root;
+    /// components joined with `/` in artifact addresses.
+    pub folder: Vec<String>,
+    /// The service's functions.
+    pub functions: Vec<DataServiceFunction>,
+}
+
+impl DataService {
+    /// The path used in `ld:` addresses: `project/folder.../NAME` — also
+    /// the basis of the SQL schema name (Figure 2 (ii)).
+    pub fn path_within(&self, project: &str) -> String {
+        let mut parts = vec![project.to_string()];
+        parts.extend(self.folder.iter().cloned());
+        parts.push(self.name.clone());
+        parts.join("/")
+    }
+
+    /// Renders the `.ds` file source the platform would hold for this
+    /// service (paper Example 2): external declarations for physical
+    /// functions, XQuery bodies for logical ones.
+    pub fn render_ds_file(&self, project: &str) -> String {
+        let path = self.path_within(project);
+        let mut out = String::new();
+        out.push_str(&format!(
+            "import schema namespace t1 = \"ld:{path}\" at \"ld:{}/schemas/{}.xsd\";\n\n",
+            project, self.name
+        ));
+        for f in &self.functions {
+            match &f.kind {
+                FunctionKind::Physical => {
+                    let params: Vec<String> = f
+                        .parameters
+                        .iter()
+                        .map(|(n, t)| format!("${} as xs:{}", n.to_lowercase(), xs_lexical(*t)))
+                        .collect();
+                    out.push_str(&format!(
+                        "declare function f1:{}({}) as schema-element(t1:{})* external;\n\n",
+                        f.name,
+                        params.join(", "),
+                        f.schema.row_element
+                    ));
+                }
+                FunctionKind::Logical { body } => {
+                    out.push_str(&format!(
+                        "declare function f1:{}() as schema-element(t1:{})* {{\n{}\n}};\n\n",
+                        f.name, f.schema.row_element, body
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// How a data-service function is defined.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FunctionKind {
+    /// Imported from a physical source; externally defined (opaque).
+    Physical,
+    /// Authored in XQuery over lower-level functions; the body is kept for
+    /// rendering the `.ds` file.
+    Logical {
+        /// XQuery source of the function body.
+        body: String,
+    },
+}
+
+/// A data-service function — "the actual targets (i.e., data sources) for
+/// queries" (paper §3.1). Parameterless functions become SQL tables;
+/// functions with parameters become stored procedures (Figure 2 (iii)).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataServiceFunction {
+    /// Function name; doubles as the SQL table name.
+    pub name: String,
+    /// Input parameters: `(name, SQL type)` pairs.
+    pub parameters: Vec<(String, SqlColumnType)>,
+    /// The tabular return schema.
+    pub schema: TableSchema,
+    /// Physical vs logical.
+    pub kind: FunctionKind,
+}
+
+impl DataServiceFunction {
+    /// True when the function is presented as a SQL table (no parameters).
+    pub fn is_table(&self) -> bool {
+        self.parameters.is_empty()
+    }
+
+    /// True when presented as a callable stored procedure.
+    pub fn is_procedure(&self) -> bool {
+        !self.parameters.is_empty()
+    }
+}
+
+fn xs_lexical(t: SqlColumnType) -> &'static str {
+    match t.to_xs() {
+        aldsp_xml::XsType::String => "string",
+        aldsp_xml::XsType::Integer => "long",
+        aldsp_xml::XsType::Decimal => "decimal",
+        aldsp_xml::XsType::Double => "double",
+        aldsp_xml::XsType::Boolean => "boolean",
+        aldsp_xml::XsType::Date => "date",
+        // Column types never map to untyped; keep the match total.
+        aldsp_xml::XsType::Untyped => "string",
+    }
+}
+
+impl Application {
+    /// Iterates `(project, data service, function)` triples.
+    pub fn functions(
+        &self,
+    ) -> impl Iterator<Item = (&Project, &DataService, &DataServiceFunction)> {
+        self.projects.iter().flat_map(|p| {
+            p.data_services
+                .iter()
+                .flat_map(move |ds| ds.functions.iter().map(move |f| (p, ds, f)))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::ColumnMeta;
+
+    fn sample_function() -> DataServiceFunction {
+        DataServiceFunction {
+            name: "CUSTOMERS".into(),
+            parameters: vec![],
+            schema: TableSchema {
+                table_name: "CUSTOMERS".into(),
+                row_element: "CUSTOMERS".into(),
+                namespace: "ld:TestDataServices/CUSTOMERS".into(),
+                schema_location: "ld:TestDataServices/schemas/CUSTOMERS.xsd".into(),
+                columns: vec![
+                    ColumnMeta::new("CUSTOMERID", SqlColumnType::Integer, false),
+                    ColumnMeta::new("CUSTOMERNAME", SqlColumnType::Varchar, true),
+                ],
+            },
+            kind: FunctionKind::Physical,
+        }
+    }
+
+    #[test]
+    fn paths_include_folders() {
+        let ds = DataService {
+            name: "CUSTOMERS".into(),
+            folder: vec!["retail".into(), "na".into()],
+            functions: vec![],
+        };
+        assert_eq!(
+            ds.path_within("TestDataServices"),
+            "TestDataServices/retail/na/CUSTOMERS"
+        );
+    }
+
+    #[test]
+    fn ds_file_renders_external_declaration() {
+        // Shape of paper Example 2.
+        let ds = DataService {
+            name: "CUSTOMERS".into(),
+            folder: vec![],
+            functions: vec![sample_function()],
+        };
+        let src = ds.render_ds_file("TestDataServices");
+        assert!(src.contains(
+            "declare function f1:CUSTOMERS() as schema-element(t1:CUSTOMERS)* external;"
+        ));
+        assert!(src.contains("import schema namespace t1 = \"ld:TestDataServices/CUSTOMERS\""));
+    }
+
+    #[test]
+    fn parameterless_functions_are_tables() {
+        let f = sample_function();
+        assert!(f.is_table());
+        assert!(!f.is_procedure());
+
+        let mut proc = sample_function();
+        proc.parameters.push(("ID".into(), SqlColumnType::Integer));
+        assert!(proc.is_procedure());
+    }
+
+    #[test]
+    fn application_function_iteration() {
+        let app = Application {
+            name: "TestApp".into(),
+            projects: vec![Project {
+                name: "TestDataServices".into(),
+                data_services: vec![DataService {
+                    name: "CUSTOMERS".into(),
+                    folder: vec![],
+                    functions: vec![sample_function()],
+                }],
+            }],
+        };
+        let all: Vec<_> = app.functions().collect();
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0].2.name, "CUSTOMERS");
+    }
+
+    #[test]
+    fn logical_function_renders_body() {
+        let mut f = sample_function();
+        f.kind = FunctionKind::Logical {
+            body: "  for $c in f0:RAW_CUSTOMERS() return $c".into(),
+        };
+        let ds = DataService {
+            name: "CUSTOMERS".into(),
+            folder: vec![],
+            functions: vec![f],
+        };
+        let src = ds.render_ds_file("TestDataServices");
+        assert!(src.contains("for $c in f0:RAW_CUSTOMERS()"));
+        assert!(!src.contains("external"));
+    }
+}

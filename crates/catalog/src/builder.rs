@@ -1,0 +1,250 @@
+//! Fluent builders for defining applications in tests, examples, and the
+//! workload generator — the stand-in for the platform's metadata-import and
+//! data-service authoring tooling (paper §3.1).
+
+use crate::artifacts::{Application, DataService, DataServiceFunction, FunctionKind, Project};
+use crate::types::{ColumnMeta, SqlColumnType, TableSchema};
+
+/// Builds an [`Application`].
+pub struct ApplicationBuilder {
+    app: Application,
+}
+
+impl ApplicationBuilder {
+    /// Starts an application named `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        ApplicationBuilder {
+            app: Application {
+                name: name.into(),
+                projects: Vec::new(),
+            },
+        }
+    }
+
+    /// Opens a project.
+    pub fn project(self, name: impl Into<String>) -> ProjectBuilder {
+        ProjectBuilder {
+            parent: self,
+            project: Project {
+                name: name.into(),
+                data_services: Vec::new(),
+            },
+        }
+    }
+
+    /// Finishes the application.
+    pub fn build(self) -> Application {
+        self.app
+    }
+}
+
+/// Builds a [`Project`] within an application.
+pub struct ProjectBuilder {
+    parent: ApplicationBuilder,
+    project: Project,
+}
+
+impl ProjectBuilder {
+    /// Opens a data service at the project root.
+    pub fn data_service(self, name: impl Into<String>) -> DataServiceBuilder {
+        self.data_service_in(name, Vec::new())
+    }
+
+    /// Opens a data service inside a folder path.
+    pub fn data_service_in(
+        self,
+        name: impl Into<String>,
+        folder: Vec<String>,
+    ) -> DataServiceBuilder {
+        DataServiceBuilder {
+            parent: self,
+            service: DataService {
+                name: name.into(),
+                folder,
+                functions: Vec::new(),
+            },
+        }
+    }
+
+    /// Closes the project.
+    pub fn finish_project(mut self) -> ApplicationBuilder {
+        self.parent.app.projects.push(self.project);
+        self.parent
+    }
+}
+
+/// Builds a [`DataService`] and its functions.
+pub struct DataServiceBuilder {
+    parent: ProjectBuilder,
+    service: DataService,
+}
+
+impl DataServiceBuilder {
+    /// Adds a physical (externally defined) parameterless function — a SQL
+    /// table. `configure` receives a [`TableSchemaBuilder`] to declare
+    /// columns.
+    pub fn physical_table(
+        mut self,
+        name: impl Into<String>,
+        configure: impl FnOnce(TableSchemaBuilder) -> TableSchemaBuilder,
+    ) -> Self {
+        let name = name.into();
+        let schema = configure(TableSchemaBuilder::new(&name, &self.parent.project.name)).build();
+        self.service.functions.push(DataServiceFunction {
+            name,
+            parameters: Vec::new(),
+            schema,
+            kind: FunctionKind::Physical,
+        });
+        self
+    }
+
+    /// Adds a physical function with parameters — a SQL stored procedure.
+    pub fn physical_procedure(
+        mut self,
+        name: impl Into<String>,
+        parameters: Vec<(String, SqlColumnType)>,
+        configure: impl FnOnce(TableSchemaBuilder) -> TableSchemaBuilder,
+    ) -> Self {
+        let name = name.into();
+        let schema = configure(TableSchemaBuilder::new(&name, &self.parent.project.name)).build();
+        self.service.functions.push(DataServiceFunction {
+            name,
+            parameters,
+            schema,
+            kind: FunctionKind::Physical,
+        });
+        self
+    }
+
+    /// Adds a logical function with an XQuery body (kept for `.ds`
+    /// rendering; execution goes through the same tabular interface).
+    pub fn logical_table(
+        mut self,
+        name: impl Into<String>,
+        body: impl Into<String>,
+        configure: impl FnOnce(TableSchemaBuilder) -> TableSchemaBuilder,
+    ) -> Self {
+        let name = name.into();
+        let schema = configure(TableSchemaBuilder::new(&name, &self.parent.project.name)).build();
+        self.service.functions.push(DataServiceFunction {
+            name,
+            parameters: Vec::new(),
+            schema,
+            kind: FunctionKind::Logical { body: body.into() },
+        });
+        self
+    }
+
+    /// Closes the data service.
+    pub fn finish_service(mut self) -> ProjectBuilder {
+        self.parent.project.data_services.push(self.service);
+        self.parent
+    }
+}
+
+/// Declares the columns of a table schema.
+pub struct TableSchemaBuilder {
+    schema: TableSchema,
+}
+
+impl TableSchemaBuilder {
+    fn new(table: &str, project: &str) -> Self {
+        TableSchemaBuilder {
+            schema: TableSchema {
+                table_name: table.to_string(),
+                row_element: table.to_string(),
+                namespace: format!("ld:{project}/{table}"),
+                schema_location: format!("ld:{project}/schemas/{table}.xsd"),
+                columns: Vec::new(),
+            },
+        }
+    }
+
+    /// Adds a column.
+    pub fn column(
+        mut self,
+        name: impl Into<String>,
+        sql_type: SqlColumnType,
+        nullable: bool,
+    ) -> Self {
+        self.schema
+            .columns
+            .push(ColumnMeta::new(name, sql_type, nullable));
+        self
+    }
+
+    /// Overrides the row element name (defaults to the table name).
+    pub fn row_element(mut self, name: impl Into<String>) -> Self {
+        self.schema.row_element = name.into();
+        self
+    }
+
+    fn build(self) -> TableSchema {
+        self.schema
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_produces_figure2_shapes() {
+        let app = ApplicationBuilder::new("TESTAPP")
+            .project("TestDataServices")
+            .data_service("CUSTOMERS")
+            .physical_table("CUSTOMERS", |t| {
+                t.column("CUSTOMERID", SqlColumnType::Integer, false)
+                    .column("CUSTOMERNAME", SqlColumnType::Varchar, true)
+            })
+            .finish_service()
+            .data_service("PAYMENTS")
+            .physical_table("PAYMENTS", |t| {
+                t.column("CUSTID", SqlColumnType::Integer, false).column(
+                    "PAYMENT",
+                    SqlColumnType::Decimal,
+                    true,
+                )
+            })
+            .physical_procedure(
+                "PAYMENTS_FOR",
+                vec![("CUSTID".into(), SqlColumnType::Integer)],
+                |t| t.column("PAYMENT", SqlColumnType::Decimal, true),
+            )
+            .finish_service()
+            .finish_project()
+            .build();
+
+        assert_eq!(app.projects.len(), 1);
+        let functions: Vec<_> = app.functions().collect();
+        assert_eq!(functions.len(), 3);
+        let tables: Vec<_> = functions.iter().filter(|(_, _, f)| f.is_table()).collect();
+        assert_eq!(tables.len(), 2);
+        let (_, _, customers) = functions
+            .iter()
+            .find(|(_, _, f)| f.name == "CUSTOMERS")
+            .unwrap();
+        assert_eq!(customers.schema.namespace, "ld:TestDataServices/CUSTOMERS");
+        assert_eq!(
+            customers.schema.schema_location,
+            "ld:TestDataServices/schemas/CUSTOMERS.xsd"
+        );
+    }
+
+    #[test]
+    fn row_element_override() {
+        let app = ApplicationBuilder::new("A")
+            .project("P")
+            .data_service("S")
+            .physical_table("T", |t| {
+                t.row_element("ROW")
+                    .column("C", SqlColumnType::Integer, false)
+            })
+            .finish_service()
+            .finish_project()
+            .build();
+        let (_, _, f) = app.functions().next().unwrap();
+        assert_eq!(f.schema.row_element, "ROW");
+    }
+}

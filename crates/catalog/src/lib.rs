@@ -1,0 +1,36 @@
+//! # aldsp-catalog — AquaLogic DSP artifact model and metadata API
+//!
+//! "The key artifacts in the AquaLogic DSP data world are applications,
+//! projects, data services, and data service functions" (paper §3.1). This
+//! crate models those artifacts and the Figure-2 analogy the JDBC driver
+//! presents to SQL clients:
+//!
+//! | DSP artifact                         | SQL artifact      |
+//! |--------------------------------------|-------------------|
+//! | application name                     | catalog name      |
+//! | path to `.ds` file + file name       | schema name       |
+//! | parameterless data-service function  | table             |
+//! | function with parameters             | stored procedure  |
+//! | simple-typed child elements          | columns           |
+//!
+//! The paper's driver obtains function names/locations and return-type
+//! metadata by "querying the AquaLogic DSP application (using the remote
+//! metadata API)" and caches fetched table metadata locally (§3.5). The
+//! production server is closed source, so [`metadata`] provides an
+//! in-process implementation with an optional simulated round-trip latency,
+//! plus the local cache — preserving the access pattern the paper's E3
+//! caching claim depends on (see DESIGN.md §2).
+
+pub mod artifacts;
+pub mod builder;
+pub mod metadata;
+pub mod naming;
+pub mod types;
+
+pub use artifacts::{Application, DataService, DataServiceFunction, FunctionKind, Project};
+pub use builder::{ApplicationBuilder, DataServiceBuilder};
+pub use metadata::{
+    CacheStats, CachedMetadataApi, InProcessMetadataApi, MetadataApi, MetadataError,
+};
+pub use naming::{QualifiedTableName, ResolveError, TableEntry, TableLocator};
+pub use types::{ColumnMeta, SqlColumnType, TableSchema};

@@ -1,0 +1,264 @@
+//! The metadata API and its local cache.
+//!
+//! "The information ... \[is\] obtained by querying the AquaLogic DSP
+//! application (using the remote metadata API)" and "fetched table metadata
+//! is cached locally for further use" (paper §3.5). The production API is a
+//! network round trip; here the server side is in-process, with an optional
+//! simulated per-call latency so the caching experiment (E3) can show the
+//! effect the paper's design addresses.
+
+use crate::naming::{ResolveError, TableEntry, TableLocator};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Errors surfaced by metadata lookups.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetadataError {
+    /// Name resolution failed.
+    Resolve(ResolveError),
+}
+
+impl fmt::Display for MetadataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MetadataError::Resolve(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for MetadataError {}
+
+impl From<ResolveError> for MetadataError {
+    fn from(e: ResolveError) -> Self {
+        MetadataError::Resolve(e)
+    }
+}
+
+/// The driver's window onto server-side metadata.
+pub trait MetadataApi: Send + Sync {
+    /// Resolves a (possibly qualified) SQL table reference to its entry.
+    fn table(&self, parts: &[String]) -> Result<Arc<TableEntry>, MetadataError>;
+
+    /// Lists every presented table (DatabaseMetaData enumeration).
+    fn all_tables(&self) -> Vec<Arc<TableEntry>>;
+
+    /// Number of server round trips performed so far (for E3 reporting).
+    fn round_trips(&self) -> u64;
+}
+
+/// Serves metadata from an in-process [`TableLocator`], simulating the
+/// remote API. Each call counts as one round trip and can sleep for a
+/// configured latency.
+pub struct InProcessMetadataApi {
+    locator: TableLocator,
+    latency: Duration,
+    round_trips: AtomicU64,
+}
+
+impl InProcessMetadataApi {
+    /// Creates an API over `locator` with zero latency.
+    pub fn new(locator: TableLocator) -> Self {
+        Self::with_latency(locator, Duration::ZERO)
+    }
+
+    /// Creates an API whose every call stalls for `latency`, emulating the
+    /// network round trip to a DSP server.
+    pub fn with_latency(locator: TableLocator, latency: Duration) -> Self {
+        InProcessMetadataApi {
+            locator,
+            latency,
+            round_trips: AtomicU64::new(0),
+        }
+    }
+
+    fn charge_round_trip(&self) {
+        self.round_trips.fetch_add(1, Ordering::Relaxed);
+        if !self.latency.is_zero() {
+            std::thread::sleep(self.latency);
+        }
+    }
+}
+
+impl MetadataApi for InProcessMetadataApi {
+    fn table(&self, parts: &[String]) -> Result<Arc<TableEntry>, MetadataError> {
+        self.charge_round_trip();
+        let entry = self.locator.resolve(parts)?;
+        Ok(Arc::new(entry.clone()))
+    }
+
+    fn all_tables(&self) -> Vec<Arc<TableEntry>> {
+        self.charge_round_trip();
+        self.locator
+            .tables()
+            .iter()
+            .map(|e| Arc::new(e.clone()))
+            .collect()
+    }
+
+    fn round_trips(&self) -> u64 {
+        self.round_trips.load(Ordering::Relaxed)
+    }
+}
+
+/// Cache statistics for E3 reporting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered locally.
+    pub hits: u64,
+    /// Lookups that went to the server.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Hit ratio in `[0, 1]`; zero when no lookups were made.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Wraps any [`MetadataApi`] with the paper's local metadata cache, keyed
+/// by the written table reference.
+pub struct CachedMetadataApi<A> {
+    inner: A,
+    cache: RwLock<HashMap<Vec<String>, Arc<TableEntry>>>,
+    stats: Mutex<CacheStats>,
+}
+
+impl<A: MetadataApi> CachedMetadataApi<A> {
+    /// Wraps `inner` with an empty cache.
+    pub fn new(inner: A) -> Self {
+        CachedMetadataApi {
+            inner,
+            cache: RwLock::new(HashMap::new()),
+            stats: Mutex::new(CacheStats::default()),
+        }
+    }
+
+    /// Current cache statistics.
+    pub fn stats(&self) -> CacheStats {
+        *self.stats.lock()
+    }
+
+    /// Empties the cache (used by benches to measure cold paths).
+    pub fn clear(&self) {
+        self.cache.write().clear();
+        *self.stats.lock() = CacheStats::default();
+    }
+
+    /// The wrapped API.
+    pub fn inner(&self) -> &A {
+        &self.inner
+    }
+}
+
+impl<A: MetadataApi> MetadataApi for CachedMetadataApi<A> {
+    fn table(&self, parts: &[String]) -> Result<Arc<TableEntry>, MetadataError> {
+        if let Some(entry) = self.cache.read().get(parts) {
+            self.stats.lock().hits += 1;
+            return Ok(Arc::clone(entry));
+        }
+        let entry = self.inner.table(parts)?;
+        self.stats.lock().misses += 1;
+        self.cache
+            .write()
+            .insert(parts.to_vec(), Arc::clone(&entry));
+        Ok(entry)
+    }
+
+    fn all_tables(&self) -> Vec<Arc<TableEntry>> {
+        // Enumeration is rare (tool connect time); always delegate.
+        self.inner.all_tables()
+    }
+
+    fn round_trips(&self) -> u64 {
+        self.inner.round_trips()
+    }
+}
+
+impl<A: MetadataApi + ?Sized> MetadataApi for Arc<A> {
+    fn table(&self, parts: &[String]) -> Result<Arc<TableEntry>, MetadataError> {
+        (**self).table(parts)
+    }
+
+    fn all_tables(&self) -> Vec<Arc<TableEntry>> {
+        (**self).all_tables()
+    }
+
+    fn round_trips(&self) -> u64 {
+        (**self).round_trips()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ApplicationBuilder;
+    use crate::types::SqlColumnType;
+
+    fn locator() -> TableLocator {
+        let app = ApplicationBuilder::new("TESTAPP")
+            .project("TestDataServices")
+            .data_service("CUSTOMERS")
+            .physical_table("CUSTOMERS", |t| {
+                t.column("CUSTOMERID", SqlColumnType::Integer, false)
+                    .column("CUSTOMERNAME", SqlColumnType::Varchar, true)
+            })
+            .finish_service()
+            .finish_project()
+            .build();
+        TableLocator::for_application(&app)
+    }
+
+    #[test]
+    fn in_process_api_counts_round_trips() {
+        let api = InProcessMetadataApi::new(locator());
+        let parts = vec!["CUSTOMERS".to_string()];
+        api.table(&parts).unwrap();
+        api.table(&parts).unwrap();
+        assert_eq!(api.round_trips(), 2);
+    }
+
+    #[test]
+    fn cache_answers_repeat_lookups_locally() {
+        let api = CachedMetadataApi::new(InProcessMetadataApi::new(locator()));
+        let parts = vec!["CUSTOMERS".to_string()];
+        api.table(&parts).unwrap();
+        api.table(&parts).unwrap();
+        api.table(&parts).unwrap();
+        assert_eq!(api.round_trips(), 1);
+        let stats = api.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 2);
+        assert!((stats.hit_ratio() - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clear_resets_cache() {
+        let api = CachedMetadataApi::new(InProcessMetadataApi::new(locator()));
+        let parts = vec!["CUSTOMERS".to_string()];
+        api.table(&parts).unwrap();
+        api.clear();
+        api.table(&parts).unwrap();
+        assert_eq!(api.round_trips(), 2);
+        assert_eq!(api.stats().misses, 1);
+    }
+
+    #[test]
+    fn unknown_table_error_propagates_through_cache() {
+        let api = CachedMetadataApi::new(InProcessMetadataApi::new(locator()));
+        let err = api.table(&["NOPE".to_string()]).unwrap_err();
+        assert!(matches!(err, MetadataError::Resolve(_)));
+        // Failures are not cached.
+        assert!(api.table(&["NOPE".to_string()]).is_err());
+        assert_eq!(api.round_trips(), 2);
+    }
+}

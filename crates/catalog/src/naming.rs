@@ -1,0 +1,271 @@
+//! SQL-side naming of DSP artifacts (paper Figure 2) and name resolution.
+//!
+//! A SQL statement may reference a table as `T`, `SCHEMA.T`, or
+//! `CATALOG.SCHEMA.T`. The catalog name is the application name; the schema
+//! name is the path to the `.ds` file (path components joined with `.` so
+//! the whole schema name is one SQL identifier); the table name is the
+//! data-service function name.
+
+use crate::artifacts::Application;
+use crate::types::TableSchema;
+use std::collections::HashMap;
+
+/// The fully qualified SQL name of a presented table.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct QualifiedTableName {
+    /// SQL catalog = application name.
+    pub catalog: String,
+    /// SQL schema = project path + `.ds` file name, joined with `.`.
+    pub schema: String,
+    /// SQL table = function name.
+    pub table: String,
+}
+
+impl QualifiedTableName {
+    /// Renders `catalog.schema.table`.
+    pub fn to_sql(&self) -> String {
+        format!("{}.{}.{}", self.catalog, self.schema, self.table)
+    }
+}
+
+/// Resolves SQL table references against an application's artifacts, and
+/// carries the per-table information XQuery generation needs (namespace and
+/// schema location for prolog imports — paper §3.5 (i)).
+#[derive(Debug, Clone)]
+pub struct TableLocator {
+    /// One entry per presented table.
+    entries: Vec<TableEntry>,
+    /// Index from bare table name to entry indices (ambiguity detection).
+    by_table: HashMap<String, Vec<usize>>,
+}
+
+/// One presented table: names plus generation metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableEntry {
+    /// The SQL-side qualified name.
+    pub qualified: QualifiedTableName,
+    /// The `ld:` path of the owning data service (used for diagnostics).
+    pub ds_path: String,
+    /// The function's tabular schema.
+    pub schema: TableSchema,
+}
+
+/// Resolution failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResolveError {
+    /// No presented table matches the reference.
+    Unknown(String),
+    /// The bare name matches tables in more than one schema.
+    Ambiguous(String, Vec<String>),
+}
+
+impl std::fmt::Display for ResolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResolveError::Unknown(name) => write!(f, "unknown table {name}"),
+            ResolveError::Ambiguous(name, candidates) => write!(
+                f,
+                "ambiguous table {name}; candidates: {}",
+                candidates.join(", ")
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ResolveError {}
+
+impl TableLocator {
+    /// Builds the locator for an application, presenting every
+    /// parameterless function whose return type is flat as a table.
+    pub fn for_application(app: &Application) -> TableLocator {
+        let mut entries = Vec::new();
+        let mut by_table: HashMap<String, Vec<usize>> = HashMap::new();
+        for (project, ds, function) in app.functions() {
+            if !function.is_table() {
+                continue;
+            }
+            let mut schema_parts = vec![project.name.clone()];
+            schema_parts.extend(ds.folder.iter().cloned());
+            schema_parts.push(ds.name.clone());
+            let entry = TableEntry {
+                qualified: QualifiedTableName {
+                    catalog: app.name.clone(),
+                    schema: schema_parts.join("."),
+                    table: function.name.clone(),
+                },
+                ds_path: ds.path_within(&project.name),
+                schema: function.schema.clone(),
+            };
+            by_table
+                .entry(function.name.clone())
+                .or_default()
+                .push(entries.len());
+            entries.push(entry);
+        }
+        TableLocator { entries, by_table }
+    }
+
+    /// All presented tables.
+    pub fn tables(&self) -> &[TableEntry] {
+        &self.entries
+    }
+
+    /// Resolves a possibly-qualified reference. `parts` is the dotted name
+    /// from the SQL AST: `[catalog.]schema-suffix....table` — schema
+    /// matching accepts any suffix of the dotted schema name so that
+    /// `CUSTOMERS_DS.CUSTOMERS` works without spelling the full project
+    /// path, the way reporting tools abbreviate.
+    pub fn resolve(&self, parts: &[String]) -> Result<&TableEntry, ResolveError> {
+        let (table, qualifiers) = parts
+            .split_last()
+            .expect("object names have at least one part");
+        let indices = match self.by_table.get(table) {
+            None => return Err(ResolveError::Unknown(parts.join("."))),
+            Some(ix) => ix,
+        };
+        let matching: Vec<&TableEntry> = indices
+            .iter()
+            .map(|&i| &self.entries[i])
+            .filter(|e| qualifier_matches(e, qualifiers))
+            .collect();
+        match matching.as_slice() {
+            [] => Err(ResolveError::Unknown(parts.join("."))),
+            [one] => Ok(one),
+            many => Err(ResolveError::Ambiguous(
+                parts.join("."),
+                many.iter().map(|e| e.qualified.to_sql()).collect(),
+            )),
+        }
+    }
+}
+
+/// Checks whether `qualifiers` (as written in SQL) select `entry`.
+/// Empty qualifiers match anything with the right table name; one
+/// qualifier must be a suffix-match of the schema name or equal the
+/// catalog; two must be `schema` (suffix) preceded by catalog; three parts
+/// total were already split into (table, two qualifiers).
+fn qualifier_matches(entry: &TableEntry, qualifiers: &[String]) -> bool {
+    match qualifiers {
+        [] => true,
+        [schema] => schema_suffix_matches(&entry.qualified.schema, schema),
+        [catalog, schema] => {
+            entry.qualified.catalog == *catalog
+                && schema_suffix_matches(&entry.qualified.schema, schema)
+        }
+        _ => false,
+    }
+}
+
+fn schema_suffix_matches(full: &str, written: &str) -> bool {
+    if full == written {
+        return true;
+    }
+    full.strip_suffix(written)
+        .is_some_and(|prefix| prefix.ends_with('.'))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::artifacts::{DataService, DataServiceFunction, FunctionKind, Project};
+    use crate::types::{ColumnMeta, SqlColumnType};
+
+    fn function(name: &str) -> DataServiceFunction {
+        DataServiceFunction {
+            name: name.into(),
+            parameters: vec![],
+            schema: TableSchema {
+                table_name: name.into(),
+                row_element: name.into(),
+                namespace: format!("ld:TestDataServices/{name}"),
+                schema_location: format!("ld:TestDataServices/schemas/{name}.xsd"),
+                columns: vec![ColumnMeta::new("ID", SqlColumnType::Integer, false)],
+            },
+            kind: FunctionKind::Physical,
+        }
+    }
+
+    fn app() -> Application {
+        Application {
+            name: "TESTAPP".into(),
+            projects: vec![Project {
+                name: "TestDataServices".into(),
+                data_services: vec![
+                    DataService {
+                        name: "CUSTOMERS_DS".into(),
+                        folder: vec![],
+                        functions: vec![function("CUSTOMERS")],
+                    },
+                    DataService {
+                        name: "ARCHIVE".into(),
+                        folder: vec!["old".into()],
+                        functions: vec![function("CUSTOMERS")],
+                    },
+                ],
+            }],
+        }
+    }
+
+    #[test]
+    fn schema_name_is_path_to_ds_file() {
+        let locator = TableLocator::for_application(&app());
+        let schemas: Vec<_> = locator
+            .tables()
+            .iter()
+            .map(|t| t.qualified.schema.clone())
+            .collect();
+        assert!(schemas.contains(&"TestDataServices.CUSTOMERS_DS".to_string()));
+        assert!(schemas.contains(&"TestDataServices.old.ARCHIVE".to_string()));
+    }
+
+    #[test]
+    fn bare_duplicate_name_is_ambiguous() {
+        let locator = TableLocator::for_application(&app());
+        let err = locator.resolve(&["CUSTOMERS".to_string()]).unwrap_err();
+        assert!(matches!(err, ResolveError::Ambiguous(..)));
+    }
+
+    #[test]
+    fn schema_qualifier_disambiguates() {
+        let locator = TableLocator::for_application(&app());
+        let entry = locator
+            .resolve(&["CUSTOMERS_DS".to_string(), "CUSTOMERS".to_string()])
+            .unwrap();
+        assert_eq!(entry.qualified.schema, "TestDataServices.CUSTOMERS_DS");
+    }
+
+    #[test]
+    fn unknown_table_reported() {
+        let locator = TableLocator::for_application(&app());
+        assert!(matches!(
+            locator.resolve(&["NO_SUCH".to_string()]),
+            Err(ResolveError::Unknown(_))
+        ));
+    }
+
+    #[test]
+    fn suffix_matching_requires_component_boundary() {
+        // `S` must not match schema `...CUSTOMERS_DS` by raw suffix.
+        assert!(!schema_suffix_matches("TestDataServices.CUSTOMERS_DS", "S"));
+        assert!(schema_suffix_matches(
+            "TestDataServices.CUSTOMERS_DS",
+            "CUSTOMERS_DS"
+        ));
+        assert!(schema_suffix_matches(
+            "TestDataServices.old.ARCHIVE",
+            "old.ARCHIVE"
+        ));
+    }
+
+    #[test]
+    fn procedures_are_not_tables() {
+        let mut a = app();
+        a.projects[0].data_services[0].functions[0]
+            .parameters
+            .push(("P".into(), SqlColumnType::Integer));
+        let locator = TableLocator::for_application(&a);
+        // Only the archive CUSTOMERS remains as a table.
+        let entry = locator.resolve(&["CUSTOMERS".to_string()]).unwrap();
+        assert_eq!(entry.qualified.schema, "TestDataServices.old.ARCHIVE");
+    }
+}

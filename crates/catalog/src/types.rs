@@ -1,0 +1,241 @@
+//! Column and table type metadata.
+//!
+//! "SQL statement validation requires information about the columns of the
+//! table(s) being queried, including their names, data types and whether or
+//! not null values are permitted" (paper §3.5 (ii)). A [`TableSchema`] is
+//! the driver's view of a data-service function's return type: the row
+//! element name, its namespace binding, and the simple-typed child elements
+//! that become columns.
+
+use aldsp_xml::{QName, XsType};
+
+/// SQL column types presented through the driver (JDBC type analogues).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SqlColumnType {
+    /// `SMALLINT`
+    Smallint,
+    /// `INTEGER`
+    Integer,
+    /// `BIGINT`
+    Bigint,
+    /// `DECIMAL` / `NUMERIC`
+    Decimal,
+    /// `REAL`
+    Real,
+    /// `DOUBLE PRECISION`
+    Double,
+    /// `CHAR`
+    Char,
+    /// `VARCHAR`
+    Varchar,
+    /// `DATE`
+    Date,
+    /// `BOOLEAN` (SQL-99, but commonly surfaced by reporting drivers)
+    Boolean,
+}
+
+impl SqlColumnType {
+    /// The XML Schema type this SQL type maps to in the function's return
+    /// schema — the mapping behind generated `xs:*` casts (paper §3.5 (v)).
+    pub fn to_xs(self) -> XsType {
+        match self {
+            SqlColumnType::Smallint | SqlColumnType::Integer | SqlColumnType::Bigint => {
+                XsType::Integer
+            }
+            SqlColumnType::Decimal => XsType::Decimal,
+            SqlColumnType::Real | SqlColumnType::Double => XsType::Double,
+            SqlColumnType::Char | SqlColumnType::Varchar => XsType::String,
+            SqlColumnType::Date => XsType::Date,
+            SqlColumnType::Boolean => XsType::Boolean,
+        }
+    }
+
+    /// The JDBC/SQL type name reported by result-set metadata.
+    pub fn sql_name(self) -> &'static str {
+        match self {
+            SqlColumnType::Smallint => "SMALLINT",
+            SqlColumnType::Integer => "INTEGER",
+            SqlColumnType::Bigint => "BIGINT",
+            SqlColumnType::Decimal => "DECIMAL",
+            SqlColumnType::Real => "REAL",
+            SqlColumnType::Double => "DOUBLE",
+            SqlColumnType::Char => "CHAR",
+            SqlColumnType::Varchar => "VARCHAR",
+            SqlColumnType::Date => "DATE",
+            SqlColumnType::Boolean => "BOOLEAN",
+        }
+    }
+
+    /// True for the numeric types.
+    pub fn is_numeric(self) -> bool {
+        matches!(
+            self,
+            SqlColumnType::Smallint
+                | SqlColumnType::Integer
+                | SqlColumnType::Bigint
+                | SqlColumnType::Decimal
+                | SqlColumnType::Real
+                | SqlColumnType::Double
+        )
+    }
+
+    /// True for the character types.
+    pub fn is_character(self) -> bool {
+        matches!(self, SqlColumnType::Char | SqlColumnType::Varchar)
+    }
+}
+
+/// Metadata for one column: the simple-typed child element of the row
+/// element (paper Figure 2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnMeta {
+    /// Column (= child element) name.
+    pub name: String,
+    /// SQL type.
+    pub sql_type: SqlColumnType,
+    /// Whether SQL NULL (an absent element) is permitted.
+    pub nullable: bool,
+}
+
+impl ColumnMeta {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, sql_type: SqlColumnType, nullable: bool) -> ColumnMeta {
+        ColumnMeta {
+            name: name.into(),
+            sql_type,
+            nullable,
+        }
+    }
+}
+
+/// The tabular view of one data-service function: what the JDBC driver
+/// treats as a table (paper §3.1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableSchema {
+    /// Table name = the function name (and its return element's local
+    /// name for physical services imported from relational sources).
+    pub table_name: String,
+    /// The row element name returned by the function (e.g. `CUSTOMERS`).
+    pub row_element: String,
+    /// The target namespace of the return element's schema, e.g.
+    /// `ld:TestDataServices/CUSTOMERS`.
+    pub namespace: String,
+    /// The schema file location used in generated `import schema ... at`
+    /// clauses, e.g. `ld:TestDataServices/schemas/CUSTOMERS.xsd`.
+    pub schema_location: String,
+    /// Columns in declaration order.
+    pub columns: Vec<ColumnMeta>,
+}
+
+impl TableSchema {
+    /// Looks up a column by name (SQL identifiers are already case-folded
+    /// by the lexer, so comparison is exact).
+    pub fn column(&self, name: &str) -> Option<&ColumnMeta> {
+        self.columns.iter().find(|c| c.name == name)
+    }
+
+    /// Column names in order.
+    pub fn column_names(&self) -> impl Iterator<Item = &str> {
+        self.columns.iter().map(|c| c.name.as_str())
+    }
+
+    /// The row element as a [`QName`] under `prefix`.
+    pub fn row_qname(&self, prefix: &str) -> QName {
+        QName::prefixed(prefix.to_string(), self.row_element.clone())
+    }
+
+    /// Renders the XML Schema (`.xsd`) document describing the return
+    /// element — the artifact a data service developer would see
+    /// (paper §3.1: "Every data service function will have a return type
+    /// which has been defined in an XML Schema definition (.xsd) file").
+    pub fn render_xsd(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "<xs:schema targetNamespace=\"{}\" xmlns:xs=\"http://www.w3.org/2001/XMLSchema\">\n",
+            self.namespace
+        ));
+        out.push_str(&format!("  <xs:element name=\"{}\">\n", self.row_element));
+        out.push_str("    <xs:complexType>\n      <xs:sequence>\n");
+        for col in &self.columns {
+            let xs = match col.sql_type.to_xs() {
+                XsType::String => "xs:string",
+                XsType::Integer => "xs:long",
+                XsType::Decimal => "xs:decimal",
+                XsType::Double => "xs:double",
+                XsType::Boolean => "xs:boolean",
+                XsType::Date => "xs:date",
+                // Column types never map to untyped; keep the match total.
+                XsType::Untyped => "xs:string",
+            };
+            let min_occurs = if col.nullable { " minOccurs=\"0\"" } else { "" };
+            out.push_str(&format!(
+                "        <xs:element name=\"{}\" type=\"{}\"{}/>\n",
+                col.name, xs, min_occurs
+            ));
+        }
+        out.push_str(
+            "      </xs:sequence>\n    </xs:complexType>\n  </xs:element>\n</xs:schema>\n",
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn customers() -> TableSchema {
+        TableSchema {
+            table_name: "CUSTOMERS".into(),
+            row_element: "CUSTOMERS".into(),
+            namespace: "ld:TestDataServices/CUSTOMERS".into(),
+            schema_location: "ld:TestDataServices/schemas/CUSTOMERS.xsd".into(),
+            columns: vec![
+                ColumnMeta::new("CUSTOMERID", SqlColumnType::Integer, false),
+                ColumnMeta::new("CUSTOMERNAME", SqlColumnType::Varchar, true),
+            ],
+        }
+    }
+
+    #[test]
+    fn column_lookup() {
+        let t = customers();
+        assert!(t.column("CUSTOMERID").is_some());
+        assert!(t.column("NO_SUCH").is_none());
+        assert_eq!(
+            t.column("CUSTOMERNAME").unwrap().sql_type,
+            SqlColumnType::Varchar
+        );
+    }
+
+    #[test]
+    fn sql_to_xs_mapping() {
+        assert_eq!(SqlColumnType::Bigint.to_xs(), XsType::Integer);
+        assert_eq!(SqlColumnType::Varchar.to_xs(), XsType::String);
+        assert_eq!(SqlColumnType::Decimal.to_xs(), XsType::Decimal);
+        assert_eq!(SqlColumnType::Real.to_xs(), XsType::Double);
+    }
+
+    #[test]
+    fn xsd_rendering_mentions_columns_and_namespace() {
+        let xsd = customers().render_xsd();
+        assert!(xsd.contains("targetNamespace=\"ld:TestDataServices/CUSTOMERS\""));
+        assert!(xsd.contains("<xs:element name=\"CUSTOMERID\" type=\"xs:long\"/>"));
+        // Nullable column gets minOccurs="0" — NULL is an absent element.
+        assert!(
+            xsd.contains("<xs:element name=\"CUSTOMERNAME\" type=\"xs:string\" minOccurs=\"0\"/>")
+        );
+    }
+
+    #[test]
+    fn row_qname_uses_prefix() {
+        assert_eq!(customers().row_qname("ns0").to_string(), "ns0:CUSTOMERS");
+    }
+
+    #[test]
+    fn type_classification() {
+        assert!(SqlColumnType::Decimal.is_numeric());
+        assert!(!SqlColumnType::Varchar.is_numeric());
+        assert!(SqlColumnType::Char.is_character());
+    }
+}

@@ -1,0 +1,88 @@
+//! Translation errors.
+
+use aldsp_catalog::MetadataError;
+use aldsp_sql::ParseError;
+use std::fmt;
+
+/// What phase rejected the statement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// Stage one: lexical/syntactic (paper §3.4.1 — "syntactically
+    /// invalid SQL is rejected immediately").
+    Syntax,
+    /// Stage two: semantic (unknown/ambiguous columns, GROUP BY rule,
+    /// set-operand arity, ORDER BY resolution).
+    Semantic,
+    /// Metadata lookup failures (unknown table, ambiguous table name).
+    Metadata,
+    /// Constructs outside the supported SQL-92 SELECT subset.
+    Unsupported,
+}
+
+/// A translation error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TranslateError {
+    /// Which phase produced it.
+    pub kind: ErrorKind,
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset into the SQL text when known (stage one only).
+    pub offset: Option<usize>,
+}
+
+impl TranslateError {
+    /// A semantic error.
+    pub fn semantic(message: impl Into<String>) -> TranslateError {
+        TranslateError {
+            kind: ErrorKind::Semantic,
+            message: message.into(),
+            offset: None,
+        }
+    }
+
+    /// An unsupported-construct error.
+    pub fn unsupported(message: impl Into<String>) -> TranslateError {
+        TranslateError {
+            kind: ErrorKind::Unsupported,
+            message: message.into(),
+            offset: None,
+        }
+    }
+}
+
+impl fmt::Display for TranslateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = match self.kind {
+            ErrorKind::Syntax => "syntax error",
+            ErrorKind::Semantic => "semantic error",
+            ErrorKind::Metadata => "metadata error",
+            ErrorKind::Unsupported => "unsupported construct",
+        };
+        match self.offset {
+            Some(offset) => write!(f, "{kind} at byte {offset}: {}", self.message),
+            None => write!(f, "{kind}: {}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for TranslateError {}
+
+impl From<ParseError> for TranslateError {
+    fn from(e: ParseError) -> Self {
+        TranslateError {
+            kind: ErrorKind::Syntax,
+            message: e.message,
+            offset: Some(e.offset),
+        }
+    }
+}
+
+impl From<MetadataError> for TranslateError {
+    fn from(e: MetadataError) -> Self {
+        TranslateError {
+            kind: ErrorKind::Metadata,
+            message: e.to_string(),
+            offset: None,
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! The preconfigured SQL → XQuery function map (paper §3.5 (iii): "Many
+//! SQL functions can be directly mapped to functions in the XQuery
+//! Functions and Operators library. The translator uses a preconfigured
+//! map of SQL and XQuery functions.").
+
+use aldsp_catalog::SqlColumnType;
+
+/// How a mapped function treats SQL NULL arguments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NullBehavior {
+    /// The XQuery function already returns the empty sequence for empty
+    /// input (our `fn-bea:sql-*` extensions), so no guard is needed.
+    Propagates,
+    /// The XQuery function coerces empty input to a default (`""`, `0`),
+    /// so the generator must wrap nullable arguments in an emptiness
+    /// guard to preserve SQL's NULL-in → NULL-out rule.
+    NeedsGuard,
+}
+
+/// One entry of the function map.
+#[derive(Debug, Clone, Copy)]
+pub struct FunctionMapping {
+    /// SQL name (uppercased).
+    pub sql_name: &'static str,
+    /// Target XQuery function.
+    pub xquery_name: &'static str,
+    /// Argument count (min, max); `usize::MAX` for variadic.
+    pub arity: (usize, usize),
+    /// Result type (`None` = same as first argument).
+    pub result_type: Option<SqlColumnType>,
+    /// NULL handling.
+    pub null_behavior: NullBehavior,
+}
+
+/// The map. `SUBSTRING`, `TRIM`, and `POSITION` have dedicated AST nodes
+/// (special SQL-92 syntax) and are generated directly; everything callable
+/// through ordinary function syntax goes through this table.
+pub const FUNCTION_MAP: &[FunctionMapping] = &[
+    FunctionMapping {
+        sql_name: "UPPER",
+        xquery_name: "fn:upper-case",
+        arity: (1, 1),
+        result_type: Some(SqlColumnType::Varchar),
+        null_behavior: NullBehavior::NeedsGuard,
+    },
+    FunctionMapping {
+        sql_name: "UCASE",
+        xquery_name: "fn:upper-case",
+        arity: (1, 1),
+        result_type: Some(SqlColumnType::Varchar),
+        null_behavior: NullBehavior::NeedsGuard,
+    },
+    FunctionMapping {
+        sql_name: "LOWER",
+        xquery_name: "fn:lower-case",
+        arity: (1, 1),
+        result_type: Some(SqlColumnType::Varchar),
+        null_behavior: NullBehavior::NeedsGuard,
+    },
+    FunctionMapping {
+        sql_name: "LCASE",
+        xquery_name: "fn:lower-case",
+        arity: (1, 1),
+        result_type: Some(SqlColumnType::Varchar),
+        null_behavior: NullBehavior::NeedsGuard,
+    },
+    FunctionMapping {
+        sql_name: "CHAR_LENGTH",
+        xquery_name: "fn:string-length",
+        arity: (1, 1),
+        result_type: Some(SqlColumnType::Integer),
+        null_behavior: NullBehavior::NeedsGuard,
+    },
+    FunctionMapping {
+        sql_name: "CHARACTER_LENGTH",
+        xquery_name: "fn:string-length",
+        arity: (1, 1),
+        result_type: Some(SqlColumnType::Integer),
+        null_behavior: NullBehavior::NeedsGuard,
+    },
+    FunctionMapping {
+        sql_name: "LENGTH",
+        xquery_name: "fn:string-length",
+        arity: (1, 1),
+        result_type: Some(SqlColumnType::Integer),
+        null_behavior: NullBehavior::NeedsGuard,
+    },
+    FunctionMapping {
+        sql_name: "CONCAT",
+        xquery_name: "fn:concat",
+        arity: (2, usize::MAX),
+        result_type: Some(SqlColumnType::Varchar),
+        null_behavior: NullBehavior::NeedsGuard,
+    },
+    FunctionMapping {
+        sql_name: "ABS",
+        xquery_name: "fn:abs",
+        arity: (1, 1),
+        result_type: None,
+        null_behavior: NullBehavior::Propagates,
+    },
+    FunctionMapping {
+        sql_name: "ROUND",
+        xquery_name: "fn:round",
+        arity: (1, 1),
+        result_type: None,
+        null_behavior: NullBehavior::Propagates,
+    },
+    FunctionMapping {
+        sql_name: "FLOOR",
+        xquery_name: "fn:floor",
+        arity: (1, 1),
+        result_type: None,
+        null_behavior: NullBehavior::Propagates,
+    },
+    FunctionMapping {
+        sql_name: "CEILING",
+        xquery_name: "fn:ceiling",
+        arity: (1, 1),
+        result_type: None,
+        null_behavior: NullBehavior::Propagates,
+    },
+];
+
+/// Looks up a SQL function.
+pub fn lookup(sql_name: &str) -> Option<&'static FunctionMapping> {
+    FUNCTION_MAP.iter().find(|m| m.sql_name == sql_name)
+}
+
+/// SQL functions handled structurally by the generator rather than via
+/// the table (`MOD` maps to the `mod` operator; `COALESCE` to nested
+/// `fn-bea:if-empty`; `NULLIF` to a let-guarded conditional).
+pub const STRUCTURAL_FUNCTIONS: &[&str] = &["MOD", "COALESCE", "NULLIF"];
+
+/// True when `name` is a known scalar function (mapped or structural).
+pub fn is_known_scalar(name: &str) -> bool {
+    lookup(name).is_some() || STRUCTURAL_FUNCTIONS.contains(&name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_contains_core_entries() {
+        assert_eq!(lookup("UPPER").unwrap().xquery_name, "fn:upper-case");
+        assert_eq!(
+            lookup("CHAR_LENGTH").unwrap().xquery_name,
+            "fn:string-length"
+        );
+        assert!(lookup("NO_SUCH").is_none());
+    }
+
+    #[test]
+    fn structural_functions_known() {
+        assert!(is_known_scalar("MOD"));
+        assert!(is_known_scalar("COALESCE"));
+        assert!(is_known_scalar("UPPER"));
+        assert!(!is_known_scalar("FOO"));
+    }
+}

@@ -1,0 +1,142 @@
+//! # aldsp-core — the SQL-92 → XQuery translator
+//!
+//! The paper's primary contribution (§3): a component-based, three-stage
+//! translator that turns SQL-92 SELECT statements into XQuery expressions
+//! over data-service functions.
+//!
+//! * **Stage one** ([`stage1`]): lexical analysis and parsing (via
+//!   `aldsp-sql`), building a typed AST and assigning a *query context* to
+//!   every query block (§3.4.3). Syntactically invalid SQL is rejected
+//!   immediately.
+//! * **Stage two** ([`stage2`]): semantic analysis against catalog
+//!   metadata — table resolution, wildcard expansion, column
+//!   existence/ambiguity checks, the GROUP BY legality rule, ORDER BY
+//!   resolution to output columns, and bottom-up expression type inference
+//!   (§3.5 (v)). Produces a prepared form whose FROM tree is a tree of
+//!   *resultset nodes* (RSNs, §3.4.2): tables, derived tables, joins, and
+//!   set operations, each a uniform tabular view.
+//! * **Stage three** ([`stage3`]): XQuery generation. Each RSN translates
+//!   itself (tables → `for` over the data-service function; views → `let`
+//!   bound `<RECORDSET>` constructors; outer joins → the
+//!   filtered-`let` + `if (fn:empty(...))` pattern of Example 10; GROUP BY
+//!   → the BEA group-by extension of Example 12), with the paper's
+//!   `var<ctx><zone><n>` variable naming discipline.
+//! * **Result wrapper** ([`wrapper`], §4): optionally wraps the query in
+//!   the `fn:string-join` delimited-text transport that the driver parses
+//!   into result sets without XML materialization.
+//!
+//! Deviations from the paper's printed examples, where engineering
+//! demanded them, are catalogued in `DESIGN.md` (conditional construction
+//! of nullable result elements; casts on order/group keys and on
+//! both-untyped ordered comparisons; NULL markers in the text transport).
+
+pub mod error;
+pub mod funcmap;
+pub mod ir;
+pub mod stage1;
+pub mod stage2;
+pub mod stage3;
+pub mod wrapper;
+
+pub use error::TranslateError;
+pub use ir::{OutputColumn, PreparedBody, PreparedQuery, PreparedSelect, Rsn, TExpr, TExprKind};
+pub use stage2::prepare;
+pub use wrapper::{COLUMN_SEPARATOR, NULL_MARKER, ROW_SEPARATOR};
+
+use aldsp_catalog::MetadataApi;
+use std::time::{Duration, Instant};
+
+/// How results travel back to the driver (paper §4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Transport {
+    /// Serialize the `<RECORDSET>` XML and re-parse in the driver — the
+    /// baseline the paper found wasteful.
+    Xml,
+    /// The delimited-text wrapper (`fn:string-join` over separator-tagged
+    /// column values) — the paper's "measurably improved" design.
+    #[default]
+    DelimitedText,
+}
+
+/// Translation options.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TranslationOptions {
+    /// Result transport mode.
+    pub transport: Transport,
+}
+
+/// Per-stage wall-clock timings, for the translation-latency experiment
+/// (E2 in `EXPERIMENTS.md`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StageTimings {
+    /// Stage one (lex + parse + contexts).
+    pub parse: Duration,
+    /// Stage two (metadata + semantics + typing).
+    pub prepare: Duration,
+    /// Stage three (+ wrapper) generation.
+    pub generate: Duration,
+}
+
+/// The result of a successful translation.
+#[derive(Debug, Clone)]
+pub struct Translation {
+    /// The generated XQuery text (prolog included).
+    pub xquery: String,
+    /// Result-set metadata: one entry per output column.
+    pub columns: Vec<OutputColumn>,
+    /// Number of `?` parameter markers; the driver binds
+    /// `$sqlParam1 ... $sqlParamN`.
+    pub parameter_count: usize,
+    /// Per-stage timings.
+    pub timings: StageTimings,
+}
+
+/// The translator: metadata access plus options.
+pub struct Translator<M> {
+    metadata: M,
+}
+
+impl<M: MetadataApi> Translator<M> {
+    /// Creates a translator over a metadata API (usually a
+    /// [`aldsp_catalog::CachedMetadataApi`]).
+    pub fn new(metadata: M) -> Self {
+        Translator { metadata }
+    }
+
+    /// The underlying metadata API.
+    pub fn metadata(&self) -> &M {
+        &self.metadata
+    }
+
+    /// Translates one SQL-92 SELECT statement.
+    pub fn translate(
+        &self,
+        sql: &str,
+        options: TranslationOptions,
+    ) -> Result<Translation, TranslateError> {
+        let start = Instant::now();
+        let parsed = stage1::parse(sql)?;
+        let after_parse = Instant::now();
+
+        let prepared = stage2::prepare(&parsed, &self.metadata)?;
+        let after_prepare = Instant::now();
+
+        let generated = stage3::generate(&prepared)?;
+        let xquery = match options.transport {
+            Transport::Xml => generated.into_query_text(),
+            Transport::DelimitedText => wrapper::wrap_delimited(generated, &prepared),
+        };
+        let after_generate = Instant::now();
+
+        Ok(Translation {
+            xquery,
+            columns: prepared.output.clone(),
+            parameter_count: parsed.parameter_count,
+            timings: StageTimings {
+                parse: after_parse - start,
+                prepare: after_prepare - after_parse,
+                generate: after_generate - after_prepare,
+            },
+        })
+    }
+}

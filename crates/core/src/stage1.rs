@@ -1,0 +1,266 @@
+//! Stage one: lexical analysis, parsing, and query-context assignment.
+//!
+//! "The first stage performs the SQL recognition and builds an abstract
+//! syntax tree of nodes representing the SQL query ... At this stage, all
+//! of the context information useful for further processing is captured"
+//! (paper §3.4.1). The SQL front end lives in `aldsp-sql`; this module
+//! assigns a context id to every query block (paper Figure 4's CTX0/CTX1
+//! numbering) and counts parameter markers.
+
+use crate::error::TranslateError;
+use aldsp_sql::{parse_select, Expr, Query, QueryBody, Select, TableRef};
+
+/// The stage-one result: the AST plus captured context information.
+#[derive(Debug, Clone)]
+pub struct ParsedStatement {
+    /// The parsed query.
+    pub query: Query,
+    /// One entry per query block, outermost first; `contexts[i]` describes
+    /// the block with ctx id `i + 1` (ctx 0 is the outer marker scope —
+    /// paper Figure 5's CTX0).
+    pub contexts: Vec<ContextInfo>,
+    /// Number of `?` markers.
+    pub parameter_count: usize,
+}
+
+/// Captured per-context information (paper §3.4.3: "examples of the
+/// information stored in contexts are (sub)query identification, the
+/// presence of aggregates, information about parent queries").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ContextInfo {
+    /// 1-based context id.
+    pub id: u32,
+    /// Parent context id (0 for the outermost query).
+    pub parent: u32,
+    /// Whether the block's projection or HAVING contains aggregates.
+    pub has_aggregates: bool,
+    /// Whether the block has a GROUP BY clause.
+    pub has_group_by: bool,
+    /// Number of FROM items.
+    pub from_items: usize,
+}
+
+/// Runs stage one.
+pub fn parse(sql: &str) -> Result<ParsedStatement, TranslateError> {
+    let query = parse_select(sql)?;
+    let mut contexts = Vec::new();
+    let mut counter = 0u32;
+    assign_query(&query, 0, &mut counter, &mut contexts);
+    let parameter_count = count_parameters(&query);
+    Ok(ParsedStatement {
+        query,
+        contexts,
+        parameter_count,
+    })
+}
+
+fn assign_query(query: &Query, parent: u32, counter: &mut u32, out: &mut Vec<ContextInfo>) {
+    assign_body(&query.body, parent, counter, out);
+}
+
+fn assign_body(body: &QueryBody, parent: u32, counter: &mut u32, out: &mut Vec<ContextInfo>) {
+    match body {
+        QueryBody::Select(select) => assign_select(select, parent, counter, out),
+        QueryBody::SetOp { left, right, .. } => {
+            assign_body(left, parent, counter, out);
+            assign_body(right, parent, counter, out);
+        }
+    }
+}
+
+fn assign_select(select: &Select, parent: u32, counter: &mut u32, out: &mut Vec<ContextInfo>) {
+    *counter += 1;
+    let id = *counter;
+    let has_aggregates = select.items.iter().any(|item| match item {
+        aldsp_sql::SelectItem::Expr { expr, .. } => expr.contains_aggregate(),
+        _ => false,
+    }) || select
+        .having
+        .as_ref()
+        .is_some_and(|h| h.contains_aggregate());
+    out.push(ContextInfo {
+        id,
+        parent,
+        has_aggregates,
+        has_group_by: !select.group_by.is_empty(),
+        from_items: select.from.len(),
+    });
+
+    // Subqueries in FROM.
+    for table_ref in &select.from {
+        assign_table_ref(table_ref, id, counter, out);
+    }
+    // Subqueries in expressions.
+    let mut visit_expr = |e: &Expr| visit_expr_queries(e, id, counter, out);
+    for item in &select.items {
+        if let aldsp_sql::SelectItem::Expr { expr, .. } = item {
+            visit_expr(expr);
+        }
+    }
+    if let Some(w) = &select.where_clause {
+        visit_expr(w);
+    }
+    for g in &select.group_by {
+        visit_expr(g);
+    }
+    if let Some(h) = &select.having {
+        visit_expr(h);
+    }
+}
+
+fn assign_table_ref(
+    table_ref: &TableRef,
+    parent: u32,
+    counter: &mut u32,
+    out: &mut Vec<ContextInfo>,
+) {
+    match table_ref {
+        TableRef::Table { .. } => {}
+        TableRef::Derived { query, .. } => assign_query(query, parent, counter, out),
+        TableRef::Join {
+            left, right, on, ..
+        } => {
+            assign_table_ref(left, parent, counter, out);
+            assign_table_ref(right, parent, counter, out);
+            if let Some(on) = on {
+                visit_expr_queries(on, parent, counter, out);
+            }
+        }
+    }
+}
+
+fn visit_expr_queries(expr: &Expr, parent: u32, counter: &mut u32, out: &mut Vec<ContextInfo>) {
+    match expr {
+        Expr::InSubquery { query, .. }
+        | Expr::Exists { query, .. }
+        | Expr::Quantified { query, .. } => assign_query(query, parent, counter, out),
+        Expr::ScalarSubquery(query) => assign_query(query, parent, counter, out),
+        other => other.visit_children(&mut |child| visit_expr_queries(child, parent, counter, out)),
+    }
+}
+
+fn count_parameters(query: &Query) -> usize {
+    // Parameter ordinals were assigned in source order by the parser; the
+    // count is one past the highest ordinal.
+    let mut max: Option<usize> = None;
+    walk_query_exprs(query, &mut |e| {
+        if let Expr::Parameter(n) = e {
+            max = Some(max.map_or(*n, |m| m.max(*n)));
+        }
+    });
+    max.map_or(0, |m| m + 1)
+}
+
+/// Calls `visit` on every expression in the query, including inside
+/// subqueries.
+pub fn walk_query_exprs(query: &Query, visit: &mut dyn FnMut(&Expr)) {
+    fn walk_expr(expr: &Expr, visit: &mut dyn FnMut(&Expr)) {
+        visit(expr);
+        expr.visit_children(&mut |child| walk_expr(child, visit));
+        match expr {
+            Expr::InSubquery { query, .. }
+            | Expr::Exists { query, .. }
+            | Expr::Quantified { query, .. } => walk_query_exprs(query, visit),
+            Expr::ScalarSubquery(query) => walk_query_exprs(query, visit),
+            _ => {}
+        }
+    }
+    fn walk_body(body: &QueryBody, visit: &mut dyn FnMut(&Expr)) {
+        match body {
+            QueryBody::Select(select) => {
+                for item in &select.items {
+                    if let aldsp_sql::SelectItem::Expr { expr, .. } = item {
+                        walk_expr(expr, visit);
+                    }
+                }
+                for table_ref in &select.from {
+                    walk_table(table_ref, visit);
+                }
+                if let Some(w) = &select.where_clause {
+                    walk_expr(w, visit);
+                }
+                for g in &select.group_by {
+                    walk_expr(g, visit);
+                }
+                if let Some(h) = &select.having {
+                    walk_expr(h, visit);
+                }
+            }
+            QueryBody::SetOp { left, right, .. } => {
+                walk_body(left, visit);
+                walk_body(right, visit);
+            }
+        }
+    }
+    fn walk_table(table_ref: &TableRef, visit: &mut dyn FnMut(&Expr)) {
+        match table_ref {
+            TableRef::Table { .. } => {}
+            TableRef::Derived { query, .. } => walk_query_exprs(query, visit),
+            TableRef::Join {
+                left, right, on, ..
+            } => {
+                walk_table(left, visit);
+                walk_table(right, visit);
+                if let Some(on) = on {
+                    walk_expr(on, visit);
+                }
+            }
+        }
+    }
+    walk_body(&query.body, visit);
+    for item in &query.order_by {
+        walk_expr(&item.expr, visit);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure4_three_contexts() {
+        // Paper Figure 4: SELECT over a subquery over a subquery — three
+        // contexts (plus the CTX0 marker, which is implicit as parent 0).
+        let parsed = parse(
+            "SELECT * FROM (SELECT ID FROM (SELECT CUSTOMERID ID FROM CUSTOMERS) AS INNER1) AS MID",
+        )
+        .unwrap();
+        assert_eq!(parsed.contexts.len(), 3);
+        assert_eq!(parsed.contexts[0].parent, 0);
+        assert_eq!(parsed.contexts[1].parent, 1);
+        assert_eq!(parsed.contexts[2].parent, 2);
+    }
+
+    #[test]
+    fn aggregates_flagged_per_context() {
+        let parsed =
+            parse("SELECT COUNT(*) FROM (SELECT A FROM T) AS S WHERE EXISTS (SELECT B FROM U)")
+                .unwrap();
+        let outer = &parsed.contexts[0];
+        assert!(outer.has_aggregates);
+        // The FROM subquery and the EXISTS subquery have no aggregates.
+        assert!(parsed.contexts[1..].iter().all(|c| !c.has_aggregates));
+    }
+
+    #[test]
+    fn parameters_counted() {
+        let parsed =
+            parse("SELECT A FROM T WHERE B = ? AND C IN (SELECT D FROM U WHERE E > ?)").unwrap();
+        assert_eq!(parsed.parameter_count, 2);
+    }
+
+    #[test]
+    fn set_op_contexts_share_parent() {
+        let parsed = parse("SELECT A FROM T UNION SELECT B FROM U").unwrap();
+        assert_eq!(parsed.contexts.len(), 2);
+        assert_eq!(parsed.contexts[0].parent, 0);
+        assert_eq!(parsed.contexts[1].parent, 0);
+    }
+
+    #[test]
+    fn syntax_errors_rejected_immediately() {
+        let err = parse("SELECT FROM WHERE").unwrap_err();
+        assert_eq!(err.kind, crate::error::ErrorKind::Syntax);
+        assert!(err.offset.is_some());
+    }
+}

@@ -1,0 +1,1053 @@
+//! Stage two: semantic analysis and AST preparation.
+//!
+//! "In stage-two, nodes are moved to locations that are more relevant for
+//! consumption by stage-three" (paper §3.4.1): table references resolve
+//! against catalog metadata, wildcards expand into column nodes (paper
+//! Figure 5's `SELECT *` expansion), columns are checked for existence and
+//! ambiguity under SQL-92 qualification rules, the GROUP BY legality rule
+//! is enforced (paper §3.4.3's `SELECT EMPNO ... GROUP BY EMPNAME`
+//! example), ORDER BY items resolve to output columns, and every
+//! expression gets a type via bottom-up inference (§3.5 (v)).
+
+use crate::error::{ErrorKind, TranslateError};
+use crate::funcmap;
+use crate::ir::*;
+use crate::stage1::ParsedStatement;
+use aldsp_catalog::{MetadataApi, SqlColumnType};
+use aldsp_sql::{
+    BinaryOp, ColumnRef, Expr, FunctionArgs, Literal, Query, QueryBody, Select, SelectItem,
+    SqlTypeName, TableRef, UnaryOp,
+};
+
+/// Runs stage two over a stage-one result.
+pub fn prepare(
+    parsed: &ParsedStatement,
+    metadata: &dyn MetadataApi,
+) -> Result<PreparedQuery, TranslateError> {
+    let mut preparer = Preparer {
+        metadata,
+        ctx_counter: 0,
+    };
+    preparer.prepare_query(&parsed.query, None)
+}
+
+struct Preparer<'a> {
+    metadata: &'a dyn MetadataApi,
+    ctx_counter: u32,
+}
+
+/// Column-resolution scope: the current FROM's columns chained to
+/// enclosing queries' scopes (correlation).
+struct Scope<'a> {
+    columns: &'a [RsnColumn],
+    parent: Option<&'a Scope<'a>>,
+}
+
+impl<'a> Scope<'a> {
+    fn resolve(&self, column: &ColumnRef) -> Result<&RsnColumn, TranslateError> {
+        let matches: Vec<&RsnColumn> = self
+            .columns
+            .iter()
+            .filter(|c| {
+                c.name == column.name
+                    && column.qualifier.as_deref().is_none_or(|q| c.range_var == q)
+            })
+            .collect();
+        match matches.as_slice() {
+            [one] => Ok(one),
+            [] => match self.parent {
+                Some(parent) => parent.resolve(column),
+                None => Err(TranslateError::semantic(format!("unknown column {column}"))),
+            },
+            _ => Err(TranslateError::semantic(format!(
+                "ambiguous column {column}"
+            ))),
+        }
+    }
+}
+
+impl<'a> Preparer<'a> {
+    fn prepare_query(
+        &mut self,
+        query: &Query,
+        parent: Option<&Scope<'_>>,
+    ) -> Result<PreparedQuery, TranslateError> {
+        let body = self.prepare_body(&query.body, parent)?;
+        let output = body.output().to_vec();
+
+        // ORDER BY resolution: SQL-92 restricts sort keys to output
+        // columns — by ordinal, by output name, or by an expression equal
+        // to a select item.
+        let mut order_by = Vec::with_capacity(query.order_by.len());
+        for item in &query.order_by {
+            let column = self.resolve_order_item(&item.expr, &body, &output)?;
+            order_by.push(PreparedOrder {
+                column,
+                ascending: item.ascending,
+            });
+        }
+        Ok(PreparedQuery {
+            body,
+            order_by,
+            output,
+        })
+    }
+
+    fn resolve_order_item(
+        &mut self,
+        expr: &Expr,
+        body: &PreparedBody,
+        output: &[OutputColumn],
+    ) -> Result<usize, TranslateError> {
+        match expr {
+            Expr::Literal(Literal::Integer(n)) => {
+                let n = *n;
+                if n < 1 || n as usize > output.len() {
+                    return Err(TranslateError::semantic(format!(
+                        "ORDER BY ordinal {n} out of range 1..{}",
+                        output.len()
+                    )));
+                }
+                Ok(n as usize - 1)
+            }
+            Expr::Column(c) => {
+                let written = match &c.qualifier {
+                    Some(q) => format!("{q}.{}", c.name),
+                    None => c.name.clone(),
+                };
+                // Prefer an exact output-name match, then a unique label
+                // match.
+                if let Some(i) = output.iter().position(|o| o.name == written) {
+                    return Ok(i);
+                }
+                let labelled: Vec<usize> = output
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, o)| o.label == c.name)
+                    .map(|(i, _)| i)
+                    .collect();
+                match labelled.as_slice() {
+                    [one] => Ok(*one),
+                    [] => Err(TranslateError::semantic(format!(
+                        "ORDER BY column {written} is not an output column"
+                    ))),
+                    _ => Err(TranslateError::semantic(format!(
+                        "ORDER BY column {written} is ambiguous"
+                    ))),
+                }
+            }
+            other => {
+                // Expression form: must equal a select item (only
+                // resolvable for a plain SELECT body).
+                let PreparedBody::Select(select) = body else {
+                    return Err(TranslateError::semantic(
+                        "ORDER BY expressions are not supported over set operations",
+                    ));
+                };
+                let scope_columns: Vec<RsnColumn> =
+                    select.from.iter().flat_map(|r| r.columns()).collect();
+                let scope = Scope {
+                    columns: &scope_columns,
+                    parent: None,
+                };
+                let translated = self.translate_expr(other, &scope, select.grouped)?;
+                select
+                    .items
+                    .iter()
+                    .find(|item| item.expr == translated)
+                    .map(|item| item.output)
+                    .ok_or_else(|| {
+                        TranslateError::semantic("ORDER BY expression must match a select item")
+                    })
+            }
+        }
+    }
+
+    fn prepare_body(
+        &mut self,
+        body: &QueryBody,
+        parent: Option<&Scope<'_>>,
+    ) -> Result<PreparedBody, TranslateError> {
+        match body {
+            QueryBody::Select(select) => {
+                let prepared = self.prepare_select(select, parent)?;
+                Ok(PreparedBody::Select(Box::new(prepared)))
+            }
+            QueryBody::SetOp {
+                left,
+                op,
+                all,
+                right,
+            } => {
+                let left = self.prepare_body(left, parent)?;
+                let right = self.prepare_body(right, parent)?;
+                let l_out = left.output();
+                let r_out = right.output();
+                if l_out.len() != r_out.len() {
+                    return Err(TranslateError::semantic(format!(
+                        "set operands have different arity: {} vs {}",
+                        l_out.len(),
+                        r_out.len()
+                    )));
+                }
+                // Output: left names; types promote across sides; a column
+                // is nullable when either side's is.
+                let output: Vec<OutputColumn> = l_out
+                    .iter()
+                    .zip(r_out)
+                    .map(|(l, r)| {
+                        let sql_type = match (l.sql_type, r.sql_type) {
+                            (Some(a), Some(b)) => Some(promote_types(a, b)),
+                            (t, None) | (None, t) => t,
+                        };
+                        Ok(OutputColumn {
+                            name: l.name.clone(),
+                            label: l.label.clone(),
+                            sql_type,
+                            nullable: l.nullable || r.nullable,
+                        })
+                    })
+                    .collect::<Result<_, TranslateError>>()?;
+                Ok(PreparedBody::SetOp {
+                    left: Box::new(left),
+                    op: *op,
+                    all: *all,
+                    right: Box::new(right),
+                    output,
+                })
+            }
+        }
+    }
+
+    fn prepare_select(
+        &mut self,
+        select: &Select,
+        parent: Option<&Scope<'_>>,
+    ) -> Result<PreparedSelect, TranslateError> {
+        self.ctx_counter += 1;
+        let ctx_id = self.ctx_counter;
+
+        // FROM: build RSNs (paper Figure 3's node tree).
+        let mut from = Vec::with_capacity(select.from.len());
+        for table_ref in &select.from {
+            from.push(self.build_rsn(table_ref, parent)?);
+        }
+        // Range variables must be unique within one FROM clause.
+        {
+            let mut seen = std::collections::HashSet::new();
+            for rsn in &from {
+                for rv in rsn.range_vars() {
+                    if !seen.insert(rv.to_string()) {
+                        return Err(TranslateError::semantic(format!(
+                            "duplicate range variable {rv} in FROM (alias required)"
+                        )));
+                    }
+                }
+            }
+        }
+        let scope_columns: Vec<RsnColumn> = from.iter().flat_map(|r| r.columns()).collect();
+        let scope = Scope {
+            columns: &scope_columns,
+            parent,
+        };
+
+        // Grouping detection before item translation so aggregate
+        // legality is known.
+        let has_aggregates = select.items.iter().any(|i| match i {
+            SelectItem::Expr { expr, .. } => expr.contains_aggregate(),
+            _ => false,
+        }) || select
+            .having
+            .as_ref()
+            .is_some_and(|h| h.contains_aggregate());
+        let grouped = !select.group_by.is_empty() || has_aggregates;
+
+        // Wildcard expansion (paper Figure 5: "actual column information
+        // must be substituted for the column-wildcard").
+        let expanded = self.expand_items(select, &scope_columns)?;
+
+        // GROUP BY keys.
+        let mut group_by = Vec::with_capacity(select.group_by.len());
+        for key in &select.group_by {
+            let t = self.translate_expr(key, &scope, false)?;
+            if t.contains_aggregate() {
+                return Err(TranslateError::semantic(
+                    "aggregates are not allowed in GROUP BY",
+                ));
+            }
+            group_by.push(t);
+        }
+
+        // Projection.
+        let mut items = Vec::with_capacity(expanded.len());
+        let mut output = Vec::with_capacity(expanded.len());
+        let mut used_names = std::collections::HashSet::new();
+        for (expr, alias) in &expanded {
+            let t = self.translate_expr(expr, &scope, grouped)?;
+            let (label, base_name) = match (alias, &t.kind) {
+                (Some(a), _) => (a.clone(), a.clone()),
+                (None, TExprKind::Column { range_var, column }) => {
+                    (column.clone(), format!("{range_var}.{column}"))
+                }
+                (None, _) => {
+                    let n = format!("EXPR{}", output.len() + 1);
+                    (n.clone(), n)
+                }
+            };
+            // Result element names must be unique within a row.
+            let mut name = base_name.clone();
+            let mut suffix = 1;
+            while !used_names.insert(name.clone()) {
+                suffix += 1;
+                name = format!("{base_name}_{suffix}");
+            }
+            output.push(OutputColumn {
+                name,
+                label,
+                sql_type: t.ty,
+                nullable: t.nullable,
+            });
+            items.push(PreparedItem {
+                expr: t,
+                output: output.len() - 1,
+            });
+        }
+
+        // WHERE (no aggregates).
+        let where_clause = match &select.where_clause {
+            Some(w) => {
+                let t = self.translate_expr(w, &scope, false)?;
+                Some(t)
+            }
+            None => None,
+        };
+
+        // HAVING (aggregates allowed).
+        let having = match &select.having {
+            Some(h) => Some(self.translate_expr(h, &scope, true)?),
+            None => None,
+        };
+
+        // GROUP BY legality (paper §3.4.3).
+        if grouped {
+            for item in &items {
+                check_grouped(&item.expr, &group_by)?;
+            }
+            if let Some(h) = &having {
+                check_grouped(h, &group_by)?;
+            }
+        }
+
+        Ok(PreparedSelect {
+            ctx_id,
+            distinct: select.distinct,
+            items,
+            from,
+            where_clause,
+            group_by,
+            having,
+            grouped,
+            output,
+        })
+    }
+
+    fn expand_items(
+        &mut self,
+        select: &Select,
+        scope_columns: &[RsnColumn],
+    ) -> Result<Vec<(Expr, Option<String>)>, TranslateError> {
+        let mut out = Vec::new();
+        for item in &select.items {
+            match item {
+                SelectItem::Wildcard => {
+                    for c in scope_columns {
+                        out.push((
+                            Expr::Column(ColumnRef::qualified(c.range_var.clone(), c.name.clone())),
+                            None,
+                        ));
+                    }
+                }
+                SelectItem::QualifiedWildcard(q) => {
+                    let cols: Vec<&RsnColumn> =
+                        scope_columns.iter().filter(|c| &c.range_var == q).collect();
+                    if cols.is_empty() {
+                        return Err(TranslateError::semantic(format!(
+                            "unknown range variable {q} in {q}.*"
+                        )));
+                    }
+                    for c in cols {
+                        out.push((
+                            Expr::Column(ColumnRef::qualified(c.range_var.clone(), c.name.clone())),
+                            None,
+                        ));
+                    }
+                }
+                SelectItem::Expr { expr, alias } => out.push((expr.clone(), alias.clone())),
+            }
+        }
+        Ok(out)
+    }
+
+    fn build_rsn(
+        &mut self,
+        table_ref: &TableRef,
+        parent: Option<&Scope<'_>>,
+    ) -> Result<Rsn, TranslateError> {
+        match table_ref {
+            TableRef::Table { name, alias } => {
+                let entry = self.metadata.table(&name.0)?;
+                let range_var = alias.clone().unwrap_or_else(|| name.base().to_string());
+                Ok(Rsn::Table { range_var, entry })
+            }
+            TableRef::Derived { query, alias } => {
+                let prepared = self.prepare_query(query, parent)?;
+                Ok(Rsn::Derived {
+                    range_var: alias.clone(),
+                    query: Box::new(prepared),
+                })
+            }
+            TableRef::Join {
+                left,
+                right,
+                kind,
+                on,
+            } => {
+                let (l, r) = (
+                    self.build_rsn(left, parent)?,
+                    self.build_rsn(right, parent)?,
+                );
+                // RIGHT OUTER stays RIGHT OUTER in the IR so that wildcard
+                // expansion preserves SQL's left-to-right column order;
+                // stage three generates it as a LEFT OUTER with swapped
+                // operands (element naming makes operand order irrelevant
+                // there).
+                let kind = *kind;
+                // ON sees the join's own columns plus enclosing scopes.
+                let join_columns: Vec<RsnColumn> = {
+                    let mut c = l.columns();
+                    c.extend(r.columns());
+                    c
+                };
+                let on = match on {
+                    Some(expr) => {
+                        let scope = Scope {
+                            columns: &join_columns,
+                            parent,
+                        };
+                        let t = self.translate_expr(expr, &scope, false)?;
+                        if t.contains_aggregate() {
+                            return Err(TranslateError::semantic(
+                                "aggregates are not allowed in JOIN conditions",
+                            ));
+                        }
+                        Some(t)
+                    }
+                    None => None,
+                };
+                Ok(Rsn::Join {
+                    kind,
+                    left: Box::new(l),
+                    right: Box::new(r),
+                    on,
+                })
+            }
+        }
+    }
+
+    // ---- expression translation + type inference ------------------------
+
+    fn translate_expr(
+        &mut self,
+        expr: &Expr,
+        scope: &Scope<'_>,
+        aggregates_allowed: bool,
+    ) -> Result<TExpr, TranslateError> {
+        let t = |me: &mut Self, e: &Expr| me.translate_expr(e, scope, aggregates_allowed);
+        match expr {
+            Expr::Column(c) => {
+                let col = scope.resolve(c)?;
+                Ok(TExpr::new(
+                    TExprKind::Column {
+                        range_var: col.range_var.clone(),
+                        column: col.name.clone(),
+                    },
+                    col.sql_type,
+                    col.nullable,
+                ))
+            }
+            Expr::Literal(l) => Ok(literal_texpr(l)),
+            Expr::Parameter(n) => Ok(TExpr::new(TExprKind::Parameter(*n), None, true)),
+            Expr::Unary { op, expr } => {
+                let inner = t(self, expr)?;
+                match op {
+                    UnaryOp::Plus => Ok(inner),
+                    UnaryOp::Neg => {
+                        let ty = inner.ty;
+                        let nullable = inner.nullable;
+                        Ok(TExpr::new(TExprKind::Neg(Box::new(inner)), ty, nullable))
+                    }
+                    UnaryOp::Not => {
+                        let nullable = inner.nullable;
+                        Ok(TExpr::new(
+                            TExprKind::Not(Box::new(inner)),
+                            Some(SqlColumnType::Boolean),
+                            nullable,
+                        ))
+                    }
+                }
+            }
+            Expr::Binary { left, op, right } => {
+                let l = t(self, left)?;
+                let r = t(self, right)?;
+                let nullable = l.nullable || r.nullable;
+                match op {
+                    BinaryOp::Add | BinaryOp::Sub | BinaryOp::Mul | BinaryOp::Div => {
+                        let arith_op = match op {
+                            BinaryOp::Add => ArithOp::Add,
+                            BinaryOp::Sub => ArithOp::Sub,
+                            BinaryOp::Mul => ArithOp::Mul,
+                            _ => ArithOp::Div,
+                        };
+                        let ty = match (l.ty, r.ty) {
+                            (Some(a), Some(b)) => {
+                                if !a.is_numeric() || !b.is_numeric() {
+                                    return Err(TranslateError::semantic(format!(
+                                        "arithmetic over non-numeric types {} and {}",
+                                        a.sql_name(),
+                                        b.sql_name()
+                                    )));
+                                }
+                                Some(promote_types(a, b))
+                            }
+                            // SQL-92 derives a parameter's type from its
+                            // context: `col + ?` is typed by the column.
+                            (Some(t), None) | (None, Some(t)) if t.is_numeric() => Some(t),
+                            _ => None,
+                        };
+                        Ok(TExpr::new(
+                            TExprKind::Arith {
+                                op: arith_op,
+                                left: Box::new(l),
+                                right: Box::new(r),
+                            },
+                            ty,
+                            nullable,
+                        ))
+                    }
+                    BinaryOp::Concat => Ok(TExpr::new(
+                        TExprKind::Concat(Box::new(l), Box::new(r)),
+                        Some(SqlColumnType::Varchar),
+                        nullable,
+                    )),
+                    BinaryOp::Compare(c) => Ok(TExpr::new(
+                        TExprKind::Compare {
+                            op: *c,
+                            left: Box::new(l),
+                            right: Box::new(r),
+                        },
+                        Some(SqlColumnType::Boolean),
+                        nullable,
+                    )),
+                    BinaryOp::And => Ok(TExpr::new(
+                        TExprKind::And(Box::new(l), Box::new(r)),
+                        Some(SqlColumnType::Boolean),
+                        nullable,
+                    )),
+                    BinaryOp::Or => Ok(TExpr::new(
+                        TExprKind::Or(Box::new(l), Box::new(r)),
+                        Some(SqlColumnType::Boolean),
+                        nullable,
+                    )),
+                }
+            }
+            Expr::Function { name, args } => {
+                self.translate_function(name, args, scope, aggregates_allowed)
+            }
+            Expr::Case {
+                operand,
+                branches,
+                else_result,
+            } => {
+                let operand = match operand {
+                    Some(o) => Some(Box::new(t(self, o)?)),
+                    None => None,
+                };
+                let mut t_branches = Vec::with_capacity(branches.len());
+                for (w, r) in branches {
+                    t_branches.push((t(self, w)?, t(self, r)?));
+                }
+                let else_result = match else_result {
+                    Some(e) => Some(Box::new(t(self, e)?)),
+                    None => None,
+                };
+                let ty = t_branches
+                    .iter()
+                    .map(|(_, r)| r)
+                    .chain(else_result.iter().map(|b| &**b))
+                    .find_map(|e| e.ty);
+                let nullable = else_result.is_none()
+                    || t_branches.iter().any(|(_, r)| r.nullable)
+                    || else_result.as_ref().is_some_and(|e| e.nullable);
+                Ok(TExpr::new(
+                    TExprKind::Case {
+                        operand,
+                        branches: t_branches,
+                        else_result,
+                    },
+                    ty,
+                    nullable,
+                ))
+            }
+            Expr::Cast { expr, target } => {
+                let inner = t(self, expr)?;
+                let target = type_name_to_column(*target);
+                let nullable = inner.nullable;
+                Ok(TExpr::new(
+                    TExprKind::Cast {
+                        expr: Box::new(inner),
+                        target,
+                    },
+                    Some(target),
+                    nullable,
+                ))
+            }
+            Expr::IsNull { expr, negated } => {
+                let inner = t(self, expr)?;
+                Ok(TExpr::new(
+                    TExprKind::IsNull {
+                        expr: Box::new(inner),
+                        negated: *negated,
+                    },
+                    Some(SqlColumnType::Boolean),
+                    false,
+                ))
+            }
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => {
+                let e = t(self, expr)?;
+                let lo = t(self, low)?;
+                let hi = t(self, high)?;
+                let nullable = e.nullable || lo.nullable || hi.nullable;
+                Ok(TExpr::new(
+                    TExprKind::Between {
+                        expr: Box::new(e),
+                        low: Box::new(lo),
+                        high: Box::new(hi),
+                        negated: *negated,
+                    },
+                    Some(SqlColumnType::Boolean),
+                    nullable,
+                ))
+            }
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                let e = t(self, expr)?;
+                let mut t_list = Vec::with_capacity(list.len());
+                for item in list {
+                    t_list.push(t(self, item)?);
+                }
+                let nullable = e.nullable || t_list.iter().any(|x| x.nullable);
+                Ok(TExpr::new(
+                    TExprKind::InList {
+                        expr: Box::new(e),
+                        list: t_list,
+                        negated: *negated,
+                    },
+                    Some(SqlColumnType::Boolean),
+                    nullable,
+                ))
+            }
+            Expr::InSubquery {
+                expr,
+                query,
+                negated,
+            } => {
+                let e = t(self, expr)?;
+                let sub = self.prepare_subquery(query, scope, 1)?;
+                let nullable = e.nullable;
+                Ok(TExpr::new(
+                    TExprKind::InSubquery {
+                        expr: Box::new(e),
+                        query: Box::new(sub),
+                        negated: *negated,
+                    },
+                    Some(SqlColumnType::Boolean),
+                    nullable,
+                ))
+            }
+            Expr::Exists { query, negated } => {
+                let sub = self.prepare_subquery(query, scope, 0)?;
+                Ok(TExpr::new(
+                    TExprKind::Exists {
+                        query: Box::new(sub),
+                        negated: *negated,
+                    },
+                    Some(SqlColumnType::Boolean),
+                    false,
+                ))
+            }
+            Expr::ScalarSubquery(query) => {
+                let sub = self.prepare_subquery(query, scope, 1)?;
+                let ty = sub.output[0].sql_type;
+                Ok(TExpr::new(
+                    TExprKind::ScalarSubquery(Box::new(sub)),
+                    ty,
+                    true,
+                ))
+            }
+            Expr::Quantified {
+                expr,
+                op,
+                quantifier,
+                query,
+            } => {
+                let e = t(self, expr)?;
+                let sub = self.prepare_subquery(query, scope, 1)?;
+                let nullable = e.nullable;
+                Ok(TExpr::new(
+                    TExprKind::Quantified {
+                        expr: Box::new(e),
+                        op: *op,
+                        quantifier: *quantifier,
+                        query: Box::new(sub),
+                    },
+                    Some(SqlColumnType::Boolean),
+                    nullable,
+                ))
+            }
+            Expr::Like {
+                expr,
+                pattern,
+                escape,
+                negated,
+            } => {
+                let e = t(self, expr)?;
+                let p = t(self, pattern)?;
+                let esc = match escape {
+                    Some(x) => Some(Box::new(t(self, x)?)),
+                    None => None,
+                };
+                let nullable = e.nullable || p.nullable;
+                Ok(TExpr::new(
+                    TExprKind::Like {
+                        expr: Box::new(e),
+                        pattern: Box::new(p),
+                        escape: esc,
+                        negated: *negated,
+                    },
+                    Some(SqlColumnType::Boolean),
+                    nullable,
+                ))
+            }
+            Expr::Substring {
+                expr,
+                start,
+                length,
+            } => {
+                let e = t(self, expr)?;
+                let s = t(self, start)?;
+                let l = match length {
+                    Some(x) => Some(Box::new(t(self, x)?)),
+                    None => None,
+                };
+                let nullable = e.nullable || s.nullable || l.as_ref().is_some_and(|x| x.nullable);
+                Ok(TExpr::new(
+                    TExprKind::Substring {
+                        expr: Box::new(e),
+                        start: Box::new(s),
+                        length: l,
+                    },
+                    Some(SqlColumnType::Varchar),
+                    nullable,
+                ))
+            }
+            Expr::Trim {
+                side,
+                trim_chars,
+                expr,
+            } => {
+                let e = t(self, expr)?;
+                let chars = match trim_chars {
+                    Some(x) => Some(Box::new(t(self, x)?)),
+                    None => None,
+                };
+                let nullable = e.nullable || chars.as_ref().is_some_and(|x| x.nullable);
+                Ok(TExpr::new(
+                    TExprKind::Trim {
+                        side: *side,
+                        trim_chars: chars,
+                        expr: Box::new(e),
+                    },
+                    Some(SqlColumnType::Varchar),
+                    nullable,
+                ))
+            }
+            Expr::Position { needle, haystack } => {
+                let n = t(self, needle)?;
+                let h = t(self, haystack)?;
+                let nullable = n.nullable || h.nullable;
+                Ok(TExpr::new(
+                    TExprKind::Position {
+                        needle: Box::new(n),
+                        haystack: Box::new(h),
+                    },
+                    Some(SqlColumnType::Integer),
+                    nullable,
+                ))
+            }
+        }
+    }
+
+    fn translate_function(
+        &mut self,
+        name: &str,
+        args: &FunctionArgs,
+        scope: &Scope<'_>,
+        aggregates_allowed: bool,
+    ) -> Result<TExpr, TranslateError> {
+        if let Some(func) = AggFunc::from_name(name) {
+            if !aggregates_allowed {
+                return Err(TranslateError::semantic(format!(
+                    "aggregate {name} is not allowed here"
+                )));
+            }
+            return match args {
+                FunctionArgs::Star => Ok(TExpr::new(
+                    TExprKind::Aggregate {
+                        func,
+                        distinct: false,
+                        arg: None,
+                    },
+                    Some(SqlColumnType::Bigint),
+                    false,
+                )),
+                FunctionArgs::List { distinct, args } => {
+                    if args.len() != 1 {
+                        return Err(TranslateError::semantic(format!(
+                            "{name} expects exactly one argument"
+                        )));
+                    }
+                    // Aggregate arguments may not themselves aggregate.
+                    let arg = self.translate_expr(&args[0], scope, false)?;
+                    let (ty, nullable) = match func {
+                        AggFunc::Count => (Some(SqlColumnType::Bigint), false),
+                        AggFunc::Sum | AggFunc::Min | AggFunc::Max => (arg.ty, true),
+                        AggFunc::Avg => (
+                            match arg.ty {
+                                Some(SqlColumnType::Real) | Some(SqlColumnType::Double) => {
+                                    Some(SqlColumnType::Double)
+                                }
+                                Some(_) => Some(SqlColumnType::Decimal),
+                                None => None,
+                            },
+                            true,
+                        ),
+                    };
+                    Ok(TExpr::new(
+                        TExprKind::Aggregate {
+                            func,
+                            distinct: *distinct,
+                            arg: Some(Box::new(arg)),
+                        },
+                        ty,
+                        nullable,
+                    ))
+                }
+            };
+        }
+
+        // Scalar function.
+        let FunctionArgs::List { distinct, args } = args else {
+            return Err(TranslateError::semantic(format!(
+                "{name}(*) is only valid for COUNT"
+            )));
+        };
+        if *distinct {
+            return Err(TranslateError::semantic(format!(
+                "DISTINCT is not valid in scalar function {name}"
+            )));
+        }
+        if !funcmap::is_known_scalar(name) {
+            return Err(TranslateError {
+                kind: ErrorKind::Unsupported,
+                message: format!("unknown function {name}"),
+                offset: None,
+            });
+        }
+        let mut t_args = Vec::with_capacity(args.len());
+        for a in args {
+            t_args.push(self.translate_expr(a, scope, aggregates_allowed)?);
+        }
+        if let Some(mapping) = funcmap::lookup(name) {
+            let (min, max) = mapping.arity;
+            if t_args.len() < min || t_args.len() > max {
+                return Err(TranslateError::semantic(format!(
+                    "{name} expects {min}..{} arguments, got {}",
+                    if max == usize::MAX {
+                        "N".to_string()
+                    } else {
+                        max.to_string()
+                    },
+                    t_args.len()
+                )));
+            }
+            let ty = mapping.result_type.or_else(|| t_args[0].ty);
+            let nullable = t_args.iter().any(|a| a.nullable);
+            return Ok(TExpr::new(
+                TExprKind::ScalarFn {
+                    name: name.to_string(),
+                    args: t_args,
+                },
+                ty,
+                nullable,
+            ));
+        }
+        // Structural functions.
+        let (ty, nullable) = match name {
+            "MOD" => {
+                if t_args.len() != 2 {
+                    return Err(TranslateError::semantic("MOD expects two arguments"));
+                }
+                (
+                    Some(SqlColumnType::Integer),
+                    t_args.iter().any(|a| a.nullable),
+                )
+            }
+            "COALESCE" => {
+                if t_args.is_empty() {
+                    return Err(TranslateError::semantic(
+                        "COALESCE expects at least one argument",
+                    ));
+                }
+                (
+                    t_args.iter().find_map(|a| a.ty),
+                    t_args.iter().all(|a| a.nullable),
+                )
+            }
+            "NULLIF" => {
+                if t_args.len() != 2 {
+                    return Err(TranslateError::semantic("NULLIF expects two arguments"));
+                }
+                (t_args[0].ty, true)
+            }
+            _ => unreachable!("is_known_scalar covered above"),
+        };
+        Ok(TExpr::new(
+            TExprKind::ScalarFn {
+                name: name.to_string(),
+                args: t_args,
+            },
+            ty,
+            nullable,
+        ))
+    }
+
+    fn prepare_subquery(
+        &mut self,
+        query: &Query,
+        scope: &Scope<'_>,
+        required_columns: usize,
+    ) -> Result<PreparedQuery, TranslateError> {
+        let sub = self.prepare_query(query, Some(scope))?;
+        if required_columns > 0 && sub.output.len() != required_columns {
+            return Err(TranslateError::semantic(format!(
+                "subquery must return {required_columns} column(s), returns {}",
+                sub.output.len()
+            )));
+        }
+        Ok(sub)
+    }
+}
+
+/// SQL-92 GROUP BY legality: in a grouped query every projected/HAVING
+/// column must appear in the GROUP BY list or inside an aggregate.
+fn check_grouped(expr: &TExpr, group_keys: &[TExpr]) -> Result<(), TranslateError> {
+    if group_keys.iter().any(|k| k == expr) {
+        return Ok(());
+    }
+    if expr.is_aggregate() {
+        return Ok(());
+    }
+    match &expr.kind {
+        TExprKind::Column { range_var, column } => Err(TranslateError::semantic(format!(
+            "column {range_var}.{column} must appear in GROUP BY or inside an aggregate"
+        ))),
+        TExprKind::InSubquery { .. }
+        | TExprKind::Exists { .. }
+        | TExprKind::ScalarSubquery(_)
+        | TExprKind::Quantified { .. } => Err(TranslateError::unsupported(
+            "subqueries are not supported in grouped select lists or HAVING",
+        )),
+        _ => {
+            let mut result = Ok(());
+            expr.visit_children(&mut |child| {
+                if result.is_ok() {
+                    result = check_grouped(child, group_keys);
+                }
+            });
+            result
+        }
+    }
+}
+
+fn literal_texpr(l: &Literal) -> TExpr {
+    let (ty, nullable) = match l {
+        Literal::Integer(_) => (Some(SqlColumnType::Integer), false),
+        Literal::Decimal(_) => (Some(SqlColumnType::Decimal), false),
+        Literal::Double(_) => (Some(SqlColumnType::Double), false),
+        Literal::String(_) => (Some(SqlColumnType::Varchar), false),
+        Literal::Date(_) => (Some(SqlColumnType::Date), false),
+        Literal::Null => (None, true),
+    };
+    TExpr::new(TExprKind::Literal(l.clone()), ty, nullable)
+}
+
+/// SQL numeric promotion: integer < decimal < double (paper §3.5 (v):
+/// "the resulting datatype is inferred by applying the SQL rules of
+/// promotion and casting").
+pub fn promote_types(a: SqlColumnType, b: SqlColumnType) -> SqlColumnType {
+    use SqlColumnType as T;
+    if a == b {
+        return a;
+    }
+    let rank = |t: T| match t {
+        T::Smallint => 1,
+        T::Integer => 2,
+        T::Bigint => 3,
+        T::Decimal => 4,
+        T::Real => 5,
+        T::Double => 6,
+        _ => 0,
+    };
+    if rank(a) > 0 && rank(b) > 0 {
+        if rank(a) >= rank(b) {
+            a
+        } else {
+            b
+        }
+    } else {
+        // Non-numeric mixes: keep the left type (set-op metadata only).
+        a
+    }
+}
+
+fn type_name_to_column(t: SqlTypeName) -> SqlColumnType {
+    match t {
+        SqlTypeName::Smallint => SqlColumnType::Smallint,
+        SqlTypeName::Integer => SqlColumnType::Integer,
+        SqlTypeName::Bigint => SqlColumnType::Bigint,
+        SqlTypeName::Decimal => SqlColumnType::Decimal,
+        SqlTypeName::Real => SqlColumnType::Real,
+        SqlTypeName::Double => SqlColumnType::Double,
+        SqlTypeName::Char => SqlColumnType::Char,
+        SqlTypeName::Varchar => SqlColumnType::Varchar,
+        SqlTypeName::Date => SqlColumnType::Date,
+    }
+}

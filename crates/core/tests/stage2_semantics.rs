@@ -1,0 +1,248 @@
+//! Focused stage-two tests: resolution rules, type inference, output
+//! naming, and the validation matrix (paper §3.4.3: "the semantic rules
+//! of the language are varied and many").
+
+use aldsp_catalog::{
+    ApplicationBuilder, CachedMetadataApi, InProcessMetadataApi, SqlColumnType, TableLocator,
+};
+use aldsp_core::{prepare, stage1, PreparedBody, TranslationOptions, Translator};
+
+fn translator() -> Translator<CachedMetadataApi<InProcessMetadataApi>> {
+    let app = ApplicationBuilder::new("APP")
+        .project("P")
+        .data_service("T")
+        .physical_table("T", |t| {
+            t.column("I", SqlColumnType::Integer, false)
+                .column("D", SqlColumnType::Decimal, true)
+                .column("R", SqlColumnType::Real, true)
+                .column("S", SqlColumnType::Varchar, true)
+                .column("DT", SqlColumnType::Date, false)
+        })
+        .finish_service()
+        .data_service("U")
+        .physical_table("U", |t| {
+            t.column("I", SqlColumnType::Integer, false)
+                .column("X", SqlColumnType::Varchar, true)
+        })
+        .finish_service()
+        .finish_project()
+        .build();
+    Translator::new(CachedMetadataApi::new(InProcessMetadataApi::new(
+        TableLocator::for_application(&app),
+    )))
+}
+
+fn prepared(sql: &str) -> aldsp_core::PreparedQuery {
+    let t = translator();
+    let parsed = stage1::parse(sql).unwrap();
+    prepare(&parsed, t.metadata()).unwrap_or_else(|e| panic!("prepare failed: {e}\nsql: {sql}"))
+}
+
+fn prepare_err(sql: &str) -> aldsp_core::TranslateError {
+    let t = translator();
+    let parsed = stage1::parse(sql).unwrap();
+    prepare(&parsed, t.metadata()).expect_err(&format!("expected rejection: {sql}"))
+}
+
+// ---- type inference (paper §3.5 (v)) ----------------------------------
+
+#[test]
+fn arithmetic_promotion_lattice() {
+    let q = prepared("SELECT I + I, I + D, D + R, I * 2, D / 2 FROM T");
+    let types: Vec<_> = q.output.iter().map(|o| o.sql_type).collect();
+    assert_eq!(
+        types,
+        vec![
+            Some(SqlColumnType::Integer),
+            Some(SqlColumnType::Decimal),
+            Some(SqlColumnType::Real),
+            Some(SqlColumnType::Integer),
+            Some(SqlColumnType::Decimal),
+        ]
+    );
+}
+
+#[test]
+fn aggregate_result_types() {
+    let q = prepared("SELECT COUNT(*), COUNT(S), SUM(I), SUM(D), AVG(I), AVG(R), MIN(S) FROM T");
+    let types: Vec<_> = q.output.iter().map(|o| o.sql_type).collect();
+    assert_eq!(
+        types,
+        vec![
+            Some(SqlColumnType::Bigint),
+            Some(SqlColumnType::Bigint),
+            Some(SqlColumnType::Integer),
+            Some(SqlColumnType::Decimal),
+            Some(SqlColumnType::Decimal),
+            Some(SqlColumnType::Double),
+            Some(SqlColumnType::Varchar),
+        ]
+    );
+    // COUNT never NULL; SUM/MIN may be.
+    assert!(!q.output[0].nullable);
+    assert!(q.output[2].nullable);
+}
+
+#[test]
+fn nullability_propagates_through_expressions() {
+    let q = prepared("SELECT I + 1, D + 1, COALESCE(D, 0.0), S || 'x', UPPER(S) FROM T");
+    let nullable: Vec<_> = q.output.iter().map(|o| o.nullable).collect();
+    // I NOT NULL + literal → NOT NULL; D nullable → nullable;
+    // COALESCE(D, literal) → NOT NULL; || and UPPER over nullable →
+    // nullable.
+    assert_eq!(nullable, vec![false, true, false, true, true]);
+}
+
+#[test]
+fn case_type_from_first_typed_branch() {
+    let q = prepared("SELECT CASE WHEN I > 0 THEN D ELSE NULL END FROM T");
+    assert_eq!(q.output[0].sql_type, Some(SqlColumnType::Decimal));
+    assert!(q.output[0].nullable);
+}
+
+#[test]
+fn cast_pins_type() {
+    let q = prepared("SELECT CAST(S AS INTEGER), CAST(I AS VARCHAR(5)) FROM T");
+    assert_eq!(q.output[0].sql_type, Some(SqlColumnType::Integer));
+    assert_eq!(q.output[1].sql_type, Some(SqlColumnType::Varchar));
+}
+
+// ---- output naming -----------------------------------------------------
+
+#[test]
+fn output_names_qualify_plain_columns() {
+    let q = prepared("SELECT I, D X, I * 2 FROM T");
+    assert_eq!(q.output[0].name, "T.I");
+    assert_eq!(q.output[0].label, "I");
+    assert_eq!(q.output[1].name, "X");
+    assert_eq!(q.output[2].label, "EXPR3");
+}
+
+#[test]
+fn duplicate_output_names_uniquified() {
+    let q = prepared("SELECT I, I FROM T");
+    assert_eq!(q.output[0].name, "T.I");
+    assert_ne!(q.output[1].name, "T.I");
+    assert_eq!(q.output[1].label, "I"); // label stays what JDBC reports
+}
+
+#[test]
+fn alias_shadows_qualification() {
+    let q = prepared("SELECT A.I FROM T A");
+    assert_eq!(q.output[0].name, "A.I");
+}
+
+// ---- resolution & validation -------------------------------------------
+
+#[test]
+fn unqualified_ambiguity_across_tables() {
+    let err = prepare_err("SELECT I FROM T, U");
+    assert!(err.message.contains("ambiguous"), "{err}");
+}
+
+#[test]
+fn qualified_reference_disambiguates() {
+    let q = prepared("SELECT T.I, U.I FROM T, U");
+    assert_eq!(q.output.len(), 2);
+}
+
+#[test]
+fn correlated_resolution_reaches_outer_scope() {
+    // U.X resolves inside the subquery; T.I correlates outward.
+    prepared("SELECT I FROM T WHERE EXISTS (SELECT X FROM U WHERE U.I = T.I)");
+}
+
+#[test]
+fn derived_table_cannot_see_siblings() {
+    let err = prepare_err("SELECT * FROM T, (SELECT X FROM U WHERE U.I = T.I) AS V");
+    assert!(err.message.contains("unknown column"), "{err}");
+}
+
+#[test]
+fn group_by_rule_on_having() {
+    let err = prepare_err("SELECT I FROM T GROUP BY I HAVING D > 1");
+    assert!(err.message.contains("GROUP BY"), "{err}");
+}
+
+#[test]
+fn group_by_expression_match_is_structural() {
+    // `I + 1` in the projection matches the key `I + 1`.
+    prepared("SELECT I + 1 FROM T GROUP BY I + 1");
+    // But `1 + I` does not (structural, not algebraic, equality).
+    let err = prepare_err("SELECT 1 + I FROM T GROUP BY I + 1");
+    assert!(err.message.contains("GROUP BY"), "{err}");
+}
+
+#[test]
+fn aggregates_rejected_in_where_and_on() {
+    let err = prepare_err("SELECT I FROM T WHERE COUNT(*) > 1");
+    assert!(err.message.contains("aggregate"), "{err}");
+    let err = prepare_err("SELECT T.I FROM T INNER JOIN U ON COUNT(*) = 1");
+    assert!(err.message.contains("aggregate"), "{err}");
+}
+
+#[test]
+fn nested_aggregates_rejected() {
+    let err = prepare_err("SELECT SUM(COUNT(*)) FROM T");
+    assert!(err.message.contains("aggregate"), "{err}");
+}
+
+#[test]
+fn subquery_column_counts_enforced() {
+    let err = prepare_err("SELECT I FROM T WHERE I IN (SELECT I, X FROM U)");
+    assert!(err.message.contains("column"), "{err}");
+    let err = prepare_err("SELECT I FROM T WHERE I = (SELECT I, X FROM U)");
+    assert!(err.message.contains("column"), "{err}");
+}
+
+#[test]
+fn order_by_ordinal_bounds_checked() {
+    let err = prepare_err("SELECT I FROM T ORDER BY 2");
+    assert!(err.message.contains("ordinal"), "{err}");
+    let err = prepare_err("SELECT I FROM T ORDER BY 0");
+    assert!(err.message.contains("ordinal"), "{err}");
+}
+
+#[test]
+fn order_by_matches_select_item_expression() {
+    let q = prepared("SELECT I * 2 FROM T ORDER BY I * 2 DESC");
+    assert_eq!(q.order_by.len(), 1);
+    assert_eq!(q.order_by[0].column, 0);
+    assert!(!q.order_by[0].ascending);
+}
+
+#[test]
+fn set_op_output_merges_nullability_and_types() {
+    let q = prepared("SELECT I FROM T UNION SELECT I FROM U");
+    assert_eq!(q.output[0].sql_type, Some(SqlColumnType::Integer));
+    // SMALLINT/DECIMAL promotion across sides:
+    let q = prepared("SELECT I FROM T UNION SELECT D FROM T");
+    assert_eq!(q.output[0].sql_type, Some(SqlColumnType::Decimal));
+    assert!(q.output[0].nullable); // D side is nullable
+}
+
+#[test]
+fn context_ids_assigned_in_document_order() {
+    let q = prepared("SELECT V.A FROM (SELECT I A FROM T) AS V WHERE V.A IN (SELECT I FROM U)");
+    let PreparedBody::Select(outer) = &q.body else {
+        panic!()
+    };
+    assert_eq!(outer.ctx_id, 1);
+    // The derived table is ctx 2 (FROM is traversed before WHERE).
+    let aldsp_core::Rsn::Derived { query, .. } = &outer.from[0] else {
+        panic!()
+    };
+    let PreparedBody::Select(inner) = &query.body else {
+        panic!()
+    };
+    assert_eq!(inner.ctx_id, 2);
+}
+
+#[test]
+fn unknown_scalar_function_unsupported() {
+    let t = translator();
+    let err = t
+        .translate("SELECT FROBNICATE(I) FROM T", TranslationOptions::default())
+        .unwrap_err();
+    assert!(err.message.contains("FROBNICATE"), "{err}");
+}

@@ -1,0 +1,547 @@
+//! Connections and statements — the client-side API.
+//!
+//! A [`Connection`] owns a translator (with its local metadata cache,
+//! paper §3.5) and a handle to the server. `Statement` executes SQL text
+//! directly; `PreparedStatement` translates once and binds `?` parameters
+//! per execution, the way reporting tools reuse parameterized queries.
+
+use crate::resultset::ResultSet;
+use crate::server::{sql_value_to_sequence, DspServer};
+use crate::DriverError;
+use aldsp_catalog::{CachedMetadataApi, InProcessMetadataApi};
+use aldsp_core::{Translation, TranslationOptions, Translator, Transport};
+use aldsp_relational::SqlValue;
+use aldsp_xml::Sequence;
+use std::rc::Rc;
+use std::time::Duration;
+
+/// A client connection to a DSP application.
+pub struct Connection {
+    server: Rc<DspServer>,
+    translator: Translator<CachedMetadataApi<InProcessMetadataApi>>,
+    options: TranslationOptions,
+}
+
+impl Connection {
+    /// Opens a connection with the default (delimited-text) transport.
+    pub fn open(server: Rc<DspServer>) -> Connection {
+        Connection::open_with(server, TranslationOptions::default(), Duration::ZERO)
+    }
+
+    /// Opens a connection choosing the transport and a simulated metadata
+    /// round-trip latency (experiment E3).
+    pub fn open_with(
+        server: Rc<DspServer>,
+        options: TranslationOptions,
+        metadata_latency: Duration,
+    ) -> Connection {
+        let api = CachedMetadataApi::new(InProcessMetadataApi::with_latency(
+            server.locator().clone(),
+            metadata_latency,
+        ));
+        Connection {
+            translator: Translator::new(api),
+            server,
+            options,
+        }
+    }
+
+    /// The transport in use.
+    pub fn transport(&self) -> Transport {
+        self.options.transport
+    }
+
+    /// The server handle.
+    pub fn server(&self) -> &Rc<DspServer> {
+        &self.server
+    }
+
+    /// The translator (benchmarks inspect cache stats through it).
+    pub fn translator(&self) -> &Translator<CachedMetadataApi<InProcessMetadataApi>> {
+        &self.translator
+    }
+
+    /// Creates a plain statement.
+    pub fn create_statement(&self) -> Statement<'_> {
+        Statement {
+            connection: self,
+            max_rows: 0,
+        }
+    }
+
+    /// Prepares a parameterized statement (translation happens once,
+    /// here).
+    pub fn prepare(&self, sql: &str) -> Result<PreparedStatement<'_>, DriverError> {
+        let translation = self.translator.translate(sql, self.options)?;
+        let parameters = vec![None; translation.parameter_count];
+        Ok(PreparedStatement {
+            connection: self,
+            translation,
+            parameters,
+        })
+    }
+
+    /// Calls a data-service function *with parameters* — presented as a
+    /// SQL stored procedure (paper Figure 2 (iii): "If a function has
+    /// parameters, it becomes a callable SQL stored procedure"). Accepts
+    /// the JDBC escape form `{call NAME(?, ?)}` or a bare name; `args`
+    /// bind positionally. The driver composes the XQuery directly (there
+    /// is no SQL statement to translate) and decodes the function's flat
+    /// rows with its declared schema.
+    pub fn prepare_call(&self, call: &str) -> Result<CallableStatement<'_>, DriverError> {
+        let name = parse_call_syntax(call)?;
+        let function = self
+            .server
+            .application()
+            .functions()
+            .map(|(_, _, f)| f)
+            .find(|f| f.name == name)
+            .ok_or_else(|| DriverError::Usage(format!("unknown procedure {name}")))?;
+        if !function.is_procedure() {
+            return Err(DriverError::Usage(format!(
+                "{name} takes no parameters; query it as a table"
+            )));
+        }
+        let schema = function.schema.clone();
+        let parameter_count = function.parameters.len();
+
+        // Compose the XQuery: call the function with the bound external
+        // variables and wrap its rows in the standard RECORD shape.
+        let args: Vec<String> = (1..=parameter_count)
+            .map(|i| format!("$sqlParam{i}"))
+            .collect();
+        let mut record = String::new();
+        let columns: Vec<aldsp_core::OutputColumn> = schema
+            .columns
+            .iter()
+            .map(|c| {
+                let element = format!("{}.{}", name, c.name);
+                if c.nullable {
+                    record.push_str(&format!(
+                        "{{ for $v in fn:data($row/{}) return <{element}>{{$v}}</{element}> }}",
+                        c.name
+                    ));
+                } else {
+                    record.push_str(&format!(
+                        "<{element}>{{fn:data($row/{})}}</{element}>",
+                        c.name
+                    ));
+                }
+                aldsp_core::OutputColumn {
+                    name: element,
+                    label: c.name.clone(),
+                    sql_type: Some(c.sql_type),
+                    nullable: c.nullable,
+                }
+            })
+            .collect();
+        let xquery = format!(
+            "import schema namespace ns0 = \"{}\" at \"{}\";\n\
+             <RECORDSET>{{\nfor $row in ns0:{name}({})\nreturn\n<RECORD>{record}</RECORD>\n}}</RECORDSET>",
+            schema.namespace,
+            schema.schema_location,
+            args.join(", ")
+        );
+        Ok(CallableStatement {
+            connection: self,
+            xquery,
+            columns,
+            parameters: vec![None; parameter_count],
+        })
+    }
+
+    fn run(
+        &self,
+        translation: &Translation,
+        params: &[Option<SqlValue>],
+    ) -> Result<ResultSet, DriverError> {
+        let bound: Vec<(String, Sequence)> = params
+            .iter()
+            .enumerate()
+            .map(|(i, v)| {
+                let value = v.as_ref().ok_or_else(|| {
+                    DriverError::Usage(format!("parameter {} is not bound", i + 1))
+                })?;
+                Ok((format!("sqlParam{}", i + 1), sql_value_to_sequence(value)))
+            })
+            .collect::<Result<_, DriverError>>()?;
+        let payload = self
+            .server
+            .execute_to_payload(&translation.xquery, &bound)?;
+        match self.options.transport {
+            Transport::DelimitedText => {
+                ResultSet::from_delimited(translation.columns.clone(), &payload)
+            }
+            Transport::Xml => ResultSet::from_xml(translation.columns.clone(), &payload),
+        }
+    }
+}
+
+/// A plain (non-parameterized) statement.
+pub struct Statement<'a> {
+    connection: &'a Connection,
+    /// JDBC `setMaxRows`: 0 = unlimited. SQL-92 has no LIMIT clause, so —
+    /// like the real driver — truncation happens on the client after the
+    /// result arrives.
+    max_rows: usize,
+}
+
+impl<'a> Statement<'a> {
+    /// JDBC `setMaxRows` (0 = unlimited).
+    pub fn set_max_rows(&mut self, max_rows: usize) {
+        self.max_rows = max_rows;
+    }
+
+    /// Translates and executes one SELECT.
+    pub fn execute_query(&self, sql: &str) -> Result<ResultSet, DriverError> {
+        let translation = self
+            .connection
+            .translator
+            .translate(sql, self.connection.options)?;
+        if translation.parameter_count != 0 {
+            return Err(DriverError::Usage(
+                "statement has parameters; use prepare()".into(),
+            ));
+        }
+        let mut rs = self.connection.run(&translation, &[])?;
+        if self.max_rows > 0 {
+            rs.truncate(self.max_rows);
+        }
+        Ok(rs)
+    }
+
+    /// Translates without executing (tooling/debugging).
+    pub fn explain(&self, sql: &str) -> Result<Translation, DriverError> {
+        Ok(self
+            .connection
+            .translator
+            .translate(sql, self.connection.options)?)
+    }
+}
+
+/// A prepared, parameterized statement.
+pub struct PreparedStatement<'a> {
+    connection: &'a Connection,
+    translation: Translation,
+    parameters: Vec<Option<SqlValue>>,
+}
+
+impl<'a> PreparedStatement<'a> {
+    /// Number of `?` markers.
+    pub fn parameter_count(&self) -> usize {
+        self.parameters.len()
+    }
+
+    /// Binds a parameter (1-based index, like JDBC `setXxx`).
+    pub fn set(&mut self, index: usize, value: SqlValue) -> Result<(), DriverError> {
+        let slot = self
+            .parameters
+            .get_mut(index - 1)
+            .ok_or_else(|| DriverError::Usage(format!("parameter index {index} out of range")))?;
+        *slot = Some(value);
+        Ok(())
+    }
+
+    /// Clears all bindings.
+    pub fn clear_parameters(&mut self) {
+        for p in &mut self.parameters {
+            *p = None;
+        }
+    }
+
+    /// Executes with the current bindings.
+    pub fn execute_query(&self) -> Result<ResultSet, DriverError> {
+        self.connection.run(&self.translation, &self.parameters)
+    }
+
+    /// The translation backing this statement.
+    pub fn translation(&self) -> &Translation {
+        &self.translation
+    }
+}
+
+/// A callable statement over a parameterized data-service function.
+pub struct CallableStatement<'a> {
+    connection: &'a Connection,
+    xquery: String,
+    columns: Vec<aldsp_core::OutputColumn>,
+    parameters: Vec<Option<SqlValue>>,
+}
+
+impl<'a> CallableStatement<'a> {
+    /// Number of procedure parameters.
+    pub fn parameter_count(&self) -> usize {
+        self.parameters.len()
+    }
+
+    /// Binds a parameter (1-based).
+    pub fn set(&mut self, index: usize, value: SqlValue) -> Result<(), DriverError> {
+        let slot = self
+            .parameters
+            .get_mut(index - 1)
+            .ok_or_else(|| DriverError::Usage(format!("parameter index {index} out of range")))?;
+        *slot = Some(value);
+        Ok(())
+    }
+
+    /// Executes the call (always the XML transport: the call bypasses the
+    /// SQL translator, and its result is the function's flat rows).
+    pub fn execute(&self) -> Result<ResultSet, DriverError> {
+        let bound: Vec<(String, Sequence)> = self
+            .parameters
+            .iter()
+            .enumerate()
+            .map(|(i, v)| {
+                let value = v.as_ref().ok_or_else(|| {
+                    DriverError::Usage(format!("parameter {} is not bound", i + 1))
+                })?;
+                Ok((format!("sqlParam{}", i + 1), sql_value_to_sequence(value)))
+            })
+            .collect::<Result<_, DriverError>>()?;
+        let payload = self
+            .connection
+            .server
+            .execute_to_payload(&self.xquery, &bound)?;
+        ResultSet::from_xml(self.columns.clone(), &payload)
+    }
+
+    /// The composed XQuery (debugging).
+    pub fn xquery(&self) -> &str {
+        &self.xquery
+    }
+}
+
+/// Accepts `{call NAME(?, ?)}`, `{call NAME}`, or a bare `NAME`.
+fn parse_call_syntax(call: &str) -> Result<String, DriverError> {
+    let trimmed = call.trim();
+    let inner = if let Some(body) = trimmed.strip_prefix('{').and_then(|s| s.strip_suffix('}')) {
+        let body = body.trim();
+        body.strip_prefix("call")
+            .or_else(|| body.strip_prefix("CALL"))
+            .ok_or_else(|| DriverError::Usage(format!("malformed call syntax: {call}")))?
+            .trim()
+    } else {
+        trimmed
+    };
+    let name_end = inner.find('(').unwrap_or(inner.len());
+    let name = inner[..name_end].trim();
+    if name.is_empty() || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+        return Err(DriverError::Usage(format!("malformed call syntax: {call}")));
+    }
+    Ok(name.to_ascii_uppercase())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aldsp_catalog::{ApplicationBuilder, MetadataApi, SqlColumnType};
+    use aldsp_relational::{Database, Table};
+
+    fn connection(transport: Transport) -> Connection {
+        let app = ApplicationBuilder::new("APP")
+            .project("P")
+            .data_service("CUSTOMERS")
+            .physical_table("CUSTOMERS", |t| {
+                t.column("CUSTOMERID", SqlColumnType::Integer, false)
+                    .column("CUSTOMERNAME", SqlColumnType::Varchar, true)
+            })
+            .finish_service()
+            .finish_project()
+            .build();
+        let mut db = Database::new();
+        let schema = app.projects[0].data_services[0].functions[0].schema.clone();
+        let mut table = Table::new(schema);
+        for (id, name) in [(55, Some("Joe")), (23, Some("Sue")), (7, None)] {
+            table.insert(vec![
+                SqlValue::Int(id),
+                name.map(|n| SqlValue::Str(n.into()))
+                    .unwrap_or(SqlValue::Null),
+            ]);
+        }
+        db.add_table(table);
+        let server = Rc::new(DspServer::new(app, db));
+        Connection::open_with(server, TranslationOptions { transport }, Duration::ZERO)
+    }
+
+    #[test]
+    fn end_to_end_text_transport() {
+        let conn = connection(Transport::DelimitedText);
+        let mut rs = conn
+            .create_statement()
+            .execute_query("SELECT CUSTOMERID, CUSTOMERNAME FROM CUSTOMERS ORDER BY CUSTOMERID")
+            .unwrap();
+        assert_eq!(rs.row_count(), 3);
+        assert!(rs.next());
+        assert_eq!(rs.get_i64(1).unwrap(), 7);
+        assert_eq!(rs.get_string(2).unwrap(), None); // NULL preserved
+        assert!(rs.next());
+        assert_eq!(rs.get_i64(1).unwrap(), 23);
+        assert_eq!(rs.get_string(2).unwrap().as_deref(), Some("Sue"));
+    }
+
+    #[test]
+    fn end_to_end_xml_transport() {
+        let conn = connection(Transport::Xml);
+        let mut rs = conn
+            .create_statement()
+            .execute_query("SELECT CUSTOMERNAME FROM CUSTOMERS WHERE CUSTOMERID = 55")
+            .unwrap();
+        assert_eq!(rs.row_count(), 1);
+        rs.next();
+        assert_eq!(rs.get_string(1).unwrap().as_deref(), Some("Joe"));
+    }
+
+    #[test]
+    fn both_transports_agree() {
+        let sql = "SELECT CUSTOMERID, CUSTOMERNAME FROM CUSTOMERS ORDER BY CUSTOMERID DESC";
+        let text = connection(Transport::DelimitedText)
+            .create_statement()
+            .execute_query(sql)
+            .unwrap();
+        let xml = connection(Transport::Xml)
+            .create_statement()
+            .execute_query(sql)
+            .unwrap();
+        assert_eq!(text.rows(), xml.rows());
+    }
+
+    #[test]
+    fn prepared_statements_bind_and_rebind() {
+        let conn = connection(Transport::DelimitedText);
+        let mut ps = conn
+            .prepare("SELECT CUSTOMERNAME FROM CUSTOMERS WHERE CUSTOMERID = ?")
+            .unwrap();
+        assert_eq!(ps.parameter_count(), 1);
+        ps.set(1, SqlValue::Int(55)).unwrap();
+        let mut rs = ps.execute_query().unwrap();
+        rs.next();
+        assert_eq!(rs.get_string(1).unwrap().as_deref(), Some("Joe"));
+        ps.set(1, SqlValue::Int(23)).unwrap();
+        let mut rs = ps.execute_query().unwrap();
+        rs.next();
+        assert_eq!(rs.get_string(1).unwrap().as_deref(), Some("Sue"));
+    }
+
+    #[test]
+    fn unbound_parameter_is_usage_error() {
+        let conn = connection(Transport::DelimitedText);
+        let ps = conn
+            .prepare("SELECT CUSTOMERNAME FROM CUSTOMERS WHERE CUSTOMERID = ?")
+            .unwrap();
+        assert!(matches!(ps.execute_query(), Err(DriverError::Usage(_))));
+    }
+
+    #[test]
+    fn statement_with_parameters_rejected() {
+        let conn = connection(Transport::DelimitedText);
+        assert!(matches!(
+            conn.create_statement()
+                .execute_query("SELECT CUSTOMERID FROM CUSTOMERS WHERE CUSTOMERID = ?"),
+            Err(DriverError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn translation_errors_surface() {
+        let conn = connection(Transport::DelimitedText);
+        assert!(matches!(
+            conn.create_statement().execute_query("SELECT * FROM NOPE"),
+            Err(DriverError::Translation(_))
+        ));
+    }
+
+    fn connection_with_procedure() -> Connection {
+        let app = ApplicationBuilder::new("APP")
+            .project("P")
+            .data_service("CUSTOMERS")
+            .physical_table("CUSTOMERS", |t| {
+                t.column("CUSTOMERID", SqlColumnType::Integer, false)
+                    .column("CUSTOMERNAME", SqlColumnType::Varchar, true)
+            })
+            .physical_procedure(
+                "CUSTOMER_BY_ID",
+                vec![("CUSTOMERID".into(), SqlColumnType::Integer)],
+                |t| {
+                    t.row_element("CUSTOMERS")
+                        .column("CUSTOMERID", SqlColumnType::Integer, false)
+                        .column("CUSTOMERNAME", SqlColumnType::Varchar, true)
+                },
+            )
+            .finish_service()
+            .finish_project()
+            .build();
+        let mut db = Database::new();
+        let schema = app.projects[0].data_services[0].functions[0].schema.clone();
+        let mut table = Table::new(schema);
+        table.insert(vec![SqlValue::Int(55), SqlValue::Str("Joe".into())]);
+        table.insert(vec![SqlValue::Int(23), SqlValue::Str("Sue".into())]);
+        db.add_table(table);
+        // The procedure reads the same backing table under its own name.
+        let mut backing = db.table("CUSTOMERS").unwrap().clone();
+        backing.schema.table_name = "CUSTOMER_BY_ID".into();
+        db.add_table(backing);
+        Connection::open(Rc::new(DspServer::new(app, db)))
+    }
+
+    #[test]
+    fn callable_statement_filters_by_parameter() {
+        let conn = connection_with_procedure();
+        let mut call = conn.prepare_call("{call CUSTOMER_BY_ID(?)}").unwrap();
+        assert_eq!(call.parameter_count(), 1);
+        call.set(1, SqlValue::Int(23)).unwrap();
+        let mut rs = call.execute().unwrap();
+        assert_eq!(rs.row_count(), 1);
+        rs.next();
+        assert_eq!(rs.get_string(2).unwrap().as_deref(), Some("Sue"));
+    }
+
+    #[test]
+    fn call_syntax_variants() {
+        let conn = connection_with_procedure();
+        assert!(conn.prepare_call("CUSTOMER_BY_ID").is_ok());
+        assert!(conn.prepare_call("{ CALL CUSTOMER_BY_ID(?) }").is_ok());
+        assert!(conn.prepare_call("{call}").is_err());
+        assert!(conn.prepare_call("{call NO_SUCH(?)}").is_err());
+        // Tables are not callable.
+        assert!(matches!(
+            conn.prepare_call("{call CUSTOMERS}"),
+            Err(DriverError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn unbound_call_parameter_is_usage_error() {
+        let conn = connection_with_procedure();
+        let call = conn.prepare_call("CUSTOMER_BY_ID").unwrap();
+        assert!(matches!(call.execute(), Err(DriverError::Usage(_))));
+    }
+
+    #[test]
+    fn max_rows_truncates_client_side() {
+        let conn = connection(Transport::DelimitedText);
+        let mut statement = conn.create_statement();
+        statement.set_max_rows(2);
+        let rs = statement
+            .execute_query("SELECT CUSTOMERID FROM CUSTOMERS ORDER BY CUSTOMERID")
+            .unwrap();
+        assert_eq!(rs.row_count(), 2);
+        // 0 = unlimited.
+        statement.set_max_rows(0);
+        let rs = statement
+            .execute_query("SELECT CUSTOMERID FROM CUSTOMERS")
+            .unwrap();
+        assert_eq!(rs.row_count(), 3);
+    }
+
+    #[test]
+    fn metadata_cache_spans_statements() {
+        let conn = connection(Transport::DelimitedText);
+        conn.create_statement()
+            .execute_query("SELECT CUSTOMERID FROM CUSTOMERS")
+            .unwrap();
+        conn.create_statement()
+            .execute_query("SELECT CUSTOMERNAME FROM CUSTOMERS")
+            .unwrap();
+        assert_eq!(conn.translator().metadata().inner().round_trips(), 1);
+    }
+}

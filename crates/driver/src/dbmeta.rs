@@ -1,0 +1,214 @@
+//! `DatabaseMetaData` — how SQL tools discover the Figure-2 artifact
+//! mapping: the application as catalog, `.ds` paths as schemas,
+//! parameterless functions as tables, functions with parameters as
+//! procedures, and simple-typed child elements as columns.
+
+use crate::server::DspServer;
+use aldsp_catalog::SqlColumnType;
+
+/// One table row of `getTables()`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableDescription {
+    /// Catalog (application name).
+    pub catalog: String,
+    /// Schema (dotted `.ds` path).
+    pub schema: String,
+    /// Table (function) name.
+    pub table: String,
+}
+
+/// One column row of `getColumns()`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnDescription {
+    /// Owning table.
+    pub table: String,
+    /// Column name.
+    pub column: String,
+    /// SQL type.
+    pub sql_type: SqlColumnType,
+    /// Nullability.
+    pub nullable: bool,
+    /// 1-based ordinal position.
+    pub position: usize,
+}
+
+/// One procedure row of `getProcedures()`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProcedureDescription {
+    /// Schema.
+    pub schema: String,
+    /// Procedure (function) name.
+    pub name: String,
+    /// Parameter names and types.
+    pub parameters: Vec<(String, SqlColumnType)>,
+}
+
+/// The metadata view over a server's application.
+pub struct DatabaseMetaData<'a> {
+    server: &'a DspServer,
+}
+
+impl<'a> DatabaseMetaData<'a> {
+    /// Creates the view.
+    pub fn new(server: &'a DspServer) -> Self {
+        DatabaseMetaData { server }
+    }
+
+    /// The single catalog: the application name.
+    pub fn catalogs(&self) -> Vec<String> {
+        vec![self.server.application().name.clone()]
+    }
+
+    /// All schema names (deduplicated, sorted).
+    pub fn schemas(&self) -> Vec<String> {
+        let mut schemas: Vec<String> = self
+            .server
+            .locator()
+            .tables()
+            .iter()
+            .map(|t| t.qualified.schema.clone())
+            .collect();
+        schemas.sort();
+        schemas.dedup();
+        schemas
+    }
+
+    /// All presented tables, optionally filtered by schema suffix.
+    pub fn tables(&self, schema_filter: Option<&str>) -> Vec<TableDescription> {
+        self.server
+            .locator()
+            .tables()
+            .iter()
+            .filter(|t| {
+                schema_filter.is_none_or(|f| {
+                    t.qualified.schema == f || t.qualified.schema.ends_with(&format!(".{f}"))
+                })
+            })
+            .map(|t| TableDescription {
+                catalog: t.qualified.catalog.clone(),
+                schema: t.qualified.schema.clone(),
+                table: t.qualified.table.clone(),
+            })
+            .collect()
+    }
+
+    /// Columns of one table.
+    pub fn columns(&self, table: &str) -> Vec<ColumnDescription> {
+        self.server
+            .locator()
+            .tables()
+            .iter()
+            .filter(|t| t.qualified.table == table)
+            .flat_map(|t| {
+                t.schema
+                    .columns
+                    .iter()
+                    .enumerate()
+                    .map(move |(i, c)| ColumnDescription {
+                        table: t.qualified.table.clone(),
+                        column: c.name.clone(),
+                        sql_type: c.sql_type,
+                        nullable: c.nullable,
+                        position: i + 1,
+                    })
+            })
+            .collect()
+    }
+
+    /// Functions with parameters, presented as stored procedures.
+    pub fn procedures(&self) -> Vec<ProcedureDescription> {
+        self.server
+            .application()
+            .functions()
+            .filter(|(_, _, f)| f.is_procedure())
+            .map(|(project, ds, f)| {
+                let mut parts = vec![project.name.clone()];
+                parts.extend(ds.folder.iter().cloned());
+                parts.push(ds.name.clone());
+                ProcedureDescription {
+                    schema: parts.join("."),
+                    name: f.name.clone(),
+                    parameters: f.parameters.clone(),
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aldsp_catalog::ApplicationBuilder;
+    use aldsp_relational::Database;
+
+    fn server() -> DspServer {
+        let app = ApplicationBuilder::new("TESTAPP")
+            .project("TestDataServices")
+            .data_service("CUSTOMERS")
+            .physical_table("CUSTOMERS", |t| {
+                t.column("CUSTOMERID", SqlColumnType::Integer, false)
+                    .column("CUSTOMERNAME", SqlColumnType::Varchar, true)
+            })
+            .physical_procedure(
+                "CUSTOMER_BY_ID",
+                vec![("CUSTOMERID".into(), SqlColumnType::Integer)],
+                |t| t.column("CUSTOMERNAME", SqlColumnType::Varchar, true),
+            )
+            .finish_service()
+            .data_service_in("ARCHIVE", vec!["old".into()])
+            .physical_table("HISTORY", |t| t.column("ID", SqlColumnType::Integer, false))
+            .finish_service()
+            .finish_project()
+            .build();
+        DspServer::new(app, Database::new())
+    }
+
+    #[test]
+    fn catalog_is_application_name() {
+        let s = server();
+        assert_eq!(DatabaseMetaData::new(&s).catalogs(), vec!["TESTAPP"]);
+    }
+
+    #[test]
+    fn schemas_are_ds_paths() {
+        let s = server();
+        let schemas = DatabaseMetaData::new(&s).schemas();
+        assert_eq!(
+            schemas,
+            vec![
+                "TestDataServices.CUSTOMERS".to_string(),
+                "TestDataServices.old.ARCHIVE".to_string()
+            ]
+        );
+    }
+
+    #[test]
+    fn tables_listed_and_filtered() {
+        let s = server();
+        let meta = DatabaseMetaData::new(&s);
+        assert_eq!(meta.tables(None).len(), 2);
+        let filtered = meta.tables(Some("old.ARCHIVE"));
+        assert_eq!(filtered.len(), 1);
+        assert_eq!(filtered[0].table, "HISTORY");
+    }
+
+    #[test]
+    fn columns_report_types_and_positions() {
+        let s = server();
+        let cols = DatabaseMetaData::new(&s).columns("CUSTOMERS");
+        assert_eq!(cols.len(), 2);
+        assert_eq!(cols[0].column, "CUSTOMERID");
+        assert_eq!(cols[0].position, 1);
+        assert!(!cols[0].nullable);
+        assert_eq!(cols[1].sql_type, SqlColumnType::Varchar);
+    }
+
+    #[test]
+    fn procedures_are_parameterized_functions() {
+        let s = server();
+        let procs = DatabaseMetaData::new(&s).procedures();
+        assert_eq!(procs.len(), 1);
+        assert_eq!(procs[0].name, "CUSTOMER_BY_ID");
+        assert_eq!(procs[0].parameters.len(), 1);
+    }
+}

@@ -1,0 +1,61 @@
+//! # aldsp-driver — the JDBC-analogue driver
+//!
+//! The paper's subject is a JDBC driver: SQL statements in, result sets
+//! out, over an XQuery-speaking server (Figure 1). This crate is the Rust
+//! analogue of that driver plus the simulated server it talks to:
+//!
+//! * [`server`] — the stand-in for the AquaLogic DSP server: data-service
+//!   functions backed by `aldsp-relational` tables, executing generated
+//!   XQuery with `aldsp-xquery` and shipping results as serialized XML or
+//!   delimited text across a simulated client/server boundary.
+//! * [`connection`] — `Connection`, `Statement`, `PreparedStatement`: the
+//!   client API. Each query is translated (`aldsp-core`), executed, and
+//!   decoded into a [`ResultSet`].
+//! * [`resultset`] — forward-only cursors with typed getters and
+//!   result-set metadata, built from either transport.
+//! * [`dbmeta`] — `DatabaseMetaData`: catalog/schema/table/column
+//!   enumeration per the paper's Figure-2 artifact mapping.
+
+pub mod connection;
+pub mod dbmeta;
+pub mod resultset;
+pub mod server;
+
+pub use connection::{CallableStatement, Connection, PreparedStatement, Statement};
+pub use dbmeta::DatabaseMetaData;
+pub use resultset::{ResultSet, ResultSetMetaData};
+pub use server::{DspServer, ServerStats};
+
+use std::fmt;
+
+/// Driver-level errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DriverError {
+    /// Translation failed (syntax, semantics, metadata).
+    Translation(aldsp_core::TranslateError),
+    /// Server-side execution failed.
+    Execution(String),
+    /// Result decoding failed.
+    Decode(String),
+    /// Client misuse (bad column index, unbound parameter, ...).
+    Usage(String),
+}
+
+impl fmt::Display for DriverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DriverError::Translation(e) => write!(f, "translation: {e}"),
+            DriverError::Execution(m) => write!(f, "execution: {m}"),
+            DriverError::Decode(m) => write!(f, "decode: {m}"),
+            DriverError::Usage(m) => write!(f, "usage: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DriverError {}
+
+impl From<aldsp_core::TranslateError> for DriverError {
+    fn from(e: aldsp_core::TranslateError) -> Self {
+        DriverError::Translation(e)
+    }
+}

@@ -1,0 +1,446 @@
+//! The simulated AquaLogic DSP server.
+//!
+//! Holds the application's artifacts (catalog) and the physical data
+//! (relational tables), exposes data-service functions to the XQuery
+//! engine as sequences of flat row elements (paper Example 1), compiles
+//! and executes query text, and ships results across a simulated
+//! client/server boundary — as serialized XML or as the §4 delimited text.
+
+use crate::DriverError;
+use aldsp_catalog::{Application, TableLocator};
+use aldsp_relational::{Database, SqlValue};
+use aldsp_xml::{flat::build_row, QName, Sequence};
+use aldsp_xquery::{evaluate_program_with, parse_program, FunctionSource, XqError};
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+/// Execution statistics (bytes shipped, calls made) for the E1/E4
+/// experiments.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServerStats {
+    /// Queries executed.
+    pub queries: u64,
+    /// Data-service function invocations.
+    pub function_calls: u64,
+    /// Bytes of result payload shipped to the client.
+    pub bytes_shipped: u64,
+}
+
+/// The server: artifacts + data + an XQuery engine.
+pub struct DspServer {
+    locator: TableLocator,
+    database: Database,
+    application: Application,
+    /// Materialized function results, keyed by function name. Items are
+    /// `Rc`-backed, so cached sequences are cheap to clone per query.
+    materialized: RefCell<HashMap<String, Sequence>>,
+    /// Logical functions currently being evaluated (cycle detection).
+    logical_in_flight: RefCell<std::collections::HashSet<String>>,
+    stats: RefCell<ServerStats>,
+}
+
+impl DspServer {
+    /// Creates a server for an application with its physical data.
+    pub fn new(application: Application, database: Database) -> DspServer {
+        DspServer {
+            locator: TableLocator::for_application(&application),
+            database,
+            application,
+            materialized: RefCell::new(HashMap::new()),
+            logical_in_flight: RefCell::new(std::collections::HashSet::new()),
+            stats: RefCell::new(ServerStats::default()),
+        }
+    }
+
+    /// The application's artifacts.
+    pub fn application(&self) -> &Application {
+        &self.application
+    }
+
+    /// The table locator (used by the driver's metadata API).
+    pub fn locator(&self) -> &TableLocator {
+        &self.locator
+    }
+
+    /// The backing database (data loading).
+    pub fn database_mut(&mut self) -> &mut Database {
+        self.materialized.borrow_mut().clear();
+        &mut self.database
+    }
+
+    /// The backing database (read access).
+    pub fn database(&self) -> &Database {
+        &self.database
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> ServerStats {
+        *self.stats.borrow()
+    }
+
+    /// Resets statistics (benchmark warm-up).
+    pub fn reset_stats(&self) {
+        *self.stats.borrow_mut() = ServerStats::default();
+    }
+
+    /// Compiles and runs XQuery text with external variable bindings,
+    /// returning the raw result sequence (server side).
+    pub fn execute(
+        &self,
+        xquery: &str,
+        params: &[(String, Sequence)],
+    ) -> Result<Sequence, DriverError> {
+        let program = parse_program(xquery)
+            .map_err(|e| DriverError::Execution(format!("XQuery compilation failed: {e}")))?;
+        self.stats.borrow_mut().queries += 1;
+        evaluate_program_with(&program, self, params).map_err(|e| DriverError::Execution(e.message))
+    }
+
+    /// Executes and ships the result as serialized text (either the XML
+    /// serialization of the result sequence, or — for §4 wrapper queries —
+    /// the single joined string). Returns the payload exactly as it would
+    /// cross the client/server boundary.
+    pub fn execute_to_payload(
+        &self,
+        xquery: &str,
+        params: &[(String, Sequence)],
+    ) -> Result<String, DriverError> {
+        let result = self.execute(xquery, params)?;
+        let payload = match result.as_singleton() {
+            // A single string item: the delimited-text transport.
+            Some(aldsp_xml::Item::Atomic(aldsp_xml::Atomic::String(s))) => s.clone(),
+            _ => aldsp_xml::serialize_sequence(&result),
+        };
+        self.stats.borrow_mut().bytes_shipped += payload.len() as u64;
+        Ok(payload)
+    }
+
+    fn rows_for_function(&self, name: &str) -> Result<Sequence, XqError> {
+        if let Some(cached) = self.materialized.borrow().get(name) {
+            return Ok(cached.clone());
+        }
+        // Logical data services execute their XQuery body, which calls
+        // lower-level data-service functions (paper §3.1: "The body of
+        // each data service function for a logical data service is an
+        // XQuery written in terms of one or more lower-level data service
+        // function calls").
+        let logical_body = self.application.functions().find_map(|(_, _, f)| {
+            if f.name == name {
+                match &f.kind {
+                    aldsp_catalog::FunctionKind::Logical { body } => Some(body.clone()),
+                    aldsp_catalog::FunctionKind::Physical => None,
+                }
+            } else {
+                None
+            }
+        });
+        let rows = match logical_body {
+            Some(body) => {
+                // Re-entrancy guard: a logical function calling itself
+                // (directly or through a cycle) must fail, not recurse
+                // forever.
+                {
+                    let mut in_flight = self.logical_in_flight.borrow_mut();
+                    if !in_flight.insert(name.to_string()) {
+                        return Err(XqError::new(format!(
+                            "cyclic logical data service definition involving {name}"
+                        )));
+                    }
+                }
+                let result = (|| {
+                    let program = aldsp_xquery::parse_program(&body).map_err(|e| {
+                        XqError::new(format!("logical service {name} failed to compile: {e}"))
+                    })?;
+                    evaluate_program_with(&program, self, &[])
+                })();
+                self.logical_in_flight.borrow_mut().remove(name);
+                result?
+            }
+            None => {
+                let table = self.database.table(name).ok_or_else(|| {
+                    XqError::new(format!("no data behind data-service function {name}"))
+                })?;
+                let row_name = QName::prefixed("ns0", table.schema.row_element.clone());
+                let mut rows = Sequence::empty();
+                for row in &table.rows {
+                    let columns = table
+                        .schema
+                        .columns
+                        .iter()
+                        .zip(row)
+                        .map(|(c, v)| (c.name.as_str(), v.to_atomic()));
+                    rows.push(aldsp_xml::Item::element(build_row(&row_name, columns)));
+                }
+                rows
+            }
+        };
+        self.materialized
+            .borrow_mut()
+            .insert(name.to_string(), rows.clone());
+        Ok(rows)
+    }
+}
+
+impl FunctionSource for DspServer {
+    fn call(
+        &self,
+        _namespace: Option<&str>,
+        local: &str,
+        args: &[Sequence],
+    ) -> Result<Sequence, XqError> {
+        self.stats.borrow_mut().function_calls += 1;
+        let rows = self.rows_for_function(local)?;
+        if args.is_empty() {
+            return Ok(rows);
+        }
+        // Functions with parameters (SQL stored procedures, Figure 2
+        // (iii)): parameters filter by the function's declared parameter
+        // names, matched against row columns.
+        let function = self
+            .application
+            .functions()
+            .map(|(_, _, f)| f)
+            .find(|f| f.name == local)
+            .ok_or_else(|| XqError::new(format!("unknown data-service function {local}")))?;
+        if args.len() != function.parameters.len() {
+            return Err(XqError::new(format!(
+                "{local} expects {} argument(s), got {}",
+                function.parameters.len(),
+                args.len()
+            )));
+        }
+        let mut filtered = Sequence::empty();
+        'rows: for item in rows.iter() {
+            let Some(element) = item.as_element() else {
+                continue;
+            };
+            for ((param_name, _), arg) in function.parameters.iter().zip(args) {
+                let value = element
+                    .children_named(param_name)
+                    .next()
+                    .map(|e| e.string_value());
+                let wanted = arg.as_singleton().map(|i| i.string_value());
+                if value != wanted {
+                    continue 'rows;
+                }
+            }
+            filtered.push(item.clone());
+        }
+        Ok(filtered)
+    }
+}
+
+/// Converts a SQL runtime value into the singleton/empty sequence a bound
+/// XQuery variable holds.
+pub fn sql_value_to_sequence(value: &SqlValue) -> Sequence {
+    match value.to_atomic() {
+        Some(a) => Sequence::singleton(a),
+        None => Sequence::empty(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aldsp_catalog::{ApplicationBuilder, SqlColumnType};
+    use aldsp_relational::Table;
+
+    fn server() -> DspServer {
+        let app = ApplicationBuilder::new("APP")
+            .project("P")
+            .data_service("T")
+            .physical_table("T", |t| {
+                t.column("ID", SqlColumnType::Integer, false).column(
+                    "NAME",
+                    SqlColumnType::Varchar,
+                    true,
+                )
+            })
+            .physical_procedure(
+                "T_BY_ID",
+                vec![("ID".into(), SqlColumnType::Integer)],
+                |t| {
+                    t.row_element("T")
+                        .column("ID", SqlColumnType::Integer, false)
+                        .column("NAME", SqlColumnType::Varchar, true)
+                },
+            )
+            .finish_service()
+            .finish_project()
+            .build();
+        let mut db = Database::new();
+        let schema = app.projects[0].data_services[0].functions[0].schema.clone();
+        let mut table = Table::new(schema);
+        table.insert(vec![SqlValue::Int(1), SqlValue::Str("a".into())]);
+        table.insert(vec![SqlValue::Int(2), SqlValue::Null]);
+        db.add_table(table);
+        // The procedure shares the same backing table.
+        let mut by_id = db.table("T").unwrap().clone();
+        by_id.schema.table_name = "T_BY_ID".into();
+        db.add_table(by_id);
+        DspServer::new(app, db)
+    }
+
+    #[test]
+    fn functions_return_flat_rows_with_absent_nulls() {
+        let s = server();
+        let rows = s.call(None, "T", &[]).unwrap();
+        assert_eq!(rows.len(), 2);
+        let second = rows.items()[1].as_element().unwrap();
+        assert!(second.children_named("NAME").next().is_none());
+    }
+
+    #[test]
+    fn execute_runs_queries_over_functions() {
+        let s = server();
+        let out = s
+            .execute(
+                "import schema namespace ns0 = \"ld:P/T\" at \"ld:P/schemas/T.xsd\";\n\
+                 for $t in ns0:T() where $t/ID = 2 return <R>{fn:data($t/ID)}</R>",
+                &[],
+            )
+            .unwrap();
+        assert_eq!(aldsp_xml::serialize_sequence(&out), "<R>2</R>");
+        assert_eq!(s.stats().queries, 1);
+        assert_eq!(s.stats().function_calls, 1);
+    }
+
+    #[test]
+    fn external_variables_bind() {
+        let s = server();
+        let out = s
+            .execute(
+                "import schema namespace ns0 = \"ld:P/T\" at \"ld:P/schemas/T.xsd\";\n\
+                 for $t in ns0:T() where $t/ID = $sqlParam1 return <R>{fn:data($t/ID)}</R>",
+                &[(
+                    "sqlParam1".to_string(),
+                    sql_value_to_sequence(&SqlValue::Int(1)),
+                )],
+            )
+            .unwrap();
+        assert_eq!(aldsp_xml::serialize_sequence(&out), "<R>1</R>");
+    }
+
+    #[test]
+    fn procedures_filter_by_parameters() {
+        let s = server();
+        let rows = s
+            .call(
+                None,
+                "T_BY_ID",
+                &[Sequence::singleton(aldsp_xml::Atomic::Integer(2))],
+            )
+            .unwrap();
+        assert_eq!(rows.len(), 1);
+    }
+
+    #[test]
+    fn payload_counts_bytes() {
+        let s = server();
+        let payload = s
+            .execute_to_payload(
+                "import schema namespace ns0 = \"ld:P/T\" at \"ld:P/schemas/T.xsd\";\n\
+                 <RECORDSET>{ for $t in ns0:T() return <RECORD><ID>{fn:data($t/ID)}</ID></RECORD> }</RECORDSET>",
+                &[],
+            )
+            .unwrap();
+        assert!(payload.starts_with("<RECORDSET>"));
+        assert_eq!(s.stats().bytes_shipped, payload.len() as u64);
+    }
+
+    fn server_with_logical() -> DspServer {
+        // A logical service projecting/filtering the physical one — the
+        // paper's layered data-service architecture (§2).
+        let app = ApplicationBuilder::new("APP")
+            .project("P")
+            .data_service("T")
+            .physical_table("T", |t| {
+                t.column("ID", SqlColumnType::Integer, false).column(
+                    "NAME",
+                    SqlColumnType::Varchar,
+                    true,
+                )
+            })
+            .finish_service()
+            .data_service("BIG_T")
+            .logical_table(
+                "BIG_T",
+                "import schema namespace src = \"ld:P/T\" at \"ld:P/schemas/T.xsd\";\n\
+                 for $t in src:T() where $t/ID > 1 return \
+                 <BIG_T><ID>{fn:data($t/ID)}</ID>\
+                 { for $n in fn:data($t/NAME) return <NAME>{$n}</NAME> }</BIG_T>",
+                |t| {
+                    t.column("ID", SqlColumnType::Integer, false).column(
+                        "NAME",
+                        SqlColumnType::Varchar,
+                        true,
+                    )
+                },
+            )
+            .finish_service()
+            .finish_project()
+            .build();
+        let mut db = Database::new();
+        let schema = app.projects[0].data_services[0].functions[0].schema.clone();
+        let mut table = Table::new(schema);
+        table.insert(vec![SqlValue::Int(1), SqlValue::Str("a".into())]);
+        table.insert(vec![SqlValue::Int(2), SqlValue::Null]);
+        table.insert(vec![SqlValue::Int(3), SqlValue::Str("c".into())]);
+        db.add_table(table);
+        DspServer::new(app, db)
+    }
+
+    #[test]
+    fn logical_service_evaluates_its_body() {
+        let s = server_with_logical();
+        let rows = s.call(None, "BIG_T", &[]).unwrap();
+        assert_eq!(rows.len(), 2); // IDs 2 and 3
+                                   // NULL NAME stays an absent element through the logical layer.
+        let first = rows.items()[0].as_element().unwrap();
+        assert!(first.children_named("NAME").next().is_none());
+    }
+
+    #[test]
+    fn sql_queries_run_over_logical_services() {
+        // The JDBC driver treats the logical function as just another
+        // table (paper §2.3: "one can always define additional 'flat'
+        // data service functions").
+        let conn = crate::Connection::open(std::rc::Rc::new(server_with_logical()));
+        let mut rs = conn
+            .create_statement()
+            .execute_query("SELECT ID, NAME FROM BIG_T WHERE NAME IS NOT NULL")
+            .unwrap();
+        assert_eq!(rs.row_count(), 1);
+        rs.next();
+        assert_eq!(rs.get_i64(1).unwrap(), 3);
+        assert_eq!(rs.get_string(2).unwrap().as_deref(), Some("c"));
+    }
+
+    #[test]
+    fn cyclic_logical_services_error_cleanly() {
+        let app = ApplicationBuilder::new("APP")
+            .project("P")
+            .data_service("LOOP")
+            .logical_table(
+                "LOOP",
+                "import schema namespace me = \"ld:P/LOOP\" at \"ld:P/schemas/LOOP.xsd\";\n\
+                 for $x in me:LOOP() return $x",
+                |t| t.column("ID", SqlColumnType::Integer, false),
+            )
+            .finish_service()
+            .finish_project()
+            .build();
+        let s = DspServer::new(app, Database::new());
+        let err = s.call(None, "LOOP", &[]).unwrap_err();
+        assert!(err.message.contains("cyclic"), "{}", err.message);
+    }
+
+    #[test]
+    fn materialization_cache_reused() {
+        let s = server();
+        s.call(None, "T", &[]).unwrap();
+        s.call(None, "T", &[]).unwrap();
+        assert_eq!(s.stats().function_calls, 2);
+        assert_eq!(s.materialized.borrow().len(), 1);
+    }
+}

@@ -1,0 +1,143 @@
+//! Named tables — the physical layer behind data services.
+
+use crate::relation::{ColumnInfo, Relation};
+use crate::value::SqlValue;
+use aldsp_catalog::TableSchema;
+use std::collections::HashMap;
+
+/// A stored table: its schema plus rows.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// The table's schema (shared with the catalog layer).
+    pub schema: TableSchema,
+    /// Stored rows.
+    pub rows: Vec<Vec<SqlValue>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(schema: TableSchema) -> Table {
+        Table {
+            schema,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row after checking its arity.
+    ///
+    /// # Panics
+    /// Panics when the row arity does not match the schema — this is a
+    /// data-loading programming error, not a runtime condition.
+    pub fn insert(&mut self, row: Vec<SqlValue>) {
+        assert_eq!(
+            row.len(),
+            self.schema.columns.len(),
+            "row arity mismatch for table {}",
+            self.schema.table_name
+        );
+        self.rows.push(row);
+    }
+
+    /// Materializes the table as a [`Relation`], with every column
+    /// qualified by `qualifier` (the range variable in the FROM clause).
+    pub fn scan(&self, qualifier: &str) -> Relation {
+        let columns = self
+            .schema
+            .columns
+            .iter()
+            .map(|c| {
+                ColumnInfo::new(
+                    c.name.clone(),
+                    Some(qualifier.to_string()),
+                    Some(c.sql_type),
+                    c.nullable,
+                )
+            })
+            .collect();
+        Relation {
+            columns,
+            rows: self.rows.clone(),
+        }
+    }
+}
+
+/// A collection of named tables. Lookup is by bare table name — the
+/// catalog layer resolves qualified SQL names down to these.
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    tables: HashMap<String, Table>,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// Adds (or replaces) a table.
+    pub fn add_table(&mut self, table: Table) {
+        self.tables.insert(table.schema.table_name.clone(), table);
+    }
+
+    /// Looks up a table.
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.get(name)
+    }
+
+    /// Mutable lookup (data loading).
+    pub fn table_mut(&mut self, name: &str) -> Option<&mut Table> {
+        self.tables.get_mut(name)
+    }
+
+    /// Table names (unordered).
+    pub fn table_names(&self) -> impl Iterator<Item = &str> {
+        self.tables.keys().map(|s| s.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aldsp_catalog::{ColumnMeta, SqlColumnType};
+
+    fn schema() -> TableSchema {
+        TableSchema {
+            table_name: "T".into(),
+            row_element: "T".into(),
+            namespace: "ld:P/T".into(),
+            schema_location: "ld:P/schemas/T.xsd".into(),
+            columns: vec![
+                ColumnMeta::new("ID", SqlColumnType::Integer, false),
+                ColumnMeta::new("NAME", SqlColumnType::Varchar, true),
+            ],
+        }
+    }
+
+    #[test]
+    fn scan_qualifies_columns() {
+        let mut t = Table::new(schema());
+        t.insert(vec![SqlValue::Int(1), SqlValue::Str("a".into())]);
+        let r = t.scan("X");
+        assert_eq!(r.columns[0].qualifier.as_deref(), Some("X"));
+        assert_eq!(r.rows.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new(schema());
+        t.insert(vec![SqlValue::Int(1)]);
+    }
+
+    #[test]
+    fn database_lookup() {
+        let mut db = Database::new();
+        db.add_table(Table::new(schema()));
+        assert!(db.table("T").is_some());
+        assert!(db.table("U").is_none());
+        db.table_mut("T")
+            .unwrap()
+            .insert(vec![SqlValue::Int(1), SqlValue::Null]);
+        assert_eq!(db.table("T").unwrap().rows.len(), 1);
+    }
+}

@@ -1,0 +1,719 @@
+//! Scalar expression evaluation with SQL three-valued logic and
+//! correlation scopes.
+//!
+//! Evaluation happens relative to a [`Scope`] — the current row of the
+//! current relation, chained to outer rows so correlated subqueries can see
+//! enclosing range variables (the oracle-side counterpart of the paper's
+//! context chain, §3.4.3).
+
+use crate::database::Database;
+use crate::exec::{execute_body_scoped, ExecError};
+use crate::like::like_match;
+use crate::relation::Relation;
+use crate::value::{ArithOp, SqlValue};
+use aldsp_catalog::SqlColumnType;
+use aldsp_sql::{
+    BinaryOp, ColumnRef, CompareOp, Expr, FunctionArgs, Literal, Quantifier, SqlTypeName, TrimSide,
+    UnaryOp,
+};
+use std::cmp::Ordering;
+
+/// Evaluation environment: the database (for subqueries) and statement
+/// parameters.
+pub struct EvalContext<'a> {
+    /// Tables for subquery execution.
+    pub db: &'a Database,
+    /// Bound `?` parameter values, by ordinal.
+    pub params: &'a [SqlValue],
+}
+
+/// A row binding, chained outward for correlation.
+#[derive(Clone, Copy)]
+pub struct Scope<'a> {
+    /// The relation the row belongs to.
+    pub relation: &'a Relation,
+    /// The current row.
+    pub row: &'a [SqlValue],
+    /// Enclosing query's scope, if any.
+    pub parent: Option<&'a Scope<'a>>,
+}
+
+impl<'a> Scope<'a> {
+    /// Resolves a column reference, walking outward through enclosing
+    /// scopes (SQL-92 correlation rules: innermost match wins; ambiguity
+    /// within one scope is an error).
+    pub fn resolve(&self, column: &ColumnRef) -> Result<SqlValue, ExecError> {
+        let matches = self
+            .relation
+            .find_columns(column.qualifier.as_deref(), &column.name);
+        match matches.as_slice() {
+            [i] => Ok(self.row[*i].clone()),
+            [] => match self.parent {
+                Some(parent) => parent.resolve(column),
+                None => Err(ExecError::new(format!("unknown column {column}"))),
+            },
+            _ => Err(ExecError::new(format!("ambiguous column {column}"))),
+        }
+    }
+}
+
+/// Evaluates `expr` to a value. Predicates yield `Bool`/`Null` (UNKNOWN).
+pub fn eval_expr(
+    ctx: &EvalContext<'_>,
+    scope: &Scope<'_>,
+    expr: &Expr,
+) -> Result<SqlValue, ExecError> {
+    match expr {
+        Expr::Column(c) => scope.resolve(c),
+        Expr::Literal(l) => Ok(literal_value(l)),
+        Expr::Parameter(ordinal) => ctx
+            .params
+            .get(*ordinal)
+            .cloned()
+            .ok_or_else(|| ExecError::new(format!("parameter {} not bound", ordinal + 1))),
+        Expr::Unary { op, expr } => {
+            let v = eval_expr(ctx, scope, expr)?;
+            match op {
+                UnaryOp::Plus => Ok(v),
+                UnaryOp::Neg => match v {
+                    SqlValue::Null => Ok(SqlValue::Null),
+                    SqlValue::Int(i) => i
+                        .checked_neg()
+                        .map(SqlValue::Int)
+                        .ok_or_else(|| ExecError::new("integer overflow")),
+                    SqlValue::Decimal(d) => Ok(SqlValue::Decimal(-d)),
+                    SqlValue::Double(d) => Ok(SqlValue::Double(-d)),
+                    other => Err(ExecError::new(format!("cannot negate {other:?}"))),
+                },
+                UnaryOp::Not => Ok(truth_to_value(truth(&v)?.map(|b| !b))),
+            }
+        }
+        Expr::Binary { left, op, right } => eval_binary(ctx, scope, left, *op, right),
+        Expr::Function { name, args } => eval_function(ctx, scope, name, args),
+        Expr::Case {
+            operand,
+            branches,
+            else_result,
+        } => {
+            for (when, then) in branches {
+                let matched = match operand {
+                    // Simple CASE compares operand = when.
+                    Some(op_expr) => {
+                        let lhs = eval_expr(ctx, scope, op_expr)?;
+                        let rhs = eval_expr(ctx, scope, when)?;
+                        compare_values(&lhs, &rhs)?.map(|o| o == Ordering::Equal)
+                    }
+                    // Searched CASE evaluates the predicate.
+                    None => truth(&eval_expr(ctx, scope, when)?)?,
+                };
+                if matched == Some(true) {
+                    return eval_expr(ctx, scope, then);
+                }
+            }
+            match else_result {
+                Some(e) => eval_expr(ctx, scope, e),
+                None => Ok(SqlValue::Null),
+            }
+        }
+        Expr::Cast { expr, target } => {
+            let v = eval_expr(ctx, scope, expr)?;
+            v.cast_to(type_name_to_column(*target))
+                .map_err(|e| ExecError::new(e.message))
+        }
+        Expr::IsNull { expr, negated } => {
+            let v = eval_expr(ctx, scope, expr)?;
+            Ok(SqlValue::Bool(v.is_null() != *negated))
+        }
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => {
+            let v = eval_expr(ctx, scope, expr)?;
+            let lo = eval_expr(ctx, scope, low)?;
+            let hi = eval_expr(ctx, scope, high)?;
+            let ge_lo = compare_values(&v, &lo)?.map(|o| o != Ordering::Less);
+            let le_hi = compare_values(&v, &hi)?.map(|o| o != Ordering::Greater);
+            let t = and3(ge_lo, le_hi);
+            Ok(truth_to_value(negate_if(t, *negated)))
+        }
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
+            let v = eval_expr(ctx, scope, expr)?;
+            let mut saw_unknown = false;
+            for item in list {
+                let candidate = eval_expr(ctx, scope, item)?;
+                match compare_values(&v, &candidate)? {
+                    Some(Ordering::Equal) => {
+                        return Ok(truth_to_value(negate_if(Some(true), *negated)))
+                    }
+                    Some(_) => {}
+                    None => saw_unknown = true,
+                }
+            }
+            let t = if saw_unknown { None } else { Some(false) };
+            Ok(truth_to_value(negate_if(t, *negated)))
+        }
+        Expr::InSubquery {
+            expr,
+            query,
+            negated,
+        } => {
+            let v = eval_expr(ctx, scope, expr)?;
+            let rel = execute_body_scoped(ctx.db, query, ctx.params, Some(scope))?;
+            require_arity(&rel, 1, "IN subquery")?;
+            let mut saw_unknown = false;
+            for row in &rel.rows {
+                match compare_values(&v, &row[0])? {
+                    Some(Ordering::Equal) => {
+                        return Ok(truth_to_value(negate_if(Some(true), *negated)))
+                    }
+                    Some(_) => {}
+                    None => saw_unknown = true,
+                }
+            }
+            let t = if saw_unknown { None } else { Some(false) };
+            Ok(truth_to_value(negate_if(t, *negated)))
+        }
+        Expr::Exists { query, negated } => {
+            let rel = execute_body_scoped(ctx.db, query, ctx.params, Some(scope))?;
+            Ok(SqlValue::Bool(rel.rows.is_empty() == *negated))
+        }
+        Expr::ScalarSubquery(query) => {
+            let rel = execute_body_scoped(ctx.db, query, ctx.params, Some(scope))?;
+            require_arity(&rel, 1, "scalar subquery")?;
+            match rel.rows.len() {
+                0 => Ok(SqlValue::Null),
+                1 => Ok(rel.rows[0][0].clone()),
+                n => Err(ExecError::new(format!("scalar subquery returned {n} rows"))),
+            }
+        }
+        Expr::Quantified {
+            expr,
+            op,
+            quantifier,
+            query,
+        } => {
+            let v = eval_expr(ctx, scope, expr)?;
+            let rel = execute_body_scoped(ctx.db, query, ctx.params, Some(scope))?;
+            require_arity(&rel, 1, "quantified subquery")?;
+            let mut any_true = false;
+            let mut any_false = false;
+            let mut any_unknown = false;
+            for row in &rel.rows {
+                match compare_with_op(&v, *op, &row[0])? {
+                    Some(true) => any_true = true,
+                    Some(false) => any_false = true,
+                    None => any_unknown = true,
+                }
+            }
+            // SQL-92 quantified comparison truth tables: ANY is an OR over
+            // the rows, ALL is an AND; empty subquery → FALSE for ANY,
+            // TRUE for ALL.
+            let t = match quantifier {
+                Quantifier::Any => {
+                    if any_true {
+                        Some(true)
+                    } else if any_unknown {
+                        None
+                    } else {
+                        Some(false)
+                    }
+                }
+                Quantifier::All => {
+                    if any_false {
+                        Some(false)
+                    } else if any_unknown {
+                        None
+                    } else {
+                        Some(true)
+                    }
+                }
+            };
+            Ok(truth_to_value(t))
+        }
+        Expr::Like {
+            expr,
+            pattern,
+            escape,
+            negated,
+        } => {
+            let v = eval_expr(ctx, scope, expr)?;
+            let p = eval_expr(ctx, scope, pattern)?;
+            let esc = match escape {
+                Some(e) => {
+                    let ev = eval_expr(ctx, scope, e)?;
+                    match ev {
+                        SqlValue::Null => return Ok(SqlValue::Null),
+                        SqlValue::Str(s) if s.chars().count() == 1 => s.chars().next(),
+                        other => {
+                            return Err(ExecError::new(format!(
+                                "ESCAPE must be a single character, got {other:?}"
+                            )))
+                        }
+                    }
+                }
+                None => None,
+            };
+            match (&v, &p) {
+                (SqlValue::Null, _) | (_, SqlValue::Null) => Ok(SqlValue::Null),
+                _ => {
+                    let matched = like_match(&v.display_text(), &p.display_text(), esc)
+                        .map_err(|e| ExecError::new(e.message))?;
+                    Ok(SqlValue::Bool(matched != *negated))
+                }
+            }
+        }
+        Expr::Substring {
+            expr,
+            start,
+            length,
+        } => {
+            let s = eval_expr(ctx, scope, expr)?;
+            let st = eval_expr(ctx, scope, start)?;
+            let len = match length {
+                Some(l) => Some(eval_expr(ctx, scope, l)?),
+                None => None,
+            };
+            if s.is_null() || st.is_null() || len.as_ref().is_some_and(|l| l.is_null()) {
+                return Ok(SqlValue::Null);
+            }
+            let text = s.display_text();
+            let start_pos = int_of(&st, "SUBSTRING start")?;
+            let length_n = match &len {
+                Some(l) => {
+                    let n = int_of(l, "SUBSTRING length")?;
+                    if n < 0 {
+                        return Err(ExecError::new("negative SUBSTRING length"));
+                    }
+                    Some(n)
+                }
+                None => None,
+            };
+            Ok(SqlValue::Str(sql_substring(&text, start_pos, length_n)))
+        }
+        Expr::Trim {
+            side,
+            trim_chars,
+            expr,
+        } => {
+            let v = eval_expr(ctx, scope, expr)?;
+            if v.is_null() {
+                return Ok(SqlValue::Null);
+            }
+            let pad = match trim_chars {
+                Some(c) => {
+                    let cv = eval_expr(ctx, scope, c)?;
+                    if cv.is_null() {
+                        return Ok(SqlValue::Null);
+                    }
+                    let s = cv.display_text();
+                    let mut chars = s.chars();
+                    match (chars.next(), chars.next()) {
+                        (Some(ch), None) => ch,
+                        _ => {
+                            return Err(ExecError::new("TRIM character must be a single character"))
+                        }
+                    }
+                }
+                None => ' ',
+            };
+            let text = v.display_text();
+            let trimmed = match side {
+                TrimSide::Both => text.trim_matches(pad),
+                TrimSide::Leading => text.trim_start_matches(pad),
+                TrimSide::Trailing => text.trim_end_matches(pad),
+            };
+            Ok(SqlValue::Str(trimmed.to_string()))
+        }
+        Expr::Position { needle, haystack } => {
+            let n = eval_expr(ctx, scope, needle)?;
+            let h = eval_expr(ctx, scope, haystack)?;
+            if n.is_null() || h.is_null() {
+                return Ok(SqlValue::Null);
+            }
+            let needle_text = n.display_text();
+            let haystack_text = h.display_text();
+            // SQL POSITION is 1-based; 0 means not found; empty needle → 1.
+            let pos = if needle_text.is_empty() {
+                1
+            } else {
+                match haystack_text.find(&needle_text) {
+                    Some(byte) => haystack_text[..byte].chars().count() as i64 + 1,
+                    None => 0,
+                }
+            };
+            Ok(SqlValue::Int(pos))
+        }
+    }
+}
+
+fn eval_binary(
+    ctx: &EvalContext<'_>,
+    scope: &Scope<'_>,
+    left: &Expr,
+    op: BinaryOp,
+    right: &Expr,
+) -> Result<SqlValue, ExecError> {
+    match op {
+        BinaryOp::And => {
+            let l = truth(&eval_expr(ctx, scope, left)?)?;
+            // Short circuit: FALSE AND x is FALSE without evaluating x
+            // (also avoids spurious division-by-zero style errors).
+            if l == Some(false) {
+                return Ok(SqlValue::Bool(false));
+            }
+            let r = truth(&eval_expr(ctx, scope, right)?)?;
+            Ok(truth_to_value(and3(l, r)))
+        }
+        BinaryOp::Or => {
+            let l = truth(&eval_expr(ctx, scope, left)?)?;
+            if l == Some(true) {
+                return Ok(SqlValue::Bool(true));
+            }
+            let r = truth(&eval_expr(ctx, scope, right)?)?;
+            Ok(truth_to_value(or3(l, r)))
+        }
+        BinaryOp::Compare(c) => {
+            let l = eval_expr(ctx, scope, left)?;
+            let r = eval_expr(ctx, scope, right)?;
+            Ok(truth_to_value(compare_with_op(&l, c, &r)?))
+        }
+        BinaryOp::Concat => {
+            let l = eval_expr(ctx, scope, left)?;
+            let r = eval_expr(ctx, scope, right)?;
+            Ok(l.concat(&r))
+        }
+        BinaryOp::Add | BinaryOp::Sub | BinaryOp::Mul | BinaryOp::Div => {
+            let l = eval_expr(ctx, scope, left)?;
+            let r = eval_expr(ctx, scope, right)?;
+            let arith_op = match op {
+                BinaryOp::Add => ArithOp::Add,
+                BinaryOp::Sub => ArithOp::Sub,
+                BinaryOp::Mul => ArithOp::Mul,
+                _ => ArithOp::Div,
+            };
+            l.arith(arith_op, &r).map_err(|e| ExecError::new(e.message))
+        }
+    }
+}
+
+fn eval_function(
+    ctx: &EvalContext<'_>,
+    scope: &Scope<'_>,
+    name: &str,
+    args: &FunctionArgs,
+) -> Result<SqlValue, ExecError> {
+    if aldsp_sql::is_aggregate_function(name) {
+        return Err(ExecError::new(format!(
+            "aggregate {name} used outside grouping context"
+        )));
+    }
+    let arg_exprs = match args {
+        FunctionArgs::Star => {
+            return Err(ExecError::new(format!("{name}(*) is not a scalar call")))
+        }
+        FunctionArgs::List { args, .. } => args,
+    };
+    let mut values = Vec::with_capacity(arg_exprs.len());
+    for a in arg_exprs {
+        values.push(eval_expr(ctx, scope, a)?);
+    }
+    scalar_function(name, &values)
+}
+
+/// Evaluates a scalar function over already-computed argument values
+/// (shared with the XQuery-side function map tests).
+pub fn scalar_function(name: &str, values: &[SqlValue]) -> Result<SqlValue, ExecError> {
+    let arity = |n: usize| -> Result<(), ExecError> {
+        if values.len() == n {
+            Ok(())
+        } else {
+            Err(ExecError::new(format!(
+                "{name} expects {n} argument(s), got {}",
+                values.len()
+            )))
+        }
+    };
+    match name {
+        "UPPER" | "UCASE" => {
+            arity(1)?;
+            Ok(map_string(&values[0], |s| s.to_uppercase()))
+        }
+        "LOWER" | "LCASE" => {
+            arity(1)?;
+            Ok(map_string(&values[0], |s| s.to_lowercase()))
+        }
+        "CHAR_LENGTH" | "CHARACTER_LENGTH" | "LENGTH" => {
+            arity(1)?;
+            Ok(match &values[0] {
+                SqlValue::Null => SqlValue::Null,
+                v => SqlValue::Int(v.display_text().chars().count() as i64),
+            })
+        }
+        "ABS" => {
+            arity(1)?;
+            Ok(match &values[0] {
+                SqlValue::Null => SqlValue::Null,
+                SqlValue::Int(i) => SqlValue::Int(i.abs()),
+                SqlValue::Decimal(d) => SqlValue::Decimal(d.abs()),
+                SqlValue::Double(d) => SqlValue::Double(d.abs()),
+                other => return Err(ExecError::new(format!("ABS of non-number {other:?}"))),
+            })
+        }
+        "ROUND" | "FLOOR" | "CEILING" => {
+            arity(1)?;
+            let f = |d: f64| match name {
+                "ROUND" => d.round(),
+                "FLOOR" => d.floor(),
+                _ => d.ceil(),
+            };
+            Ok(match &values[0] {
+                SqlValue::Null => SqlValue::Null,
+                SqlValue::Int(i) => SqlValue::Int(*i),
+                SqlValue::Decimal(d) => SqlValue::Decimal(f(*d)),
+                SqlValue::Double(d) => SqlValue::Double(f(*d)),
+                other => return Err(ExecError::new(format!("{name} of non-number {other:?}"))),
+            })
+        }
+        "MOD" => {
+            arity(2)?;
+            match (&values[0], &values[1]) {
+                (SqlValue::Null, _) | (_, SqlValue::Null) => Ok(SqlValue::Null),
+                (SqlValue::Int(a), SqlValue::Int(b)) => {
+                    if *b == 0 {
+                        Err(ExecError::new("MOD by zero"))
+                    } else {
+                        Ok(SqlValue::Int(a % b))
+                    }
+                }
+                (a, b) => Err(ExecError::new(format!("MOD of non-integers {a:?}, {b:?}"))),
+            }
+        }
+        "CONCAT" => {
+            if values.len() < 2 {
+                return Err(ExecError::new("CONCAT expects at least 2 arguments"));
+            }
+            let mut acc = values[0].clone();
+            for v in &values[1..] {
+                acc = acc.concat(v);
+            }
+            Ok(acc)
+        }
+        "COALESCE" => {
+            if values.is_empty() {
+                return Err(ExecError::new("COALESCE expects at least 1 argument"));
+            }
+            Ok(values
+                .iter()
+                .find(|v| !v.is_null())
+                .cloned()
+                .unwrap_or(SqlValue::Null))
+        }
+        "NULLIF" => {
+            arity(2)?;
+            match compare_values(&values[0], &values[1])? {
+                Some(Ordering::Equal) => Ok(SqlValue::Null),
+                _ => Ok(values[0].clone()),
+            }
+        }
+        other => Err(ExecError::new(format!("unknown function {other}"))),
+    }
+}
+
+fn map_string(v: &SqlValue, f: impl FnOnce(&str) -> String) -> SqlValue {
+    match v {
+        SqlValue::Null => SqlValue::Null,
+        other => SqlValue::Str(f(&other.display_text())),
+    }
+}
+
+/// SQL SUBSTRING semantics: 1-based, start may be ≤ 0 (window clips).
+fn sql_substring(text: &str, start: i64, length: Option<i64>) -> String {
+    let chars: Vec<char> = text.chars().collect();
+    let end_exclusive = match length {
+        Some(l) => start.saturating_add(l),
+        None => i64::MAX,
+    };
+    let from = (start.max(1) - 1).min(chars.len() as i64) as usize;
+    let to = (end_exclusive - 1).clamp(0, chars.len() as i64) as usize;
+    if from >= to {
+        String::new()
+    } else {
+        chars[from..to].iter().collect()
+    }
+}
+
+fn int_of(v: &SqlValue, what: &str) -> Result<i64, ExecError> {
+    match v {
+        SqlValue::Int(i) => Ok(*i),
+        SqlValue::Decimal(d) | SqlValue::Double(d) => Ok(*d as i64),
+        other => Err(ExecError::new(format!(
+            "{what} must be numeric, got {other:?}"
+        ))),
+    }
+}
+
+fn require_arity(rel: &Relation, n: usize, what: &str) -> Result<(), ExecError> {
+    if rel.arity() == n {
+        Ok(())
+    } else {
+        Err(ExecError::new(format!(
+            "{what} must return {n} column(s), returned {}",
+            rel.arity()
+        )))
+    }
+}
+
+/// Converts a predicate value into three-valued truth.
+pub fn truth(v: &SqlValue) -> Result<Option<bool>, ExecError> {
+    match v {
+        SqlValue::Null => Ok(None),
+        SqlValue::Bool(b) => Ok(Some(*b)),
+        other => Err(ExecError::new(format!(
+            "predicate evaluated to non-boolean {other:?}"
+        ))),
+    }
+}
+
+/// Converts three-valued truth into a value.
+pub fn truth_to_value(t: Option<bool>) -> SqlValue {
+    match t {
+        Some(b) => SqlValue::Bool(b),
+        None => SqlValue::Null,
+    }
+}
+
+/// Kleene AND.
+pub fn and3(a: Option<bool>, b: Option<bool>) -> Option<bool> {
+    match (a, b) {
+        (Some(false), _) | (_, Some(false)) => Some(false),
+        (Some(true), Some(true)) => Some(true),
+        _ => None,
+    }
+}
+
+/// Kleene OR.
+pub fn or3(a: Option<bool>, b: Option<bool>) -> Option<bool> {
+    match (a, b) {
+        (Some(true), _) | (_, Some(true)) => Some(true),
+        (Some(false), Some(false)) => Some(false),
+        _ => None,
+    }
+}
+
+fn negate_if(t: Option<bool>, negate: bool) -> Option<bool> {
+    if negate {
+        t.map(|b| !b)
+    } else {
+        t
+    }
+}
+
+/// Comparison returning 3VL ordering.
+pub fn compare_values(a: &SqlValue, b: &SqlValue) -> Result<Option<Ordering>, ExecError> {
+    a.compare(b).map_err(|e| ExecError::new(e.message))
+}
+
+/// Applies a comparison operator with 3VL.
+pub fn compare_with_op(
+    a: &SqlValue,
+    op: CompareOp,
+    b: &SqlValue,
+) -> Result<Option<bool>, ExecError> {
+    let ord = compare_values(a, b)?;
+    Ok(ord.map(|o| match op {
+        CompareOp::Eq => o == Ordering::Equal,
+        CompareOp::NotEq => o != Ordering::Equal,
+        CompareOp::Lt => o == Ordering::Less,
+        CompareOp::LtEq => o != Ordering::Greater,
+        CompareOp::Gt => o == Ordering::Greater,
+        CompareOp::GtEq => o != Ordering::Less,
+    }))
+}
+
+fn literal_value(l: &Literal) -> SqlValue {
+    match l {
+        Literal::Integer(i) => SqlValue::Int(*i),
+        Literal::Decimal(d) => SqlValue::Decimal(*d),
+        Literal::Double(d) => SqlValue::Double(*d),
+        Literal::String(s) => SqlValue::Str(s.clone()),
+        Literal::Date(d) => SqlValue::Date(d.clone()),
+        Literal::Null => SqlValue::Null,
+    }
+}
+
+/// Maps AST type names to catalog column types.
+pub fn type_name_to_column(t: SqlTypeName) -> SqlColumnType {
+    match t {
+        SqlTypeName::Smallint => SqlColumnType::Smallint,
+        SqlTypeName::Integer => SqlColumnType::Integer,
+        SqlTypeName::Bigint => SqlColumnType::Bigint,
+        SqlTypeName::Decimal => SqlColumnType::Decimal,
+        SqlTypeName::Real => SqlColumnType::Real,
+        SqlTypeName::Double => SqlColumnType::Double,
+        SqlTypeName::Char => SqlColumnType::Char,
+        SqlTypeName::Varchar => SqlColumnType::Varchar,
+        SqlTypeName::Date => SqlColumnType::Date,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kleene_tables() {
+        assert_eq!(and3(Some(true), None), None);
+        assert_eq!(and3(Some(false), None), Some(false));
+        assert_eq!(or3(Some(true), None), Some(true));
+        assert_eq!(or3(Some(false), None), None);
+        assert_eq!(or3(None, None), None);
+    }
+
+    #[test]
+    fn substring_window_clips() {
+        assert_eq!(sql_substring("hello", 2, Some(2)), "el");
+        assert_eq!(sql_substring("hello", 0, Some(3)), "he"); // window [0,3)
+        assert_eq!(sql_substring("hello", -2, Some(4)), "h"); // window [-2,2)
+        assert_eq!(sql_substring("hello", 4, None), "lo");
+        assert_eq!(sql_substring("hello", 10, None), "");
+    }
+
+    #[test]
+    fn scalar_functions() {
+        assert_eq!(
+            scalar_function("UPPER", &[SqlValue::Str("joe".into())]).unwrap(),
+            SqlValue::Str("JOE".into())
+        );
+        assert_eq!(
+            scalar_function("CHAR_LENGTH", &[SqlValue::Str("héllo".into())]).unwrap(),
+            SqlValue::Int(5)
+        );
+        assert_eq!(
+            scalar_function("COALESCE", &[SqlValue::Null, SqlValue::Int(2)]).unwrap(),
+            SqlValue::Int(2)
+        );
+        assert_eq!(
+            scalar_function("NULLIF", &[SqlValue::Int(1), SqlValue::Int(1)]).unwrap(),
+            SqlValue::Null
+        );
+        assert_eq!(
+            scalar_function("MOD", &[SqlValue::Int(7), SqlValue::Int(3)]).unwrap(),
+            SqlValue::Int(1)
+        );
+        assert!(scalar_function("NO_SUCH_FN", &[]).is_err());
+    }
+
+    #[test]
+    fn null_string_functions_propagate() {
+        assert_eq!(
+            scalar_function("UPPER", &[SqlValue::Null]).unwrap(),
+            SqlValue::Null
+        );
+    }
+}

@@ -1,0 +1,34 @@
+//! # aldsp-relational — in-memory relational engine
+//!
+//! Two roles (DESIGN.md §2):
+//!
+//! 1. **Substrate**: physical data services in the platform wrap relational
+//!    sources; here, those sources are in-memory tables from this crate,
+//!    exposed to the XQuery evaluator as data-service functions returning
+//!    flat XML.
+//! 2. **Oracle**: the engine executes the *same* `aldsp-sql` AST directly,
+//!    with SQL-92 semantics (three-valued logic, bag set-operations, NULL
+//!    handling), so differential tests can check that a translated XQuery
+//!    computes exactly what the SQL would have (paper correctness goal,
+//!    §3.2 (i)).
+//!
+//! Modules:
+//! * [`value`] — runtime SQL values with 3VL comparison and promotion
+//!   arithmetic.
+//! * [`like`] — SQL `LIKE` pattern matching with `ESCAPE`.
+//! * [`relation`] — materialized relations (ordered columns + rows).
+//! * [`database`] — named tables.
+//! * [`eval`] — scalar expression evaluation with correlation scopes.
+//! * [`exec`] — the query executor (joins, grouping, set ops, ordering).
+
+pub mod database;
+pub mod eval;
+pub mod exec;
+pub mod like;
+pub mod relation;
+pub mod value;
+
+pub use database::{Database, Table};
+pub use exec::{execute_query, ExecError};
+pub use relation::{ColumnInfo, Relation};
+pub use value::SqlValue;

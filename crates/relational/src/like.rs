@@ -1,0 +1,143 @@
+//! SQL `LIKE` pattern matching.
+//!
+//! `%` matches any run (possibly empty), `_` matches exactly one character,
+//! and the optional `ESCAPE` character makes the following pattern
+//! character literal. Matching works on characters, not bytes.
+
+/// Errors in the pattern itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LikeError {
+    /// What was wrong with the pattern.
+    pub message: String,
+}
+
+impl std::fmt::Display for LikeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for LikeError {}
+
+/// One parsed pattern element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PatternToken {
+    AnyRun,
+    AnyOne,
+    Literal(char),
+}
+
+/// Compiles a LIKE pattern, applying the escape character if given.
+fn compile(pattern: &str, escape: Option<char>) -> Result<Vec<PatternToken>, LikeError> {
+    let mut tokens = Vec::new();
+    let mut chars = pattern.chars();
+    while let Some(c) = chars.next() {
+        if Some(c) == escape {
+            match chars.next() {
+                Some(next) => tokens.push(PatternToken::Literal(next)),
+                None => {
+                    return Err(LikeError {
+                        message: "LIKE pattern ends with escape character".into(),
+                    })
+                }
+            }
+        } else if c == '%' {
+            // Collapse adjacent % runs.
+            if tokens.last() != Some(&PatternToken::AnyRun) {
+                tokens.push(PatternToken::AnyRun);
+            }
+        } else if c == '_' {
+            tokens.push(PatternToken::AnyOne);
+        } else {
+            tokens.push(PatternToken::Literal(c));
+        }
+    }
+    Ok(tokens)
+}
+
+/// Returns whether `text` matches `pattern` under SQL LIKE rules.
+pub fn like_match(text: &str, pattern: &str, escape: Option<char>) -> Result<bool, LikeError> {
+    let tokens = compile(pattern, escape)?;
+    let chars: Vec<char> = text.chars().collect();
+    Ok(matches_from(&chars, 0, &tokens, 0))
+}
+
+fn matches_from(text: &[char], ti: usize, tokens: &[PatternToken], pi: usize) -> bool {
+    if pi == tokens.len() {
+        return ti == text.len();
+    }
+    match tokens[pi] {
+        PatternToken::Literal(c) => {
+            ti < text.len() && text[ti] == c && matches_from(text, ti + 1, tokens, pi + 1)
+        }
+        PatternToken::AnyOne => ti < text.len() && matches_from(text, ti + 1, tokens, pi + 1),
+        PatternToken::AnyRun => {
+            // Try every split point; tail-first keeps common suffix
+            // patterns (`%xyz`) cheap.
+            (ti..=text.len()).any(|next| matches_from(text, next, tokens, pi + 1))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(text: &str, pattern: &str) -> bool {
+        like_match(text, pattern, None).unwrap()
+    }
+
+    #[test]
+    fn literal_match() {
+        assert!(m("abc", "abc"));
+        assert!(!m("abc", "abd"));
+        assert!(!m("abc", "ab"));
+    }
+
+    #[test]
+    fn percent_wildcard() {
+        assert!(m("abcdef", "a%f"));
+        assert!(m("af", "a%f"));
+        assert!(m("anything", "%"));
+        assert!(m("", "%"));
+        assert!(!m("abc", "a%d"));
+    }
+
+    #[test]
+    fn underscore_wildcard() {
+        assert!(m("abc", "a_c"));
+        assert!(!m("ac", "a_c"));
+        assert!(m("abc", "___"));
+        assert!(!m("ab", "___"));
+    }
+
+    #[test]
+    fn combined_wildcards() {
+        assert!(m("customer", "c%_r"));
+        assert!(m("Sue", "S%"));
+        assert!(!m("Joe", "S%"));
+    }
+
+    #[test]
+    fn escape_makes_wildcards_literal() {
+        assert!(like_match("50%", "50!%", Some('!')).unwrap());
+        assert!(!like_match("50x", "50!%", Some('!')).unwrap());
+        assert!(like_match("a_b", "a!_b", Some('!')).unwrap());
+        assert!(!like_match("axb", "a!_b", Some('!')).unwrap());
+    }
+
+    #[test]
+    fn trailing_escape_is_error() {
+        assert!(like_match("x", "x!", Some('!')).is_err());
+    }
+
+    #[test]
+    fn adjacent_percents_collapse() {
+        assert!(m("abc", "a%%c"));
+    }
+
+    #[test]
+    fn unicode_counts_characters() {
+        assert!(m("héllo", "h_llo"));
+    }
+}

@@ -1,0 +1,480 @@
+//! End-to-end tests of the relational executor: parse SQL-92 text, execute
+//! over in-memory tables, check rows. These pin down the oracle the
+//! differential tests trust.
+
+use aldsp_catalog::{ColumnMeta, SqlColumnType, TableSchema};
+use aldsp_relational::{execute_query, Database, Relation, SqlValue, Table};
+use aldsp_sql::parse_select;
+
+fn schema(name: &str, cols: &[(&str, SqlColumnType, bool)]) -> TableSchema {
+    TableSchema {
+        table_name: name.into(),
+        row_element: name.into(),
+        namespace: format!("ld:Test/{name}"),
+        schema_location: format!("ld:Test/schemas/{name}.xsd"),
+        columns: cols
+            .iter()
+            .map(|(n, t, nullable)| ColumnMeta::new(*n, *t, *nullable))
+            .collect(),
+    }
+}
+
+/// The paper's little universe: CUSTOMERS, ORDERS, PAYMENTS.
+fn test_db() -> Database {
+    let mut db = Database::new();
+
+    let mut customers = Table::new(schema(
+        "CUSTOMERS",
+        &[
+            ("CUSTOMERID", SqlColumnType::Integer, false),
+            ("CUSTOMERNAME", SqlColumnType::Varchar, true),
+        ],
+    ));
+    for (id, name) in [
+        (55, Some("Joe")),
+        (23, Some("Sue")),
+        (7, None),
+        (42, Some("Ann")),
+    ] {
+        customers.insert(vec![
+            SqlValue::Int(id),
+            name.map(|n| SqlValue::Str(n.into()))
+                .unwrap_or(SqlValue::Null),
+        ]);
+    }
+    db.add_table(customers);
+
+    let mut orders = Table::new(schema(
+        "ORDERS",
+        &[
+            ("ORDERID", SqlColumnType::Integer, false),
+            ("CUSTID", SqlColumnType::Integer, false),
+            ("AMOUNT", SqlColumnType::Decimal, true),
+        ],
+    ));
+    for (oid, cid, amount) in [
+        (1, 55, Some(10.5)),
+        (2, 55, Some(20.0)),
+        (3, 23, Some(5.25)),
+        (4, 23, None),
+        (5, 99, Some(1.0)), // dangling customer
+    ] {
+        orders.insert(vec![
+            SqlValue::Int(oid),
+            SqlValue::Int(cid),
+            amount.map(SqlValue::Decimal).unwrap_or(SqlValue::Null),
+        ]);
+    }
+    db.add_table(orders);
+
+    let mut payments = Table::new(schema(
+        "PAYMENTS",
+        &[
+            ("CUSTID", SqlColumnType::Integer, false),
+            ("PAYMENT", SqlColumnType::Decimal, false),
+        ],
+    ));
+    for (cid, p) in [(55, 100.0), (23, 50.0), (23, 25.0)] {
+        payments.insert(vec![SqlValue::Int(cid), SqlValue::Decimal(p)]);
+    }
+    db.add_table(payments);
+
+    db
+}
+
+fn run(sql: &str) -> Relation {
+    let q = parse_select(sql).unwrap();
+    execute_query(&test_db(), &q, &[]).unwrap()
+}
+
+fn run_params(sql: &str, params: &[SqlValue]) -> Relation {
+    let q = parse_select(sql).unwrap();
+    execute_query(&test_db(), &q, params).unwrap()
+}
+
+fn ints(rel: &Relation, col: usize) -> Vec<i64> {
+    rel.rows
+        .iter()
+        .map(|r| match &r[col] {
+            SqlValue::Int(i) => *i,
+            other => panic!("expected int, got {other:?}"),
+        })
+        .collect()
+}
+
+#[test]
+fn simple_select_star() {
+    let r = run("SELECT * FROM CUSTOMERS");
+    assert_eq!(r.arity(), 2);
+    assert_eq!(r.rows.len(), 4);
+    assert_eq!(r.columns[0].name, "CUSTOMERID");
+}
+
+#[test]
+fn where_filters_with_3vl() {
+    // NULL name row is neither matched nor its negation.
+    let r = run("SELECT CUSTOMERID FROM CUSTOMERS WHERE CUSTOMERNAME = 'Sue'");
+    assert_eq!(ints(&r, 0), vec![23]);
+    let r2 = run("SELECT CUSTOMERID FROM CUSTOMERS WHERE CUSTOMERNAME <> 'Sue'");
+    assert_eq!(r2.rows.len(), 2); // Joe, Ann — NULL row excluded
+}
+
+#[test]
+fn aliases_rename_columns() {
+    let r = run("SELECT CUSTOMERID ID, CUSTOMERNAME NAME FROM CUSTOMERS");
+    assert_eq!(r.columns[0].name, "ID");
+    assert_eq!(r.columns[1].name, "NAME");
+}
+
+#[test]
+fn order_by_name_and_ordinal() {
+    let by_name = run("SELECT CUSTOMERID, CUSTOMERNAME FROM CUSTOMERS ORDER BY CUSTOMERID");
+    assert_eq!(ints(&by_name, 0), vec![7, 23, 42, 55]);
+    let by_ordinal = run("SELECT CUSTOMERID, CUSTOMERNAME FROM CUSTOMERS ORDER BY 1 DESC");
+    assert_eq!(ints(&by_ordinal, 0), vec![55, 42, 23, 7]);
+}
+
+#[test]
+fn order_by_nulls_sort_least() {
+    let r = run("SELECT CUSTOMERNAME FROM CUSTOMERS ORDER BY CUSTOMERNAME");
+    assert_eq!(r.rows[0][0], SqlValue::Null);
+    let r = run("SELECT CUSTOMERNAME FROM CUSTOMERS ORDER BY CUSTOMERNAME DESC");
+    assert_eq!(r.rows[3][0], SqlValue::Null);
+}
+
+#[test]
+fn inner_join() {
+    let r = run(
+        "SELECT CUSTOMERS.CUSTOMERNAME, ORDERS.ORDERID FROM CUSTOMERS \
+         INNER JOIN ORDERS ON CUSTOMERS.CUSTOMERID = ORDERS.CUSTID ORDER BY ORDERS.ORDERID",
+    );
+    assert_eq!(r.rows.len(), 4); // order 5 dangles
+}
+
+#[test]
+fn left_outer_join_pads_nulls() {
+    // Paper Example 9.
+    let r = run(
+        "SELECT CUSTOMERS.CUSTOMERID, PAYMENTS.PAYMENT FROM CUSTOMERS \
+         LEFT OUTER JOIN PAYMENTS ON CUSTOMERS.CUSTOMERID = PAYMENTS.CUSTID \
+         ORDER BY CUSTOMERS.CUSTOMERID, PAYMENTS.PAYMENT",
+    );
+    // 7→null, 23→25, 23→50, 42→null, 55→100
+    assert_eq!(r.rows.len(), 5);
+    assert_eq!(r.rows[0][0], SqlValue::Int(7));
+    assert_eq!(r.rows[0][1], SqlValue::Null);
+    assert_eq!(r.rows[1], vec![SqlValue::Int(23), SqlValue::Decimal(25.0)]);
+}
+
+#[test]
+fn right_outer_join_mirrors_left() {
+    let r = run("SELECT CUSTOMERS.CUSTOMERID, ORDERS.ORDERID FROM ORDERS \
+         RIGHT OUTER JOIN CUSTOMERS ON CUSTOMERS.CUSTOMERID = ORDERS.CUSTID \
+         ORDER BY CUSTOMERS.CUSTOMERID, ORDERS.ORDERID");
+    // Every customer appears; 7 and 42 with NULL order ids.
+    assert_eq!(r.rows.len(), 6);
+}
+
+#[test]
+fn full_outer_join_pads_both_sides() {
+    let r = run(
+        "SELECT CUSTOMERS.CUSTOMERID, ORDERS.ORDERID FROM CUSTOMERS \
+         FULL OUTER JOIN ORDERS ON CUSTOMERS.CUSTOMERID = ORDERS.CUSTID",
+    );
+    // 4 matched orders + 2 unmatched customers + 1 unmatched order = 7.
+    assert_eq!(r.rows.len(), 7);
+    let null_left = r.rows.iter().filter(|row| row[0] == SqlValue::Null).count();
+    assert_eq!(null_left, 1);
+}
+
+#[test]
+fn cross_join_counts() {
+    let r = run("SELECT * FROM CUSTOMERS CROSS JOIN PAYMENTS");
+    assert_eq!(r.rows.len(), 12);
+    let implicit = run("SELECT * FROM CUSTOMERS, PAYMENTS");
+    assert_eq!(implicit.rows.len(), 12);
+}
+
+#[test]
+fn derived_table_with_alias() {
+    // Paper Example 7.
+    let r = run(
+        "SELECT INFO.ID, INFO.NAME FROM (SELECT CUSTOMERID ID, CUSTOMERNAME NAME \
+         FROM CUSTOMERS) AS INFO WHERE INFO.ID > 10 ORDER BY INFO.ID",
+    );
+    assert_eq!(ints(&r, 0), vec![23, 42, 55]);
+}
+
+#[test]
+fn group_by_with_aggregates() {
+    let r = run("SELECT CUSTID, COUNT(*), SUM(AMOUNT) FROM ORDERS GROUP BY CUSTID ORDER BY CUSTID");
+    assert_eq!(r.rows.len(), 3);
+    // CUSTID 23: two orders, one NULL amount → SUM skips it.
+    assert_eq!(r.rows[0][0], SqlValue::Int(23));
+    assert_eq!(r.rows[0][1], SqlValue::Int(2));
+    assert_eq!(r.rows[0][2], SqlValue::Decimal(5.25));
+}
+
+#[test]
+fn aggregates_without_group_by() {
+    let r = run("SELECT COUNT(*), MIN(CUSTOMERID), MAX(CUSTOMERID) FROM CUSTOMERS");
+    assert_eq!(r.rows.len(), 1);
+    assert_eq!(
+        r.rows[0],
+        vec![SqlValue::Int(4), SqlValue::Int(7), SqlValue::Int(55)]
+    );
+}
+
+#[test]
+fn aggregates_over_empty_input() {
+    let r = run("SELECT COUNT(*), SUM(CUSTOMERID) FROM CUSTOMERS WHERE CUSTOMERID > 1000");
+    assert_eq!(r.rows.len(), 1);
+    assert_eq!(r.rows[0], vec![SqlValue::Int(0), SqlValue::Null]);
+}
+
+#[test]
+fn count_column_skips_nulls() {
+    let r = run("SELECT COUNT(CUSTOMERNAME), COUNT(*) FROM CUSTOMERS");
+    assert_eq!(r.rows[0], vec![SqlValue::Int(3), SqlValue::Int(4)]);
+}
+
+#[test]
+fn count_distinct() {
+    let r = run("SELECT COUNT(DISTINCT CUSTID) FROM ORDERS");
+    assert_eq!(r.rows[0], vec![SqlValue::Int(3)]);
+}
+
+#[test]
+fn having_filters_groups() {
+    let r = run("SELECT CUSTID FROM ORDERS GROUP BY CUSTID HAVING COUNT(*) > 1 ORDER BY CUSTID");
+    assert_eq!(ints(&r, 0), vec![23, 55]);
+}
+
+#[test]
+fn group_by_expression_reuse() {
+    // ORDER BY must reference output columns in SQL-92, hence the ordinal.
+    let r = run("SELECT CUSTID + 1, COUNT(*) FROM ORDERS GROUP BY CUSTID + 1 ORDER BY 1");
+    assert_eq!(ints(&r, 0), vec![24, 56, 100]);
+}
+
+#[test]
+fn ungrouped_column_in_select_is_error() {
+    // Paper §3.4.3's semantic example.
+    let q = parse_select("SELECT CUSTOMERNAME FROM CUSTOMERS GROUP BY CUSTOMERID").unwrap();
+    let err = execute_query(&test_db(), &q, &[]).unwrap_err();
+    assert!(err.message.contains("GROUP BY"), "{}", err.message);
+}
+
+#[test]
+fn distinct_eliminates_duplicates() {
+    let r = run("SELECT DISTINCT CUSTID FROM ORDERS ORDER BY CUSTID");
+    assert_eq!(ints(&r, 0), vec![23, 55, 99]);
+}
+
+#[test]
+fn union_and_union_all() {
+    let r = run("SELECT CUSTID FROM ORDERS UNION SELECT CUSTID FROM PAYMENTS ORDER BY CUSTID");
+    assert_eq!(ints(&r, 0), vec![23, 55, 99]);
+    let all =
+        run("SELECT CUSTID FROM ORDERS UNION ALL SELECT CUSTID FROM PAYMENTS ORDER BY CUSTID");
+    assert_eq!(all.rows.len(), 8);
+}
+
+#[test]
+fn intersect_and_except() {
+    let r = run("SELECT CUSTID FROM ORDERS INTERSECT SELECT CUSTID FROM PAYMENTS ORDER BY CUSTID");
+    assert_eq!(ints(&r, 0), vec![23, 55]);
+    let e = run("SELECT CUSTID FROM ORDERS EXCEPT SELECT CUSTID FROM PAYMENTS");
+    assert_eq!(ints(&e, 0), vec![99]);
+}
+
+#[test]
+fn except_all_multiplicity() {
+    // ORDERS custids: 55,55,23,23,99. PAYMENTS custids: 55,23,23.
+    let r = run("SELECT CUSTID FROM ORDERS EXCEPT ALL SELECT CUSTID FROM PAYMENTS ORDER BY CUSTID");
+    assert_eq!(ints(&r, 0), vec![55, 99]);
+}
+
+#[test]
+fn intersect_all_multiplicity() {
+    let r =
+        run("SELECT CUSTID FROM ORDERS INTERSECT ALL SELECT CUSTID FROM PAYMENTS ORDER BY CUSTID");
+    assert_eq!(ints(&r, 0), vec![23, 23, 55]);
+}
+
+#[test]
+fn in_subquery() {
+    let r = run("SELECT CUSTOMERID FROM CUSTOMERS WHERE CUSTOMERID IN \
+         (SELECT CUSTID FROM PAYMENTS) ORDER BY CUSTOMERID");
+    assert_eq!(ints(&r, 0), vec![23, 55]);
+}
+
+#[test]
+fn not_in_with_nulls_is_unknown() {
+    // NOT IN over a list containing NULL filters everything.
+    let r = run("SELECT CUSTOMERID FROM CUSTOMERS WHERE CUSTOMERID NOT IN (55, NULL)");
+    assert_eq!(r.rows.len(), 0);
+}
+
+#[test]
+fn exists_correlated() {
+    let r = run("SELECT CUSTOMERNAME FROM CUSTOMERS WHERE EXISTS \
+         (SELECT ORDERID FROM ORDERS WHERE ORDERS.CUSTID = CUSTOMERS.CUSTOMERID) \
+         ORDER BY CUSTOMERNAME");
+    assert_eq!(r.rows.len(), 2); // Joe, Sue
+}
+
+#[test]
+fn scalar_subquery_correlated() {
+    let r = run("SELECT CUSTOMERID, (SELECT SUM(PAYMENT) FROM PAYMENTS \
+         WHERE PAYMENTS.CUSTID = CUSTOMERS.CUSTOMERID) FROM CUSTOMERS ORDER BY CUSTOMERID");
+    assert_eq!(r.rows[0][1], SqlValue::Null); // customer 7, no payments
+    assert_eq!(r.rows[1][1], SqlValue::Decimal(75.0)); // customer 23
+}
+
+#[test]
+fn quantified_any_all() {
+    let any = run("SELECT CUSTOMERID FROM CUSTOMERS WHERE CUSTOMERID > ANY \
+         (SELECT CUSTID FROM PAYMENTS) ORDER BY CUSTOMERID");
+    assert_eq!(ints(&any, 0), vec![42, 55]); // > 23
+    let all = run("SELECT CUSTOMERID FROM CUSTOMERS WHERE CUSTOMERID >= ALL \
+         (SELECT CUSTID FROM PAYMENTS)");
+    assert_eq!(ints(&all, 0), vec![55]);
+}
+
+#[test]
+fn between_like_isnull() {
+    let r = run("SELECT CUSTOMERID FROM CUSTOMERS WHERE CUSTOMERID BETWEEN 20 AND 50 ORDER BY 1");
+    assert_eq!(ints(&r, 0), vec![23, 42]);
+    let l = run("SELECT CUSTOMERNAME FROM CUSTOMERS WHERE CUSTOMERNAME LIKE '_o%'");
+    assert_eq!(l.rows.len(), 1); // Joe
+    let n = run("SELECT CUSTOMERID FROM CUSTOMERS WHERE CUSTOMERNAME IS NULL");
+    assert_eq!(ints(&n, 0), vec![7]);
+}
+
+#[test]
+fn case_and_cast_and_functions() {
+    let r = run(
+        "SELECT CASE WHEN CUSTOMERID > 40 THEN 'big' ELSE 'small' END, \
+         CAST(CUSTOMERID AS VARCHAR(10)), UPPER(CUSTOMERNAME) \
+         FROM CUSTOMERS WHERE CUSTOMERID = 55",
+    );
+    assert_eq!(
+        r.rows[0],
+        vec![
+            SqlValue::Str("big".into()),
+            SqlValue::Str("55".into()),
+            SqlValue::Str("JOE".into())
+        ]
+    );
+}
+
+#[test]
+fn string_specials() {
+    let r = run(
+        "SELECT SUBSTRING(CUSTOMERNAME FROM 1 FOR 2), POSITION('o' IN CUSTOMERNAME), \
+         CHAR_LENGTH(CUSTOMERNAME) FROM CUSTOMERS WHERE CUSTOMERID = 55",
+    );
+    assert_eq!(
+        r.rows[0],
+        vec![
+            SqlValue::Str("Jo".into()),
+            SqlValue::Int(2),
+            SqlValue::Int(3)
+        ]
+    );
+}
+
+#[test]
+fn concat_operator_and_function() {
+    let r = run(
+        "SELECT CUSTOMERNAME || '-' || CUSTOMERID, CONCAT(CUSTOMERNAME, '!') \
+         FROM CUSTOMERS WHERE CUSTOMERID = 23",
+    );
+    assert_eq!(
+        r.rows[0],
+        vec![SqlValue::Str("Sue-23".into()), SqlValue::Str("Sue!".into())]
+    );
+}
+
+#[test]
+fn parameters_bind_by_ordinal() {
+    let r = run_params(
+        "SELECT CUSTOMERID FROM CUSTOMERS WHERE CUSTOMERID > ? AND CUSTOMERID < ?",
+        &[SqlValue::Int(10), SqlValue::Int(50)],
+    );
+    let mut got = ints(&r, 0);
+    got.sort_unstable();
+    assert_eq!(got, vec![23, 42]);
+}
+
+#[test]
+fn arithmetic_in_projection() {
+    let r = run("SELECT CUSTOMERID * 2 + 1 FROM CUSTOMERS WHERE CUSTOMERID = 7");
+    assert_eq!(r.rows[0][0], SqlValue::Int(15));
+}
+
+#[test]
+fn division_by_zero_errors() {
+    let q = parse_select("SELECT CUSTOMERID / 0 FROM CUSTOMERS").unwrap();
+    assert!(execute_query(&test_db(), &q, &[])
+        .unwrap_err()
+        .message
+        .contains("division by zero"));
+}
+
+#[test]
+fn ambiguous_column_is_error() {
+    let q = parse_select(
+        "SELECT CUSTID FROM ORDERS INNER JOIN PAYMENTS ON ORDERS.CUSTID = PAYMENTS.CUSTID",
+    )
+    .unwrap();
+    let err = execute_query(&test_db(), &q, &[]).unwrap_err();
+    assert!(err.message.contains("ambiguous"), "{}", err.message);
+}
+
+#[test]
+fn qualified_wildcard() {
+    let r =
+        run("SELECT ORDERS.* FROM ORDERS INNER JOIN PAYMENTS ON ORDERS.CUSTID = PAYMENTS.CUSTID");
+    assert_eq!(r.arity(), 3);
+}
+
+#[test]
+fn self_join_with_aliases() {
+    let r = run(
+        "SELECT A.CUSTOMERID, B.CUSTOMERID FROM CUSTOMERS A, CUSTOMERS B \
+         WHERE A.CUSTOMERID < B.CUSTOMERID",
+    );
+    assert_eq!(r.rows.len(), 6); // C(4,2) pairs
+}
+
+#[test]
+fn avg_returns_decimal() {
+    let r = run("SELECT AVG(CUSTOMERID) FROM CUSTOMERS");
+    assert_eq!(
+        r.rows[0][0],
+        SqlValue::Decimal((55 + 23 + 7 + 42) as f64 / 4.0)
+    );
+}
+
+#[test]
+fn nested_set_ops_with_parens() {
+    let r = run(
+        "(SELECT CUSTID FROM ORDERS UNION SELECT CUSTID FROM PAYMENTS) \
+         EXCEPT SELECT CUSTOMERID FROM CUSTOMERS ORDER BY 1",
+    );
+    assert_eq!(ints(&r, 0), vec![99]);
+}
+
+#[test]
+fn unknown_table_is_error() {
+    let q = parse_select("SELECT * FROM NO_SUCH_TABLE").unwrap();
+    assert!(execute_query(&test_db(), &q, &[]).is_err());
+}
+
+#[test]
+fn unknown_column_is_error() {
+    let q = parse_select("SELECT NO_SUCH_COLUMN FROM CUSTOMERS").unwrap();
+    assert!(execute_query(&test_db(), &q, &[]).is_err());
+}

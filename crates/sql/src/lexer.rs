@@ -1,0 +1,566 @@
+//! SQL-92 tokenizer.
+//!
+//! Produces a flat token stream with byte offsets so the parser can report
+//! precise positions. Keywords are recognized case-insensitively and
+//! carried as their uppercase spelling; identifiers keep the SQL-92 rule of
+//! folding regular identifiers to uppercase while `"delimited"` identifiers
+//! preserve case.
+
+use std::fmt;
+
+/// A lexical error with the byte offset where it occurred.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Description of the problem.
+    pub message: String,
+    /// Byte offset into the statement text.
+    pub offset: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Token kinds. Literals carry their decoded value; identifiers carry the
+/// (case-folded) name.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// A keyword, uppercase (e.g. `SELECT`). Only words in [`KEYWORDS`] are
+    /// classified as keywords; everything else is an identifier.
+    Keyword(String),
+    /// A regular identifier, folded to uppercase per SQL-92.
+    Identifier(String),
+    /// A `"delimited"` identifier, case preserved, `""` unescaped.
+    DelimitedIdentifier(String),
+    /// Integer literal (exact numeric without a decimal point).
+    Integer(i64),
+    /// Exact numeric with a decimal point, e.g. `5.60`.
+    Decimal(f64),
+    /// Approximate numeric with an exponent, e.g. `1e3`, `2.5E-2`.
+    Double(f64),
+    /// String literal, quotes removed, `''` unescaped.
+    String(String),
+    /// `?` parameter marker.
+    Parameter,
+    /// Punctuation / operator.
+    Symbol(Symbol),
+}
+
+/// Operator and punctuation tokens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Symbol {
+    /// `(`
+    LeftParen,
+    /// `)`
+    RightParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Period,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `=`
+    Eq,
+    /// `<>`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+    /// `||` string concatenation
+    Concat,
+}
+
+impl Symbol {
+    /// The SQL spelling of the symbol.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Symbol::LeftParen => "(",
+            Symbol::RightParen => ")",
+            Symbol::Comma => ",",
+            Symbol::Period => ".",
+            Symbol::Star => "*",
+            Symbol::Slash => "/",
+            Symbol::Plus => "+",
+            Symbol::Minus => "-",
+            Symbol::Eq => "=",
+            Symbol::NotEq => "<>",
+            Symbol::Lt => "<",
+            Symbol::LtEq => "<=",
+            Symbol::Gt => ">",
+            Symbol::GtEq => ">=",
+            Symbol::Concat => "||",
+        }
+    }
+}
+
+/// A token plus its starting byte offset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token's kind and payload.
+    pub kind: TokenKind,
+    /// Byte offset of the first character.
+    pub offset: usize,
+}
+
+/// Reserved words recognized as keywords. SQL-92's reserved list is large;
+/// we reserve exactly the words the grammar uses so that common column
+/// names (e.g. `NAME`, `VALUE`) stay usable as identifiers.
+pub const KEYWORDS: &[&str] = &[
+    "ALL",
+    "AND",
+    "ANY",
+    "AS",
+    "ASC",
+    "BETWEEN",
+    "BOTH",
+    "BY",
+    "CASE",
+    "CAST",
+    "CROSS",
+    "DATE",
+    "DESC",
+    "DISTINCT",
+    "ELSE",
+    "END",
+    "ESCAPE",
+    "EXCEPT",
+    "EXISTS",
+    "FOR",
+    "FROM",
+    "FULL",
+    "GROUP",
+    "HAVING",
+    "IN",
+    "INNER",
+    "INTERSECT",
+    "IS",
+    "JOIN",
+    "LEADING",
+    "LEFT",
+    "LIKE",
+    "NOT",
+    "NULL",
+    "ON",
+    "OR",
+    "ORDER",
+    "OUTER",
+    "RIGHT",
+    "SELECT",
+    "SOME",
+    "THEN",
+    "TRAILING",
+    "TRIM",
+    "UNION",
+    "WHEN",
+    "WHERE",
+];
+
+/// The tokenizer. Construct with [`Lexer::new`] and call
+/// [`Lexer::tokenize`].
+pub struct Lexer<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    /// Creates a lexer over `input`.
+    pub fn new(input: &'a str) -> Self {
+        Lexer { input, pos: 0 }
+    }
+
+    /// Tokenizes the whole input.
+    pub fn tokenize(mut self) -> Result<Vec<Token>, LexError> {
+        let mut tokens = Vec::new();
+        loop {
+            self.skip_whitespace_and_comments()?;
+            if self.pos >= self.input.len() {
+                return Ok(tokens);
+            }
+            let offset = self.pos;
+            let kind = self.next_kind()?;
+            tokens.push(Token { kind, offset });
+        }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.input[self.pos..]
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.rest().chars().next()
+    }
+
+    fn error(&self, message: impl Into<String>) -> LexError {
+        LexError {
+            message: message.into(),
+            offset: self.pos,
+        }
+    }
+
+    fn skip_whitespace_and_comments(&mut self) -> Result<(), LexError> {
+        loop {
+            let trimmed = self.rest().trim_start();
+            self.pos = self.input.len() - trimmed.len();
+            if trimmed.starts_with("--") {
+                // Single-line comment.
+                match trimmed.find('\n') {
+                    Some(nl) => self.pos += nl + 1,
+                    None => self.pos = self.input.len(),
+                }
+            } else if trimmed.starts_with("/*") {
+                match trimmed.find("*/") {
+                    Some(end) => self.pos += end + 2,
+                    None => return Err(self.error("unterminated block comment")),
+                }
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn next_kind(&mut self) -> Result<TokenKind, LexError> {
+        let c = self.peek().expect("caller checked non-empty");
+        match c {
+            '\'' => self.lex_string(),
+            '"' => self.lex_delimited_identifier(),
+            '?' => {
+                self.pos += 1;
+                Ok(TokenKind::Parameter)
+            }
+            c if c.is_ascii_digit() => self.lex_number(),
+            // `.5` style decimals.
+            '.' if self
+                .rest()
+                .chars()
+                .nth(1)
+                .is_some_and(|d| d.is_ascii_digit()) =>
+            {
+                self.lex_number()
+            }
+            c if is_identifier_start(c) => Ok(self.lex_word()),
+            _ => self.lex_symbol(),
+        }
+    }
+
+    fn lex_string(&mut self) -> Result<TokenKind, LexError> {
+        let start = self.pos;
+        self.pos += 1; // opening quote
+        let mut value = String::new();
+        loop {
+            let rest = self.rest();
+            match rest.find('\'') {
+                None => {
+                    self.pos = start;
+                    return Err(self.error("unterminated string literal"));
+                }
+                Some(q) => {
+                    value.push_str(&rest[..q]);
+                    self.pos += q + 1;
+                    // Doubled quote is an escaped quote.
+                    if self.peek() == Some('\'') {
+                        value.push('\'');
+                        self.pos += 1;
+                    } else {
+                        return Ok(TokenKind::String(value));
+                    }
+                }
+            }
+        }
+    }
+
+    fn lex_delimited_identifier(&mut self) -> Result<TokenKind, LexError> {
+        let start = self.pos;
+        self.pos += 1;
+        let mut value = String::new();
+        loop {
+            let rest = self.rest();
+            match rest.find('"') {
+                None => {
+                    self.pos = start;
+                    return Err(self.error("unterminated delimited identifier"));
+                }
+                Some(q) => {
+                    value.push_str(&rest[..q]);
+                    self.pos += q + 1;
+                    if self.peek() == Some('"') {
+                        value.push('"');
+                        self.pos += 1;
+                    } else if value.is_empty() {
+                        self.pos = start;
+                        return Err(self.error("empty delimited identifier"));
+                    } else {
+                        return Ok(TokenKind::DelimitedIdentifier(value));
+                    }
+                }
+            }
+        }
+    }
+
+    fn lex_number(&mut self) -> Result<TokenKind, LexError> {
+        let rest = self.rest();
+        let mut end = 0;
+        let bytes = rest.as_bytes();
+        let mut saw_dot = false;
+        let mut saw_exp = false;
+        while end < bytes.len() {
+            let b = bytes[end];
+            if b.is_ascii_digit() {
+                end += 1;
+            } else if b == b'.' && !saw_dot && !saw_exp {
+                saw_dot = true;
+                end += 1;
+            } else if (b == b'e' || b == b'E') && !saw_exp && end > 0 {
+                // Exponent must be followed by optional sign + digits.
+                let mut probe = end + 1;
+                if probe < bytes.len() && (bytes[probe] == b'+' || bytes[probe] == b'-') {
+                    probe += 1;
+                }
+                if probe < bytes.len() && bytes[probe].is_ascii_digit() {
+                    saw_exp = true;
+                    end = probe + 1;
+                } else {
+                    break;
+                }
+            } else {
+                break;
+            }
+        }
+        let text = &rest[..end];
+        self.pos += end;
+        if saw_exp {
+            text.parse::<f64>()
+                .map(TokenKind::Double)
+                .map_err(|_| self.error(format!("invalid numeric literal `{text}`")))
+        } else if saw_dot {
+            text.parse::<f64>()
+                .map(TokenKind::Decimal)
+                .map_err(|_| self.error(format!("invalid numeric literal `{text}`")))
+        } else {
+            text.parse::<i64>()
+                .map(TokenKind::Integer)
+                .map_err(|_| self.error(format!("integer literal out of range `{text}`")))
+        }
+    }
+
+    fn lex_word(&mut self) -> TokenKind {
+        let rest = self.rest();
+        let end = rest
+            .char_indices()
+            .find(|(_, c)| !is_identifier_part(*c))
+            .map(|(i, _)| i)
+            .unwrap_or(rest.len());
+        let word = &rest[..end];
+        self.pos += end;
+        let upper = word.to_ascii_uppercase();
+        if KEYWORDS.contains(&upper.as_str()) {
+            TokenKind::Keyword(upper)
+        } else {
+            TokenKind::Identifier(upper)
+        }
+    }
+
+    fn lex_symbol(&mut self) -> Result<TokenKind, LexError> {
+        let rest = self.rest();
+        let (symbol, len) = if rest.starts_with("<>") {
+            (Symbol::NotEq, 2)
+        } else if rest.starts_with("!=") {
+            // Common alias accepted by virtually every SQL-92 client.
+            (Symbol::NotEq, 2)
+        } else if rest.starts_with("<=") {
+            (Symbol::LtEq, 2)
+        } else if rest.starts_with(">=") {
+            (Symbol::GtEq, 2)
+        } else if rest.starts_with("||") {
+            (Symbol::Concat, 2)
+        } else {
+            let sym = match rest.chars().next().unwrap() {
+                '(' => Symbol::LeftParen,
+                ')' => Symbol::RightParen,
+                ',' => Symbol::Comma,
+                '.' => Symbol::Period,
+                '*' => Symbol::Star,
+                '/' => Symbol::Slash,
+                '+' => Symbol::Plus,
+                '-' => Symbol::Minus,
+                '=' => Symbol::Eq,
+                '<' => Symbol::Lt,
+                '>' => Symbol::Gt,
+                other => return Err(self.error(format!("unexpected character `{other}`"))),
+            };
+            (sym, 1)
+        };
+        self.pos += len;
+        Ok(TokenKind::Symbol(symbol))
+    }
+}
+
+fn is_identifier_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_'
+}
+
+fn is_identifier_part(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(sql: &str) -> Vec<TokenKind> {
+        Lexer::new(sql)
+            .tokenize()
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn keywords_fold_case() {
+        assert_eq!(
+            kinds("select From"),
+            vec![
+                TokenKind::Keyword("SELECT".into()),
+                TokenKind::Keyword("FROM".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn identifiers_fold_uppercase() {
+        assert_eq!(
+            kinds("customers"),
+            vec![TokenKind::Identifier("CUSTOMERS".into())]
+        );
+    }
+
+    #[test]
+    fn delimited_identifiers_preserve_case() {
+        assert_eq!(
+            kinds(r#""MixedCase""#),
+            vec![TokenKind::DelimitedIdentifier("MixedCase".into())]
+        );
+        assert_eq!(
+            kinds(r#""a""b""#),
+            vec![TokenKind::DelimitedIdentifier("a\"b".into())]
+        );
+    }
+
+    #[test]
+    fn numeric_literal_classes() {
+        // Paper §3.5(v): exact numerics without a point are integers,
+        // with a point decimals; exponents make approximate numerics.
+        assert_eq!(kinds("42"), vec![TokenKind::Integer(42)]);
+        assert_eq!(kinds("5.6"), vec![TokenKind::Decimal(5.6)]);
+        assert_eq!(kinds(".5"), vec![TokenKind::Decimal(0.5)]);
+        assert_eq!(kinds("1e3"), vec![TokenKind::Double(1000.0)]);
+        assert_eq!(kinds("2.5E-2"), vec![TokenKind::Double(0.025)]);
+    }
+
+    #[test]
+    fn string_literals_unescape() {
+        assert_eq!(kinds("'Sue'"), vec![TokenKind::String("Sue".into())]);
+        assert_eq!(
+            kinds("'O''Brien'"),
+            vec![TokenKind::String("O'Brien".into())]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            kinds("a <> b <= c || d"),
+            vec![
+                TokenKind::Identifier("A".into()),
+                TokenKind::Symbol(Symbol::NotEq),
+                TokenKind::Identifier("B".into()),
+                TokenKind::Symbol(Symbol::LtEq),
+                TokenKind::Identifier("C".into()),
+                TokenKind::Symbol(Symbol::Concat),
+                TokenKind::Identifier("D".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn bang_eq_alias() {
+        assert_eq!(kinds("a != b")[1], TokenKind::Symbol(Symbol::NotEq));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("SELECT -- trailing\n 1 /* block */ + 2"),
+            vec![
+                TokenKind::Keyword("SELECT".into()),
+                TokenKind::Integer(1),
+                TokenKind::Symbol(Symbol::Plus),
+                TokenKind::Integer(2),
+            ]
+        );
+    }
+
+    #[test]
+    fn qualified_name_tokens() {
+        assert_eq!(
+            kinds("CUSTOMERS.CUSTOMERID"),
+            vec![
+                TokenKind::Identifier("CUSTOMERS".into()),
+                TokenKind::Symbol(Symbol::Period),
+                TokenKind::Identifier("CUSTOMERID".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn parameter_marker() {
+        assert_eq!(kinds("id = ?")[2], TokenKind::Parameter);
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        let err = Lexer::new("'abc").tokenize().unwrap_err();
+        assert!(err.message.contains("unterminated"));
+        assert_eq!(err.offset, 0);
+    }
+
+    #[test]
+    fn offsets_are_recorded() {
+        let tokens = Lexer::new("SELECT  ID").tokenize().unwrap();
+        assert_eq!(tokens[0].offset, 0);
+        assert_eq!(tokens[1].offset, 8);
+    }
+
+    #[test]
+    fn stray_character_is_error() {
+        assert!(Lexer::new("SELECT #").tokenize().is_err());
+    }
+
+    #[test]
+    fn period_between_digit_contexts() {
+        // `T1.5` style: identifier, period, integer — not a decimal.
+        assert_eq!(
+            kinds("T1.C5"),
+            vec![
+                TokenKind::Identifier("T1".into()),
+                TokenKind::Symbol(Symbol::Period),
+                TokenKind::Identifier("C5".into()),
+            ]
+        );
+    }
+}

@@ -1,0 +1,38 @@
+//! # aldsp-sql — SQL-92 SELECT front end
+//!
+//! Stage one of the paper's translator "performs lexical analysis on the
+//! SQL statement, parses the tokens ... and creates an AST, performing
+//! syntactic validations along the way" (§3.5). This crate is that front
+//! end, factored out so the relational baseline engine and the translator
+//! share one grammar:
+//!
+//! * [`lexer`] — tokenizer for the SQL-92 SELECT subset (identifiers,
+//!   delimited identifiers, numeric/string/date literals, operators,
+//!   parameter markers).
+//! * [`ast`] — typed abstract syntax tree. Node types mirror the paper's
+//!   "typed components": every tabular abstraction (table, join, derived
+//!   table, query, set operation) is a distinct variant that later becomes
+//!   a resultset node (RSN).
+//! * [`parser`] — recursive-descent parser with precedence-climbing
+//!   expression parsing; rejects syntactically invalid SQL immediately
+//!   (paper §3.4.1 stage-one behaviour).
+//! * [`display`] — renders the AST back to SQL text (used by the workload
+//!   generator and for error messages).
+//!
+//! Coverage: `SELECT [ALL|DISTINCT]`, select-list expressions with aliases
+//! and wildcards, `FROM` with base tables, derived tables, and
+//! `INNER`/`LEFT`/`RIGHT`/`FULL OUTER`/`CROSS` joins, `WHERE`,
+//! `GROUP BY`/`HAVING`, `ORDER BY` (names, ordinals, expressions),
+//! `UNION`/`INTERSECT`/`EXCEPT [ALL]`, subqueries (scalar, `IN`, `EXISTS`,
+//! quantified `ANY`/`SOME`/`ALL`), `BETWEEN`, `LIKE [ESCAPE]`,
+//! `IS [NOT] NULL`, `CASE`, `CAST`, `?` parameters, and the SQL-92 string
+//! special functions (`SUBSTRING`, `TRIM`, `POSITION`).
+
+pub mod ast;
+pub mod display;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::*;
+pub use lexer::{LexError, Lexer, Token, TokenKind};
+pub use parser::{parse_select, ParseError};

@@ -1,0 +1,1352 @@
+//! Recursive-descent parser for SQL-92 SELECT statements.
+//!
+//! This is stage one of the translation pipeline: "the input SQL query is
+//! verified for syntactical correctness, and syntactically invalid SQL is
+//! rejected immediately" (paper §3.4.1). Semantic checks that need schema
+//! metadata (column existence, GROUP BY legality) happen later, in the
+//! translator's stage two.
+
+use crate::ast::*;
+use crate::lexer::{LexError, Lexer, Symbol, Token, TokenKind};
+use std::fmt;
+
+/// A parse error with byte offset into the original statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Description of the problem.
+    pub message: String,
+    /// Byte offset where the problem was detected (end of input when the
+    /// statement was truncated).
+    pub offset: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "SQL parse error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError {
+            message: e.message,
+            offset: e.offset,
+        }
+    }
+}
+
+/// Parses one SELECT statement (an optional trailing `;` is accepted).
+pub fn parse_select(sql: &str) -> Result<Query, ParseError> {
+    let sql = sql.trim_end().trim_end_matches(';');
+    let tokens = Lexer::new(sql).tokenize()?;
+    let mut parser = Parser {
+        tokens,
+        pos: 0,
+        end_offset: sql.len(),
+        parameter_count: 0,
+    };
+    let query = parser.parse_query()?;
+    if !parser.at_end() {
+        return Err(parser.error_here("unexpected trailing tokens"));
+    }
+    Ok(query)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    end_offset: usize,
+    parameter_count: usize,
+}
+
+impl Parser {
+    // ---- token plumbing ----------------------------------------------
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&TokenKind> {
+        self.tokens.get(self.pos).map(|t| &t.kind)
+    }
+
+    fn peek_ahead(&self, n: usize) -> Option<&TokenKind> {
+        self.tokens.get(self.pos + n).map(|t| &t.kind)
+    }
+
+    fn advance(&mut self) -> Option<TokenKind> {
+        let t = self.tokens.get(self.pos).map(|t| t.kind.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn here(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .map(|t| t.offset)
+            .unwrap_or(self.end_offset)
+    }
+
+    fn error_here(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            message: message.into(),
+            offset: self.here(),
+        }
+    }
+
+    fn peek_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(TokenKind::Keyword(k)) if k == kw)
+    }
+
+    fn take_keyword(&mut self, kw: &str) -> bool {
+        if self.peek_keyword(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        if self.take_keyword(kw) {
+            Ok(())
+        } else {
+            Err(self.error_here(format!("expected {kw}")))
+        }
+    }
+
+    fn peek_symbol(&self, sym: Symbol) -> bool {
+        matches!(self.peek(), Some(TokenKind::Symbol(s)) if *s == sym)
+    }
+
+    fn take_symbol(&mut self, sym: Symbol) -> bool {
+        if self.peek_symbol(sym) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_symbol(&mut self, sym: Symbol) -> Result<(), ParseError> {
+        if self.take_symbol(sym) {
+            Ok(())
+        } else {
+            Err(self.error_here(format!("expected `{}`", sym.as_str())))
+        }
+    }
+
+    /// Takes an identifier (regular or delimited).
+    fn expect_identifier(&mut self) -> Result<String, ParseError> {
+        match self.peek() {
+            Some(TokenKind::Identifier(name)) | Some(TokenKind::DelimitedIdentifier(name)) => {
+                let name = name.clone();
+                self.pos += 1;
+                Ok(name)
+            }
+            _ => Err(self.error_here("expected an identifier")),
+        }
+    }
+
+    // ---- query productions -------------------------------------------
+
+    fn parse_query(&mut self) -> Result<Query, ParseError> {
+        let body = self.parse_query_body()?;
+        let order_by = if self.take_keyword("ORDER") {
+            self.expect_keyword("BY")?;
+            self.parse_order_items()?
+        } else {
+            Vec::new()
+        };
+        Ok(Query { body, order_by })
+    }
+
+    /// `body := term ((UNION | EXCEPT) [ALL] term)*` — UNION and EXCEPT
+    /// share the lowest precedence; INTERSECT binds tighter (SQL-92).
+    fn parse_query_body(&mut self) -> Result<QueryBody, ParseError> {
+        let mut left = self.parse_query_term()?;
+        loop {
+            let op = if self.peek_keyword("UNION") {
+                SetOp::Union
+            } else if self.peek_keyword("EXCEPT") {
+                SetOp::Except
+            } else {
+                return Ok(left);
+            };
+            self.pos += 1;
+            let all = self.take_keyword("ALL");
+            let right = self.parse_query_term()?;
+            left = QueryBody::SetOp {
+                left: Box::new(left),
+                op,
+                all,
+                right: Box::new(right),
+            };
+        }
+    }
+
+    fn parse_query_term(&mut self) -> Result<QueryBody, ParseError> {
+        let mut left = self.parse_query_primary()?;
+        while self.take_keyword("INTERSECT") {
+            let all = self.take_keyword("ALL");
+            let right = self.parse_query_primary()?;
+            left = QueryBody::SetOp {
+                left: Box::new(left),
+                op: SetOp::Intersect,
+                all,
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn parse_query_primary(&mut self) -> Result<QueryBody, ParseError> {
+        if self.take_symbol(Symbol::LeftParen) {
+            let body = self.parse_query_body()?;
+            self.expect_symbol(Symbol::RightParen)?;
+            Ok(body)
+        } else {
+            Ok(QueryBody::Select(Box::new(self.parse_select_block()?)))
+        }
+    }
+
+    fn parse_select_block(&mut self) -> Result<Select, ParseError> {
+        self.expect_keyword("SELECT")?;
+        let distinct = if self.take_keyword("DISTINCT") {
+            true
+        } else {
+            self.take_keyword("ALL");
+            false
+        };
+        let items = self.parse_select_items()?;
+        self.expect_keyword("FROM")?;
+        let mut from = vec![self.parse_table_ref()?];
+        while self.take_symbol(Symbol::Comma) {
+            from.push(self.parse_table_ref()?);
+        }
+        let where_clause = if self.take_keyword("WHERE") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        let group_by = if self.take_keyword("GROUP") {
+            self.expect_keyword("BY")?;
+            let mut keys = vec![self.parse_expr()?];
+            while self.take_symbol(Symbol::Comma) {
+                keys.push(self.parse_expr()?);
+            }
+            keys
+        } else {
+            Vec::new()
+        };
+        let having = if self.take_keyword("HAVING") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        Ok(Select {
+            distinct,
+            items,
+            from,
+            where_clause,
+            group_by,
+            having,
+        })
+    }
+
+    fn parse_select_items(&mut self) -> Result<Vec<SelectItem>, ParseError> {
+        let mut items = vec![self.parse_select_item()?];
+        while self.take_symbol(Symbol::Comma) {
+            items.push(self.parse_select_item()?);
+        }
+        Ok(items)
+    }
+
+    fn parse_select_item(&mut self) -> Result<SelectItem, ParseError> {
+        if self.take_symbol(Symbol::Star) {
+            return Ok(SelectItem::Wildcard);
+        }
+        // `T.*` — identifier, period, star.
+        if let (
+            Some(TokenKind::Identifier(q)) | Some(TokenKind::DelimitedIdentifier(q)),
+            Some(TokenKind::Symbol(Symbol::Period)),
+            Some(TokenKind::Symbol(Symbol::Star)),
+        ) = (self.peek(), self.peek_ahead(1), self.peek_ahead(2))
+        {
+            let qualifier = q.clone();
+            self.pos += 3;
+            return Ok(SelectItem::QualifiedWildcard(qualifier));
+        }
+        let expr = self.parse_expr()?;
+        let alias = self.parse_optional_alias()?;
+        Ok(SelectItem::Expr { expr, alias })
+    }
+
+    /// `[AS] alias` — the bare-identifier form is allowed everywhere
+    /// SQL-92 allows `AS`.
+    fn parse_optional_alias(&mut self) -> Result<Option<String>, ParseError> {
+        if self.take_keyword("AS") {
+            return Ok(Some(self.expect_identifier()?));
+        }
+        match self.peek() {
+            Some(TokenKind::Identifier(name)) | Some(TokenKind::DelimitedIdentifier(name)) => {
+                let name = name.clone();
+                self.pos += 1;
+                Ok(Some(name))
+            }
+            _ => Ok(None),
+        }
+    }
+
+    fn parse_order_items(&mut self) -> Result<Vec<OrderItem>, ParseError> {
+        let mut items = Vec::new();
+        loop {
+            let expr = self.parse_expr()?;
+            let ascending = if self.take_keyword("DESC") {
+                false
+            } else {
+                self.take_keyword("ASC");
+                true
+            };
+            items.push(OrderItem { expr, ascending });
+            if !self.take_symbol(Symbol::Comma) {
+                return Ok(items);
+            }
+        }
+    }
+
+    // ---- FROM clause --------------------------------------------------
+
+    fn parse_table_ref(&mut self) -> Result<TableRef, ParseError> {
+        let mut left = self.parse_table_primary()?;
+        loop {
+            let kind = if self.take_keyword("CROSS") {
+                self.expect_keyword("JOIN")?;
+                JoinKind::Cross
+            } else if self.take_keyword("INNER") {
+                self.expect_keyword("JOIN")?;
+                JoinKind::Inner
+            } else if self.take_keyword("JOIN") {
+                JoinKind::Inner
+            } else if self.take_keyword("LEFT") {
+                self.take_keyword("OUTER");
+                self.expect_keyword("JOIN")?;
+                JoinKind::LeftOuter
+            } else if self.take_keyword("RIGHT") {
+                self.take_keyword("OUTER");
+                self.expect_keyword("JOIN")?;
+                JoinKind::RightOuter
+            } else if self.take_keyword("FULL") {
+                self.take_keyword("OUTER");
+                self.expect_keyword("JOIN")?;
+                JoinKind::FullOuter
+            } else {
+                return Ok(left);
+            };
+            let right = self.parse_table_primary()?;
+            let on = if kind == JoinKind::Cross {
+                None
+            } else {
+                self.expect_keyword("ON")?;
+                Some(self.parse_expr()?)
+            };
+            left = TableRef::Join {
+                left: Box::new(left),
+                right: Box::new(right),
+                kind,
+                on,
+            };
+        }
+    }
+
+    fn parse_table_primary(&mut self) -> Result<TableRef, ParseError> {
+        if self.take_symbol(Symbol::LeftParen) {
+            if self.peek_keyword("SELECT") || self.peek_symbol(Symbol::LeftParen) {
+                // Derived table: `(query) [AS] alias` (alias mandatory in
+                // SQL-92).
+                let query = self.parse_query()?;
+                self.expect_symbol(Symbol::RightParen)?;
+                let alias = self
+                    .parse_optional_alias()?
+                    .ok_or_else(|| self.error_here("derived table requires an alias"))?;
+                return Ok(TableRef::Derived {
+                    query: Box::new(query),
+                    alias,
+                });
+            }
+            // Parenthesized join. The paper's Figure-3 example aliases a
+            // parenthesized join (`(B JOIN C ON ...) AS P`); SQL-92 proper
+            // does not, so when an alias follows we desugar into a derived
+            // table `(SELECT * FROM <join>) AS alias` — the same tabular
+            // view the paper's child RSN represents.
+            let join = self.parse_table_ref()?;
+            self.expect_symbol(Symbol::RightParen)?;
+            if let Some(alias) = self.parse_optional_alias()? {
+                let select = Select {
+                    distinct: false,
+                    items: vec![SelectItem::Wildcard],
+                    from: vec![join],
+                    where_clause: None,
+                    group_by: vec![],
+                    having: None,
+                };
+                return Ok(TableRef::Derived {
+                    query: Box::new(Query {
+                        body: QueryBody::Select(Box::new(select)),
+                        order_by: vec![],
+                    }),
+                    alias,
+                });
+            }
+            return Ok(join);
+        }
+        // Base table: possibly qualified name, optional alias.
+        let mut parts = vec![self.expect_identifier()?];
+        while self.peek_symbol(Symbol::Period) {
+            self.pos += 1;
+            parts.push(self.expect_identifier()?);
+        }
+        let alias = self.parse_optional_alias()?;
+        Ok(TableRef::Table {
+            name: ObjectName(parts),
+            alias,
+        })
+    }
+
+    // ---- expressions ----------------------------------------------------
+    //
+    // Precedence (low → high):
+    //   OR < AND < NOT < predicates/comparison < + - || < * / < unary ± <
+    //   primary.
+
+    fn parse_expr(&mut self) -> Result<Expr, ParseError> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.parse_and()?;
+        while self.take_keyword("OR") {
+            let right = self.parse_and()?;
+            left = Expr::Binary {
+                left: Box::new(left),
+                op: BinaryOp::Or,
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.parse_not()?;
+        while self.take_keyword("AND") {
+            let right = self.parse_not()?;
+            left = Expr::Binary {
+                left: Box::new(left),
+                op: BinaryOp::And,
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn parse_not(&mut self) -> Result<Expr, ParseError> {
+        if self.take_keyword("NOT") {
+            let inner = self.parse_not()?;
+            Ok(Expr::Unary {
+                op: UnaryOp::Not,
+                expr: Box::new(inner),
+            })
+        } else {
+            self.parse_predicate()
+        }
+    }
+
+    /// Comparison and the SQL predicate forms. Non-associative: at most one
+    /// comparison per level.
+    fn parse_predicate(&mut self) -> Result<Expr, ParseError> {
+        let left = self.parse_additive()?;
+
+        // IS [NOT] NULL
+        if self.take_keyword("IS") {
+            let negated = self.take_keyword("NOT");
+            self.expect_keyword("NULL")?;
+            return Ok(Expr::IsNull {
+                expr: Box::new(left),
+                negated,
+            });
+        }
+
+        // [NOT] BETWEEN / IN / LIKE
+        let negated = self.take_keyword("NOT");
+        if self.take_keyword("BETWEEN") {
+            let low = self.parse_additive()?;
+            self.expect_keyword("AND")?;
+            let high = self.parse_additive()?;
+            return Ok(Expr::Between {
+                expr: Box::new(left),
+                low: Box::new(low),
+                high: Box::new(high),
+                negated,
+            });
+        }
+        if self.take_keyword("IN") {
+            self.expect_symbol(Symbol::LeftParen)?;
+            if self.peek_keyword("SELECT") {
+                let query = self.parse_query()?;
+                self.expect_symbol(Symbol::RightParen)?;
+                return Ok(Expr::InSubquery {
+                    expr: Box::new(left),
+                    query: Box::new(query),
+                    negated,
+                });
+            }
+            let mut list = vec![self.parse_expr()?];
+            while self.take_symbol(Symbol::Comma) {
+                list.push(self.parse_expr()?);
+            }
+            self.expect_symbol(Symbol::RightParen)?;
+            return Ok(Expr::InList {
+                expr: Box::new(left),
+                list,
+                negated,
+            });
+        }
+        if self.take_keyword("LIKE") {
+            let pattern = self.parse_additive()?;
+            let escape = if self.take_keyword("ESCAPE") {
+                Some(Box::new(self.parse_additive()?))
+            } else {
+                None
+            };
+            return Ok(Expr::Like {
+                expr: Box::new(left),
+                pattern: Box::new(pattern),
+                escape,
+                negated,
+            });
+        }
+        if negated {
+            return Err(self.error_here("expected BETWEEN, IN, or LIKE after NOT"));
+        }
+
+        // Comparison, possibly quantified.
+        let op = match self.peek() {
+            Some(TokenKind::Symbol(Symbol::Eq)) => Some(CompareOp::Eq),
+            Some(TokenKind::Symbol(Symbol::NotEq)) => Some(CompareOp::NotEq),
+            Some(TokenKind::Symbol(Symbol::Lt)) => Some(CompareOp::Lt),
+            Some(TokenKind::Symbol(Symbol::LtEq)) => Some(CompareOp::LtEq),
+            Some(TokenKind::Symbol(Symbol::Gt)) => Some(CompareOp::Gt),
+            Some(TokenKind::Symbol(Symbol::GtEq)) => Some(CompareOp::GtEq),
+            _ => None,
+        };
+        let Some(op) = op else { return Ok(left) };
+        self.pos += 1;
+
+        let quantifier = if self.take_keyword("ANY") || self.take_keyword("SOME") {
+            Some(Quantifier::Any)
+        } else if self.take_keyword("ALL") {
+            Some(Quantifier::All)
+        } else {
+            None
+        };
+        if let Some(quantifier) = quantifier {
+            self.expect_symbol(Symbol::LeftParen)?;
+            let query = self.parse_query()?;
+            self.expect_symbol(Symbol::RightParen)?;
+            return Ok(Expr::Quantified {
+                expr: Box::new(left),
+                op,
+                quantifier,
+                query: Box::new(query),
+            });
+        }
+        let right = self.parse_additive()?;
+        Ok(Expr::Binary {
+            left: Box::new(left),
+            op: BinaryOp::Compare(op),
+            right: Box::new(right),
+        })
+    }
+
+    fn parse_additive(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.parse_multiplicative()?;
+        loop {
+            let op = if self.take_symbol(Symbol::Plus) {
+                BinaryOp::Add
+            } else if self.take_symbol(Symbol::Minus) {
+                BinaryOp::Sub
+            } else if self.take_symbol(Symbol::Concat) {
+                BinaryOp::Concat
+            } else {
+                return Ok(left);
+            };
+            let right = self.parse_multiplicative()?;
+            left = Expr::Binary {
+                left: Box::new(left),
+                op,
+                right: Box::new(right),
+            };
+        }
+    }
+
+    fn parse_multiplicative(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.parse_unary()?;
+        loop {
+            let op = if self.take_symbol(Symbol::Star) {
+                BinaryOp::Mul
+            } else if self.take_symbol(Symbol::Slash) {
+                BinaryOp::Div
+            } else {
+                return Ok(left);
+            };
+            let right = self.parse_unary()?;
+            left = Expr::Binary {
+                left: Box::new(left),
+                op,
+                right: Box::new(right),
+            };
+        }
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, ParseError> {
+        if self.take_symbol(Symbol::Minus) {
+            let inner = self.parse_unary()?;
+            return Ok(Expr::Unary {
+                op: UnaryOp::Neg,
+                expr: Box::new(inner),
+            });
+        }
+        if self.take_symbol(Symbol::Plus) {
+            let inner = self.parse_unary()?;
+            return Ok(Expr::Unary {
+                op: UnaryOp::Plus,
+                expr: Box::new(inner),
+            });
+        }
+        self.parse_primary()
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().cloned() {
+            Some(TokenKind::Integer(v)) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Literal::Integer(v)))
+            }
+            Some(TokenKind::Decimal(v)) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Literal::Decimal(v)))
+            }
+            Some(TokenKind::Double(v)) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Literal::Double(v)))
+            }
+            Some(TokenKind::String(v)) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Literal::String(v)))
+            }
+            Some(TokenKind::Parameter) => {
+                self.pos += 1;
+                let ordinal = self.parameter_count;
+                self.parameter_count += 1;
+                Ok(Expr::Parameter(ordinal))
+            }
+            Some(TokenKind::Keyword(kw)) => match kw.as_str() {
+                "NULL" => {
+                    self.pos += 1;
+                    Ok(Expr::Literal(Literal::Null))
+                }
+                "DATE" => {
+                    self.pos += 1;
+                    match self.advance() {
+                        Some(TokenKind::String(s)) => Ok(Expr::Literal(Literal::Date(s))),
+                        _ => Err(self.error_here("expected string literal after DATE")),
+                    }
+                }
+                "CASE" => self.parse_case(),
+                "CAST" => self.parse_cast(),
+                "EXISTS" => {
+                    self.pos += 1;
+                    self.expect_symbol(Symbol::LeftParen)?;
+                    let query = self.parse_query()?;
+                    self.expect_symbol(Symbol::RightParen)?;
+                    Ok(Expr::Exists {
+                        query: Box::new(query),
+                        negated: false,
+                    })
+                }
+                "TRIM" => self.parse_trim(),
+                _ => Err(self.error_here(format!("unexpected keyword {kw}"))),
+            },
+            Some(TokenKind::Symbol(Symbol::LeftParen)) => {
+                self.pos += 1;
+                if self.peek_keyword("SELECT") {
+                    let query = self.parse_query()?;
+                    self.expect_symbol(Symbol::RightParen)?;
+                    return Ok(Expr::ScalarSubquery(Box::new(query)));
+                }
+                let inner = self.parse_expr()?;
+                self.expect_symbol(Symbol::RightParen)?;
+                Ok(inner)
+            }
+            Some(TokenKind::Identifier(name)) | Some(TokenKind::DelimitedIdentifier(name)) => {
+                // Function call?
+                if matches!(
+                    self.peek_ahead(1),
+                    Some(TokenKind::Symbol(Symbol::LeftParen))
+                ) {
+                    return self.parse_function_call(name);
+                }
+                self.pos += 1;
+                // Qualified column `T.C`?
+                if self.peek_symbol(Symbol::Period) {
+                    self.pos += 1;
+                    let column = self.expect_identifier()?;
+                    return Ok(Expr::Column(ColumnRef::qualified(name, column)));
+                }
+                Ok(Expr::Column(ColumnRef::unqualified(name)))
+            }
+            _ => Err(self.error_here("expected an expression")),
+        }
+    }
+
+    fn parse_function_call(&mut self, name: String) -> Result<Expr, ParseError> {
+        self.pos += 1; // name
+        self.expect_symbol(Symbol::LeftParen)?; // (
+
+        match name.as_str() {
+            "SUBSTRING" => return self.parse_substring(),
+            "POSITION" => return self.parse_position(),
+            _ => {}
+        }
+
+        if self.take_symbol(Symbol::Star) {
+            // COUNT(*) — only COUNT accepts the star form.
+            if name != "COUNT" {
+                return Err(self.error_here(format!("{name}(*) is not valid")));
+            }
+            self.expect_symbol(Symbol::RightParen)?;
+            return Ok(Expr::Function {
+                name,
+                args: FunctionArgs::Star,
+            });
+        }
+
+        let distinct = if self.take_keyword("DISTINCT") {
+            true
+        } else {
+            self.take_keyword("ALL");
+            false
+        };
+
+        let mut args = Vec::new();
+        if !self.peek_symbol(Symbol::RightParen) {
+            args.push(self.parse_expr()?);
+            while self.take_symbol(Symbol::Comma) {
+                args.push(self.parse_expr()?);
+            }
+        }
+        self.expect_symbol(Symbol::RightParen)?;
+        Ok(Expr::Function {
+            name,
+            args: FunctionArgs::List { distinct, args },
+        })
+    }
+
+    /// `SUBSTRING(s FROM start [FOR len])`; the comma form
+    /// `SUBSTRING(s, start [, len])` used by many tools is also accepted.
+    fn parse_substring(&mut self) -> Result<Expr, ParseError> {
+        let source = self.parse_expr()?;
+        let comma_form = self.take_symbol(Symbol::Comma);
+        if !comma_form {
+            self.expect_keyword("FROM")?;
+        }
+        let start = self.parse_expr()?;
+        let length = if comma_form {
+            if self.take_symbol(Symbol::Comma) {
+                Some(Box::new(self.parse_expr()?))
+            } else {
+                None
+            }
+        } else if self.take_keyword("FOR") {
+            Some(Box::new(self.parse_expr()?))
+        } else {
+            None
+        };
+        self.expect_symbol(Symbol::RightParen)?;
+        Ok(Expr::Substring {
+            expr: Box::new(source),
+            start: Box::new(start),
+            length,
+        })
+    }
+
+    /// `POSITION(needle IN haystack)`.
+    fn parse_position(&mut self) -> Result<Expr, ParseError> {
+        let needle = self.parse_additive()?;
+        self.expect_keyword("IN")?;
+        let haystack = self.parse_expr()?;
+        self.expect_symbol(Symbol::RightParen)?;
+        Ok(Expr::Position {
+            needle: Box::new(needle),
+            haystack: Box::new(haystack),
+        })
+    }
+
+    /// `TRIM([LEADING|TRAILING|BOTH] [chars] FROM s)` or `TRIM(s)`.
+    fn parse_trim(&mut self) -> Result<Expr, ParseError> {
+        self.pos += 1; // TRIM
+        self.expect_symbol(Symbol::LeftParen)?;
+        let side = if self.take_keyword("LEADING") {
+            Some(TrimSide::Leading)
+        } else if self.take_keyword("TRAILING") {
+            Some(TrimSide::Trailing)
+        } else if self.take_keyword("BOTH") {
+            Some(TrimSide::Both)
+        } else {
+            None
+        };
+        // After an explicit side: `[chars] FROM s`. Without one: either
+        // `chars FROM s` or just `s`.
+        if let Some(side) = side {
+            if self.take_keyword("FROM") {
+                let expr = self.parse_expr()?;
+                self.expect_symbol(Symbol::RightParen)?;
+                return Ok(Expr::Trim {
+                    side,
+                    trim_chars: None,
+                    expr: Box::new(expr),
+                });
+            }
+        }
+        let first = self.parse_expr()?;
+        if self.take_keyword("FROM") {
+            let expr = self.parse_expr()?;
+            self.expect_symbol(Symbol::RightParen)?;
+            return Ok(Expr::Trim {
+                side: side.unwrap_or(TrimSide::Both),
+                trim_chars: Some(Box::new(first)),
+                expr: Box::new(expr),
+            });
+        }
+        if side.is_some() {
+            return Err(self.error_here("expected FROM in TRIM"));
+        }
+        self.expect_symbol(Symbol::RightParen)?;
+        Ok(Expr::Trim {
+            side: TrimSide::Both,
+            trim_chars: None,
+            expr: Box::new(first),
+        })
+    }
+
+    fn parse_case(&mut self) -> Result<Expr, ParseError> {
+        self.pos += 1; // CASE
+        let operand = if self.peek_keyword("WHEN") {
+            None
+        } else {
+            Some(Box::new(self.parse_expr()?))
+        };
+        let mut branches = Vec::new();
+        while self.take_keyword("WHEN") {
+            let when = self.parse_expr()?;
+            self.expect_keyword("THEN")?;
+            let then = self.parse_expr()?;
+            branches.push((when, then));
+        }
+        if branches.is_empty() {
+            return Err(self.error_here("CASE requires at least one WHEN branch"));
+        }
+        let else_result = if self.take_keyword("ELSE") {
+            Some(Box::new(self.parse_expr()?))
+        } else {
+            None
+        };
+        self.expect_keyword("END")?;
+        Ok(Expr::Case {
+            operand,
+            branches,
+            else_result,
+        })
+    }
+
+    fn parse_cast(&mut self) -> Result<Expr, ParseError> {
+        self.pos += 1; // CAST
+        self.expect_symbol(Symbol::LeftParen)?;
+        let expr = self.parse_expr()?;
+        self.expect_keyword("AS")?;
+        let target = self.parse_type_name()?;
+        self.expect_symbol(Symbol::RightParen)?;
+        Ok(Expr::Cast {
+            expr: Box::new(expr),
+            target,
+        })
+    }
+
+    fn parse_type_name(&mut self) -> Result<SqlTypeName, ParseError> {
+        // DATE is a keyword; the other type names lex as identifiers.
+        if self.take_keyword("DATE") {
+            return Ok(SqlTypeName::Date);
+        }
+        let word = self.expect_identifier()?;
+        let name = match word.as_str() {
+            "SMALLINT" => SqlTypeName::Smallint,
+            "INT" | "INTEGER" => SqlTypeName::Integer,
+            "BIGINT" => SqlTypeName::Bigint,
+            "DECIMAL" | "NUMERIC" | "DEC" => {
+                self.skip_type_parameters()?;
+                SqlTypeName::Decimal
+            }
+            "REAL" => SqlTypeName::Real,
+            "FLOAT" => {
+                self.skip_type_parameters()?;
+                SqlTypeName::Double
+            }
+            "DOUBLE" => {
+                // Optional PRECISION.
+                if matches!(self.peek(), Some(TokenKind::Identifier(w)) if w == "PRECISION") {
+                    self.pos += 1;
+                }
+                SqlTypeName::Double
+            }
+            "CHAR" | "CHARACTER" => {
+                // CHARACTER VARYING?
+                if matches!(self.peek(), Some(TokenKind::Identifier(w)) if w == "VARYING") {
+                    self.pos += 1;
+                    self.skip_type_parameters()?;
+                    SqlTypeName::Varchar
+                } else {
+                    self.skip_type_parameters()?;
+                    SqlTypeName::Char
+                }
+            }
+            "VARCHAR" => {
+                self.skip_type_parameters()?;
+                SqlTypeName::Varchar
+            }
+            other => return Err(self.error_here(format!("unknown type name {other}"))),
+        };
+        Ok(name)
+    }
+
+    /// Skips `(p)` or `(p, s)` length/precision parameters; the driver's
+    /// type system keys on the type class only.
+    fn skip_type_parameters(&mut self) -> Result<(), ParseError> {
+        if self.take_symbol(Symbol::LeftParen) {
+            loop {
+                match self.advance() {
+                    Some(TokenKind::Symbol(Symbol::RightParen)) => return Ok(()),
+                    Some(_) => continue,
+                    None => return Err(self.error_here("unterminated type parameters")),
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn select(sql: &str) -> Select {
+        match parse_select(sql).unwrap().body {
+            QueryBody::Select(s) => *s,
+            other => panic!("expected plain select, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn example5_simple_select() {
+        // Paper Example 5.
+        let s = select("SELECT * FROM CUSTOMERS");
+        assert_eq!(s.items, vec![SelectItem::Wildcard]);
+        assert!(matches!(
+            &s.from[0],
+            TableRef::Table { name, alias: None } if name.base() == "CUSTOMERS"
+        ));
+    }
+
+    #[test]
+    fn aliases_without_as() {
+        // Paper §3.5: SELECT CUSTOMERID ID, CUSTOMERNAME NAME FROM CUSTOMERS
+        let s = select("SELECT CUSTOMERID ID, CUSTOMERNAME NAME FROM CUSTOMERS");
+        assert_eq!(s.items.len(), 2);
+        assert!(matches!(
+            &s.items[0],
+            SelectItem::Expr { alias: Some(a), .. } if a == "ID"
+        ));
+    }
+
+    #[test]
+    fn example7_subquery() {
+        // Paper Example 7.
+        let s = select(
+            "SELECT INFO.ID, INFO.NAME FROM (SELECT CUSTOMERID ID, CUSTOMERNAME NAME \
+             FROM CUSTOMERS) AS INFO WHERE INFO.ID > 10",
+        );
+        assert!(matches!(&s.from[0], TableRef::Derived { alias, .. } if alias == "INFO"));
+        assert!(s.where_clause.is_some());
+    }
+
+    #[test]
+    fn example9_left_outer_join() {
+        // Paper Example 9.
+        let s = select(
+            "SELECT CUSTOMERS.CUSTOMERID, PAYMENTS.PAYMENT FROM CUSTOMERS \
+             LEFT OUTER JOIN PAYMENTS ON CUSTOMERS.CUSTOMERID=PAYMENTS.CUSTID",
+        );
+        match &s.from[0] {
+            TableRef::Join { kind, on, .. } => {
+                assert_eq!(*kind, JoinKind::LeftOuter);
+                assert!(on.is_some());
+            }
+            other => panic!("expected join, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn inner_join_on() {
+        let s = select(
+            "SELECT * FROM CUSTOMERS INNER JOIN ORDERS ON CUSTOMERS.CUSTOMERID = ORDERS.CUSTID",
+        );
+        assert!(matches!(
+            &s.from[0],
+            TableRef::Join {
+                kind: JoinKind::Inner,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn figure3_nested_join_with_alias_desugars() {
+        // Paper §3.4.2: (A JOIN (B JOIN C ON B.C1 = C.C2) AS P ON A.C1 = P.C1)
+        let s = select("SELECT * FROM (A JOIN (B JOIN C ON B.C1 = C.C2) AS P ON A.C1 = P.C1)");
+        match &s.from[0] {
+            TableRef::Join { right, .. } => {
+                assert!(matches!(&**right, TableRef::Derived { alias, .. } if alias == "P"));
+            }
+            other => panic!("expected join, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn group_by_having_order_by() {
+        let q = parse_select(
+            "SELECT CUSTOMERID, COUNT(*) N FROM ORDERS GROUP BY CUSTOMERID \
+             HAVING COUNT(*) > 2 ORDER BY N DESC, CUSTOMERID",
+        )
+        .unwrap();
+        assert_eq!(q.order_by.len(), 2);
+        assert!(!q.order_by[0].ascending);
+        assert!(q.order_by[1].ascending);
+        let QueryBody::Select(s) = q.body else {
+            panic!()
+        };
+        assert_eq!(s.group_by.len(), 1);
+        assert!(s.having.is_some());
+    }
+
+    #[test]
+    fn set_operations_precedence() {
+        // INTERSECT binds tighter than UNION.
+        let q = parse_select("SELECT A FROM T UNION SELECT B FROM U INTERSECT SELECT C FROM V")
+            .unwrap();
+        match q.body {
+            QueryBody::SetOp { op, right, .. } => {
+                assert_eq!(op, SetOp::Union);
+                assert!(matches!(
+                    *right,
+                    QueryBody::SetOp {
+                        op: SetOp::Intersect,
+                        ..
+                    }
+                ));
+            }
+            other => panic!("expected set op, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn union_all_flag() {
+        let q = parse_select("SELECT A FROM T UNION ALL SELECT A FROM U").unwrap();
+        assert!(matches!(q.body, QueryBody::SetOp { all: true, .. }));
+    }
+
+    #[test]
+    fn predicates() {
+        let s = select(
+            "SELECT * FROM T WHERE A BETWEEN 1 AND 10 AND B NOT IN (1, 2) \
+             AND C LIKE 'a%' ESCAPE '!' AND D IS NOT NULL",
+        );
+        // Just verify the whole conjunction parsed.
+        let mut count = 0;
+        fn count_ands(e: &Expr, count: &mut usize) {
+            if let Expr::Binary {
+                op: BinaryOp::And,
+                left,
+                right,
+                ..
+            } = e
+            {
+                *count += 1;
+                count_ands(left, count);
+                count_ands(right, count);
+            }
+        }
+        count_ands(s.where_clause.as_ref().unwrap(), &mut count);
+        assert_eq!(count, 3);
+    }
+
+    #[test]
+    fn subquery_predicates() {
+        let s = select(
+            "SELECT * FROM T WHERE EXISTS (SELECT C FROM U) AND \
+             A IN (SELECT C FROM U) AND B > ANY (SELECT C FROM U) AND \
+             X = (SELECT MAX(C) FROM U)",
+        );
+        assert!(s.where_clause.is_some());
+    }
+
+    #[test]
+    fn quantified_all() {
+        let s = select("SELECT * FROM T WHERE A >= ALL (SELECT B FROM U)");
+        let Expr::Quantified { quantifier, op, .. } = s.where_clause.unwrap() else {
+            panic!()
+        };
+        assert_eq!(quantifier, Quantifier::All);
+        assert_eq!(op, CompareOp::GtEq);
+    }
+
+    #[test]
+    fn case_and_cast() {
+        let s = select(
+            "SELECT CASE WHEN A > 0 THEN 'pos' ELSE 'neg' END, \
+             CAST(A AS VARCHAR(10)), CASE B WHEN 1 THEN 'one' END FROM T",
+        );
+        assert_eq!(s.items.len(), 3);
+        assert!(matches!(
+            &s.items[1],
+            SelectItem::Expr {
+                expr: Expr::Cast {
+                    target: SqlTypeName::Varchar,
+                    ..
+                },
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn special_string_functions() {
+        let s = select(
+            "SELECT SUBSTRING(NAME FROM 1 FOR 3), TRIM(BOTH FROM NAME), \
+             POSITION('x' IN NAME), TRIM(LEADING '0' FROM CODE), TRIM(NAME) FROM T",
+        );
+        assert_eq!(s.items.len(), 5);
+    }
+
+    #[test]
+    fn substring_comma_form() {
+        let s = select("SELECT SUBSTRING(NAME, 2, 3) FROM T");
+        assert!(matches!(
+            &s.items[0],
+            SelectItem::Expr {
+                expr: Expr::Substring {
+                    length: Some(_),
+                    ..
+                },
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn count_star_and_distinct() {
+        let s = select("SELECT COUNT(*), COUNT(DISTINCT A) FROM T");
+        assert!(matches!(
+            &s.items[0],
+            SelectItem::Expr {
+                expr: Expr::Function {
+                    args: FunctionArgs::Star,
+                    ..
+                },
+                ..
+            }
+        ));
+        assert!(matches!(
+            &s.items[1],
+            SelectItem::Expr {
+                expr: Expr::Function {
+                    args: FunctionArgs::List { distinct: true, .. },
+                    ..
+                },
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn star_only_for_count() {
+        assert!(parse_select("SELECT SUM(*) FROM T").is_err());
+    }
+
+    #[test]
+    fn parameters_get_ordinals() {
+        let s = select("SELECT * FROM T WHERE A = ? AND B = ?");
+        let Expr::Binary { left, right, .. } = s.where_clause.unwrap() else {
+            panic!()
+        };
+        let Expr::Binary { right: r1, .. } = *left else {
+            panic!()
+        };
+        let Expr::Binary { right: r2, .. } = *right else {
+            panic!()
+        };
+        assert_eq!(*r1, Expr::Parameter(0));
+        assert_eq!(*r2, Expr::Parameter(1));
+    }
+
+    #[test]
+    fn arithmetic_precedence() {
+        let s = select("SELECT A + B * C FROM T");
+        let SelectItem::Expr { expr, .. } = &s.items[0] else {
+            panic!()
+        };
+        assert!(matches!(
+            expr,
+            Expr::Binary { op: BinaryOp::Add, right, .. }
+                if matches!(**right, Expr::Binary { op: BinaryOp::Mul, .. })
+        ));
+    }
+
+    #[test]
+    fn date_literal() {
+        let s = select("SELECT * FROM T WHERE D >= DATE '2006-01-01'");
+        let Expr::Binary { right, .. } = s.where_clause.unwrap() else {
+            panic!()
+        };
+        assert_eq!(*right, Expr::Literal(Literal::Date("2006-01-01".into())));
+    }
+
+    #[test]
+    fn qualified_table_names() {
+        let s = select("SELECT * FROM TESTAPP.DSFILE.CUSTOMERS C");
+        assert!(matches!(
+            &s.from[0],
+            TableRef::Table { name, alias: Some(a) }
+                if name.0.len() == 3 && a == "C"
+        ));
+    }
+
+    #[test]
+    fn derived_table_requires_alias() {
+        assert!(parse_select("SELECT * FROM (SELECT A FROM T)").is_err());
+    }
+
+    #[test]
+    fn syntactically_invalid_rejected_immediately() {
+        // Paper §3.4.1.
+        for bad in [
+            "SELECT FROM T",
+            "SELECT * T",
+            "SELECT * FROM",
+            "SELECT * FROM T WHERE",
+            "SELECT * FROM T GROUP CUSTOMERID",
+            "FROM T SELECT *",
+            "SELECT * FROM T ORDER CUSTOMERID",
+        ] {
+            assert!(parse_select(bad).is_err(), "should reject: {bad}");
+        }
+    }
+
+    #[test]
+    fn trailing_tokens_rejected() {
+        // `T x` parses as an alias; the second stray identifier must fail.
+        assert!(parse_select("SELECT A FROM T x y").is_err());
+    }
+
+    #[test]
+    fn trailing_semicolon_accepted() {
+        assert!(parse_select("SELECT A FROM T;").is_ok());
+    }
+
+    #[test]
+    fn error_offsets_point_at_problem() {
+        let err = parse_select("SELECT * FROM T WHERE ???").unwrap_err();
+        assert!(err.offset >= 22, "offset {} too small", err.offset);
+    }
+
+    #[test]
+    fn not_predicates() {
+        let s = select("SELECT * FROM T WHERE NOT A = 1 AND B NOT BETWEEN 1 AND 2");
+        assert!(s.where_clause.is_some());
+    }
+
+    #[test]
+    fn cross_join_has_no_on() {
+        let s = select("SELECT * FROM A CROSS JOIN B");
+        assert!(matches!(
+            &s.from[0],
+            TableRef::Join {
+                kind: JoinKind::Cross,
+                on: None,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn implicit_cross_join_comma() {
+        let s = select("SELECT * FROM A, B, C");
+        assert_eq!(s.from.len(), 3);
+    }
+
+    #[test]
+    fn order_by_ordinal() {
+        let q = parse_select("SELECT A, B FROM T ORDER BY 2 DESC").unwrap();
+        assert_eq!(q.order_by[0].expr, Expr::Literal(Literal::Integer(2)));
+    }
+
+    #[test]
+    fn scalar_subquery_in_select_list() {
+        let s = select("SELECT (SELECT MAX(B) FROM U), A FROM T");
+        assert!(matches!(
+            &s.items[0],
+            SelectItem::Expr {
+                expr: Expr::ScalarSubquery(_),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn concat_operator() {
+        let s = select("SELECT A || '-' || B FROM T");
+        assert!(matches!(
+            &s.items[0],
+            SelectItem::Expr {
+                expr: Expr::Binary {
+                    op: BinaryOp::Concat,
+                    ..
+                },
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn parenthesized_set_operand() {
+        let q = parse_select("(SELECT A FROM T) UNION (SELECT A FROM U) ORDER BY A").unwrap();
+        assert!(matches!(q.body, QueryBody::SetOp { .. }));
+        assert_eq!(q.order_by.len(), 1);
+    }
+}

@@ -1,0 +1,23 @@
+//! # aldsp-workload — schemas, data, and query generators
+//!
+//! The paper's motivating workload is SQL-based reporting over integrated
+//! data services (§1). This crate provides the test/benchmark stand-in:
+//!
+//! * [`schema`] — the paper's CUSTOMERS/ORDERS/PAYMENTS universe (plus the
+//!   Example-11 `PO_CUSTOMERS` view) at a parameterized scale, with
+//!   deterministic, seeded data.
+//! * [`querygen`] — a seeded random SQL-92 SELECT generator, stratified by
+//!   construct class (simple selects through outer joins, grouping, set
+//!   operations, and subqueries), used by differential tests (E6) and
+//!   benchmarks (E2/E4).
+//! * [`differential`] — the E6 harness: run a query through the full
+//!   driver stack (SQL → XQuery → evaluation → result set) and through
+//!   the relational oracle, and compare.
+
+pub mod differential;
+pub mod querygen;
+pub mod schema;
+
+pub use differential::{compare_results, run_differential, DifferentialReport, Mismatch};
+pub use querygen::{ConstructClass, QueryGenerator};
+pub use schema::{build_application, paper_queries, populate_database, Scale};

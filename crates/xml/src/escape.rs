@@ -1,0 +1,134 @@
+//! Character escaping, mirroring `fn-bea:xml-escape` and standard XML
+//! serialization escaping.
+//!
+//! Two escaping schemes coexist in the driver (paper §4):
+//!
+//! 1. **XML escaping** for serialized element content and attribute values
+//!    (`&`, `<`, `>`, quotes).
+//! 2. **Delimiter escaping** for the text-encoded result transport, where
+//!    column (`>`) and row (`<`) separator characters occurring *inside
+//!    data values* must not be confused with the real separators. The
+//!    platform reuses XML entity escaping for this — a value containing `<`
+//!    is shipped as `&lt;` — which is why the wrapper query pipes values
+//!    through `fn-bea:xml-escape` before `fn:string-join`.
+
+/// Escapes text content for XML serialization (`&`, `<`, `>`).
+pub fn escape_text(s: &str) -> String {
+    escape_with(s, false)
+}
+
+/// Escapes an attribute value (additionally `"`).
+pub fn escape_attribute(s: &str) -> String {
+    escape_with(s, true)
+}
+
+fn escape_with(s: &str, attr: bool) -> String {
+    // Fast path: most values contain nothing to escape.
+    if !s
+        .chars()
+        .any(|c| matches!(c, '&' | '<' | '>') || (attr && c == '"'))
+    {
+        return s.to_string();
+    }
+    let mut out = String::with_capacity(s.len() + 8);
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' if attr => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// The inverse of [`escape_text`] / [`escape_attribute`]: expands the five
+/// predefined entities and decimal/hex character references.
+pub fn unescape(s: &str) -> String {
+    if !s.contains('&') {
+        return s.to_string();
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(pos) = rest.find('&') {
+        out.push_str(&rest[..pos]);
+        rest = &rest[pos..];
+        match rest.find(';') {
+            Some(end) => {
+                let entity = &rest[1..end];
+                match entity {
+                    "amp" => out.push('&'),
+                    "lt" => out.push('<'),
+                    "gt" => out.push('>'),
+                    "quot" => out.push('"'),
+                    "apos" => out.push('\''),
+                    _ => {
+                        let decoded = entity
+                            .strip_prefix("#x")
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .or_else(|| entity.strip_prefix('#').and_then(|d| d.parse().ok()))
+                            .and_then(char::from_u32);
+                        match decoded {
+                            Some(c) => out.push(c),
+                            // Not a recognizable entity: keep it verbatim.
+                            None => out.push_str(&rest[..=end]),
+                        }
+                    }
+                }
+                rest = &rest[end + 1..];
+            }
+            None => {
+                out.push_str(rest);
+                rest = "";
+            }
+        }
+    }
+    out.push_str(rest);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_separator_characters() {
+        // The §4 transport reuses XML escaping so embedded separators
+        // survive: `a>b<c` must not split into extra columns/rows.
+        assert_eq!(escape_text("a>b<c&d"), "a&gt;b&lt;c&amp;d");
+    }
+
+    #[test]
+    fn no_op_fast_path() {
+        assert_eq!(escape_text("Acme Widget Stores"), "Acme Widget Stores");
+    }
+
+    #[test]
+    fn attribute_quotes() {
+        assert_eq!(escape_attribute(r#"say "hi""#), "say &quot;hi&quot;");
+        // Text escaping leaves quotes alone.
+        assert_eq!(escape_text(r#"say "hi""#), r#"say "hi""#);
+    }
+
+    #[test]
+    fn unescape_roundtrip() {
+        let original = r#"5 < 6 & "x" > 'y'"#;
+        assert_eq!(unescape(&escape_attribute(original)), original);
+    }
+
+    #[test]
+    fn unescape_character_references() {
+        assert_eq!(unescape("&#65;&#x42;"), "AB");
+    }
+
+    #[test]
+    fn unescape_keeps_unknown_entities() {
+        assert_eq!(unescape("&nbsp;"), "&nbsp;");
+    }
+
+    #[test]
+    fn unescape_trailing_ampersand() {
+        assert_eq!(unescape("a&"), "a&");
+    }
+}

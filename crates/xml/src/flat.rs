@@ -1,0 +1,91 @@
+//! Helpers for "flat" XML — the row-element shape data-service functions
+//! return (paper §2.3, Example 1).
+//!
+//! A flat result is a sequence of identically named elements whose children
+//! are simple-typed column elements. SQL NULL is represented by *omitting*
+//! the column element from the row, which is why the generated queries lean
+//! on `fn:empty` and `fn-bea:if-empty`.
+
+use crate::atomic::Atomic;
+use crate::node::Element;
+use crate::qname::QName;
+
+/// Builds one flat row element.
+///
+/// `row_name` is the table's element name (possibly prefixed with the data
+/// service namespace), `columns` pairs column names with optional values;
+/// `None` (SQL NULL) omits the element entirely.
+pub fn build_row<'a>(
+    row_name: &QName,
+    columns: impl IntoIterator<Item = (&'a str, Option<Atomic>)>,
+) -> Element {
+    let mut row = Element::new(row_name.clone());
+    for (name, value) in columns {
+        if let Some(v) = value {
+            row = row.with_child(Element::new(QName::local(name)).with_text(v.lexical()));
+        }
+    }
+    row
+}
+
+/// Extracts a column value from a flat row: the string content of the child
+/// named `column`, or `None` when the child is absent (SQL NULL).
+pub fn column_text(row: &Element, column: &str) -> Option<String> {
+    row.children_named(column).next().map(|e| e.string_value())
+}
+
+/// Checks that an element is flat: every child is an element with simple
+/// content. Functions whose return type violates this cannot be presented
+/// through the JDBC driver (paper §2.3 restriction 1).
+pub fn is_flat_row(row: &Element) -> bool {
+    row.children.iter().all(|c| match c {
+        crate::node::Node::Element(e) => e.is_simple(),
+        // Whitespace-only text between columns is tolerated.
+        crate::node::Node::Text(t) => t.trim().is_empty(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn name() -> QName {
+        QName::parse("ns0:CUSTOMERS")
+    }
+
+    #[test]
+    fn build_row_includes_values() {
+        let row = build_row(
+            &name(),
+            [
+                ("CUSTOMERID", Some(Atomic::Integer(55))),
+                ("CUSTOMERNAME", Some(Atomic::String("Joe".into()))),
+            ],
+        );
+        assert_eq!(column_text(&row, "CUSTOMERID").as_deref(), Some("55"));
+        assert_eq!(column_text(&row, "CUSTOMERNAME").as_deref(), Some("Joe"));
+    }
+
+    #[test]
+    fn null_columns_are_absent() {
+        let row = build_row(
+            &name(),
+            [
+                ("CUSTOMERID", Some(Atomic::Integer(55))),
+                ("CUSTOMERNAME", None),
+            ],
+        );
+        assert_eq!(column_text(&row, "CUSTOMERNAME"), None);
+        assert_eq!(row.child_elements().count(), 1);
+    }
+
+    #[test]
+    fn flatness_check() {
+        let flat = build_row(&name(), [("A", Some(Atomic::Integer(1)))]);
+        assert!(is_flat_row(&flat));
+
+        let nested = Element::new("ROW")
+            .with_child(Element::new("A").with_child(Element::new("B").with_text("x")));
+        assert!(!is_flat_row(&nested));
+    }
+}

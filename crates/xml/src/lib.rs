@@ -1,0 +1,37 @@
+//! # aldsp-xml — XQuery data model subset
+//!
+//! The AquaLogic DSP JDBC driver translates SQL into XQuery expressions that
+//! consume and produce *sequences* of *items* (XML nodes and atomic values),
+//! per the XQuery 1.0 data model. This crate implements the subset of that
+//! data model needed by the translated query dialect:
+//!
+//! * [`QName`] — qualified names with optional namespace prefixes.
+//! * [`Atomic`] — typed atomic values (`xs:string`, `xs:integer`,
+//!   `xs:decimal`, `xs:double`, `xs:boolean`, `xs:date`) with the cast and
+//!   comparison rules the generated queries rely on.
+//! * [`Node`] / [`Element`] — ordered XML trees (elements, text).
+//! * [`Item`] and [`Sequence`] — the universal value type of the evaluator.
+//! * Serialization ([`serialize`]) and a small well-formed-XML parser
+//!   ([`parse`]) used by the driver's "materialize XML then parse" result
+//!   transport mode.
+//! * Escaping utilities ([`escape`]) mirroring `fn-bea:xml-escape`.
+//!
+//! Data-service functions in the platform return "flat" XML: a sequence of
+//! row elements whose simple-typed children are the columns (paper §2.3,
+//! Example 1). Helpers for building such rows live in [`flat`].
+
+pub mod atomic;
+pub mod escape;
+pub mod flat;
+pub mod node;
+pub mod parse;
+pub mod qname;
+pub mod sequence;
+pub mod serialize;
+
+pub use atomic::{Atomic, XsType};
+pub use node::{Element, Node};
+pub use parse::{parse_document, parse_fragment, XmlParseError};
+pub use qname::QName;
+pub use sequence::{Item, Sequence};
+pub use serialize::{serialize_item, serialize_node, serialize_sequence};

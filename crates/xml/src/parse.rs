@@ -1,0 +1,295 @@
+//! A small well-formed-XML parser.
+//!
+//! This is the driver-side parser for the XML result-transport mode: the
+//! serialized `<RECORDSET>` document comes back as text and must be parsed
+//! into a tree before rows can be extracted (paper §4 — the overhead this
+//! incurs motivates the delimited-text transport). It handles exactly what
+//! that path needs: elements, attributes, text with entity references,
+//! comments, and XML declarations. It is not a general-purpose validating
+//! parser (no DTDs, no namespaces resolution beyond prefixes).
+
+use crate::escape::unescape;
+use crate::node::{Element, Node};
+use crate::qname::QName;
+use std::fmt;
+
+/// Error raised on malformed input, with a byte offset for diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlParseError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset in the input where the problem was detected.
+    pub offset: usize,
+}
+
+impl fmt::Display for XmlParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "XML parse error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for XmlParseError {}
+
+/// Parses a document with a single root element, skipping an optional XML
+/// declaration, leading whitespace, and comments.
+pub fn parse_document(input: &str) -> Result<Element, XmlParseError> {
+    let mut parser = Parser::new(input);
+    parser.skip_misc();
+    let root = parser.parse_element()?;
+    parser.skip_misc();
+    if !parser.at_end() {
+        return Err(parser.error("trailing content after document element"));
+    }
+    Ok(root)
+}
+
+/// Parses a fragment: a sequence of sibling elements (the shape of a
+/// data-service function result, paper Example 1).
+pub fn parse_fragment(input: &str) -> Result<Vec<Element>, XmlParseError> {
+    let mut parser = Parser::new(input);
+    let mut out = Vec::new();
+    loop {
+        parser.skip_misc();
+        if parser.at_end() {
+            return Ok(out);
+        }
+        out.push(parser.parse_element()?);
+    }
+}
+
+struct Parser<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Parser { input, pos: 0 }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.input[self.pos..]
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.input.len()
+    }
+
+    fn error(&self, message: impl Into<String>) -> XmlParseError {
+        XmlParseError {
+            message: message.into(),
+            offset: self.pos,
+        }
+    }
+
+    fn skip_whitespace(&mut self) {
+        let trimmed = self.rest().trim_start();
+        self.pos = self.input.len() - trimmed.len();
+    }
+
+    /// Skips whitespace, XML declarations, and comments between elements.
+    fn skip_misc(&mut self) {
+        loop {
+            self.skip_whitespace();
+            if self.rest().starts_with("<?") {
+                match self.rest().find("?>") {
+                    Some(end) => self.pos += end + 2,
+                    None => {
+                        self.pos = self.input.len();
+                        return;
+                    }
+                }
+            } else if self.rest().starts_with("<!--") {
+                match self.rest().find("-->") {
+                    Some(end) => self.pos += end + 3,
+                    None => {
+                        self.pos = self.input.len();
+                        return;
+                    }
+                }
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn expect(&mut self, s: &str) -> Result<(), XmlParseError> {
+        if self.rest().starts_with(s) {
+            self.pos += s.len();
+            Ok(())
+        } else {
+            Err(self.error(format!("expected `{s}`")))
+        }
+    }
+
+    fn parse_name(&mut self) -> Result<&'a str, XmlParseError> {
+        let rest = self.rest();
+        let end = rest
+            .char_indices()
+            .find(|(_, c)| !is_name_char(*c))
+            .map(|(i, _)| i)
+            .unwrap_or(rest.len());
+        if end == 0 {
+            return Err(self.error("expected a name"));
+        }
+        self.pos += end;
+        Ok(&rest[..end])
+    }
+
+    fn parse_element(&mut self) -> Result<Element, XmlParseError> {
+        self.expect("<")?;
+        let name = self.parse_name()?;
+        let mut element = Element::new(QName::parse(name));
+
+        // Attributes.
+        loop {
+            self.skip_whitespace();
+            if self.rest().starts_with("/>") {
+                self.pos += 2;
+                return Ok(element);
+            }
+            if self.rest().starts_with('>') {
+                self.pos += 1;
+                break;
+            }
+            let attr_name = self.parse_name()?;
+            self.skip_whitespace();
+            self.expect("=")?;
+            self.skip_whitespace();
+            let quote = self
+                .rest()
+                .chars()
+                .next()
+                .filter(|c| *c == '"' || *c == '\'')
+                .ok_or_else(|| self.error("expected quoted attribute value"))?;
+            self.pos += 1;
+            let rest = self.rest();
+            let end = rest
+                .find(quote)
+                .ok_or_else(|| self.error("unterminated attribute value"))?;
+            let value = unescape(&rest[..end]);
+            self.pos += end + 1;
+            element.attributes.push((QName::parse(attr_name), value));
+        }
+
+        // Content.
+        loop {
+            if self.rest().starts_with("</") {
+                self.pos += 2;
+                let close = self.parse_name()?;
+                if close != name {
+                    return Err(self.error(format!(
+                        "mismatched close tag: expected </{name}>, found </{close}>"
+                    )));
+                }
+                self.skip_whitespace();
+                self.expect(">")?;
+                return Ok(element);
+            }
+            if self.rest().starts_with("<!--") {
+                match self.rest().find("-->") {
+                    Some(end) => self.pos += end + 3,
+                    None => return Err(self.error("unterminated comment")),
+                }
+                continue;
+            }
+            if self.rest().starts_with('<') {
+                let child = self.parse_element()?;
+                element.children.push(child.into_node());
+                continue;
+            }
+            if self.at_end() {
+                return Err(self.error(format!("unterminated element <{name}>")));
+            }
+            // Text run up to the next markup.
+            let rest = self.rest();
+            let end = rest.find('<').unwrap_or(rest.len());
+            let text = unescape(&rest[..end]);
+            self.pos += end;
+            if !text.is_empty() {
+                element.children.push(Node::Text(text.into()));
+            }
+        }
+    }
+}
+
+fn is_name_char(c: char) -> bool {
+    c.is_alphanumeric() || matches!(c, '_' | '-' | '.' | ':')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serialize::serialize_node;
+
+    #[test]
+    fn parse_flat_row() {
+        let e = parse_document(
+            "<ns0:CUSTOMERS><CUSTOMERID>55</CUSTOMERID><CUSTOMERNAME>Joe</CUSTOMERNAME></ns0:CUSTOMERS>",
+        )
+        .unwrap();
+        assert_eq!(e.name.to_string(), "ns0:CUSTOMERS");
+        assert_eq!(
+            e.children_named("CUSTOMERNAME")
+                .next()
+                .unwrap()
+                .string_value(),
+            "Joe"
+        );
+    }
+
+    #[test]
+    fn roundtrip_through_serializer() {
+        let src = "<RECORDSET><RECORD><ID>1</ID><NAME>a &amp; b</NAME></RECORD><RECORD><ID>2</ID><NAME/></RECORD></RECORDSET>";
+        let tree = parse_document(src).unwrap();
+        assert_eq!(serialize_node(&tree.into_node()), src);
+    }
+
+    #[test]
+    fn parse_fragment_multiple_roots() {
+        let rows =
+            parse_fragment("<R><ID>1</ID></R>\n<R><ID>2</ID></R>\n<R><ID>3</ID></R>").unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[2].string_value(), "3");
+    }
+
+    #[test]
+    fn attributes_parse_and_unescape() {
+        let e = parse_document(r#"<A x="1" y='a&amp;b'/>"#).unwrap();
+        assert_eq!(e.attributes.len(), 2);
+        assert_eq!(e.attributes[1].1, "a&b");
+    }
+
+    #[test]
+    fn skips_declaration_and_comments() {
+        let e = parse_document("<?xml version=\"1.0\"?><!-- head --><A><!-- inner --><B>x</B></A>")
+            .unwrap();
+        assert_eq!(e.child_elements().count(), 1);
+    }
+
+    #[test]
+    fn mismatched_close_tag_rejected() {
+        let err = parse_document("<A><B>x</C></A>").unwrap_err();
+        assert!(err.message.contains("mismatched"));
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(parse_document("<A/><B/>").is_err());
+    }
+
+    #[test]
+    fn unterminated_element_rejected() {
+        assert!(parse_document("<A><B>x</B>").is_err());
+    }
+
+    #[test]
+    fn entity_references_in_text() {
+        let e = parse_document("<A>5 &lt; 6 &amp; 7 &gt; 2</A>").unwrap();
+        assert_eq!(e.string_value(), "5 < 6 & 7 > 2");
+    }
+}

@@ -1,0 +1,187 @@
+//! XML serialization.
+//!
+//! Used by the driver's XML result-transport mode: the evaluated
+//! `<RECORDSET>` tree is serialized to text, shipped across the (simulated)
+//! client/server boundary, and re-parsed in the driver (paper §4 argues this
+//! is the *slow* path that the text-encoded transport replaces).
+
+use crate::escape::{escape_attribute, escape_text};
+use crate::node::{Element, Node};
+use crate::sequence::{Item, Sequence};
+
+/// Serializes a node compactly (no added whitespace).
+pub fn serialize_node(node: &Node) -> String {
+    let mut out = String::new();
+    write_node(node, &mut out);
+    out
+}
+
+/// Serializes a single item: nodes as XML, atomics as their lexical form.
+pub fn serialize_item(item: &Item) -> String {
+    match item {
+        Item::Node(n) => serialize_node(n),
+        Item::Atomic(a) => a.lexical(),
+    }
+}
+
+/// Serializes a sequence: nodes as markup, adjacent atomics joined with a
+/// single space (XQuery serialization rules for sequence output).
+pub fn serialize_sequence(seq: &Sequence) -> String {
+    let mut out = String::new();
+    let mut prev_atomic = false;
+    for item in seq.iter() {
+        match item {
+            Item::Node(n) => {
+                write_node(n, &mut out);
+                prev_atomic = false;
+            }
+            Item::Atomic(a) => {
+                if prev_atomic {
+                    out.push(' ');
+                }
+                out.push_str(&escape_text(&a.lexical()));
+                prev_atomic = true;
+            }
+        }
+    }
+    out
+}
+
+fn write_node(node: &Node, out: &mut String) {
+    match node {
+        Node::Text(t) => out.push_str(&escape_text(t)),
+        Node::Element(e) => write_element(e, out),
+    }
+}
+
+fn write_element(e: &Element, out: &mut String) {
+    out.push('<');
+    out.push_str(&e.name.to_string());
+    for (name, value) in &e.attributes {
+        out.push(' ');
+        out.push_str(&name.to_string());
+        out.push_str("=\"");
+        out.push_str(&escape_attribute(value));
+        out.push('"');
+    }
+    if e.children.is_empty() {
+        out.push_str("/>");
+        return;
+    }
+    out.push('>');
+    for child in &e.children {
+        write_node(child, out);
+    }
+    out.push_str("</");
+    out.push_str(&e.name.to_string());
+    out.push('>');
+}
+
+/// Pretty-prints a node with two-space indentation — used by examples and
+/// debugging output, never by the transport (whitespace would pollute
+/// simple content).
+pub fn pretty_print(node: &Node) -> String {
+    let mut out = String::new();
+    pretty_node(node, 0, &mut out);
+    out
+}
+
+fn pretty_node(node: &Node, depth: usize, out: &mut String) {
+    match node {
+        Node::Text(t) => {
+            indent(depth, out);
+            out.push_str(&escape_text(t));
+            out.push('\n');
+        }
+        Node::Element(e) => {
+            indent(depth, out);
+            if e.children.is_empty() {
+                out.push_str(&format!("<{}/>\n", render_open(e)));
+            } else if e.is_simple() {
+                // Simple content inline: <ID>55</ID>
+                out.push_str(&format!(
+                    "<{}>{}</{}>\n",
+                    render_open(e),
+                    escape_text(&e.string_value()),
+                    e.name
+                ));
+            } else {
+                out.push_str(&format!("<{}>\n", render_open(e)));
+                for child in &e.children {
+                    pretty_node(child, depth + 1, out);
+                }
+                indent(depth, out);
+                out.push_str(&format!("</{}>\n", e.name));
+            }
+        }
+    }
+}
+
+fn render_open(e: &Element) -> String {
+    let mut s = e.name.to_string();
+    for (name, value) in &e.attributes {
+        s.push_str(&format!(" {}=\"{}\"", name, escape_attribute(value)));
+    }
+    s
+}
+
+fn indent(depth: usize, out: &mut String) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atomic::Atomic;
+    use crate::qname::QName;
+
+    fn record() -> Element {
+        Element::new("RECORD")
+            .with_child(Element::new("ID").with_text("55"))
+            .with_child(Element::new("NAME").with_text("Joe & Sue"))
+    }
+
+    #[test]
+    fn compact_serialization() {
+        let xml = serialize_node(&record().into_node());
+        assert_eq!(
+            xml,
+            "<RECORD><ID>55</ID><NAME>Joe &amp; Sue</NAME></RECORD>"
+        );
+    }
+
+    #[test]
+    fn empty_element_self_closes() {
+        let xml = serialize_node(&Element::new("NIL").into_node());
+        assert_eq!(xml, "<NIL/>");
+    }
+
+    #[test]
+    fn attributes_serialize_escaped() {
+        let e = Element::new(QName::parse("ns0:ROW")).with_attribute("note", "a\"b");
+        assert_eq!(
+            serialize_node(&e.into_node()),
+            "<ns0:ROW note=\"a&quot;b\"/>"
+        );
+    }
+
+    #[test]
+    fn sequence_joins_atomics_with_space() {
+        let seq = Sequence::from_items(vec![
+            Atomic::Integer(1).into(),
+            Atomic::Integer(2).into(),
+            Item::element(Element::new("X")),
+            Atomic::Integer(3).into(),
+        ]);
+        assert_eq!(serialize_sequence(&seq), "1 2<X/>3");
+    }
+
+    #[test]
+    fn pretty_print_inlines_simple_content() {
+        let out = pretty_print(&record().into_node());
+        assert!(out.contains("  <ID>55</ID>\n"));
+        assert!(out.starts_with("<RECORD>\n"));
+    }
+}

@@ -1,0 +1,73 @@
+//! Property-based tests for the XML substrate: escaping and
+//! serialize/parse round-trips must hold for arbitrary content, because
+//! the result transports put arbitrary SQL data through them.
+
+use aldsp_xml::escape::{escape_attribute, escape_text, unescape};
+use aldsp_xml::{parse_document, serialize_node, Element, Node, QName};
+use proptest::prelude::*;
+
+/// Text without control characters (which XML cannot carry anyway).
+fn xml_text() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[ -~éüλ←🙂]{0,40}").unwrap()
+}
+
+/// Valid element/attribute names.
+fn xml_name() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[A-Za-z_][A-Za-z0-9_.-]{0,12}").unwrap()
+}
+
+proptest! {
+    #[test]
+    fn escape_text_roundtrips(s in xml_text()) {
+        prop_assert_eq!(unescape(&escape_text(&s)), s);
+    }
+
+    #[test]
+    fn escape_attribute_roundtrips(s in xml_text()) {
+        prop_assert_eq!(unescape(&escape_attribute(&s)), s);
+    }
+
+    #[test]
+    fn escaped_text_has_no_raw_separators(s in xml_text()) {
+        // The §4 transport depends on escaped values never containing the
+        // raw separator characters.
+        let escaped = escape_text(&s);
+        prop_assert!(!escaped.contains('<'));
+        prop_assert!(!escaped.contains('>'));
+    }
+
+    #[test]
+    fn flat_row_serialize_parse_roundtrip(
+        name in xml_name(),
+        columns in proptest::collection::vec((xml_name(), xml_text()), 0..6),
+    ) {
+        let mut row = Element::new(QName::local(name));
+        for (col, value) in &columns {
+            row = row.with_child(
+                Element::new(QName::local(col.clone())).with_text(value.clone()),
+            );
+        }
+        let serialized = serialize_node(&row.clone().into_node());
+        let parsed = parse_document(&serialized).unwrap();
+        prop_assert_eq!(
+            serialize_node(&parsed.into_node()),
+            serialized
+        );
+    }
+
+    #[test]
+    fn nested_tree_roundtrip(
+        outer in xml_name(),
+        inner in xml_name(),
+        attr in xml_name(),
+        attr_value in xml_text(),
+        text in xml_text(),
+    ) {
+        let tree = Element::new(QName::local(outer))
+            .with_attribute(QName::local(attr), attr_value)
+            .with_child(Element::new(QName::local(inner)).with_text(text));
+        let serialized = serialize_node(&tree.clone().into_node());
+        let reparsed = parse_document(&serialized).unwrap();
+        prop_assert_eq!(serialize_node(&Node::Element(reparsed.into())), serialized);
+    }
+}

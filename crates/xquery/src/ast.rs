@@ -1,0 +1,342 @@
+//! Abstract syntax of the XQuery dialect.
+//!
+//! The dialect covers what the SQL→XQuery translator emits (paper §3.5 and
+//! §4) plus what hand-written logical data services need: FLWOR with the
+//! BEA group-by extension, paths, constructors, comparisons, arithmetic,
+//! conditionals, quantifiers, and function calls (including `xs:*`
+//! constructor casts, which parse as ordinary calls).
+
+use aldsp_xml::Atomic;
+
+/// A complete query: prolog imports plus the body expression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// `import schema namespace p = "ns" at "loc";` declarations.
+    pub imports: Vec<SchemaImport>,
+    /// The body.
+    pub body: Expr,
+}
+
+/// One prolog schema import (paper §3.5 (i): function names and locations
+/// feed namespace imports and declarations).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchemaImport {
+    /// Bound prefix, e.g. `ns0`.
+    pub prefix: String,
+    /// Namespace URI, e.g. `ld:TestDataServices/CUSTOMERS`.
+    pub namespace: String,
+    /// Schema document location (`at` clause).
+    pub location: String,
+}
+
+/// Comparison operators. General comparisons are existential over
+/// sequences; value comparisons require singleton operands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompOp {
+    /// `=` / `eq`
+    Eq,
+    /// `!=` / `ne`
+    Ne,
+    /// `<` / `lt`
+    Lt,
+    /// `<=` / `le`
+    Le,
+    /// `>` / `gt`
+    Gt,
+    /// `>=` / `ge`
+    Ge,
+}
+
+/// Arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `div`
+    Div,
+    /// `idiv`
+    IDiv,
+    /// `mod`
+    Mod,
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// String/number literal.
+    Literal(Atomic),
+    /// `()`.
+    EmptySequence,
+    /// `(e1, e2, ...)` — flattens on evaluation.
+    Sequence(Vec<Expr>),
+    /// `$name`.
+    VarRef(String),
+    /// `.` — the context item (inside predicates).
+    ContextItem,
+    /// A call: built-in (`fn:data`), extension (`fn-bea:if-empty`),
+    /// constructor cast (`xs:integer`), or data-service function
+    /// (`ns0:CUSTOMERS`).
+    FunctionCall {
+        /// Name as written, prefix included.
+        name: String,
+        /// Argument expressions.
+        args: Vec<Expr>,
+    },
+    /// A path: start expression followed by child steps.
+    Path {
+        /// Where the path starts.
+        start: Box<PathStart>,
+        /// The steps, each with optional predicates.
+        steps: Vec<Step>,
+    },
+    /// `base[predicate]...` on a non-path primary
+    /// (e.g. `ns1:PAYMENTS()[...]`, paper Example 10).
+    Filter {
+        /// The filtered expression.
+        base: Box<Expr>,
+        /// Predicates, applied in order.
+        predicates: Vec<Expr>,
+    },
+    /// A FLWOR expression.
+    Flwor(Flwor),
+    /// `if (cond) then a else b`.
+    If {
+        /// Condition (effective boolean value).
+        cond: Box<Expr>,
+        /// Then branch.
+        then: Box<Expr>,
+        /// Else branch.
+        els: Box<Expr>,
+    },
+    /// `a or b`.
+    Or(Box<Expr>, Box<Expr>),
+    /// `a and b`.
+    And(Box<Expr>, Box<Expr>),
+    /// General comparison (`=`, `<`, ...): existential over sequences.
+    GeneralComp {
+        /// Operator.
+        op: CompOp,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// Value comparison (`eq`, `lt`, ...): singleton operands.
+    ValueComp {
+        /// Operator.
+        op: CompOp,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// Arithmetic.
+    Arith {
+        /// Operator.
+        op: ArithOp,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// Unary minus.
+    UnaryMinus(Box<Expr>),
+    /// `some/every $v in source satisfies predicate`.
+    Quantified {
+        /// True for `every`, false for `some`.
+        every: bool,
+        /// Bound variable.
+        var: String,
+        /// The searched sequence.
+        source: Box<Expr>,
+        /// The predicate.
+        satisfies: Box<Expr>,
+    },
+    /// Direct element constructor.
+    Element(ElementCtor),
+}
+
+/// Where a path starts.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PathStart {
+    /// `$v/...`
+    Var(String),
+    /// `expr/...` (e.g. a function call).
+    Expr(Expr),
+    /// A relative path — steps from the context item (bare `CUSTID` inside
+    /// a predicate, paper Example 10).
+    Context,
+}
+
+/// One child step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Step {
+    /// The node test.
+    pub test: NodeTest,
+    /// Predicates on this step.
+    pub predicates: Vec<Expr>,
+}
+
+/// Node tests supported by the dialect.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeTest {
+    /// A name test matching child elements by local name.
+    Name(String),
+    /// `*` — all child elements.
+    Wildcard,
+}
+
+/// A direct element constructor `<N a="...">{...}</N>`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ElementCtor {
+    /// Element name as written (may carry a prefix).
+    pub name: String,
+    /// Literal attributes (attribute value templates with `{expr}` parts).
+    pub attributes: Vec<(String, Vec<AttrPart>)>,
+    /// Ordered content.
+    pub content: Vec<Content>,
+}
+
+/// A piece of an attribute value template.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrPart {
+    /// Literal text.
+    Text(String),
+    /// `{expr}`.
+    Enclosed(Expr),
+}
+
+/// A piece of element content.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// Literal text.
+    Text(String),
+    /// `{expr}` — result items are inserted (atomics become text).
+    Enclosed(Expr),
+    /// A nested element constructor.
+    Element(ElementCtor),
+}
+
+/// A FLWOR expression (paper §2.1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Flwor {
+    /// The clause pipeline, in source order.
+    pub clauses: Vec<Clause>,
+    /// The `return` expression.
+    pub ret: Box<Expr>,
+}
+
+/// One FLWOR clause — a tuple-stream transformer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Clause {
+    /// `for $v in expr`.
+    For {
+        /// Bound variable.
+        var: String,
+        /// Source sequence.
+        source: Expr,
+    },
+    /// `let $v := expr`.
+    Let {
+        /// Bound variable.
+        var: String,
+        /// Bound value.
+        value: Expr,
+    },
+    /// `where expr`.
+    Where(Expr),
+    /// BEA group-by extension:
+    /// `group $src as $partition by key1 as $k1, key2 as $k2`
+    /// — partitions the tuple stream by the key expressions; in each
+    /// output tuple, `$partition` holds the concatenation of `$src` across
+    /// the group's tuples and each `$kN` holds the key value (paper
+    /// Example 12: "$inter is partitioned over CUSTOMERID and
+    /// CUSTOMERNAME and the new groups are called var1GB4 and var1GB5").
+    GroupBy(GroupClause),
+    /// `order by spec, ...`.
+    OrderBy(Vec<OrderSpec>),
+}
+
+/// The BEA group clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupClause {
+    /// The variable whose per-tuple values are concatenated into the
+    /// partition.
+    pub source_var: String,
+    /// The partition variable bound in output tuples.
+    pub partition_var: String,
+    /// `(key expression, bound key variable)` pairs.
+    pub keys: Vec<(Expr, String)>,
+}
+
+/// One `order by` key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderSpec {
+    /// Key expression (must atomize to at most one item per tuple).
+    pub key: Expr,
+    /// `descending` was specified.
+    pub descending: bool,
+    /// `empty greatest` was specified (default: empty least, which is how
+    /// SQL NULL ordering lines up between the two engines).
+    pub empty_greatest: bool,
+}
+
+impl Expr {
+    /// Convenience: a string literal.
+    pub fn string(s: impl Into<String>) -> Expr {
+        Expr::Literal(Atomic::String(s.into()))
+    }
+
+    /// Convenience: an integer literal.
+    pub fn integer(i: i64) -> Expr {
+        Expr::Literal(Atomic::Integer(i))
+    }
+
+    /// Convenience: a variable reference.
+    pub fn var(name: impl Into<String>) -> Expr {
+        Expr::VarRef(name.into())
+    }
+
+    /// Convenience: `fn(args...)`.
+    pub fn call(name: impl Into<String>, args: Vec<Expr>) -> Expr {
+        Expr::FunctionCall {
+            name: name.into(),
+            args,
+        }
+    }
+
+    /// Convenience: `$var/step1/step2` with no predicates.
+    pub fn var_path(var: impl Into<String>, steps: &[&str]) -> Expr {
+        Expr::Path {
+            start: Box::new(PathStart::Var(var.into())),
+            steps: steps
+                .iter()
+                .map(|s| Step {
+                    test: NodeTest::Name((*s).to_string()),
+                    predicates: vec![],
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_build_expected_shapes() {
+        assert_eq!(Expr::string("x"), Expr::Literal(Atomic::String("x".into())));
+        let p = Expr::var_path("v", &["RECORD", "ID"]);
+        let Expr::Path { start, steps } = p else {
+            panic!()
+        };
+        assert_eq!(*start, PathStart::Var("v".into()));
+        assert_eq!(steps.len(), 2);
+        assert_eq!(steps[1].test, NodeTest::Name("ID".into()));
+    }
+}

@@ -1,0 +1,1016 @@
+//! The XQuery evaluator.
+//!
+//! Evaluates the dialect AST over the `aldsp-xml` data model. FLWOR
+//! expressions run as tuple streams (each clause transforms a vector of
+//! variable environments), which makes the BEA group-by extension a
+//! straightforward stream re-partitioning. No optimization is attempted:
+//! the paper explicitly leaves optimization to the server's compiler
+//! (§3.2), and this engine's job is fidelity, not speed.
+
+use crate::ast::*;
+use crate::functions::{atomic_group_key, call_builtin, coerce_numeric, data};
+use aldsp_xml::{Atomic, Element, Item, Node, QName, Sequence};
+use std::cmp::Ordering;
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+/// Evaluation error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XqError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl XqError {
+    /// Creates an error.
+    pub fn new(message: impl Into<String>) -> XqError {
+        XqError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for XqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for XqError {}
+
+/// Resolves data-service function calls (`ns0:CUSTOMERS()`); the driver
+/// implements this over catalog-backed relational tables.
+pub trait FunctionSource {
+    /// Calls the function `local` in `namespace` (resolved from the
+    /// prolog's prefix bindings; `None` when the prefix was not imported).
+    fn call(
+        &self,
+        namespace: Option<&str>,
+        local: &str,
+        args: &[Sequence],
+    ) -> Result<Sequence, XqError>;
+}
+
+/// A source with no functions — parse-and-evaluate tests over pure
+/// expressions use this.
+pub struct EmptyFunctionSource;
+
+impl FunctionSource for EmptyFunctionSource {
+    fn call(
+        &self,
+        namespace: Option<&str>,
+        local: &str,
+        _args: &[Sequence],
+    ) -> Result<Sequence, XqError> {
+        Err(XqError::new(format!(
+            "unknown function {}:{local}",
+            namespace.unwrap_or("?")
+        )))
+    }
+}
+
+/// Persistent variable environment: a shared-tail linked list, so binding
+/// inside a FLWOR tuple is O(1) and tuples share their common prefix.
+#[derive(Clone, Default)]
+pub struct Env(Option<Rc<EnvNode>>);
+
+struct EnvNode {
+    name: String,
+    value: Sequence,
+    parent: Env,
+}
+
+impl Env {
+    /// The empty environment.
+    pub fn new() -> Env {
+        Env(None)
+    }
+
+    /// Returns a new environment with `name` bound to `value`.
+    pub fn bind(&self, name: impl Into<String>, value: Sequence) -> Env {
+        Env(Some(Rc::new(EnvNode {
+            name: name.into(),
+            value,
+            parent: self.clone(),
+        })))
+    }
+
+    /// Innermost binding of `name`.
+    pub fn lookup(&self, name: &str) -> Option<&Sequence> {
+        let mut current = self;
+        while let Some(node) = &current.0 {
+            if node.name == name {
+                return Some(&node.value);
+            }
+            current = &node.parent;
+        }
+        None
+    }
+}
+
+/// The evaluator: function source plus the prolog's prefix bindings.
+pub struct Evaluator<'a> {
+    functions: &'a dyn FunctionSource,
+    prefixes: HashMap<String, String>,
+}
+
+/// Evaluates a parsed program against a function source.
+pub fn evaluate_program(
+    program: &Program,
+    functions: &dyn FunctionSource,
+) -> Result<Sequence, XqError> {
+    evaluate_program_with(program, functions, &[])
+}
+
+/// Evaluates a program with pre-bound external variables — how the driver
+/// supplies JDBC prepared-statement parameters (`$sqlParam1`, ...).
+pub fn evaluate_program_with(
+    program: &Program,
+    functions: &dyn FunctionSource,
+    vars: &[(String, Sequence)],
+) -> Result<Sequence, XqError> {
+    let evaluator = Evaluator::new(functions, &program.imports);
+    let mut env = Env::new();
+    for (name, value) in vars {
+        env = env.bind(name.clone(), value.clone());
+    }
+    evaluator.eval(&program.body, &env, None)
+}
+
+impl<'a> Evaluator<'a> {
+    /// Creates an evaluator with the given prolog imports.
+    pub fn new(functions: &'a dyn FunctionSource, imports: &[SchemaImport]) -> Evaluator<'a> {
+        let prefixes = imports
+            .iter()
+            .map(|i| (i.prefix.clone(), i.namespace.clone()))
+            .collect();
+        Evaluator {
+            functions,
+            prefixes,
+        }
+    }
+
+    /// Evaluates `expr` in `env`, with an optional context item (set
+    /// inside predicates).
+    pub fn eval(
+        &self,
+        expr: &Expr,
+        env: &Env,
+        context: Option<&Item>,
+    ) -> Result<Sequence, XqError> {
+        match expr {
+            Expr::Literal(a) => Ok(Sequence::singleton(a.clone())),
+            Expr::EmptySequence => Ok(Sequence::empty()),
+            Expr::Sequence(items) => {
+                let mut out = Sequence::empty();
+                for e in items {
+                    out.extend(self.eval(e, env, context)?);
+                }
+                Ok(out)
+            }
+            Expr::VarRef(name) => env
+                .lookup(name)
+                .cloned()
+                .ok_or_else(|| XqError::new(format!("undefined variable ${name}"))),
+            Expr::ContextItem => match context {
+                Some(item) => Ok(Sequence::singleton(item.clone())),
+                None => Err(XqError::new("no context item")),
+            },
+            Expr::FunctionCall { name, args } => {
+                let mut values = Vec::with_capacity(args.len());
+                for a in args {
+                    values.push(self.eval(a, env, context)?);
+                }
+                if let Some(result) = call_builtin(name, &values)? {
+                    return Ok(result);
+                }
+                // Data-service function: resolve the prefix.
+                let (prefix, local) = match name.split_once(':') {
+                    Some((p, l)) => (Some(p), l),
+                    None => (None, name.as_str()),
+                };
+                let namespace = prefix.and_then(|p| self.prefixes.get(p).map(|s| s.as_str()));
+                self.functions.call(namespace, local, &values)
+            }
+            Expr::Path { start, steps } => {
+                let mut current = match &**start {
+                    PathStart::Var(v) => env
+                        .lookup(v)
+                        .cloned()
+                        .ok_or_else(|| XqError::new(format!("undefined variable ${v}")))?,
+                    PathStart::Expr(e) => self.eval(e, env, context)?,
+                    PathStart::Context => match context {
+                        Some(item) => Sequence::singleton(item.clone()),
+                        None => return Err(XqError::new("relative path without context item")),
+                    },
+                };
+                for step in steps {
+                    current = self.apply_step(&current, step, env)?;
+                }
+                Ok(current)
+            }
+            Expr::Filter { base, predicates } => {
+                let mut current = self.eval(base, env, context)?;
+                for predicate in predicates {
+                    current = self.apply_predicate(current, predicate, env)?;
+                }
+                Ok(current)
+            }
+            Expr::Flwor(flwor) => self.eval_flwor(flwor, env, context),
+            Expr::If { cond, then, els } => {
+                let c = self.eval(cond, env, context)?;
+                if c.effective_boolean() {
+                    self.eval(then, env, context)
+                } else {
+                    self.eval(els, env, context)
+                }
+            }
+            Expr::Or(a, b) => {
+                let left = self.eval(a, env, context)?.effective_boolean();
+                if left {
+                    return Ok(Sequence::singleton(Atomic::Boolean(true)));
+                }
+                let right = self.eval(b, env, context)?.effective_boolean();
+                Ok(Sequence::singleton(Atomic::Boolean(right)))
+            }
+            Expr::And(a, b) => {
+                let left = self.eval(a, env, context)?.effective_boolean();
+                if !left {
+                    return Ok(Sequence::singleton(Atomic::Boolean(false)));
+                }
+                let right = self.eval(b, env, context)?.effective_boolean();
+                Ok(Sequence::singleton(Atomic::Boolean(right)))
+            }
+            Expr::GeneralComp { op, left, right } => {
+                let l = data(&self.eval(left, env, context)?);
+                let r = data(&self.eval(right, env, context)?);
+                // Existential semantics — empty operands yield false,
+                // which is how SQL NULL predicates exclude rows.
+                for a in l.iter() {
+                    let Item::Atomic(a) = a else { continue };
+                    for b in r.iter() {
+                        let Item::Atomic(b) = b else { continue };
+                        if let Some(ord) = a.compare(b) {
+                            if comp_matches(*op, ord) {
+                                return Ok(Sequence::singleton(Atomic::Boolean(true)));
+                            }
+                        }
+                    }
+                }
+                Ok(Sequence::singleton(Atomic::Boolean(false)))
+            }
+            Expr::ValueComp { op, left, right } => {
+                let l = data(&self.eval(left, env, context)?);
+                let r = data(&self.eval(right, env, context)?);
+                if l.is_empty() || r.is_empty() {
+                    return Ok(Sequence::empty());
+                }
+                let (Some(Item::Atomic(a)), Some(Item::Atomic(b))) =
+                    (l.as_singleton(), r.as_singleton())
+                else {
+                    return Err(XqError::new("value comparison requires singletons"));
+                };
+                let ord = a
+                    .compare(b)
+                    .ok_or_else(|| XqError::new(format!("cannot compare {a} with {b}")))?;
+                Ok(Sequence::singleton(Atomic::Boolean(comp_matches(*op, ord))))
+            }
+            Expr::Arith { op, left, right } => {
+                let l = self.eval_numeric_operand(left, env, context)?;
+                let r = self.eval_numeric_operand(right, env, context)?;
+                match (l, r) {
+                    (Some(a), Some(b)) => arith(*op, &a, &b).map(Sequence::singleton),
+                    // Empty operand → empty result (NULL propagation).
+                    _ => Ok(Sequence::empty()),
+                }
+            }
+            Expr::UnaryMinus(inner) => match self.eval_numeric_operand(inner, env, context)? {
+                None => Ok(Sequence::empty()),
+                Some(Atomic::Integer(i)) => i
+                    .checked_neg()
+                    .map(|n| Sequence::singleton(Atomic::Integer(n)))
+                    .ok_or_else(|| XqError::new("integer overflow")),
+                Some(Atomic::Decimal(d)) => Ok(Sequence::singleton(Atomic::Decimal(-d))),
+                Some(Atomic::Double(d)) => Ok(Sequence::singleton(Atomic::Double(-d))),
+                Some(other) => Err(XqError::new(format!("cannot negate {other}"))),
+            },
+            Expr::Quantified {
+                every,
+                var,
+                source,
+                satisfies,
+            } => {
+                let items = self.eval(source, env, context)?;
+                for item in items.into_items() {
+                    let bound = env.bind(var.clone(), Sequence::singleton(item));
+                    let holds = self.eval(satisfies, &bound, context)?.effective_boolean();
+                    if *every && !holds {
+                        return Ok(Sequence::singleton(Atomic::Boolean(false)));
+                    }
+                    if !*every && holds {
+                        return Ok(Sequence::singleton(Atomic::Boolean(true)));
+                    }
+                }
+                Ok(Sequence::singleton(Atomic::Boolean(*every)))
+            }
+            Expr::Element(ctor) => {
+                let element = self.construct_element(ctor, env, context)?;
+                Ok(Sequence::singleton(Item::element(element)))
+            }
+        }
+    }
+
+    fn eval_numeric_operand(
+        &self,
+        expr: &Expr,
+        env: &Env,
+        context: Option<&Item>,
+    ) -> Result<Option<Atomic>, XqError> {
+        let seq = data(&self.eval(expr, env, context)?);
+        match seq.items() {
+            [] => Ok(None),
+            [Item::Atomic(a)] => coerce_numeric(a)
+                .map(Some)
+                .ok_or_else(|| XqError::new(format!("non-numeric operand {a}"))),
+            _ => Err(XqError::new("arithmetic requires singleton operands")),
+        }
+    }
+
+    fn apply_step(&self, input: &Sequence, step: &Step, env: &Env) -> Result<Sequence, XqError> {
+        let mut out = Sequence::empty();
+        for item in input.iter() {
+            let Some(element) = item.as_element() else {
+                continue;
+            };
+            for child in element.child_elements() {
+                let matches = match &step.test {
+                    NodeTest::Wildcard => true,
+                    NodeTest::Name(name) => element_name_matches(child, name),
+                };
+                if matches {
+                    out.push(Item::Node(Node::Element(Rc::clone(child))));
+                }
+            }
+        }
+        for predicate in &step.predicates {
+            out = self.apply_predicate(out, predicate, env)?;
+        }
+        Ok(out)
+    }
+
+    /// Predicate semantics: a numeric singleton result selects by
+    /// (1-based) position; anything else filters by effective boolean
+    /// value, with the candidate as the context item.
+    fn apply_predicate(
+        &self,
+        input: Sequence,
+        predicate: &Expr,
+        env: &Env,
+    ) -> Result<Sequence, XqError> {
+        let mut out = Sequence::empty();
+        for (index, item) in input.into_items().into_iter().enumerate() {
+            let result = self.eval(predicate, env, Some(&item))?;
+            let keep = match result.as_singleton() {
+                Some(Item::Atomic(a)) if a.xs_type().is_numeric() => {
+                    a.as_f64() == Some((index + 1) as f64)
+                }
+                _ => result.effective_boolean(),
+            };
+            if keep {
+                out.push(item);
+            }
+        }
+        Ok(out)
+    }
+
+    fn eval_flwor(
+        &self,
+        flwor: &Flwor,
+        env: &Env,
+        context: Option<&Item>,
+    ) -> Result<Sequence, XqError> {
+        let mut tuples: Vec<Env> = vec![env.clone()];
+        for clause in &flwor.clauses {
+            match clause {
+                Clause::For { var, source } => {
+                    let mut next = Vec::new();
+                    for tuple in &tuples {
+                        let seq = self.eval(source, tuple, context)?;
+                        for item in seq.into_items() {
+                            next.push(tuple.bind(var.clone(), Sequence::singleton(item)));
+                        }
+                    }
+                    tuples = next;
+                }
+                Clause::Let { var, value } => {
+                    let mut next = Vec::with_capacity(tuples.len());
+                    for tuple in &tuples {
+                        let v = self.eval(value, tuple, context)?;
+                        next.push(tuple.bind(var.clone(), v));
+                    }
+                    tuples = next;
+                }
+                Clause::Where(predicate) => {
+                    let mut next = Vec::new();
+                    for tuple in tuples {
+                        if self.eval(predicate, &tuple, context)?.effective_boolean() {
+                            next.push(tuple);
+                        }
+                    }
+                    tuples = next;
+                }
+                Clause::GroupBy(group) => {
+                    tuples = self.apply_group_by(group, tuples, context)?;
+                }
+                Clause::OrderBy(specs) => {
+                    tuples = self.apply_order_by(specs, tuples, context)?;
+                }
+            }
+        }
+        let mut out = Sequence::empty();
+        for tuple in &tuples {
+            out.extend(self.eval(&flwor.ret, tuple, context)?);
+        }
+        Ok(out)
+    }
+
+    /// The BEA group-by extension: partitions the tuple stream by the key
+    /// expressions; each output tuple binds the partition variable to the
+    /// concatenated source sequences and each key variable to its value.
+    fn apply_group_by(
+        &self,
+        group: &GroupClause,
+        tuples: Vec<Env>,
+        context: Option<&Item>,
+    ) -> Result<Vec<Env>, XqError> {
+        struct Partition {
+            representative: Env,
+            keys: Vec<Sequence>,
+            partition: Sequence,
+        }
+        let mut partitions: Vec<Partition> = Vec::new();
+        let mut index: HashMap<String, usize> = HashMap::new();
+        for tuple in tuples {
+            let mut keys = Vec::with_capacity(group.keys.len());
+            let mut canonical = String::new();
+            for (key_expr, _) in &group.keys {
+                let value = data(&self.eval(key_expr, &tuple, context)?);
+                match value.items() {
+                    [] => canonical.push_str("\u{0}E"),
+                    [Item::Atomic(a)] => canonical.push_str(&atomic_group_key(a)),
+                    _ => {
+                        return Err(XqError::new(
+                            "group-by key must atomize to at most one item",
+                        ))
+                    }
+                }
+                canonical.push('\u{1}');
+                keys.push(value);
+            }
+            let source = tuple.lookup(&group.source_var).cloned().ok_or_else(|| {
+                XqError::new(format!("undefined group source ${}", group.source_var))
+            })?;
+            match index.get(&canonical) {
+                Some(&i) => partitions[i].partition.extend(source),
+                None => {
+                    index.insert(canonical, partitions.len());
+                    partitions.push(Partition {
+                        representative: tuple,
+                        keys,
+                        partition: source,
+                    });
+                }
+            }
+        }
+        Ok(partitions
+            .into_iter()
+            .map(|p| {
+                let mut env = p
+                    .representative
+                    .bind(group.partition_var.clone(), p.partition);
+                for ((_, key_var), value) in group.keys.iter().zip(p.keys) {
+                    env = env.bind(key_var.clone(), value);
+                }
+                env
+            })
+            .collect())
+    }
+
+    fn apply_order_by(
+        &self,
+        specs: &[OrderSpec],
+        tuples: Vec<Env>,
+        context: Option<&Item>,
+    ) -> Result<Vec<Env>, XqError> {
+        let mut keyed: Vec<(Vec<Option<Atomic>>, Env)> = Vec::with_capacity(tuples.len());
+        for tuple in tuples {
+            let mut keys = Vec::with_capacity(specs.len());
+            for spec in specs {
+                let value = data(&self.eval(&spec.key, &tuple, context)?);
+                let key = match value.items() {
+                    [] => None,
+                    [Item::Atomic(a)] => Some(a.clone()),
+                    _ => {
+                        return Err(XqError::new(
+                            "order-by key must atomize to at most one item",
+                        ))
+                    }
+                };
+                keys.push(key);
+            }
+            keyed.push((keys, tuple));
+        }
+        keyed.sort_by(|(ka, _), (kb, _)| {
+            for (i, spec) in specs.iter().enumerate() {
+                let ord = order_key_cmp(&ka[i], &kb[i], spec.empty_greatest);
+                let ord = if spec.descending { ord.reverse() } else { ord };
+                if ord != Ordering::Equal {
+                    return ord;
+                }
+            }
+            Ordering::Equal
+        });
+        Ok(keyed.into_iter().map(|(_, t)| t).collect())
+    }
+
+    fn construct_element(
+        &self,
+        ctor: &ElementCtor,
+        env: &Env,
+        context: Option<&Item>,
+    ) -> Result<Element, XqError> {
+        let mut element = Element::new(QName::parse(&ctor.name));
+        for (name, parts) in &ctor.attributes {
+            let mut value = String::new();
+            for part in parts {
+                match part {
+                    AttrPart::Text(t) => value.push_str(t),
+                    AttrPart::Enclosed(e) => {
+                        let seq = self.eval(e, env, context)?;
+                        let strings: Vec<String> =
+                            seq.iter().map(|item| item.string_value()).collect();
+                        value.push_str(&strings.join(" "));
+                    }
+                }
+            }
+            element.attributes.push((QName::parse(name), value));
+        }
+        for content in &ctor.content {
+            match content {
+                Content::Text(t) => element.children.push(Node::Text(t.as_str().into())),
+                Content::Element(nested) => {
+                    let child = self.construct_element(nested, env, context)?;
+                    element.children.push(child.into_node());
+                }
+                Content::Enclosed(e) => {
+                    let seq = self.eval(e, env, context)?;
+                    // XQuery constructor content: adjacent atomics join
+                    // with single spaces into one text node; nodes are
+                    // copied in as children.
+                    let mut pending_text: Option<String> = None;
+                    for item in seq.into_items() {
+                        match item {
+                            Item::Atomic(a) => {
+                                let lex = a.lexical();
+                                pending_text = Some(match pending_text {
+                                    None => lex,
+                                    Some(mut acc) => {
+                                        acc.push(' ');
+                                        acc.push_str(&lex);
+                                        acc
+                                    }
+                                });
+                            }
+                            Item::Node(n) => {
+                                if let Some(text) = pending_text.take() {
+                                    element.children.push(Node::Text(text.into()));
+                                }
+                                element.children.push(n);
+                            }
+                        }
+                    }
+                    if let Some(text) = pending_text {
+                        element.children.push(Node::Text(text.into()));
+                    }
+                }
+            }
+        }
+        Ok(element)
+    }
+}
+
+fn element_name_matches(element: &Rc<Element>, test: &str) -> bool {
+    // Step tests in the generated dialect are written without prefixes and
+    // match by local name; a prefixed test matches exactly.
+    match test.split_once(':') {
+        Some(_) => element.name.to_string() == test,
+        None => element.name.matches_local(test),
+    }
+}
+
+fn comp_matches(op: CompOp, ord: Ordering) -> bool {
+    match op {
+        CompOp::Eq => ord == Ordering::Equal,
+        CompOp::Ne => ord != Ordering::Equal,
+        CompOp::Lt => ord == Ordering::Less,
+        CompOp::Le => ord != Ordering::Greater,
+        CompOp::Gt => ord == Ordering::Greater,
+        CompOp::Ge => ord != Ordering::Less,
+    }
+}
+
+/// `order by` comparison: empty sorts least by default (`empty greatest`
+/// flips it); untyped coercion comes from [`Atomic::compare`];
+/// incomparable values tie.
+fn order_key_cmp(a: &Option<Atomic>, b: &Option<Atomic>, empty_greatest: bool) -> Ordering {
+    match (a, b) {
+        (None, None) => Ordering::Equal,
+        (None, Some(_)) => {
+            if empty_greatest {
+                Ordering::Greater
+            } else {
+                Ordering::Less
+            }
+        }
+        (Some(_), None) => {
+            if empty_greatest {
+                Ordering::Less
+            } else {
+                Ordering::Greater
+            }
+        }
+        (Some(a), Some(b)) => a.compare(b).unwrap_or(Ordering::Equal),
+    }
+}
+
+/// Arithmetic with XQuery type promotion: integer ops stay integral except
+/// `div`, which produces a decimal (SQL's truncating integer division is
+/// recovered by the translator wrapping the division in an `xs:integer`
+/// cast — see `aldsp-core`).
+fn arith(op: ArithOp, a: &Atomic, b: &Atomic) -> Result<Atomic, XqError> {
+    use Atomic::*;
+    if let (Integer(x), Integer(y)) = (a, b) {
+        return match op {
+            ArithOp::Add => x
+                .checked_add(*y)
+                .map(Integer)
+                .ok_or_else(|| XqError::new("integer overflow")),
+            ArithOp::Sub => x
+                .checked_sub(*y)
+                .map(Integer)
+                .ok_or_else(|| XqError::new("integer overflow")),
+            ArithOp::Mul => x
+                .checked_mul(*y)
+                .map(Integer)
+                .ok_or_else(|| XqError::new("integer overflow")),
+            ArithOp::Div => {
+                if *y == 0 {
+                    Err(XqError::new("division by zero"))
+                } else {
+                    Ok(Decimal(*x as f64 / *y as f64))
+                }
+            }
+            ArithOp::IDiv => {
+                if *y == 0 {
+                    Err(XqError::new("division by zero"))
+                } else {
+                    Ok(Integer(x / y))
+                }
+            }
+            ArithOp::Mod => {
+                if *y == 0 {
+                    Err(XqError::new("division by zero"))
+                } else {
+                    Ok(Integer(x % y))
+                }
+            }
+        };
+    }
+    let x = a
+        .as_f64()
+        .ok_or_else(|| XqError::new(format!("non-numeric operand {a}")))?;
+    let y = b
+        .as_f64()
+        .ok_or_else(|| XqError::new(format!("non-numeric operand {b}")))?;
+    let double = matches!(a, Double(_)) || matches!(b, Double(_));
+    let value = match op {
+        ArithOp::Add => x + y,
+        ArithOp::Sub => x - y,
+        ArithOp::Mul => x * y,
+        ArithOp::Div => {
+            if y == 0.0 && !double {
+                return Err(XqError::new("division by zero"));
+            }
+            x / y
+        }
+        ArithOp::IDiv => {
+            if y == 0.0 {
+                return Err(XqError::new("division by zero"));
+            }
+            return Ok(Integer((x / y).trunc() as i64));
+        }
+        ArithOp::Mod => {
+            if y == 0.0 && !double {
+                return Err(XqError::new("division by zero"));
+            }
+            x % y
+        }
+    };
+    Ok(if double {
+        Double(value)
+    } else {
+        Decimal(value)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+    use aldsp_xml::flat::build_row;
+    use aldsp_xml::serialize_sequence;
+
+    /// A function source exposing a tiny CUSTOMERS/PAYMENTS universe as
+    /// flat XML, mirroring paper Example 1.
+    struct TestSource;
+
+    impl FunctionSource for TestSource {
+        fn call(
+            &self,
+            namespace: Option<&str>,
+            local: &str,
+            _args: &[Sequence],
+        ) -> Result<Sequence, XqError> {
+            type Row = (&'static str, Vec<(&'static str, Option<Atomic>)>);
+            let rows: Vec<Row> = match local {
+                "CUSTOMERS" => vec![
+                    (
+                        "CUSTOMERS",
+                        vec![
+                            ("CUSTOMERID", Some(Atomic::Integer(55))),
+                            ("CUSTOMERNAME", Some(Atomic::String("Joe".into()))),
+                        ],
+                    ),
+                    (
+                        "CUSTOMERS",
+                        vec![
+                            ("CUSTOMERID", Some(Atomic::Integer(23))),
+                            ("CUSTOMERNAME", Some(Atomic::String("Sue".into()))),
+                        ],
+                    ),
+                    (
+                        "CUSTOMERS",
+                        vec![
+                            ("CUSTOMERID", Some(Atomic::Integer(7))),
+                            ("CUSTOMERNAME", None),
+                        ],
+                    ),
+                ],
+                "PAYMENTS" => vec![
+                    (
+                        "PAYMENTS",
+                        vec![
+                            ("CUSTID", Some(Atomic::Integer(55))),
+                            ("PAYMENT", Some(Atomic::Decimal(100.0))),
+                        ],
+                    ),
+                    (
+                        "PAYMENTS",
+                        vec![
+                            ("CUSTID", Some(Atomic::Integer(23))),
+                            ("PAYMENT", Some(Atomic::Decimal(50.0))),
+                        ],
+                    ),
+                ],
+                other => {
+                    return Err(XqError::new(format!(
+                        "unknown function {}:{other}",
+                        namespace.unwrap_or("?")
+                    )))
+                }
+            };
+            Ok(rows
+                .into_iter()
+                .map(|(name, cols)| Item::element(build_row(&QName::prefixed("ns0", name), cols)))
+                .collect())
+        }
+    }
+
+    fn run(query: &str) -> Sequence {
+        let program = parse_program(query).unwrap_or_else(|e| panic!("{e}"));
+        evaluate_program(&program, &TestSource).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    fn run_text(query: &str) -> String {
+        serialize_sequence(&run(query))
+    }
+
+    const IMPORT: &str = "import schema namespace ns0 = \"ld:T/CUSTOMERS\" at \"ld:T/schemas/CUSTOMERS.xsd\";\nimport schema namespace ns1 = \"ld:T/PAYMENTS\" at \"ld:T/schemas/PAYMENTS.xsd\";\n";
+
+    #[test]
+    fn example3_filter_by_name() {
+        // Paper Example 3.
+        let out = run_text(&format!(
+            r#"{IMPORT}
+            for $c in ns0:CUSTOMERS()
+            where $c/CUSTOMERNAME eq "Sue"
+            return
+            <RECORD>
+              <CUSTOMERS.CUSTOMERID>{{fn:data($c/CUSTOMERID)}}</CUSTOMERS.CUSTOMERID>
+              <CUSTOMERS.CUSTOMERNAME>{{fn:data($c/CUSTOMERNAME)}}</CUSTOMERS.CUSTOMERNAME>
+            </RECORD>"#
+        ));
+        assert_eq!(
+            out,
+            "<RECORD><CUSTOMERS.CUSTOMERID>23</CUSTOMERS.CUSTOMERID>\
+             <CUSTOMERS.CUSTOMERNAME>Sue</CUSTOMERS.CUSTOMERNAME></RECORD>"
+        );
+    }
+
+    #[test]
+    fn untyped_numeric_comparison() {
+        // Paper Example 8 pattern: node content vs xs:integer cast.
+        let out = run_text(&format!(
+            "{IMPORT} for $c in ns0:CUSTOMERS() where ($c/CUSTOMERID > xs:integer(10)) \
+             return <ID>{{fn:data($c/CUSTOMERID)}}</ID>"
+        ));
+        assert_eq!(out, "<ID>55</ID><ID>23</ID>");
+    }
+
+    #[test]
+    fn absent_column_is_empty_sequence() {
+        // Customer 7 has no CUSTOMERNAME element: the predicate is false,
+        // matching SQL's NULL semantics.
+        let out = run_text(&format!(
+            "{IMPORT} for $c in ns0:CUSTOMERS() where $c/CUSTOMERNAME = \"Joe\" \
+             return <ID>{{fn:data($c/CUSTOMERID)}}</ID>"
+        ));
+        assert_eq!(out, "<ID>55</ID>");
+        // fn:empty detects the absent column.
+        let nulls = run_text(&format!(
+            "{IMPORT} for $c in ns0:CUSTOMERS() where fn:empty($c/CUSTOMERNAME) \
+             return <ID>{{fn:data($c/CUSTOMERID)}}</ID>"
+        ));
+        assert_eq!(nulls, "<ID>7</ID>");
+    }
+
+    #[test]
+    fn let_bound_recordset_view() {
+        // Paper Example 8's let-view pattern.
+        let out = run_text(&format!(
+            "{IMPORT} <RECORDSET>{{
+               let $tempvar1FR2 := <RECORDSET>{{
+                 for $var2FR2 in ns0:CUSTOMERS() return
+                 <RECORD><ID>{{fn:data($var2FR2/CUSTOMERID)}}</ID></RECORD>
+               }}</RECORDSET>
+               for $var1FR2 in $tempvar1FR2/RECORD
+               where ($var1FR2/ID > xs:integer(10))
+               return <RECORD><INFO.ID>{{fn:data($var1FR2/ID)}}</INFO.ID></RECORD>
+             }}</RECORDSET>"
+        ));
+        assert_eq!(
+            out,
+            "<RECORDSET><RECORD><INFO.ID>55</INFO.ID></RECORD>\
+             <RECORD><INFO.ID>23</INFO.ID></RECORD></RECORDSET>"
+        );
+    }
+
+    #[test]
+    fn left_outer_join_if_empty_pattern() {
+        // Paper Example 10's shape.
+        let out = run_text(&format!(
+            "{IMPORT} for $c in ns0:CUSTOMERS()
+             let $t := ns1:PAYMENTS()[($c/CUSTOMERID=CUSTID)]
+             return
+               if (fn:empty($t)) then
+                 <RECORD><ID>{{fn:data($c/CUSTOMERID)}}</ID></RECORD>
+               else
+                 (for $p in $t return
+                   <RECORD><ID>{{fn:data($c/CUSTOMERID)}}</ID>\
+<PAY>{{fn:data($p/PAYMENT)}}</PAY></RECORD>)"
+        ));
+        assert_eq!(
+            out,
+            "<RECORD><ID>55</ID><PAY>100</PAY></RECORD>\
+             <RECORD><ID>23</ID><PAY>50</PAY></RECORD>\
+             <RECORD><ID>7</ID></RECORD>"
+        );
+    }
+
+    #[test]
+    fn group_by_partitions() {
+        let out = run_text(&format!(
+            "{IMPORT} let $inter := <RECORDSET>{{
+               for $p in ns1:PAYMENTS() return
+               <RECORD><CUSTID>{{fn:data($p/CUSTID)}}</CUSTID></RECORD>
+             }}</RECORDSET>
+             for $r in $inter/RECORD
+             group $r as $part by xs:integer($r/CUSTID) as $g
+             order by $g ascending
+             return <G><K>{{$g}}</K><N>{{fn:count($part)}}</N></G>"
+        ));
+        assert_eq!(out, "<G><K>23</K><N>1</N></G><G><K>55</K><N>1</N></G>");
+    }
+
+    #[test]
+    fn order_by_with_cast_sorts_numerically() {
+        let out = run_text(&format!(
+            "{IMPORT} for $c in ns0:CUSTOMERS()
+             order by xs:integer($c/CUSTOMERID) descending
+             return <ID>{{fn:data($c/CUSTOMERID)}}</ID>"
+        ));
+        assert_eq!(out, "<ID>55</ID><ID>23</ID><ID>7</ID>");
+    }
+
+    #[test]
+    fn order_by_empty_least_default() {
+        let out = run_text(&format!(
+            "{IMPORT} for $c in ns0:CUSTOMERS()
+             order by $c/CUSTOMERNAME
+             return <ID>{{fn:data($c/CUSTOMERID)}}</ID>"
+        ));
+        // Customer 7 (absent name) sorts first.
+        assert_eq!(out, "<ID>7</ID><ID>55</ID><ID>23</ID>");
+    }
+
+    #[test]
+    fn string_join_transport_wrapper() {
+        // §4 shape, with "\u{0}" as the NULL marker default.
+        let out = run(&format!(
+            "{IMPORT} fn:string-join((
+               let $actualQuery := <RECORDSET>{{
+                 for $v in ns0:CUSTOMERS() return
+                 <RECORD><A>{{fn:data($v/CUSTOMERID)}}</A>\
+<B>{{fn:data($v/CUSTOMERNAME)}}</B></RECORD>
+               }}</RECORDSET>
+               for $tokenQuery in $actualQuery/RECORD
+               return (\">\",
+                 fn-bea:if-empty(fn-bea:xml-escape(fn-bea:serialize-atomic(
+                   fn:data($tokenQuery/A))), \"\"),
+                 \">\",
+                 fn-bea:if-empty(fn-bea:xml-escape(fn-bea:serialize-atomic(
+                   fn:data($tokenQuery/B))), \"\"),
+                 \"<\")), \"\")"
+        ));
+        let Some(Item::Atomic(Atomic::String(s))) = out.as_singleton() else {
+            panic!("expected one string, got {out:?}");
+        };
+        assert_eq!(s, ">55>Joe<>23>Sue<>7><");
+    }
+
+    #[test]
+    fn arithmetic_rules() {
+        let run1 = |q: &str| run(q).as_singleton().unwrap().clone();
+        assert_eq!(run1("1 + 2 * 3"), Item::Atomic(Atomic::Integer(7)));
+        assert_eq!(run1("7 div 2"), Item::Atomic(Atomic::Decimal(3.5)));
+        assert_eq!(run1("7 idiv 2"), Item::Atomic(Atomic::Integer(3)));
+        assert_eq!(run1("7 mod 2"), Item::Atomic(Atomic::Integer(1)));
+        assert_eq!(
+            run1("xs:integer(7 div 2)"),
+            Item::Atomic(Atomic::Integer(3))
+        );
+        assert!(run("1 + ()").is_empty());
+    }
+
+    #[test]
+    fn quantified_over_rows() {
+        let some = run(&format!(
+            "{IMPORT} some $c in ns0:CUSTOMERS() satisfies $c/CUSTOMERID > 50"
+        ));
+        assert!(some.effective_boolean());
+        let every = run(&format!(
+            "{IMPORT} every $c in ns0:CUSTOMERS() satisfies $c/CUSTOMERID > 50"
+        ));
+        assert!(!every.effective_boolean());
+    }
+
+    #[test]
+    fn positional_predicate() {
+        let out = run_text(&format!(
+            "{IMPORT} for $c in ns0:CUSTOMERS()[2] return <ID>{{fn:data($c/CUSTOMERID)}}</ID>"
+        ));
+        assert_eq!(out, "<ID>23</ID>");
+    }
+
+    #[test]
+    fn division_by_zero_errors() {
+        let program = parse_program("1 div 0").unwrap();
+        assert!(evaluate_program(&program, &EmptyFunctionSource).is_err());
+    }
+
+    #[test]
+    fn undefined_variable_errors() {
+        let program = parse_program("$nope").unwrap();
+        let err = evaluate_program(&program, &EmptyFunctionSource).unwrap_err();
+        assert!(err.message.contains("nope"));
+    }
+
+    #[test]
+    fn wildcard_step_returns_all_columns() {
+        let out = run(&format!(
+            "{IMPORT} for $c in ns0:CUSTOMERS() where $c/CUSTOMERID = 55 return $c/*"
+        ));
+        assert_eq!(out.len(), 2);
+    }
+}

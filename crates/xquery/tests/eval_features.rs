@@ -1,0 +1,180 @@
+//! Evaluator feature tests beyond the generated dialect's happy path:
+//! clause interactions, shadowing, grouping with absent keys, multi-key
+//! ordering, and constructor details.
+
+use aldsp_xml::{serialize_sequence, Atomic, Item};
+use aldsp_xquery::{evaluate_program, parse_program, EmptyFunctionSource};
+
+fn run(src: &str) -> String {
+    let program = parse_program(src).unwrap_or_else(|e| panic!("{e}\n{src}"));
+    let out = evaluate_program(&program, &EmptyFunctionSource).unwrap_or_else(|e| panic!("{e}"));
+    serialize_sequence(&out)
+}
+
+fn run_err(src: &str) -> String {
+    let program = parse_program(src).unwrap_or_else(|e| panic!("{e}\n{src}"));
+    evaluate_program(&program, &EmptyFunctionSource)
+        .unwrap_err()
+        .message
+}
+
+#[test]
+fn multiple_for_clauses_cross_product() {
+    assert_eq!(
+        run("for $a in (1, 2), $b in (10, 20) return <P>{$a + $b}</P>"),
+        "<P>11</P><P>21</P><P>12</P><P>22</P>"
+    );
+}
+
+#[test]
+fn let_shadowing_is_lexical() {
+    assert_eq!(
+        run("let $x := 1 return ((let $x := 2 return $x), $x)"),
+        "2 1"
+    );
+}
+
+#[test]
+fn where_between_lets() {
+    assert_eq!(
+        run("for $x in (1, 2, 3) let $y := $x * 10 where $y > 15 return $y"),
+        "20 30"
+    );
+}
+
+#[test]
+fn group_by_with_empty_keys_forms_null_group() {
+    // Rows 1 and 3 have a K child; row 2 does not — it forms its own
+    // group (SQL's NULLs-group-together rule).
+    let src = r#"
+        let $rows := (<R><K>a</K><V>1</V></R>, <R><V>2</V></R>, <R><K>a</K><V>3</V></R>)
+        for $r in $rows
+        group $r as $part by $r/K as $k
+        order by $k
+        return <G><N>{fn:count($part)}</N></G>"#;
+    // Empty key sorts least: the NULL group first.
+    assert_eq!(run(src), "<G><N>1</N></G><G><N>2</N></G>");
+}
+
+#[test]
+fn multi_key_group_by() {
+    let src = r#"
+        let $rows := (
+            <R><A>x</A><B>1</B></R>, <R><A>x</A><B>1</B></R>,
+            <R><A>x</A><B>2</B></R>, <R><A>y</A><B>1</B></R>)
+        for $r in $rows
+        group $r as $p by $r/A as $a, xs:integer($r/B) as $b
+        order by $a, $b
+        return <G>{$a, $b, fn:count($p)}</G>"#;
+    // One enclosed sequence: adjacent atomics join with single spaces.
+    assert_eq!(run(src), "<G>x 1 2</G><G>x 2 1</G><G>y 1 1</G>");
+}
+
+#[test]
+fn order_by_two_keys_with_directions() {
+    let src = r#"
+        for $r in (<R><A>1</A><B>b</B></R>, <R><A>2</A><B>a</B></R>, <R><A>1</A><B>a</B></R>)
+        order by xs:integer($r/A) descending, $r/B
+        return <O>{fn:data($r/A)}-{fn:data($r/B)}</O>"#;
+    // Adjacent enclosed expressions do NOT space-join (each produces its
+    // own text); the literal dash separates them.
+    assert_eq!(run(src), "<O>2-a</O><O>1-a</O><O>1-b</O>");
+}
+
+#[test]
+fn order_by_empty_greatest() {
+    let src = r#"
+        for $r in (<R><K>1</K></R>, <R/>, <R><K>2</K></R>)
+        order by xs:integer($r/K) empty greatest
+        return <O>{fn:count($r/K)}</O>"#;
+    assert_eq!(run(src), "<O>1</O><O>1</O><O>0</O>");
+}
+
+#[test]
+fn positional_and_boolean_predicates_mix() {
+    let src = "let $s := <S><I>5</I><I>6</I><I>7</I></S> return $s/I[. > 5][1]";
+    assert_eq!(run(src), "<I>6</I>");
+}
+
+#[test]
+fn nested_flwor_in_return() {
+    let src = r#"
+        for $a in (1, 2)
+        return <OUT>{ for $b in (1, 2) where $b >= $a return $b }</OUT>"#;
+    assert_eq!(run(src), "<OUT>1 2</OUT><OUT>2</OUT>");
+}
+
+#[test]
+fn attribute_value_templates_evaluate() {
+    assert_eq!(
+        run(r#"let $n := 5 return <E id="v{$n}-{$n + 1}"/>"#),
+        r#"<E id="v5-6"/>"#
+    );
+}
+
+#[test]
+fn constructor_copies_nodes_and_joins_atomics() {
+    assert_eq!(run("<W>{1, 2}{<X/>}{3}</W>"), "<W>1 2<X/>3</W>");
+}
+
+#[test]
+fn if_branches_lazy() {
+    // The else branch would divide by zero; it must not evaluate.
+    assert_eq!(run("if (fn:true()) then 1 else (1 div 0)"), "1");
+}
+
+#[test]
+fn and_or_short_circuit() {
+    assert_eq!(run("fn:false() and (1 div 0 = 1)"), "false");
+    assert_eq!(run("fn:true() or (1 div 0 = 1)"), "true");
+}
+
+#[test]
+fn quantified_shadowing() {
+    assert_eq!(
+        run("let $x := 100 return ((some $x in (1, 2) satisfies $x = 2), $x)"),
+        "true 100"
+    );
+}
+
+#[test]
+fn value_comparison_requires_singleton() {
+    let msg = run_err("(1, 2) eq 1");
+    assert!(msg.contains("singleton"), "{msg}");
+}
+
+#[test]
+fn general_comparison_existential_over_both_sides() {
+    assert_eq!(run("(1, 2, 3) = (3, 9)"), "true");
+    assert_eq!(run("(1, 2) = (8, 9)"), "false");
+    assert_eq!(run("() = (1, 2)"), "false");
+}
+
+#[test]
+fn deep_let_chains() {
+    assert_eq!(
+        run("let $a := 1 let $b := $a + 1 let $c := $b * $b return $c"),
+        "4"
+    );
+}
+
+#[test]
+fn typed_program_result_items() {
+    let program = parse_program("xs:decimal(\"2.5\")").unwrap();
+    let out = evaluate_program(&program, &EmptyFunctionSource).unwrap();
+    assert_eq!(
+        out.as_singleton(),
+        Some(&Item::Atomic(Atomic::Decimal(2.5)))
+    );
+}
+
+#[test]
+fn distinct_values_orders_by_first_occurrence() {
+    assert_eq!(run("fn:distinct-values((3, 1, 3, 2, 1))"), "3 1 2");
+}
+
+#[test]
+fn wildcard_after_filter() {
+    let src = "let $r := <R><A>1</A><B>2</B></R> return $r[fn:exists(A)]/*";
+    assert_eq!(run(src), "<A>1</A><B>2</B>");
+}

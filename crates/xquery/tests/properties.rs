@@ -1,0 +1,94 @@
+//! Property-based tests for the XQuery engine: parser robustness and
+//! evaluation determinism/laws for the dialect's value semantics.
+
+use aldsp_xquery::{evaluate_program, parse_program, EmptyFunctionSource};
+use proptest::prelude::*;
+
+proptest! {
+    /// The parser must reject garbage gracefully, never panic.
+    #[test]
+    fn parser_never_panics(input in "[ -~]{0,80}") {
+        let _ = parse_program(&input);
+    }
+}
+
+fn eval_integer(src: &str) -> i64 {
+    let program = parse_program(src).unwrap();
+    let out = evaluate_program(&program, &EmptyFunctionSource).unwrap();
+    let item = out.as_singleton().expect("singleton");
+    match item {
+        aldsp_xml::Item::Atomic(aldsp_xml::Atomic::Integer(i)) => *i,
+        other => panic!("expected integer, got {other:?}"),
+    }
+}
+
+fn eval_bool(src: &str) -> bool {
+    let program = parse_program(src).unwrap();
+    evaluate_program(&program, &EmptyFunctionSource)
+        .unwrap()
+        .effective_boolean()
+}
+
+proptest! {
+    #[test]
+    fn addition_matches_i64(a in -100_000i64..100_000, b in -100_000i64..100_000) {
+        prop_assert_eq!(eval_integer(&format!("({a}) + ({b})")), a + b);
+        prop_assert_eq!(eval_integer(&format!("({a}) * 1")), a);
+    }
+
+    #[test]
+    fn idiv_and_mod_consistent(a in -5_000i64..5_000, b in 1i64..100) {
+        let q = eval_integer(&format!("({a}) idiv ({b})"));
+        let r = eval_integer(&format!("({a}) mod ({b})"));
+        prop_assert_eq!(q * b + r, a);
+    }
+
+    #[test]
+    fn comparison_matches_rust(a in -1000i64..1000, b in -1000i64..1000) {
+        prop_assert_eq!(eval_bool(&format!("({a}) < ({b})")), a < b);
+        prop_assert_eq!(eval_bool(&format!("({a}) = ({b})")), a == b);
+        prop_assert_eq!(eval_bool(&format!("({a}) ge ({b})")), a >= b);
+    }
+
+    #[test]
+    fn untyped_coercion_in_comparison(a in -1000i64..1000, b in -1000i64..1000) {
+        // String content vs typed integer: the untyped side coerces
+        // numerically (the Example-8 pattern).
+        let src = format!(
+            "for $x in <V>{a}</V> where $x > xs:integer({b}) return 1"
+        );
+        let program = parse_program(&src).unwrap();
+        let out = evaluate_program(&program, &EmptyFunctionSource).unwrap();
+        prop_assert_eq!(!out.is_empty(), a > b);
+    }
+
+    #[test]
+    fn string_join_concat_roundtrip(parts in proptest::collection::vec("[a-z]{0,5}", 0..5)) {
+        let literals: Vec<String> = parts.iter().map(|p| format!("\"{p}\"")).collect();
+        let src = format!(
+            "fn:string-join(({}), \"-\")",
+            literals.join(", ")
+        );
+        let program = parse_program(&src).unwrap();
+        let out = evaluate_program(&program, &EmptyFunctionSource).unwrap();
+        let expected = parts.join("-");
+        prop_assert_eq!(
+            out.as_singleton().unwrap().string_value(),
+            expected
+        );
+    }
+
+    #[test]
+    fn evaluation_is_deterministic(a in -100i64..100) {
+        let src = format!(
+            "for $x in (3, 1, {a}) order by $x descending return <N>{{$x}}</N>"
+        );
+        let program = parse_program(&src).unwrap();
+        let r1 = evaluate_program(&program, &EmptyFunctionSource).unwrap();
+        let r2 = evaluate_program(&program, &EmptyFunctionSource).unwrap();
+        prop_assert_eq!(
+            aldsp_xml::serialize_sequence(&r1),
+            aldsp_xml::serialize_sequence(&r2)
+        );
+    }
+}

@@ -1,0 +1,113 @@
+//! A logical data service — the paper's integration story (§2): "XQuery
+//! can be used … to define new functions for higher-level views (logical
+//! data services) that transform and integrate data from one or more of
+//! the physical data services."
+//!
+//! Here a hand-written XQuery function integrates CUSTOMERS and PAYMENTS
+//! into one flat `CUSTOMER_BALANCE` view; the JDBC driver then presents
+//! that view as an ordinary SQL table (§2.3: flat functions are
+//! presentable "as is").
+//!
+//! ```sh
+//! cargo run --example logical_data_service
+//! ```
+
+use aldsp::catalog::{ApplicationBuilder, SqlColumnType};
+use aldsp::driver::{Connection, DspServer};
+use aldsp::relational::{Database, SqlValue, Table};
+use std::rc::Rc;
+
+fn main() {
+    // The logical function's body: per customer, the sum of payments.
+    // (This is developer-authored XQuery, not translator output.)
+    let balance_body = r#"
+import schema namespace c = "ld:Services/CUSTOMERS" at "ld:Services/schemas/CUSTOMERS.xsd";
+import schema namespace p = "ld:Services/PAYMENTS" at "ld:Services/schemas/PAYMENTS.xsd";
+for $cust in c:CUSTOMERS()
+let $paid := p:PAYMENTS()[(xs:integer($cust/CUSTOMERID) = xs:integer(CUSTID))]
+return
+<CUSTOMER_BALANCE>
+  <CUSTOMERID>{fn:data($cust/CUSTOMERID)}</CUSTOMERID>
+  { for $n in fn:data($cust/CUSTOMERNAME) return <CUSTOMERNAME>{$n}</CUSTOMERNAME> }
+  <BALANCE>{
+    (let $vals := for $pp in $paid return xs:decimal(fn:data($pp/PAYMENT))
+     return if (fn:empty($vals)) then 0.0 else fn:sum($vals))
+  }</BALANCE>
+</CUSTOMER_BALANCE>"#;
+
+    let app = ApplicationBuilder::new("IntegrationApp")
+        .project("Services")
+        .data_service("CUSTOMERS")
+        .physical_table("CUSTOMERS", |t| {
+            t.column("CUSTOMERID", SqlColumnType::Integer, false)
+                .column("CUSTOMERNAME", SqlColumnType::Varchar, true)
+        })
+        .finish_service()
+        .data_service("PAYMENTS")
+        .physical_table("PAYMENTS", |t| {
+            t.column("CUSTID", SqlColumnType::Integer, false).column(
+                "PAYMENT",
+                SqlColumnType::Decimal,
+                false,
+            )
+        })
+        .finish_service()
+        .data_service("CUSTOMER_BALANCE")
+        .logical_table("CUSTOMER_BALANCE", balance_body, |t| {
+            t.column("CUSTOMERID", SqlColumnType::Integer, false)
+                .column("CUSTOMERNAME", SqlColumnType::Varchar, true)
+                .column("BALANCE", SqlColumnType::Decimal, false)
+        })
+        .finish_service()
+        .finish_project()
+        .build();
+
+    // Show the .ds file the platform would hold for the logical service.
+    let logical_ds = &app.projects[0].data_services[2];
+    println!("--- CUSTOMER_BALANCE.ds (developer-authored) ---");
+    println!("{}", logical_ds.render_ds_file("Services"));
+
+    // Physical data.
+    let mut db = Database::new();
+    let customers_schema = app.projects[0].data_services[0].functions[0].schema.clone();
+    let payments_schema = app.projects[0].data_services[1].functions[0].schema.clone();
+    let mut customers = Table::new(customers_schema);
+    for (id, name) in [(55, Some("Joe")), (23, Some("Sue")), (7, None)] {
+        customers.insert(vec![
+            SqlValue::Int(id),
+            name.map(|n| SqlValue::Str(n.into()))
+                .unwrap_or(SqlValue::Null),
+        ]);
+    }
+    db.add_table(customers);
+    let mut payments = Table::new(payments_schema);
+    for (cid, p) in [(55, 100.0), (23, 50.0), (23, 25.0)] {
+        payments.insert(vec![SqlValue::Int(cid), SqlValue::Decimal(p)]);
+    }
+    db.add_table(payments);
+
+    // SQL over the logical view — three layers deep: SQL → translated
+    // XQuery → logical service body → physical functions.
+    let conn = Connection::open(Rc::new(DspServer::new(app, db)));
+    let mut rs = conn
+        .create_statement()
+        .execute_query(
+            "SELECT CUSTOMERID, CUSTOMERNAME, BALANCE FROM CUSTOMER_BALANCE \
+             WHERE BALANCE > 0 ORDER BY BALANCE DESC",
+        )
+        .expect("query over logical service");
+
+    println!("--- SELECT over the logical view ---");
+    println!(
+        "{:<12} {:<14} {:>8}",
+        "CUSTOMERID", "CUSTOMERNAME", "BALANCE"
+    );
+    while rs.next() {
+        println!(
+            "{:<12} {:<14} {:>8.2}",
+            rs.get_i64(1).unwrap(),
+            rs.get_string(2).unwrap().unwrap_or_else(|| "(null)".into()),
+            rs.get_f64(3).unwrap()
+        );
+    }
+}

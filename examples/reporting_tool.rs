@@ -1,0 +1,98 @@
+//! A miniature SQL reporting tool — the paper's motivating client (§1:
+//! "notably reporting tools such as Crystal Reports or Business Objects").
+//!
+//! The tool knows nothing about XQuery or data services. It (1) discovers
+//! catalogs/schemas/tables/columns through `DatabaseMetaData`, (2) builds
+//! a parameterized report query, and (3) renders the result set — exactly
+//! the flow a JDBC reporting tool performs.
+//!
+//! ```sh
+//! cargo run --example reporting_tool
+//! ```
+
+use aldsp::driver::{Connection, DatabaseMetaData, DspServer};
+use aldsp::relational::SqlValue;
+use aldsp::workload::{build_application, populate_database, Scale};
+use std::rc::Rc;
+
+fn main() {
+    // Server side: the workload universe at a small scale.
+    let app = build_application();
+    let db = populate_database(&app, Scale::of(40), 2026);
+    let server = Rc::new(DspServer::new(app, db));
+
+    // --- 1. metadata discovery (tool connect time) -----------------
+    let meta = DatabaseMetaData::new(&server);
+    println!("catalog: {}", meta.catalogs()[0]);
+    for schema in meta.schemas() {
+        println!("schema:  {schema}");
+    }
+    for table in meta.tables(None) {
+        let columns: Vec<String> = meta
+            .columns(&table.table)
+            .iter()
+            .map(|c| {
+                format!(
+                    "{} {}{}",
+                    c.column,
+                    c.sql_type.sql_name(),
+                    if c.nullable { "" } else { " NOT NULL" }
+                )
+            })
+            .collect();
+        println!("table:   {} ({})", table.table, columns.join(", "));
+    }
+
+    // --- 2. the report: revenue by region for big customers --------
+    let conn = Connection::open(Rc::clone(&server));
+    let mut report = conn
+        .prepare(
+            "SELECT CUSTOMERS.REGION, COUNT(ORDERS.ORDERID) NUM_ORDERS, \
+             SUM(ORDERS.AMOUNT) REVENUE \
+             FROM CUSTOMERS INNER JOIN ORDERS \
+             ON CUSTOMERS.CUSTOMERID = ORDERS.CUSTID \
+             WHERE ORDERS.AMOUNT > ? \
+             GROUP BY CUSTOMERS.REGION \
+             ORDER BY CUSTOMERS.REGION",
+        )
+        .expect("report query translates");
+
+    for threshold in [0, 250] {
+        report.set(1, SqlValue::Int(threshold)).unwrap();
+        let mut rs = report.execute_query().expect("report executes");
+
+        println!("\n=== Revenue by region (orders over {threshold}) ===");
+        println!("{:<8} {:>10} {:>12}", "REGION", "ORDERS", "REVENUE");
+        while rs.next() {
+            let region = rs.get_string(1).unwrap().unwrap_or_default();
+            let orders = rs.get_i64(2).unwrap();
+            let revenue = rs.get_f64(3).unwrap();
+            let revenue_text = if rs.was_null() {
+                "(null)".to_string()
+            } else {
+                format!("{revenue:.2}")
+            };
+            println!("{region:<8} {orders:>10} {revenue_text:>12}");
+        }
+    }
+
+    // --- 3. a drill-down with NULL handling --------------------------
+    let mut rs = conn
+        .create_statement()
+        .execute_query(
+            "SELECT CUSTOMERID, COALESCE(CUSTOMERNAME, '(unnamed)') NAME, CREDIT \
+             FROM CUSTOMERS WHERE CREDIT IS NOT NULL ORDER BY CREDIT DESC",
+        )
+        .unwrap();
+    println!("\n=== Top customers by credit ===");
+    let mut shown = 0;
+    while rs.next() && shown < 5 {
+        println!(
+            "#{:<4} {:<20} {:>10.2}",
+            rs.get_i64(1).unwrap(),
+            rs.get_string(2).unwrap().unwrap(),
+            rs.get_f64(3).unwrap()
+        );
+        shown += 1;
+    }
+}

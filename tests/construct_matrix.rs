@@ -1,0 +1,184 @@
+//! A construct matrix: one end-to-end oracle-checked query per less
+//! common SQL shape, complementing the random differential sweeps with
+//! deliberate coverage (full outer joins over derived sides, qualified
+//! wildcards, simple CASE, NULL-handling scalars, combined
+//! DISTINCT/set-op/ORDER BY, explicit CROSS JOIN).
+
+use aldsp::driver::{Connection, DspServer};
+use aldsp::relational::{execute_query, Relation, SqlValue};
+use aldsp::sql::parse_select;
+use aldsp::workload::{build_application, populate_database, Scale};
+use std::rc::Rc;
+
+fn check(sql: &str) {
+    let app = build_application();
+    let db = populate_database(&app, Scale::of(25), 1234);
+    let oracle_db = db.clone();
+    let conn = Connection::open(Rc::new(DspServer::new(app, db)));
+
+    let rs = conn
+        .create_statement()
+        .execute_query(sql)
+        .unwrap_or_else(|e| panic!("driver failed: {e}\nsql: {sql}"));
+    let parsed = parse_select(sql).unwrap();
+    let oracle = execute_query(&oracle_db, &parsed, &[])
+        .unwrap_or_else(|e| panic!("oracle failed: {e}\nsql: {sql}"));
+
+    let ordered = !parsed.order_by.is_empty();
+    let key = |r: &Vec<SqlValue>| Relation::row_key(r);
+    let mut got = rs.rows().to_vec();
+    let mut want = oracle.rows.clone();
+    if !ordered {
+        got.sort_by_key(key);
+        want.sort_by_key(key);
+    }
+    assert_eq!(got.len(), want.len(), "row counts differ for {sql}");
+    for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+        for (a, b) in g.iter().zip(w) {
+            let agree = match (a, b) {
+                (SqlValue::Null, SqlValue::Null) => true,
+                (SqlValue::Null, _) | (_, SqlValue::Null) => false,
+                _ => a.group_key() == b.group_key(),
+            };
+            assert!(agree, "{sql}\nrow {i}: {g:?} vs {w:?}");
+        }
+    }
+}
+
+#[test]
+fn full_outer_join_with_derived_sides() {
+    check(
+        "SELECT L.CUSTOMERID, R.CUSTID FROM \
+         (SELECT CUSTOMERID FROM CUSTOMERS WHERE CUSTOMERID < 15) AS L \
+         FULL OUTER JOIN \
+         (SELECT CUSTID FROM ORDERS WHERE ORDERID < 30) AS R \
+         ON L.CUSTOMERID = R.CUSTID",
+    );
+}
+
+#[test]
+fn qualified_wildcards_both_sides() {
+    check(
+        "SELECT ORDERS.*, CUSTOMERS.REGION FROM CUSTOMERS INNER JOIN ORDERS \
+         ON CUSTOMERS.CUSTOMERID = ORDERS.CUSTID WHERE ORDERS.ORDERID <= 10",
+    );
+}
+
+#[test]
+fn explicit_cross_join_with_filter() {
+    check(
+        "SELECT A.CUSTOMERID, B.PAYMENTID FROM CUSTOMERS A CROSS JOIN PAYMENTS B \
+         WHERE A.CUSTOMERID = B.CUSTID",
+    );
+}
+
+#[test]
+fn simple_case_form() {
+    check(
+        "SELECT CUSTOMERID, CASE REGION WHEN 'NORTH' THEN 'N' WHEN 'SOUTH' THEN 'S' \
+         ELSE '?' END FROM CUSTOMERS",
+    );
+}
+
+#[test]
+fn searched_case_without_else_yields_nulls() {
+    check("SELECT CASE WHEN CREDIT > 400 THEN 'high' END FROM CUSTOMERS");
+}
+
+#[test]
+fn nullif_and_coalesce_chain() {
+    check(
+        "SELECT COALESCE(CUSTOMERNAME, METHOD, 'none'), NULLIF(REGION, 'NORTH') \
+         FROM CUSTOMERS LEFT OUTER JOIN PAYMENTS \
+         ON CUSTOMERS.CUSTOMERID = PAYMENTS.CUSTID",
+    );
+}
+
+#[test]
+fn distinct_union_order_combination() {
+    check(
+        "SELECT DISTINCT CUSTID FROM ORDERS UNION ALL SELECT DISTINCT CUSTID FROM PAYMENTS \
+         ORDER BY 1 DESC",
+    );
+}
+
+#[test]
+fn having_without_group_by() {
+    check("SELECT COUNT(*), SUM(PAYMENT) FROM PAYMENTS HAVING COUNT(*) > 0");
+    check("SELECT COUNT(*) FROM PAYMENTS HAVING COUNT(*) > 10000");
+}
+
+#[test]
+fn aggregates_of_expressions() {
+    check(
+        "SELECT STATUS, SUM(AMOUNT * 2), AVG(AMOUNT - 1), MIN(ORDERID + 1000) \
+         FROM ORDERS GROUP BY STATUS ORDER BY STATUS",
+    );
+}
+
+#[test]
+fn group_key_expression_in_projection() {
+    check("SELECT CUSTID * 10, COUNT(*) FROM ORDERS GROUP BY CUSTID * 10 ORDER BY 1");
+}
+
+#[test]
+fn not_pushdown_over_complex_predicate() {
+    check(
+        "SELECT CUSTOMERID FROM CUSTOMERS WHERE NOT (REGION = 'NORTH' OR \
+         (CREDIT > 300 AND CUSTOMERNAME IS NOT NULL))",
+    );
+}
+
+#[test]
+fn not_exists_and_not_in_combined() {
+    check(
+        "SELECT CUSTOMERID FROM CUSTOMERS WHERE NOT EXISTS \
+         (SELECT ORDERID FROM ORDERS WHERE ORDERS.CUSTID = CUSTOMERS.CUSTOMERID) \
+         AND CUSTOMERID NOT IN (SELECT CUSTID FROM PAYMENTS)",
+    );
+}
+
+#[test]
+fn between_on_dates() {
+    check(
+        "SELECT CUSTOMERID, SIGNUP FROM CUSTOMERS WHERE SIGNUP BETWEEN \
+         DATE '2002-01-01' AND DATE '2007-12-31' ORDER BY SIGNUP, CUSTOMERID",
+    );
+}
+
+#[test]
+fn string_functions_composed() {
+    check(
+        "SELECT UPPER(SUBSTRING(REGION FROM 1 FOR 2)), \
+         CHAR_LENGTH(REGION) + POSITION('T' IN REGION) FROM CUSTOMERS",
+    );
+}
+
+#[test]
+fn numeric_rounding_functions() {
+    check(
+        "SELECT ROUND(CREDIT), FLOOR(CREDIT), CEILING(CREDIT) FROM CUSTOMERS \
+         WHERE CREDIT IS NOT NULL",
+    );
+}
+
+#[test]
+fn scalar_subquery_as_comparison_bound() {
+    check(
+        "SELECT ORDERID FROM ORDERS WHERE AMOUNT > \
+         (SELECT AVG(AMOUNT) FROM ORDERS WHERE AMOUNT IS NOT NULL)",
+    );
+}
+
+#[test]
+fn in_list_mixed_with_like() {
+    check(
+        "SELECT CUSTOMERID FROM CUSTOMERS WHERE CUSTOMERID IN (1, 3, 5, 7, 9, 11) \
+         OR REGION LIKE '_O%'",
+    );
+}
+
+#[test]
+fn intersect_all_of_overlapping_projections() {
+    check("SELECT CUSTID FROM ORDERS INTERSECT ALL SELECT CUSTID FROM PAYMENTS");
+}

@@ -1,0 +1,68 @@
+//! E6: large-scale differential testing — the mechanical check of the
+//! paper's correctness goal (§3.2 (i)). Hundreds of seeded random queries
+//! per construct class run through the full driver stack (both result
+//! transports) and the relational oracle; all results must agree.
+
+use aldsp::workload::{run_differential, Scale};
+
+#[test]
+fn differential_sweep_seed_1() {
+    let report = run_differential(1, 12, Scale::small());
+    assert_eq!(report.rejected, 0, "generator produced rejected queries");
+    assert!(
+        report.mismatches.is_empty(),
+        "{} mismatches, first: {:#?}",
+        report.mismatches.len(),
+        report.mismatches.first()
+    );
+}
+
+#[test]
+fn differential_sweep_seed_2_larger_data() {
+    let report = run_differential(2, 8, Scale::of(60));
+    assert_eq!(report.rejected, 0);
+    assert!(
+        report.mismatches.is_empty(),
+        "{} mismatches, first: {:#?}",
+        report.mismatches.len(),
+        report.mismatches.first()
+    );
+}
+
+#[test]
+fn differential_sweep_seed_3() {
+    let report = run_differential(3, 12, Scale::small());
+    assert_eq!(report.rejected, 0);
+    assert!(
+        report.mismatches.is_empty(),
+        "{} mismatches, first: {:#?}",
+        report.mismatches.len(),
+        report.mismatches.first()
+    );
+}
+
+#[test]
+fn per_class_coverage_is_complete() {
+    let report = run_differential(4, 4, Scale::small());
+    // Every construct class must have been exercised and passed.
+    for class in aldsp::workload::ConstructClass::all() {
+        let (passed, total) = report.per_class[class.label()];
+        assert_eq!(passed, total, "class {} not fully passing", class.label());
+        assert_eq!(total, 4);
+    }
+}
+
+/// A larger sweep for occasional deep runs: `cargo test -- --ignored`.
+#[test]
+#[ignore = "slow; run explicitly with --ignored"]
+fn differential_deep_sweep() {
+    for seed in 10..16 {
+        let report = run_differential(seed, 25, Scale::of(40));
+        assert_eq!(report.rejected, 0, "seed {seed}");
+        assert!(
+            report.mismatches.is_empty(),
+            "seed {seed}: {:#?}",
+            report.mismatches.first()
+        );
+    }
+}

@@ -1,0 +1,198 @@
+//! Figure 3 end to end: "a SQL query involving three tables, an inner
+//! join, two subqueries, and a union" — the paper's illustration of RSN
+//! composition. We build the figure's shapes and verify the translated
+//! queries compute the oracle answers.
+
+use aldsp::catalog::{ApplicationBuilder, SqlColumnType};
+use aldsp::driver::{Connection, DspServer};
+use aldsp::relational::{execute_query, Database, SqlValue, Table};
+use aldsp::sql::parse_select;
+use std::rc::Rc;
+
+fn abc_server() -> (Rc<DspServer>, Database) {
+    let app = ApplicationBuilder::new("FIG3")
+        .project("P")
+        .data_service("A")
+        .physical_table("A", |t| {
+            t.column("C1", SqlColumnType::Integer, false).column(
+                "VA",
+                SqlColumnType::Varchar,
+                false,
+            )
+        })
+        .finish_service()
+        .data_service("B")
+        .physical_table("B", |t| {
+            t.column("C1", SqlColumnType::Integer, false).column(
+                "VB",
+                SqlColumnType::Varchar,
+                false,
+            )
+        })
+        .finish_service()
+        .data_service("C")
+        .physical_table("C", |t| {
+            t.column("C2", SqlColumnType::Integer, false).column(
+                "VC",
+                SqlColumnType::Varchar,
+                false,
+            )
+        })
+        .finish_service()
+        .finish_project()
+        .build();
+
+    let mut db = Database::new();
+    let schema_of = |n: &str| {
+        app.functions()
+            .find(|(_, _, f)| f.name == n)
+            .unwrap()
+            .2
+            .schema
+            .clone()
+    };
+    let mut a = Table::new(schema_of("A"));
+    for (c1, v) in [(1, "a1"), (2, "a2"), (3, "a3")] {
+        a.insert(vec![SqlValue::Int(c1), SqlValue::Str(v.into())]);
+    }
+    db.add_table(a);
+    let mut b = Table::new(schema_of("B"));
+    for (c1, v) in [(1, "b1"), (2, "b2"), (4, "b4")] {
+        b.insert(vec![SqlValue::Int(c1), SqlValue::Str(v.into())]);
+    }
+    db.add_table(b);
+    let mut c = Table::new(schema_of("C"));
+    for (c2, v) in [(1, "c1"), (2, "c2"), (5, "c5")] {
+        c.insert(vec![SqlValue::Int(c2), SqlValue::Str(v.into())]);
+    }
+    db.add_table(c);
+
+    let oracle = db.clone();
+    (Rc::new(DspServer::new(app, db)), oracle)
+}
+
+fn check(sql: &str) {
+    let (server, oracle_db) = abc_server();
+    let conn = Connection::open(server);
+    let rs = conn
+        .create_statement()
+        .execute_query(sql)
+        .unwrap_or_else(|e| panic!("driver failed: {e}\nsql: {sql}"));
+    let parsed = parse_select(sql).unwrap();
+    let oracle = execute_query(&oracle_db, &parsed, &[]).unwrap();
+    let mut got = rs.rows().to_vec();
+    let mut want = oracle.rows.clone();
+    let key = |r: &Vec<SqlValue>| aldsp::relational::Relation::row_key(r);
+    got.sort_by_key(key);
+    want.sort_by_key(key);
+    assert_eq!(got.len(), want.len(), "row counts differ for {sql}");
+    for (g, w) in got.iter().zip(&want) {
+        for (a, b) in g.iter().zip(w) {
+            assert_eq!(
+                a.group_key(),
+                b.group_key(),
+                "values differ for {sql}: {g:?} vs {w:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn figure3_nested_join_with_aliased_view() {
+    // The paper's §3.4.2 example: the child join RSN generates its own
+    // expression, the parent delegates.
+    check("SELECT * FROM (A JOIN (B JOIN C ON B.C1 = C.C2) AS P ON A.C1 = P.C1)");
+}
+
+#[test]
+fn figure3_union_of_subqueries() {
+    check(
+        "SELECT X.C1 FROM (SELECT C1 FROM A WHERE C1 > 1) AS X UNION \
+         SELECT Y.C1 FROM (SELECT C1 FROM B WHERE C1 < 4) AS Y",
+    );
+}
+
+#[test]
+fn figure3_full_composition() {
+    // Three tables, an inner join, two subqueries, and a union — the
+    // whole figure in one statement.
+    check(
+        "SELECT J.VA FROM (SELECT A.VA VA, B.VB VB FROM A INNER JOIN B ON A.C1 = B.C1) AS J \
+         UNION ALL \
+         SELECT K.VC FROM (SELECT VC FROM C WHERE C2 <= 2) AS K",
+    );
+}
+
+#[test]
+fn nested_outer_joins() {
+    check(
+        "SELECT A.C1, B.C1, C.C2 FROM A LEFT OUTER JOIN B ON A.C1 = B.C1 \
+         LEFT OUTER JOIN C ON A.C1 = C.C2",
+    );
+}
+
+#[test]
+fn outer_join_with_derived_right_side() {
+    check(
+        "SELECT A.C1, D.C1 FROM A LEFT OUTER JOIN \
+         (SELECT C1 FROM B WHERE C1 > 1) AS D ON A.C1 = D.C1",
+    );
+}
+
+#[test]
+fn full_outer_between_tables() {
+    check("SELECT A.C1, B.C1 FROM A FULL OUTER JOIN B ON A.C1 = B.C1");
+}
+
+#[test]
+fn right_outer_normalization_preserves_column_order() {
+    check("SELECT * FROM A RIGHT OUTER JOIN B ON A.C1 = B.C1");
+}
+
+#[test]
+fn intersect_of_projections() {
+    check("SELECT C1 FROM A INTERSECT SELECT C1 FROM B");
+}
+
+#[test]
+fn except_with_subquery_side() {
+    check("SELECT C1 FROM A EXCEPT SELECT Z.C1 FROM (SELECT C1 FROM B WHERE C1 <> 2) AS Z");
+}
+
+#[test]
+fn set_op_inside_derived_table() {
+    check(
+        "SELECT V.C1, V.C1 + 10 FROM \
+         (SELECT C1 FROM A UNION SELECT C1 FROM B) AS V WHERE V.C1 < 4",
+    );
+}
+
+#[test]
+fn union_inside_in_subquery() {
+    check("SELECT VA FROM A WHERE C1 IN (SELECT C1 FROM B UNION SELECT C2 FROM C)");
+}
+
+#[test]
+fn aggregate_over_derived_set_op() {
+    check(
+        "SELECT COUNT(*), MIN(V.C1), MAX(V.C1) FROM \
+         (SELECT C1 FROM A UNION ALL SELECT C1 FROM B) AS V",
+    );
+}
+
+#[test]
+fn join_of_two_derived_tables() {
+    check(
+        "SELECT X.C1, Y.C1 FROM (SELECT C1 FROM A WHERE C1 > 1) AS X \
+         INNER JOIN (SELECT C1 FROM B) AS Y ON X.C1 = Y.C1",
+    );
+}
+
+#[test]
+fn deeply_nested_derived_tables() {
+    check(
+        "SELECT W.N FROM (SELECT V.M N FROM \
+         (SELECT C1 M FROM A WHERE C1 >= 1) AS V WHERE V.M <= 3) AS W \
+         WHERE W.N <> 2",
+    );
+}

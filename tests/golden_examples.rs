@@ -1,0 +1,202 @@
+//! E5: the paper's worked examples, end to end.
+//!
+//! Each example is translated, and the generated XQuery is then actually
+//! executed against data-service functions backed by relational tables —
+//! verifying not just the generated *shape* (the core crate's golden
+//! tests do that) but that the paper's patterns compute the right rows.
+
+use aldsp::catalog::{ApplicationBuilder, SqlColumnType};
+use aldsp::core::{TranslationOptions, Transport};
+use aldsp::driver::{Connection, DspServer};
+use aldsp::relational::{Database, SqlValue, Table};
+use std::rc::Rc;
+
+/// The paper's data (Example 1 and the Example 9/10 discussion).
+fn paper_server() -> Rc<DspServer> {
+    let app = ApplicationBuilder::new("TESTAPP")
+        .project("TestDataServices")
+        .data_service("CUSTOMERS")
+        .physical_table("CUSTOMERS", |t| {
+            t.column("CUSTOMERID", SqlColumnType::Integer, false)
+                .column("CUSTOMERNAME", SqlColumnType::Varchar, true)
+        })
+        .finish_service()
+        .data_service("PAYMENTS")
+        .physical_table("PAYMENTS", |t| {
+            t.column("CUSTID", SqlColumnType::Integer, false).column(
+                "PAYMENT",
+                SqlColumnType::Decimal,
+                false,
+            )
+        })
+        .finish_service()
+        .data_service("PO_CUSTOMERS")
+        .physical_table("PO_CUSTOMERS", |t| {
+            t.column("ORDERID", SqlColumnType::Integer, false)
+                .column("CUSTOMERID", SqlColumnType::Integer, false)
+                .column("CUSTOMERNAME", SqlColumnType::Varchar, true)
+        })
+        .finish_service()
+        .finish_project()
+        .build();
+
+    let mut db = Database::new();
+    let schema_of = |name: &str| {
+        app.functions()
+            .find(|(_, _, f)| f.name == name)
+            .unwrap()
+            .2
+            .schema
+            .clone()
+    };
+
+    let mut customers = Table::new(schema_of("CUSTOMERS"));
+    for (id, name) in [(55, Some("Joe")), (23, Some("Sue")), (7, None)] {
+        customers.insert(vec![
+            SqlValue::Int(id),
+            name.map(|n| SqlValue::Str(n.into()))
+                .unwrap_or(SqlValue::Null),
+        ]);
+    }
+    db.add_table(customers);
+
+    let mut payments = Table::new(schema_of("PAYMENTS"));
+    for (cid, p) in [(55, 100.0), (23, 50.0), (23, 25.0)] {
+        payments.insert(vec![SqlValue::Int(cid), SqlValue::Decimal(p)]);
+    }
+    db.add_table(payments);
+
+    let mut po = Table::new(schema_of("PO_CUSTOMERS"));
+    for (oid, cid, name) in [(1, 55, "Joe"), (2, 55, "Joe"), (3, 23, "Sue")] {
+        po.insert(vec![
+            SqlValue::Int(oid),
+            SqlValue::Int(cid),
+            SqlValue::Str(name.into()),
+        ]);
+    }
+    db.add_table(po);
+
+    Rc::new(DspServer::new(app, db))
+}
+
+fn query(sql: &str) -> Vec<Vec<SqlValue>> {
+    let conn = Connection::open(paper_server());
+    let rs = conn
+        .create_statement()
+        .execute_query(sql)
+        .unwrap_or_else(|e| panic!("query failed: {e}\nsql: {sql}"));
+    rs.rows().to_vec()
+}
+
+#[test]
+fn example5_select_star() {
+    let rows = query("SELECT * FROM CUSTOMERS");
+    assert_eq!(rows.len(), 3);
+    assert_eq!(rows[0][0], SqlValue::Int(55));
+    assert_eq!(rows[2][1], SqlValue::Null); // customer 7's NULL name
+}
+
+#[test]
+fn example3_where_name_eq_sue() {
+    let rows = query("SELECT CUSTOMERID FROM CUSTOMERS WHERE CUSTOMERNAME = 'Sue'");
+    assert_eq!(rows, vec![vec![SqlValue::Int(23)]]);
+}
+
+#[test]
+fn example7_subquery_filter() {
+    let rows = query(
+        "SELECT INFO.ID, INFO.NAME FROM (SELECT CUSTOMERID ID, CUSTOMERNAME NAME \
+         FROM CUSTOMERS) AS INFO WHERE INFO.ID > 10 ORDER BY INFO.ID",
+    );
+    assert_eq!(rows.len(), 2);
+    assert_eq!(rows[0][0], SqlValue::Int(23));
+    assert_eq!(rows[1][0], SqlValue::Int(55));
+}
+
+#[test]
+fn example9_left_outer_join() {
+    // "returns all customers from the CUSTOMERS view together with any
+    // related payments from the PAYMENTS view".
+    let rows = query(
+        "SELECT CUSTOMERS.CUSTOMERID, PAYMENTS.PAYMENT FROM CUSTOMERS \
+         LEFT OUTER JOIN PAYMENTS ON CUSTOMERS.CUSTOMERID=PAYMENTS.CUSTID \
+         ORDER BY CUSTOMERS.CUSTOMERID, PAYMENTS.PAYMENT",
+    );
+    assert_eq!(
+        rows,
+        vec![
+            vec![SqlValue::Int(7), SqlValue::Null],
+            vec![SqlValue::Int(23), SqlValue::Decimal(25.0)],
+            vec![SqlValue::Int(23), SqlValue::Decimal(50.0)],
+            vec![SqlValue::Int(55), SqlValue::Decimal(100.0)],
+        ]
+    );
+}
+
+#[test]
+fn example11_grouped_join() {
+    // Example 11's shape: join + group by + aggregate + order by.
+    let rows = query(
+        "SELECT PO_CUSTOMERS.CUSTOMERID, PO_CUSTOMERS.CUSTOMERNAME, \
+         COUNT(PO_CUSTOMERS.ORDERID) \
+         FROM CUSTOMERS INNER JOIN PO_CUSTOMERS \
+         ON CUSTOMERS.CUSTOMERID = PO_CUSTOMERS.CUSTOMERID \
+         GROUP BY PO_CUSTOMERS.CUSTOMERID, PO_CUSTOMERS.CUSTOMERNAME \
+         ORDER BY PO_CUSTOMERS.CUSTOMERID",
+    );
+    assert_eq!(
+        rows,
+        vec![
+            vec![
+                SqlValue::Int(23),
+                SqlValue::Str("Sue".into()),
+                SqlValue::Int(1)
+            ],
+            vec![
+                SqlValue::Int(55),
+                SqlValue::Str("Joe".into()),
+                SqlValue::Int(2)
+            ],
+        ]
+    );
+}
+
+#[test]
+fn both_transports_agree_on_every_example() {
+    let server = paper_server();
+    for sql in [
+        "SELECT * FROM CUSTOMERS",
+        "SELECT CUSTOMERID ID, CUSTOMERNAME NAME FROM CUSTOMERS",
+        "SELECT INFO.ID FROM (SELECT CUSTOMERID ID FROM CUSTOMERS) AS INFO WHERE INFO.ID > 10",
+        "SELECT CUSTOMERS.CUSTOMERID, PAYMENTS.PAYMENT FROM CUSTOMERS LEFT OUTER JOIN \
+         PAYMENTS ON CUSTOMERS.CUSTOMERID=PAYMENTS.CUSTID",
+        "SELECT CUSTID, SUM(PAYMENT) FROM PAYMENTS GROUP BY CUSTID",
+    ] {
+        let text = Connection::open_with(
+            Rc::clone(&server),
+            TranslationOptions {
+                transport: Transport::DelimitedText,
+            },
+            std::time::Duration::ZERO,
+        )
+        .create_statement()
+        .execute_query(sql)
+        .unwrap();
+        let xml = Connection::open_with(
+            Rc::clone(&server),
+            TranslationOptions {
+                transport: Transport::Xml,
+            },
+            std::time::Duration::ZERO,
+        )
+        .create_statement()
+        .execute_query(sql)
+        .unwrap();
+        let mut t = text.rows().to_vec();
+        let mut x = xml.rows().to_vec();
+        let key = |r: &Vec<SqlValue>| aldsp::relational::Relation::row_key(r);
+        t.sort_by_key(key);
+        x.sort_by_key(key);
+        assert_eq!(t, x, "transports disagree for {sql}");
+    }
+}

@@ -1,0 +1,174 @@
+//! Adversarial string data through the full pipeline: values containing
+//! XML metacharacters, the §4 transport's separator characters, SQL quote
+//! characters, and non-ASCII text must survive translation, evaluation,
+//! both transports, and predicate matching — the whole point of the
+//! escaping layers (`fn-bea:xml-escape`, XML serialization, SQL string
+//! literal escaping).
+
+use aldsp::catalog::{ApplicationBuilder, SqlColumnType};
+use aldsp::core::{TranslationOptions, Transport};
+use aldsp::driver::{Connection, DspServer};
+use aldsp::relational::{Database, SqlValue, Table};
+use std::rc::Rc;
+
+const NASTY: &[&str] = &[
+    "plain",
+    "a>b",                   // column separator
+    "a<b",                   // row separator
+    ">>><<<",                // runs of separators
+    "a&b&amp;c",             // ampersands and entity look-alikes
+    "<RECORD>fake</RECORD>", // markup injection attempt
+    "O'Brien",               // SQL quote
+    "say \"hi\"",            // double quotes (XQuery string delimiter)
+    "tab\tand newline\n",    // whitespace controls
+    "héllo wörld λ 🙂",      // non-ASCII
+    " leading and trailing ",
+    "&#65; not an A", // entity-reference look-alike
+];
+
+fn server_with_nasty() -> Rc<DspServer> {
+    let app = ApplicationBuilder::new("NASTY")
+        .project("P")
+        .data_service("T")
+        .physical_table("T", |t| {
+            t.column("ID", SqlColumnType::Integer, false).column(
+                "VAL",
+                SqlColumnType::Varchar,
+                true,
+            )
+        })
+        .finish_service()
+        .finish_project()
+        .build();
+    let mut db = Database::new();
+    let schema = app.projects[0].data_services[0].functions[0].schema.clone();
+    let mut table = Table::new(schema);
+    for (i, s) in NASTY.iter().enumerate() {
+        table.insert(vec![SqlValue::Int(i as i64), SqlValue::Str(s.to_string())]);
+    }
+    table.insert(vec![SqlValue::Int(999), SqlValue::Null]);
+    db.add_table(table);
+    Rc::new(DspServer::new(app, db))
+}
+
+fn connection(transport: Transport) -> Connection {
+    Connection::open_with(
+        server_with_nasty(),
+        TranslationOptions { transport },
+        std::time::Duration::ZERO,
+    )
+}
+
+#[test]
+fn all_values_roundtrip_text_transport() {
+    let conn = connection(Transport::DelimitedText);
+    let mut rs = conn
+        .create_statement()
+        .execute_query("SELECT ID, VAL FROM T ORDER BY ID")
+        .unwrap();
+    for (i, expected) in NASTY.iter().enumerate() {
+        assert!(rs.next());
+        assert_eq!(rs.get_i64(1).unwrap(), i as i64);
+        assert_eq!(
+            rs.get_string(2).unwrap().as_deref(),
+            Some(*expected),
+            "value {i} corrupted in text transport"
+        );
+    }
+    assert!(rs.next());
+    assert_eq!(rs.get_string(2).unwrap(), None); // the NULL row
+}
+
+#[test]
+fn all_values_roundtrip_xml_transport() {
+    let conn = connection(Transport::Xml);
+    let mut rs = conn
+        .create_statement()
+        .execute_query("SELECT ID, VAL FROM T ORDER BY ID")
+        .unwrap();
+    for (i, expected) in NASTY.iter().enumerate() {
+        assert!(rs.next());
+        assert_eq!(
+            rs.get_string(2).unwrap().as_deref(),
+            Some(*expected),
+            "value {i} corrupted in XML transport"
+        );
+    }
+}
+
+#[test]
+fn predicates_match_nasty_literals() {
+    // The SQL literal passes through the translator's string escaping and
+    // must still match the stored value exactly.
+    let conn = connection(Transport::DelimitedText);
+    for (i, s) in NASTY.iter().enumerate() {
+        let literal = s.replace('\'', "''");
+        let sql = format!("SELECT ID FROM T WHERE VAL = '{literal}'");
+        let mut rs = conn
+            .create_statement()
+            .execute_query(&sql)
+            .unwrap_or_else(|e| panic!("query failed for value {i}: {e}\nsql: {sql}"));
+        assert_eq!(rs.row_count(), 1, "predicate missed value {i}: {s:?}");
+        rs.next();
+        assert_eq!(rs.get_i64(1).unwrap(), i as i64);
+    }
+}
+
+#[test]
+fn like_patterns_over_nasty_data() {
+    let conn = connection(Transport::DelimitedText);
+    // `%>%` finds the values containing the column separator character.
+    let mut rs = conn
+        .create_statement()
+        .execute_query("SELECT ID FROM T WHERE VAL LIKE '%>%' ORDER BY ID")
+        .unwrap();
+    let mut ids = Vec::new();
+    while rs.next() {
+        ids.push(rs.get_i64(1).unwrap());
+    }
+    let expected: Vec<i64> = NASTY
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.contains('>'))
+        .map(|(i, _)| i as i64)
+        .collect();
+    assert_eq!(ids, expected);
+}
+
+#[test]
+fn concat_and_functions_preserve_content() {
+    let conn = connection(Transport::DelimitedText);
+    let mut rs = conn
+        .create_statement()
+        .execute_query("SELECT VAL || '|' || VAL FROM T WHERE ID = 1")
+        .unwrap();
+    rs.next();
+    assert_eq!(rs.get_string(1).unwrap().as_deref(), Some("a>b|a>b"));
+
+    let mut rs = conn
+        .create_statement()
+        .execute_query("SELECT CHAR_LENGTH(VAL) FROM T WHERE ID = 9")
+        .unwrap();
+    rs.next();
+    assert_eq!(
+        rs.get_i64(1).unwrap(),
+        NASTY[9].chars().count() as i64,
+        "character length over non-ASCII"
+    );
+}
+
+#[test]
+fn group_by_nasty_strings() {
+    // Grouping keys pass through the $inter view and the group clause.
+    let conn = connection(Transport::DelimitedText);
+    let mut rs = conn
+        .create_statement()
+        .execute_query("SELECT VAL, COUNT(*) FROM T GROUP BY VAL ORDER BY 1")
+        .unwrap();
+    // 12 distinct values + the NULL group.
+    assert_eq!(rs.row_count(), NASTY.len() + 1);
+    // First row is the NULL group (NULL sorts least).
+    rs.next();
+    assert_eq!(rs.get_string(1).unwrap(), None);
+    assert_eq!(rs.get_i64(2).unwrap(), 1);
+}

@@ -1,0 +1,107 @@
+//! Workspace-level property tests: every SQL statement the workload
+//! generator can produce must (a) translate, (b) produce XQuery the
+//! XQuery parser accepts, and (c) — via a seeded differential check —
+//! compute the oracle's answer. These pin the whole pipeline, not one
+//! crate.
+
+use aldsp::catalog::{CachedMetadataApi, InProcessMetadataApi, TableLocator};
+use aldsp::core::{TranslationOptions, Translator, Transport};
+use aldsp::workload::{build_application, ConstructClass, QueryGenerator};
+use aldsp::xquery::parse_program;
+use proptest::prelude::*;
+
+fn translator() -> Translator<CachedMetadataApi<InProcessMetadataApi>> {
+    let app = build_application();
+    let locator = TableLocator::for_application(&app);
+    Translator::new(CachedMetadataApi::new(InProcessMetadataApi::new(locator)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// "All correct SQL queries must be translated" (paper §3.2 (i)) and
+    /// the output must be syntactically valid XQuery — for both
+    /// transports, for every construct class, for arbitrary seeds.
+    #[test]
+    fn generated_sql_translates_to_parseable_xquery(seed in 0u64..10_000) {
+        let translator = translator();
+        let mut generator = QueryGenerator::new(seed);
+        for class in ConstructClass::all() {
+            let sql = generator.generate(*class);
+            for transport in [Transport::Xml, Transport::DelimitedText] {
+                let translation = translator
+                    .translate(&sql, TranslationOptions { transport })
+                    .unwrap_or_else(|e| panic!("translation failed [{}]: {e}\n{sql}", class.label()));
+                parse_program(&translation.xquery).unwrap_or_else(|e| {
+                    panic!(
+                        "generated XQuery does not parse [{}]: {e}\nSQL: {sql}\nXQuery:\n{}",
+                        class.label(),
+                        translation.xquery
+                    )
+                });
+            }
+        }
+    }
+
+    /// Translation is deterministic: the same SQL yields byte-identical
+    /// XQuery (important for plan caching in real drivers).
+    #[test]
+    fn translation_is_deterministic(seed in 0u64..10_000) {
+        let mut generator = QueryGenerator::new(seed);
+        let (_, sql) = generator.generate_any();
+        let a = translator()
+            .translate(&sql, TranslationOptions::default())
+            .unwrap();
+        let b = translator()
+            .translate(&sql, TranslationOptions::default())
+            .unwrap();
+        prop_assert_eq!(a.xquery, b.xquery);
+        prop_assert_eq!(a.columns.len(), b.columns.len());
+    }
+
+    /// Result metadata has one entry per select item with nonempty names.
+    #[test]
+    fn result_metadata_is_complete(seed in 0u64..10_000) {
+        let translator = translator();
+        let mut generator = QueryGenerator::new(seed);
+        let (_, sql) = generator.generate_any();
+        let translation = translator
+            .translate(&sql, TranslationOptions::default())
+            .unwrap();
+        prop_assert!(!translation.columns.is_empty());
+        for column in &translation.columns {
+            prop_assert!(!column.name.is_empty());
+            prop_assert!(!column.label.is_empty());
+        }
+        // Element names are unique within a row (the transports key on
+        // them).
+        let mut names: Vec<&str> =
+            translation.columns.iter().map(|c| c.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        prop_assert_eq!(names.len(), translation.columns.len());
+    }
+}
+
+// A slow full differential property, kept to a handful of cases so the
+// default test run stays fast (the dedicated sweeps in
+// `tests/differential.rs` provide volume).
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn differential_agreement_for_arbitrary_seeds(seed in 0u64..1_000) {
+        let report = aldsp::workload::run_differential(
+            seed,
+            2,
+            aldsp::workload::Scale::small(),
+        );
+        prop_assert_eq!(report.rejected, 0);
+        prop_assert!(
+            report.mismatches.is_empty(),
+            "seed {} produced mismatches: {:#?}",
+            seed,
+            report.mismatches.first()
+        );
+    }
+}
