@@ -30,7 +30,8 @@ pub mod types;
 pub use artifacts::{Application, DataService, DataServiceFunction, FunctionKind, Project};
 pub use builder::{ApplicationBuilder, DataServiceBuilder};
 pub use metadata::{
-    CacheStats, CachedMetadataApi, InProcessMetadataApi, MetadataApi, MetadataError,
+    shared_locator, CacheStats, CachedMetadataApi, InProcessMetadataApi, MetadataApi,
+    MetadataError, MetadataFaultHook, MetadataOp, SharedLocator,
 };
 pub use naming::{QualifiedTableName, ResolveError, TableEntry, TableLocator};
 pub use types::{ColumnMeta, SqlColumnType, TableSchema};

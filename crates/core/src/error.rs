@@ -17,6 +17,9 @@ pub enum ErrorKind {
     Metadata,
     /// Constructs outside the supported SQL-92 SELECT subset.
     Unsupported,
+    /// The metadata endpoint could not be reached (transient — the same
+    /// statement can succeed on retry once the endpoint recovers).
+    Unavailable,
 }
 
 /// A translation error.
@@ -48,6 +51,13 @@ impl TranslateError {
             offset: None,
         }
     }
+
+    /// Whether retrying the same statement can succeed. Only endpoint
+    /// unavailability is retryable; the statement itself is at fault for
+    /// every other kind.
+    pub fn is_transient(&self) -> bool {
+        self.kind == ErrorKind::Unavailable
+    }
 }
 
 impl fmt::Display for TranslateError {
@@ -57,6 +67,7 @@ impl fmt::Display for TranslateError {
             ErrorKind::Semantic => "semantic error",
             ErrorKind::Metadata => "metadata error",
             ErrorKind::Unsupported => "unsupported construct",
+            ErrorKind::Unavailable => "metadata endpoint unavailable",
         };
         match self.offset {
             Some(offset) => write!(f, "{kind} at byte {offset}: {}", self.message),
@@ -79,8 +90,13 @@ impl From<ParseError> for TranslateError {
 
 impl From<MetadataError> for TranslateError {
     fn from(e: MetadataError) -> Self {
+        let kind = if e.is_transient() {
+            ErrorKind::Unavailable
+        } else {
+            ErrorKind::Metadata
+        };
         TranslateError {
-            kind: ErrorKind::Metadata,
+            kind,
             message: e.to_string(),
             offset: None,
         }

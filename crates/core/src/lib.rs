@@ -87,6 +87,12 @@ pub struct Translation {
     /// Number of `?` parameter markers; the driver binds
     /// `$sqlParam1 ... $sqlParamN`.
     pub parameter_count: usize,
+    /// The server metadata generation this translation was prepared
+    /// against ([`MetadataApi::epoch`]). A server can reject execution of
+    /// a translation carrying an older epoch than its catalog, letting the
+    /// driver invalidate its metadata cache and retranslate instead of
+    /// returning silently wrong results.
+    pub metadata_epoch: u64,
     /// Per-stage timings.
     pub timings: StageTimings,
 }
@@ -115,6 +121,10 @@ impl<M: MetadataApi> Translator<M> {
         options: TranslationOptions,
     ) -> Result<Translation, TranslateError> {
         let start = Instant::now();
+        // Captured before stage two's lookups: if the catalog changes
+        // mid-translation, the stale epoch makes the server reject the
+        // translation rather than execute it against changed metadata.
+        let metadata_epoch = self.metadata.epoch();
         let parsed = stage1::parse(sql)?;
         let after_parse = Instant::now();
 
@@ -132,6 +142,7 @@ impl<M: MetadataApi> Translator<M> {
             xquery,
             columns: prepared.output.clone(),
             parameter_count: parsed.parameter_count,
+            metadata_epoch,
             timings: StageTimings {
                 parse: after_parse - start,
                 prepare: after_prepare - after_parse,

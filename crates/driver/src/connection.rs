@@ -4,7 +4,15 @@
 //! paper §3.5) and a handle to the server. `Statement` executes SQL text
 //! directly; `PreparedStatement` translates once and binds `?` parameters
 //! per execution, the way reporting tools reuse parameterized queries.
+//!
+//! Every execution path runs under the connection's [`RetryPolicy`]:
+//! transient boundary failures (dropped fetches, lost or corrupted
+//! payloads, timeouts — see [`DriverError::is_transient`]) are retried
+//! with exponential backoff inside the statement's deadline budget, and a
+//! [`DriverError::StaleMetadata`] rejection triggers at most one
+//! invalidate-and-retranslate before the error surfaces.
 
+use crate::fault::RetryPolicy;
 use crate::resultset::ResultSet;
 use crate::server::{sql_value_to_sequence, DspServer};
 use crate::DriverError;
@@ -12,14 +20,27 @@ use aldsp_catalog::{CachedMetadataApi, InProcessMetadataApi};
 use aldsp_core::{Translation, TranslationOptions, Translator, Transport};
 use aldsp_relational::SqlValue;
 use aldsp_xml::Sequence;
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// Recovery-action counters for one connection.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetryStats {
+    /// Transient failures retried.
+    pub retries: u64,
+    /// Stale-metadata recoveries (cache invalidation + retranslation).
+    pub retranslations: u64,
+}
 
 /// A client connection to a DSP application.
 pub struct Connection {
     server: Rc<DspServer>,
     translator: Translator<CachedMetadataApi<InProcessMetadataApi>>,
     options: TranslationOptions,
+    retry: Cell<RetryPolicy>,
+    retries: Cell<u64>,
+    retranslations: Cell<u64>,
 }
 
 impl Connection {
@@ -29,20 +50,29 @@ impl Connection {
     }
 
     /// Opens a connection choosing the transport and a simulated metadata
-    /// round-trip latency (experiment E3).
+    /// round-trip latency (experiment E3). The metadata API shares the
+    /// server's locator and epoch counter, and routes through the
+    /// server's fault injector when one is installed.
     pub fn open_with(
         server: Rc<DspServer>,
         options: TranslationOptions,
         metadata_latency: Duration,
     ) -> Connection {
-        let api = CachedMetadataApi::new(InProcessMetadataApi::with_latency(
+        let mut api = InProcessMetadataApi::shared(
             server.locator().clone(),
+            server.epoch_handle(),
             metadata_latency,
-        ));
+        );
+        if let Some(injector) = server.fault_injector() {
+            api = api.with_fault_hook(injector.metadata_hook());
+        }
         Connection {
-            translator: Translator::new(api),
+            translator: Translator::new(CachedMetadataApi::new(api)),
             server,
             options,
+            retry: Cell::new(RetryPolicy::default()),
+            retries: Cell::new(0),
+            retranslations: Cell::new(0),
         }
     }
 
@@ -61,6 +91,59 @@ impl Connection {
         &self.translator
     }
 
+    /// Replaces the retry policy for subsequent executions.
+    pub fn set_retry_policy(&self, policy: RetryPolicy) {
+        self.retry.set(policy);
+    }
+
+    /// The retry policy in effect.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry.get()
+    }
+
+    /// Recovery actions taken so far on this connection.
+    pub fn retry_stats(&self) -> RetryStats {
+        RetryStats {
+            retries: self.retries.get(),
+            retranslations: self.retranslations.get(),
+        }
+    }
+
+    /// Runs `op` under the retry policy: transient errors are retried
+    /// with exponential backoff up to `max_attempts`, never past the
+    /// deadline budget (exceeding it surfaces as
+    /// [`DriverError::Timeout`]).
+    fn retry_transient<T>(
+        &self,
+        mut op: impl FnMut() -> Result<T, DriverError>,
+    ) -> Result<T, DriverError> {
+        let policy = self.retry.get();
+        let started = Instant::now();
+        let mut attempt: u32 = 0;
+        loop {
+            attempt += 1;
+            match op() {
+                Ok(value) => return Ok(value),
+                Err(e) if e.is_transient() && attempt < policy.max_attempts => {
+                    let backoff = policy.backoff(attempt, 0x5A17_F00F);
+                    if let Some(deadline) = policy.deadline {
+                        if started.elapsed() + backoff >= deadline {
+                            return Err(DriverError::Timeout(format!(
+                                "statement budget {deadline:?} exhausted after \
+                                 {attempt} attempt(s); last error: {e}"
+                            )));
+                        }
+                    }
+                    if !backoff.is_zero() {
+                        std::thread::sleep(backoff);
+                    }
+                    self.retries.set(self.retries.get() + 1);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
     /// Creates a plain statement.
     pub fn create_statement(&self) -> Statement<'_> {
         Statement {
@@ -70,13 +153,18 @@ impl Connection {
     }
 
     /// Prepares a parameterized statement (translation happens once,
-    /// here).
+    /// here — transient metadata failures are retried under the policy).
     pub fn prepare(&self, sql: &str) -> Result<PreparedStatement<'_>, DriverError> {
-        let translation = self.translator.translate(sql, self.options)?;
+        let translation = self.retry_transient(|| {
+            self.translator
+                .translate(sql, self.options)
+                .map_err(DriverError::from)
+        })?;
         let parameters = vec![None; translation.parameter_count];
         Ok(PreparedStatement {
             connection: self,
-            translation,
+            sql: sql.to_string(),
+            translation: RefCell::new(translation),
             parameters,
         })
     }
@@ -90,9 +178,8 @@ impl Connection {
     /// rows with its declared schema.
     pub fn prepare_call(&self, call: &str) -> Result<CallableStatement<'_>, DriverError> {
         let name = parse_call_syntax(call)?;
-        let function = self
-            .server
-            .application()
+        let application = self.server.application();
+        let function = application
             .functions()
             .map(|(_, _, f)| f)
             .find(|f| f.name == name)
@@ -150,11 +237,25 @@ impl Connection {
         })
     }
 
-    fn run(
+    /// One execution attempt: (re)translate if needed, bind, execute with
+    /// the translation's metadata epoch, decode.
+    fn attempt(
         &self,
-        translation: &Translation,
+        sql: &str,
+        translation: &mut Option<Translation>,
         params: &[Option<SqlValue>],
     ) -> Result<ResultSet, DriverError> {
+        if translation.is_none() {
+            *translation = Some(self.translator.translate(sql, self.options)?);
+        }
+        let translation = translation.as_ref().expect("translation just filled");
+        if translation.parameter_count != params.len() {
+            return Err(DriverError::Usage(format!(
+                "statement expects {} parameter(s), {} bound",
+                translation.parameter_count,
+                params.len()
+            )));
+        }
         let bound: Vec<(String, Sequence)> = params
             .iter()
             .enumerate()
@@ -165,14 +266,42 @@ impl Connection {
                 Ok((format!("sqlParam{}", i + 1), sql_value_to_sequence(value)))
             })
             .collect::<Result<_, DriverError>>()?;
-        let payload = self
-            .server
-            .execute_to_payload(&translation.xquery, &bound)?;
+        let payload = self.server.execute_to_payload_at(
+            &translation.xquery,
+            &bound,
+            Some(translation.metadata_epoch),
+        )?;
         match self.options.transport {
             Transport::DelimitedText => {
                 ResultSet::from_delimited(translation.columns.clone(), &payload)
             }
             Transport::Xml => ResultSet::from_xml(translation.columns.clone(), &payload),
+        }
+    }
+
+    /// The full execution engine: transient failures retry under the
+    /// policy; a stale-metadata rejection invalidates the metadata cache
+    /// and retranslates `sql` — at most once — before failing. On return,
+    /// `translation` holds the translation that last ran (so prepared
+    /// statements keep the refreshed one).
+    fn run_with_recovery(
+        &self,
+        sql: &str,
+        translation: &mut Option<Translation>,
+        params: &[Option<SqlValue>],
+    ) -> Result<ResultSet, DriverError> {
+        let mut retranslated = false;
+        loop {
+            let result = self.retry_transient(|| self.attempt(sql, translation, params));
+            match result {
+                Err(DriverError::StaleMetadata { .. }) if !retranslated => {
+                    retranslated = true;
+                    self.translator.metadata().invalidate();
+                    *translation = None;
+                    self.retranslations.set(self.retranslations.get() + 1);
+                }
+                other => return other,
+            }
         }
     }
 }
@@ -192,18 +321,13 @@ impl<'a> Statement<'a> {
         self.max_rows = max_rows;
     }
 
-    /// Translates and executes one SELECT.
+    /// Translates and executes one SELECT (under the connection's retry
+    /// and stale-metadata recovery).
     pub fn execute_query(&self, sql: &str) -> Result<ResultSet, DriverError> {
-        let translation = self
+        let mut translation = None;
+        let mut rs = self
             .connection
-            .translator
-            .translate(sql, self.connection.options)?;
-        if translation.parameter_count != 0 {
-            return Err(DriverError::Usage(
-                "statement has parameters; use prepare()".into(),
-            ));
-        }
-        let mut rs = self.connection.run(&translation, &[])?;
+            .run_with_recovery(sql, &mut translation, &[])?;
         if self.max_rows > 0 {
             rs.truncate(self.max_rows);
         }
@@ -222,7 +346,10 @@ impl<'a> Statement<'a> {
 /// A prepared, parameterized statement.
 pub struct PreparedStatement<'a> {
     connection: &'a Connection,
-    translation: Translation,
+    /// The original SQL, kept so a stale-metadata rejection can
+    /// retranslate against the refreshed catalog.
+    sql: String,
+    translation: RefCell<Translation>,
     parameters: Vec<Option<SqlValue>>,
 }
 
@@ -249,14 +376,30 @@ impl<'a> PreparedStatement<'a> {
         }
     }
 
-    /// Executes with the current bindings.
+    /// Executes with the current bindings. If the server rejects the
+    /// stored translation as stale (the catalog changed since
+    /// `prepare()`), the statement retranslates its SQL once and keeps
+    /// the refreshed translation for subsequent executions.
     pub fn execute_query(&self) -> Result<ResultSet, DriverError> {
-        self.connection.run(&self.translation, &self.parameters)
+        let mut slot = Some(self.translation.borrow().clone());
+        let result = self
+            .connection
+            .run_with_recovery(&self.sql, &mut slot, &self.parameters);
+        if let Some(refreshed) = slot {
+            *self.translation.borrow_mut() = refreshed;
+        }
+        result
     }
 
-    /// The translation backing this statement.
-    pub fn translation(&self) -> &Translation {
-        &self.translation
+    /// The translation backing this statement (refreshed in place when a
+    /// stale-metadata recovery retranslated it).
+    pub fn translation(&self) -> Translation {
+        self.translation.borrow().clone()
+    }
+
+    /// The SQL text this statement was prepared from.
+    pub fn sql(&self) -> &str {
+        &self.sql
     }
 }
 
@@ -286,6 +429,9 @@ impl<'a> CallableStatement<'a> {
 
     /// Executes the call (always the XML transport: the call bypasses the
     /// SQL translator, and its result is the function's flat rows).
+    /// Transient failures retry under the connection's policy; there is
+    /// no staleness check because the XQuery is composed from the live
+    /// catalog, not a cached translation.
     pub fn execute(&self) -> Result<ResultSet, DriverError> {
         let bound: Vec<(String, Sequence)> = self
             .parameters
@@ -298,11 +444,13 @@ impl<'a> CallableStatement<'a> {
                 Ok((format!("sqlParam{}", i + 1), sql_value_to_sequence(value)))
             })
             .collect::<Result<_, DriverError>>()?;
-        let payload = self
-            .connection
-            .server
-            .execute_to_payload(&self.xquery, &bound)?;
-        ResultSet::from_xml(self.columns.clone(), &payload)
+        self.connection.retry_transient(|| {
+            let payload = self
+                .connection
+                .server
+                .execute_to_payload(&self.xquery, &bound)?;
+            ResultSet::from_xml(self.columns.clone(), &payload)
+        })
     }
 
     /// The composed XQuery (debugging).

@@ -64,6 +64,7 @@ impl<'a> DatabaseMetaData<'a> {
         let mut schemas: Vec<String> = self
             .server
             .locator()
+            .read()
             .tables()
             .iter()
             .map(|t| t.qualified.schema.clone())
@@ -77,6 +78,7 @@ impl<'a> DatabaseMetaData<'a> {
     pub fn tables(&self, schema_filter: Option<&str>) -> Vec<TableDescription> {
         self.server
             .locator()
+            .read()
             .tables()
             .iter()
             .filter(|t| {
@@ -96,6 +98,7 @@ impl<'a> DatabaseMetaData<'a> {
     pub fn columns(&self, table: &str) -> Vec<ColumnDescription> {
         self.server
             .locator()
+            .read()
             .tables()
             .iter()
             .filter(|t| t.qualified.table == table)

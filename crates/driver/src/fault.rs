@@ -1,0 +1,526 @@
+//! Fault injection and retry policy for the driver boundary.
+//!
+//! The paper's driver sits across a network from the DSP server: metadata
+//! fetches, function execution, and result shipping can all fail or
+//! degrade in ways the happy-path simulation never exercises. This module
+//! provides:
+//!
+//! * [`FaultInjector`] — a deterministic (seeded) fault source that can be
+//!   installed on a [`crate::DspServer`]. Per-operation probabilities
+//!   decide whether a metadata fetch fails, an execution fails or times
+//!   out, or a result payload is dropped or corrupted in transit. Every
+//!   decision comes from one seeded generator in call order, so a given
+//!   (seed, fault plan, query sequence) replays byte-identically.
+//! * [`RetryPolicy`] — how the client side responds: bounded attempts,
+//!   exponential backoff with deterministic jitter, and a per-statement
+//!   deadline. Only errors classified transient
+//!   ([`crate::DriverError::is_transient`]) are retried.
+//!
+//! Corruption is *detectable by construction*: an injected payload
+//! mutation always yields a payload the decoders reject (a typed
+//! [`crate::DriverError::Decode`]), never a shorter-but-valid payload that
+//! would surface as silently wrong rows. That property is what the chaos
+//! harness's invariant rests on.
+
+use crate::DriverError;
+use aldsp_catalog::{MetadataError, MetadataFaultHook};
+use aldsp_core::{COLUMN_SEPARATOR, ROW_SEPARATOR};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// SplitMix64 — small, seedable, and stable across platforms; sequence
+/// stability is what makes fault plans replayable.
+#[derive(Debug, Clone)]
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, 1)` (53-bit mantissa).
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform draw in `[0, bound)` by rejection sampling.
+    fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        let zone = u64::MAX - u64::MAX % bound;
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % bound;
+            }
+        }
+    }
+}
+
+/// Per-operation fault probabilities, all in `[0, 1]`. A zeroed config
+/// injects nothing.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FaultConfig {
+    /// Seed for the injector's generator.
+    pub seed: u64,
+    /// P(a metadata fetch fails).
+    pub metadata_failure: f64,
+    /// P(an execution fails before evaluation).
+    pub execute_failure: f64,
+    /// P(an execution times out instead of answering).
+    pub execute_timeout: f64,
+    /// P(the result payload is dropped in transit).
+    pub transport_failure: f64,
+    /// P(the result payload is corrupted in transit — truncated mid-row /
+    /// mid-escape, or garbled).
+    pub transport_corruption: f64,
+    /// P(an injected failure is permanent rather than transient). Applies
+    /// to metadata, execute, and transport failures (not timeouts or
+    /// corruption).
+    pub permanent_ratio: f64,
+}
+
+impl FaultConfig {
+    /// A plan that spreads one overall `rate` across every operation:
+    /// full-rate metadata failures and payload drops, half-rate execution
+    /// failures/timeouts/corruption, all transient.
+    pub fn uniform(seed: u64, rate: f64) -> FaultConfig {
+        assert!((0.0..=1.0).contains(&rate), "rate must be in [0, 1]");
+        FaultConfig {
+            seed,
+            metadata_failure: rate,
+            execute_failure: rate * 0.5,
+            execute_timeout: rate * 0.5,
+            transport_failure: rate,
+            transport_corruption: rate * 0.5,
+            permanent_ratio: 0.0,
+        }
+    }
+}
+
+/// Counts of injected faults, by kind.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Metadata fetches failed.
+    pub metadata_failures: u64,
+    /// Executions failed.
+    pub execute_failures: u64,
+    /// Executions timed out.
+    pub execute_timeouts: u64,
+    /// Payloads dropped.
+    pub transport_failures: u64,
+    /// Payloads corrupted.
+    pub corruptions: u64,
+}
+
+impl FaultStats {
+    /// Total injected faults.
+    pub fn total(&self) -> u64 {
+        self.metadata_failures
+            + self.execute_failures
+            + self.execute_timeouts
+            + self.transport_failures
+            + self.corruptions
+    }
+}
+
+struct InjectorState {
+    rng: SplitMix64,
+    stats: FaultStats,
+}
+
+/// A deterministic fault source for the driver/server boundary. Install
+/// on a server with [`crate::DspServer::install_fault_injector`]; the
+/// connection wires the metadata side up automatically.
+pub struct FaultInjector {
+    config: FaultConfig,
+    state: Mutex<InjectorState>,
+}
+
+impl FaultInjector {
+    /// Creates an injector from a fault plan.
+    pub fn new(config: FaultConfig) -> FaultInjector {
+        FaultInjector {
+            config,
+            state: Mutex::new(InjectorState {
+                rng: SplitMix64(config.seed),
+                stats: FaultStats::default(),
+            }),
+        }
+    }
+
+    /// The plan this injector runs.
+    pub fn config(&self) -> FaultConfig {
+        self.config
+    }
+
+    /// Faults injected so far.
+    pub fn stats(&self) -> FaultStats {
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).stats
+    }
+
+    fn with_state<T>(&self, f: impl FnOnce(&mut InjectorState) -> T) -> T {
+        f(&mut self.state.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Consulted by the metadata API before each simulated remote fetch.
+    pub fn on_metadata_fetch(&self) -> Result<(), MetadataError> {
+        self.with_state(|s| {
+            if s.rng.next_f64() < self.config.metadata_failure {
+                s.stats.metadata_failures += 1;
+                let transient = s.rng.next_f64() >= self.config.permanent_ratio;
+                let message = "injected: metadata endpoint dropped the fetch";
+                Err(if transient {
+                    MetadataError::transient(message)
+                } else {
+                    MetadataError::permanent(message)
+                })
+            } else {
+                Ok(())
+            }
+        })
+    }
+
+    /// A [`MetadataFaultHook`] delegating to [`Self::on_metadata_fetch`].
+    pub fn metadata_hook(self: &Arc<Self>) -> MetadataFaultHook {
+        let injector = Arc::clone(self);
+        Arc::new(move |_op| injector.on_metadata_fetch())
+    }
+
+    /// Consulted by the server before evaluating a query.
+    pub fn on_execute(&self) -> Result<(), DriverError> {
+        self.with_state(|s| {
+            if s.rng.next_f64() < self.config.execute_timeout {
+                s.stats.execute_timeouts += 1;
+                return Err(DriverError::Timeout(
+                    "injected: execution exceeded the server time limit".into(),
+                ));
+            }
+            if s.rng.next_f64() < self.config.execute_failure {
+                s.stats.execute_failures += 1;
+                let transient = s.rng.next_f64() >= self.config.permanent_ratio;
+                return Err(if transient {
+                    DriverError::Transient("injected: execution aborted mid-flight".into())
+                } else {
+                    DriverError::Execution("injected: execution failed permanently".into())
+                });
+            }
+            Ok(())
+        })
+    }
+
+    /// Consulted as the result payload crosses the simulated wire: may
+    /// drop it (error) or corrupt it (mutated payload).
+    pub fn on_transport(&self, payload: String) -> Result<String, DriverError> {
+        self.with_state(|s| {
+            if s.rng.next_f64() < self.config.transport_failure {
+                s.stats.transport_failures += 1;
+                let transient = s.rng.next_f64() >= self.config.permanent_ratio;
+                return Err(if transient {
+                    DriverError::Transient("injected: result transport dropped the payload".into())
+                } else {
+                    DriverError::Execution("injected: result transport failed permanently".into())
+                });
+            }
+            if s.rng.next_f64() < self.config.transport_corruption {
+                s.stats.corruptions += 1;
+                return Ok(corrupt_payload(&payload, &mut s.rng));
+            }
+            Ok(payload)
+        })
+    }
+}
+
+/// Mutates a result payload so that decoding *must* fail.
+///
+/// The dangerous mutations are the ones that leave a payload valid: a
+/// delimited-text payload cut exactly after a row separator is a
+/// well-formed, shorter result — rows lost with no error. Every mode here
+/// therefore lands the payload in a state the decoder rejects:
+///
+/// * truncation never cuts at position 0 (an empty delimited payload is a
+///   valid zero-row result) and strips any trailing row separator so the
+///   tail is a dangling, unterminated row;
+/// * mid-escape truncation cuts inside an entity (`&am…`), which both
+///   transports reject;
+/// * the garbage mode appends a bare column separator — a new unterminated
+///   row in delimited text, trailing junk after the document in XML.
+pub fn corrupt_payload(payload: &str, rng: &mut impl CorruptionRng) -> String {
+    // Appending a bare column separator is detectable for any payload:
+    // it opens an unterminated row in delimited text and is trailing
+    // content after the document element in XML.
+    let garble = |p: &str| {
+        let mut out = p.to_string();
+        out.push(COLUMN_SEPARATOR);
+        out
+    };
+    // A truncation is only kept when the decoder must reject it: never
+    // the empty prefix (a valid zero-row delimited result) and never a
+    // prefix ending on a row boundary (a valid, shorter result).
+    let keep_truncation = |cut: usize| {
+        let mut truncated = &payload[..cut];
+        while let Some(shorter) = truncated.strip_suffix(ROW_SEPARATOR) {
+            truncated = shorter;
+        }
+        if truncated.is_empty() {
+            None
+        } else {
+            Some(truncated.to_string())
+        }
+    };
+    if payload.is_empty() {
+        return garble(payload);
+    }
+    match rng.pick(3) {
+        // Truncate mid-content at a random char boundary.
+        0 => {
+            let boundaries: Vec<usize> = payload.char_indices().map(|(i, _)| i).skip(1).collect();
+            match boundaries.as_slice() {
+                [] => garble(payload),
+                cuts => {
+                    let cut = cuts[rng.pick(cuts.len() as u64) as usize];
+                    keep_truncation(cut).unwrap_or_else(|| garble(payload))
+                }
+            }
+        }
+        // Truncate inside an escape/entity if one exists.
+        1 => match payload.find('&') {
+            Some(pos) => {
+                // One byte into the entity name; entity names are ASCII,
+                // but guard the boundary anyway for arbitrary payloads.
+                let cut = (pos + 2).min(payload.len());
+                if payload.is_char_boundary(cut) {
+                    keep_truncation(cut).unwrap_or_else(|| garble(payload))
+                } else {
+                    garble(payload)
+                }
+            }
+            None => garble(payload),
+        },
+        // Append garbage.
+        _ => garble(payload),
+    }
+}
+
+/// The randomness a corruption draw needs; implemented by the injector's
+/// internal generator and easy to stub in tests.
+pub trait CorruptionRng {
+    /// Uniform draw in `[0, bound)`.
+    fn pick(&mut self, bound: u64) -> u64;
+}
+
+impl CorruptionRng for SplitMix64 {
+    fn pick(&mut self, bound: u64) -> u64 {
+        self.below(bound)
+    }
+}
+
+/// A fixed choice sequence for exercising specific corruption modes.
+#[derive(Debug, Clone, Default)]
+pub struct ScriptedRng {
+    choices: Vec<u64>,
+    next: usize,
+}
+
+impl ScriptedRng {
+    /// Replays `choices` in order, then repeats the last one.
+    pub fn new(choices: Vec<u64>) -> ScriptedRng {
+        ScriptedRng { choices, next: 0 }
+    }
+}
+
+impl CorruptionRng for ScriptedRng {
+    fn pick(&mut self, bound: u64) -> u64 {
+        let value = self
+            .choices
+            .get(self.next)
+            .or_else(|| self.choices.last())
+            .copied()
+            .unwrap_or(0);
+        self.next += 1;
+        value.min(bound.saturating_sub(1))
+    }
+}
+
+/// How the client side responds to transient failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, the first included. `1` disables retrying.
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles per retry.
+    pub base_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+    /// Wall-clock budget for the whole statement (attempts + backoffs);
+    /// `None` = unbounded.
+    pub deadline: Option<Duration>,
+}
+
+impl Default for RetryPolicy {
+    /// Three attempts with sub-millisecond backoffs — visible recovery
+    /// without measurable latency when nothing fails.
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_micros(200),
+            max_backoff: Duration::from_millis(5),
+            deadline: None,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No retrying at all.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            base_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+            deadline: None,
+        }
+    }
+
+    /// The backoff before retry number `retry` (1-based): exponential
+    /// from `base_backoff`, capped at `max_backoff`, plus deterministic
+    /// jitter in `[0, backoff/2]` derived from `salt` — so concurrent
+    /// statements spread out, yet a given (salt, retry) always waits the
+    /// same time.
+    pub fn backoff(&self, retry: u32, salt: u64) -> Duration {
+        if self.base_backoff.is_zero() {
+            return Duration::ZERO;
+        }
+        let exp = retry.saturating_sub(1).min(20);
+        let backoff = self
+            .base_backoff
+            .saturating_mul(1u32 << exp)
+            .min(self.max_backoff)
+            .max(self.base_backoff);
+        let half = backoff.as_nanos() as u64 / 2;
+        if half == 0 {
+            return backoff;
+        }
+        // One SplitMix64 step over (salt, retry) as the jitter source.
+        let mut mix = SplitMix64(salt ^ (u64::from(retry) << 32));
+        backoff + Duration::from_nanos(mix.next_u64() % (half + 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_rate_injects_nothing() {
+        let injector = FaultInjector::new(FaultConfig::uniform(7, 0.0));
+        for _ in 0..100 {
+            assert!(injector.on_metadata_fetch().is_ok());
+            assert!(injector.on_execute().is_ok());
+            assert_eq!(injector.on_transport("x<".into()).unwrap(), "x<");
+        }
+        assert_eq!(injector.stats().total(), 0);
+    }
+
+    #[test]
+    fn full_rate_always_faults() {
+        let injector = FaultInjector::new(FaultConfig {
+            seed: 7,
+            metadata_failure: 1.0,
+            execute_failure: 1.0,
+            execute_timeout: 0.0,
+            transport_failure: 1.0,
+            transport_corruption: 0.0,
+            permanent_ratio: 0.0,
+        });
+        assert!(injector.on_metadata_fetch().unwrap_err().is_transient());
+        assert!(matches!(
+            injector.on_execute(),
+            Err(DriverError::Transient(_))
+        ));
+        assert!(matches!(
+            injector.on_transport("x<".into()),
+            Err(DriverError::Transient(_))
+        ));
+        assert_eq!(injector.stats().total(), 3);
+    }
+
+    #[test]
+    fn permanent_ratio_reclassifies_faults() {
+        let injector = FaultInjector::new(FaultConfig {
+            seed: 7,
+            metadata_failure: 1.0,
+            permanent_ratio: 1.0,
+            ..FaultConfig::default()
+        });
+        assert!(!injector.on_metadata_fetch().unwrap_err().is_transient());
+    }
+
+    #[test]
+    fn same_seed_same_decisions() {
+        let decisions = |seed: u64| {
+            let injector = FaultInjector::new(FaultConfig::uniform(seed, 0.3));
+            (0..200)
+                .map(|_| injector.on_execute().is_err())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(decisions(42), decisions(42));
+        assert_ne!(decisions(42), decisions(43));
+    }
+
+    #[test]
+    fn corruption_never_ends_on_row_boundary() {
+        let mut rng = SplitMix64(99);
+        let payload = "1>a<2>b<3>c<"; // three valid delimited rows
+        for _ in 0..500 {
+            let corrupted = corrupt_payload(payload, &mut rng);
+            assert_ne!(corrupted, payload);
+            // A corrupted delimited payload must never be a valid
+            // strictly-shorter row prefix.
+            assert!(
+                !corrupted.ends_with(ROW_SEPARATOR) || corrupted.len() > payload.len(),
+                "corruption produced a decodable prefix: {corrupted:?}"
+            );
+            assert!(!corrupted.is_empty());
+        }
+    }
+
+    #[test]
+    fn scripted_corruption_modes() {
+        // Mode 1 cuts inside the first entity.
+        let mut rng = ScriptedRng::new(vec![1]);
+        let cut = corrupt_payload("a&amp;b<", &mut rng);
+        assert_eq!(cut, "a&a");
+        // Mode 2 appends a dangling column separator.
+        let mut rng = ScriptedRng::new(vec![2]);
+        assert_eq!(
+            corrupt_payload("1>x<", &mut rng),
+            format!("1>x<{COLUMN_SEPARATOR}")
+        );
+        // Empty payloads still corrupt detectably.
+        let mut rng = ScriptedRng::new(vec![0]);
+        assert_eq!(corrupt_payload("", &mut rng), COLUMN_SEPARATOR.to_string());
+    }
+
+    #[test]
+    fn backoff_grows_caps_and_replays() {
+        let policy = RetryPolicy {
+            max_attempts: 5,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(4),
+            deadline: None,
+        };
+        let b1 = policy.backoff(1, 9);
+        let b2 = policy.backoff(2, 9);
+        let b3 = policy.backoff(3, 9);
+        assert!(b1 >= Duration::from_millis(1));
+        assert!(b2 >= Duration::from_millis(2));
+        assert!(b3 >= Duration::from_millis(4));
+        // Cap plus at most half jitter.
+        assert!(policy.backoff(10, 9) <= Duration::from_millis(6));
+        // Deterministic per (salt, retry).
+        assert_eq!(policy.backoff(2, 9), policy.backoff(2, 9));
+        assert_eq!(RetryPolicy::none().backoff(1, 9), Duration::ZERO);
+    }
+}

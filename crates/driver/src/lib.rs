@@ -18,27 +18,65 @@
 
 pub mod connection;
 pub mod dbmeta;
+pub mod fault;
 pub mod resultset;
 pub mod server;
 
-pub use connection::{CallableStatement, Connection, PreparedStatement, Statement};
+pub use connection::{CallableStatement, Connection, PreparedStatement, RetryStats, Statement};
 pub use dbmeta::DatabaseMetaData;
+pub use fault::{FaultConfig, FaultInjector, FaultStats, RetryPolicy};
 pub use resultset::{ResultSet, ResultSetMetaData};
 pub use server::{DspServer, ServerStats};
 
 use std::fmt;
 
-/// Driver-level errors.
+/// Driver-level errors, classified by where they arose *and* whether
+/// retrying can help ([`DriverError::is_transient`]).
 #[derive(Debug, Clone, PartialEq)]
 pub enum DriverError {
     /// Translation failed (syntax, semantics, metadata).
     Translation(aldsp_core::TranslateError),
-    /// Server-side execution failed.
+    /// Server-side execution failed (permanent: the statement itself is
+    /// at fault, or the endpoint declared the failure final).
     Execution(String),
+    /// A transient boundary failure — a dropped fetch, an aborted
+    /// execution, a lost payload. Retrying the same statement can
+    /// succeed.
+    Transient(String),
+    /// The operation exceeded a time limit (the server's, or the
+    /// statement's [`RetryPolicy::deadline`] budget).
+    Timeout(String),
+    /// The server rejected a translation prepared against an older
+    /// metadata generation than its catalog. The driver handles this by
+    /// invalidating its metadata cache and retranslating once.
+    StaleMetadata {
+        /// Epoch the translation was prepared against.
+        client_epoch: u64,
+        /// The server catalog's current epoch.
+        server_epoch: u64,
+    },
     /// Result decoding failed.
     Decode(String),
     /// Client misuse (bad column index, unbound parameter, ...).
     Usage(String),
+}
+
+impl DriverError {
+    /// Whether retrying the same operation can succeed. Corrupted
+    /// payloads ([`DriverError::Decode`]) count as transient: the data
+    /// was damaged in transit, and re-shipping it can deliver it intact.
+    /// [`DriverError::StaleMetadata`] is deliberately *not* transient —
+    /// blind re-execution cannot fix it; it takes the
+    /// invalidate-and-retranslate path instead.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            DriverError::Transient(_) | DriverError::Timeout(_) | DriverError::Decode(_) => true,
+            DriverError::Translation(e) => e.is_transient(),
+            DriverError::Execution(_)
+            | DriverError::StaleMetadata { .. }
+            | DriverError::Usage(_) => false,
+        }
+    }
 }
 
 impl fmt::Display for DriverError {
@@ -46,13 +84,29 @@ impl fmt::Display for DriverError {
         match self {
             DriverError::Translation(e) => write!(f, "translation: {e}"),
             DriverError::Execution(m) => write!(f, "execution: {m}"),
+            DriverError::Transient(m) => write!(f, "transient failure: {m}"),
+            DriverError::Timeout(m) => write!(f, "timeout: {m}"),
+            DriverError::StaleMetadata {
+                client_epoch,
+                server_epoch,
+            } => write!(
+                f,
+                "stale metadata: translation prepared at epoch {client_epoch}, server at {server_epoch}"
+            ),
             DriverError::Decode(m) => write!(f, "decode: {m}"),
             DriverError::Usage(m) => write!(f, "usage: {m}"),
         }
     }
 }
 
-impl std::error::Error for DriverError {}
+impl std::error::Error for DriverError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DriverError::Translation(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<aldsp_core::TranslateError> for DriverError {
     fn from(e: aldsp_core::TranslateError) -> Self {

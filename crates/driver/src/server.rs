@@ -6,13 +6,16 @@
 //! and executes query text, and ships results across a simulated
 //! client/server boundary — as serialized XML or as the §4 delimited text.
 
+use crate::fault::FaultInjector;
 use crate::DriverError;
-use aldsp_catalog::{Application, TableLocator};
+use aldsp_catalog::{shared_locator, Application, SharedLocator, TableLocator};
 use aldsp_relational::{Database, SqlValue};
 use aldsp_xml::{flat::build_row, QName, Sequence};
 use aldsp_xquery::{evaluate_program_with, parse_program, FunctionSource, XqError};
-use std::cell::RefCell;
+use std::cell::{Ref, RefCell};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Execution statistics (bytes shipped, calls made) for the E1/E4
 /// experiments.
@@ -27,50 +30,112 @@ pub struct ServerStats {
 }
 
 /// The server: artifacts + data + an XQuery engine.
+///
+/// The catalog side is mutable at runtime ([`DspServer::reload`],
+/// [`DspServer::mutate_database`]); every change bumps a *metadata epoch*
+/// that open connections observe through the shared locator's metadata
+/// API, and that executions carry so the server can reject translations
+/// prepared against an older catalog ([`DriverError::StaleMetadata`])
+/// instead of running them against changed metadata.
 pub struct DspServer {
-    locator: TableLocator,
-    database: Database,
-    application: Application,
+    /// Shared with every connection's metadata API, so catalog reloads
+    /// are visible without reopening connections.
+    locator: SharedLocator,
+    /// The metadata generation; bumped on every catalog/data change.
+    epoch: Arc<AtomicU64>,
+    database: RefCell<Database>,
+    application: RefCell<Application>,
     /// Materialized function results, keyed by function name. Items are
     /// `Rc`-backed, so cached sequences are cheap to clone per query.
     materialized: RefCell<HashMap<String, Sequence>>,
     /// Logical functions currently being evaluated (cycle detection).
     logical_in_flight: RefCell<std::collections::HashSet<String>>,
     stats: RefCell<ServerStats>,
+    /// Optional fault injector exercising the driver boundary.
+    fault: RefCell<Option<Arc<FaultInjector>>>,
 }
 
 impl DspServer {
     /// Creates a server for an application with its physical data.
     pub fn new(application: Application, database: Database) -> DspServer {
         DspServer {
-            locator: TableLocator::for_application(&application),
-            database,
-            application,
+            locator: shared_locator(TableLocator::for_application(&application)),
+            epoch: Arc::new(AtomicU64::new(0)),
+            database: RefCell::new(database),
+            application: RefCell::new(application),
             materialized: RefCell::new(HashMap::new()),
             logical_in_flight: RefCell::new(std::collections::HashSet::new()),
             stats: RefCell::new(ServerStats::default()),
+            fault: RefCell::new(None),
         }
     }
 
     /// The application's artifacts.
-    pub fn application(&self) -> &Application {
-        &self.application
+    pub fn application(&self) -> Ref<'_, Application> {
+        self.application.borrow()
     }
 
-    /// The table locator (used by the driver's metadata API).
-    pub fn locator(&self) -> &TableLocator {
+    /// The table locator handle (shared with the driver's metadata API).
+    pub fn locator(&self) -> &SharedLocator {
         &self.locator
     }
 
-    /// The backing database (data loading).
-    pub fn database_mut(&mut self) -> &mut Database {
+    /// The current metadata epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// The epoch counter handle (shared with the driver's metadata API).
+    pub fn epoch_handle(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.epoch)
+    }
+
+    fn bump_epoch(&self) {
+        self.epoch.fetch_add(1, Ordering::AcqRel);
         self.materialized.borrow_mut().clear();
-        &mut self.database
+    }
+
+    /// The backing database (data loading). Counts as a metadata/data
+    /// change: materialized results are dropped and the epoch moves.
+    pub fn database_mut(&mut self) -> &mut Database {
+        self.bump_epoch();
+        self.database.get_mut()
+    }
+
+    /// Mutates the backing database through a shared handle (the driver
+    /// holds servers in `Rc`). Epoch semantics match
+    /// [`DspServer::database_mut`].
+    pub fn mutate_database(&self, f: impl FnOnce(&mut Database)) {
+        f(&mut self.database.borrow_mut());
+        self.bump_epoch();
+    }
+
+    /// Replaces the application and its data wholesale — a catalog
+    /// redeployment. The shared locator is rebuilt in place, so open
+    /// connections resolve against the new catalog, and the epoch bump
+    /// makes their caches and prepared translations detectably stale.
+    pub fn reload(&self, application: Application, database: Database) {
+        *self.locator.write() = TableLocator::for_application(&application);
+        *self.application.borrow_mut() = application;
+        *self.database.borrow_mut() = database;
+        self.bump_epoch();
+    }
+
+    /// Installs (or, with `None`, removes) a fault injector on the
+    /// simulated boundary. Connections opened on this server also route
+    /// their metadata fetches through it.
+    pub fn install_fault_injector(&self, injector: Option<Arc<FaultInjector>>) {
+        *self.fault.borrow_mut() = injector;
+    }
+
+    /// The installed fault injector, if any.
+    pub fn fault_injector(&self) -> Option<Arc<FaultInjector>> {
+        self.fault.borrow().clone()
     }
 
     /// The backing database (read access).
-    pub fn database(&self) -> &Database {
-        &self.database
+    pub fn database(&self) -> Ref<'_, Database> {
+        self.database.borrow()
     }
 
     /// Statistics so far.
@@ -90,6 +155,9 @@ impl DspServer {
         xquery: &str,
         params: &[(String, Sequence)],
     ) -> Result<Sequence, DriverError> {
+        if let Some(injector) = self.fault_injector() {
+            injector.on_execute()?;
+        }
         let program = parse_program(xquery)
             .map_err(|e| DriverError::Execution(format!("XQuery compilation failed: {e}")))?;
         self.stats.borrow_mut().queries += 1;
@@ -105,12 +173,39 @@ impl DspServer {
         xquery: &str,
         params: &[(String, Sequence)],
     ) -> Result<String, DriverError> {
+        self.execute_to_payload_at(xquery, params, None)
+    }
+
+    /// [`DspServer::execute_to_payload`] with staleness checking: when
+    /// `client_epoch` is given and differs from the server's current
+    /// metadata epoch, the query is rejected with
+    /// [`DriverError::StaleMetadata`] before evaluation — executing a
+    /// translation against metadata it was not prepared for could
+    /// otherwise return silently wrong rows.
+    pub fn execute_to_payload_at(
+        &self,
+        xquery: &str,
+        params: &[(String, Sequence)],
+        client_epoch: Option<u64>,
+    ) -> Result<String, DriverError> {
+        if let Some(client_epoch) = client_epoch {
+            let server_epoch = self.epoch();
+            if client_epoch != server_epoch {
+                return Err(DriverError::StaleMetadata {
+                    client_epoch,
+                    server_epoch,
+                });
+            }
+        }
         let result = self.execute(xquery, params)?;
-        let payload = match result.as_singleton() {
+        let mut payload = match result.as_singleton() {
             // A single string item: the delimited-text transport.
             Some(aldsp_xml::Item::Atomic(aldsp_xml::Atomic::String(s))) => s.clone(),
             _ => aldsp_xml::serialize_sequence(&result),
         };
+        if let Some(injector) = self.fault_injector() {
+            payload = injector.on_transport(payload)?;
+        }
         self.stats.borrow_mut().bytes_shipped += payload.len() as u64;
         Ok(payload)
     }
@@ -124,7 +219,7 @@ impl DspServer {
         // each data service function for a logical data service is an
         // XQuery written in terms of one or more lower-level data service
         // function calls").
-        let logical_body = self.application.functions().find_map(|(_, _, f)| {
+        let logical_body = self.application.borrow().functions().find_map(|(_, _, f)| {
             if f.name == name {
                 match &f.kind {
                     aldsp_catalog::FunctionKind::Logical { body } => Some(body.clone()),
@@ -157,7 +252,8 @@ impl DspServer {
                 result?
             }
             None => {
-                let table = self.database.table(name).ok_or_else(|| {
+                let database = self.database.borrow();
+                let table = database.table(name).ok_or_else(|| {
                     XqError::new(format!("no data behind data-service function {name}"))
                 })?;
                 let row_name = QName::prefixed("ns0", table.schema.row_element.clone());
@@ -196,8 +292,8 @@ impl FunctionSource for DspServer {
         // Functions with parameters (SQL stored procedures, Figure 2
         // (iii)): parameters filter by the function's declared parameter
         // names, matched against row columns.
-        let function = self
-            .application
+        let application = self.application.borrow();
+        let function = application
             .functions()
             .map(|(_, _, f)| f)
             .find(|f| f.name == local)

@@ -13,11 +13,16 @@
 //! * [`differential`] — the E6 harness: run a query through the full
 //!   driver stack (SQL → XQuery → evaluation → result set) and through
 //!   the relational oracle, and compare.
+//! * [`chaos`] — the same differential check under injected boundary
+//!   faults and a retrying connection: every query must either match the
+//!   oracle or fail with a typed error.
 
+pub mod chaos;
 pub mod differential;
 pub mod querygen;
 pub mod schema;
 
+pub use chaos::{run_chaos, ChaosConfig, ChaosReport};
 pub use differential::{compare_results, run_differential, DifferentialReport, Mismatch};
 pub use querygen::{ConstructClass, QueryGenerator};
 pub use schema::{build_application, paper_queries, populate_database, Scale};

@@ -1,0 +1,96 @@
+//! Chaos differential sweep: the E6 workload through the full driver
+//! stack under injected boundary faults (see `crates/workload/src/chaos.rs`).
+//!
+//! Invariant: every query either returns rows matching the relational
+//! oracle or a typed `DriverError` — never a panic, never silently wrong
+//! rows after a retry. Runs are deterministic per (seed, fault plan); the
+//! fingerprint assertions pin byte-identical replay.
+
+use aldsp_workload::chaos::{run_chaos, ChaosConfig};
+
+const SEEDS: [u64; 3] = [11, 42, 20060403];
+const RATES: [f64; 3] = [0.0, 0.1, 0.3];
+
+#[test]
+fn invariant_holds_across_seeds_and_fault_rates() {
+    for seed in SEEDS {
+        for rate in RATES {
+            let report = run_chaos(&ChaosConfig::new(seed, rate));
+            assert!(
+                report.invariant_holds(),
+                "seed {seed} rate {rate}: {:#?}",
+                report.mismatches
+            );
+            assert!(report.total() > 0);
+            if rate == 0.0 {
+                assert_eq!(
+                    report.typed_errors, 0,
+                    "seed {seed}: errors with no faults injected"
+                );
+                assert_eq!(report.fault_stats.total(), 0);
+            } else {
+                assert!(
+                    report.fault_stats.total() > 0,
+                    "seed {seed} rate {rate}: plan injected nothing"
+                );
+                assert!(
+                    report.passed > 0,
+                    "seed {seed} rate {rate}: nothing survived"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn chaos_outcomes_replay_byte_identically_per_seed() {
+    for seed in SEEDS {
+        let first = run_chaos(&ChaosConfig::new(seed, 0.3));
+        let second = run_chaos(&ChaosConfig::new(seed, 0.3));
+        assert_eq!(
+            first.fingerprint(),
+            second.fingerprint(),
+            "seed {seed}: outcome transcript not reproducible"
+        );
+        assert_eq!(first.fault_stats, second.fault_stats);
+        assert_eq!(first.retries, second.retries);
+    }
+}
+
+#[test]
+fn retries_recover_queries_under_moderate_faults() {
+    // At 10% the plan injects transient faults the policy's four
+    // attempts usually out-last: recovery must be visible (retries > 0)
+    // and productive (more passes than a single-attempt policy gets).
+    let retrying = run_chaos(&ChaosConfig::new(42, 0.1));
+    assert!(retrying.retries > 0);
+
+    let mut single = ChaosConfig::new(42, 0.1);
+    single.retry = aldsp_driver::RetryPolicy::none();
+    let no_retry = run_chaos(&single);
+    assert!(no_retry.invariant_holds(), "{:#?}", no_retry.mismatches);
+    assert!(
+        retrying.passed > no_retry.passed,
+        "retrying ({}) should out-pass no-retry ({})",
+        retrying.passed,
+        no_retry.passed
+    );
+}
+
+/// Deeper sweep for CI's chaos job (`cargo test --test chaos -- --ignored`).
+#[test]
+#[ignore = "deep sweep; run explicitly in the CI chaos job"]
+fn deep_chaos_sweep() {
+    for seed in [1u64, 7, 11, 42, 99, 20060403] {
+        for rate in [0.05, 0.1, 0.2, 0.3, 0.5] {
+            let mut config = ChaosConfig::new(seed, rate);
+            config.count_per_class = 6;
+            let report = run_chaos(&config);
+            assert!(
+                report.invariant_holds(),
+                "seed {seed} rate {rate}: {:#?}",
+                report.mismatches
+            );
+        }
+    }
+}

@@ -157,6 +157,152 @@ fn concat_and_functions_preserve_content() {
     );
 }
 
+// ---------------------------------------------------------------------
+// Corrupted/truncated payloads: the transport can damage a result in
+// flight (exercised via the fault injector's corruption mode). Damage
+// must surface as a typed `DriverError::Decode` — never a panic, and
+// never a silently shorter result.
+// ---------------------------------------------------------------------
+
+#[test]
+fn injected_corruption_yields_decode_errors_not_panics() {
+    use aldsp::driver::{DriverError, FaultConfig, FaultInjector, RetryPolicy};
+
+    for seed in [3u64, 17, 4242] {
+        for transport in [Transport::DelimitedText, Transport::Xml] {
+            let server = server_with_nasty();
+            server.install_fault_injector(Some(std::sync::Arc::new(FaultInjector::new(
+                FaultConfig {
+                    seed,
+                    transport_corruption: 1.0,
+                    ..FaultConfig::default()
+                },
+            ))));
+            let conn = Connection::open_with(
+                server,
+                TranslationOptions { transport },
+                std::time::Duration::ZERO,
+            );
+            // No retries: the corrupted payload itself must be rejected.
+            conn.set_retry_policy(RetryPolicy::none());
+            for _ in 0..8 {
+                let result = conn
+                    .create_statement()
+                    .execute_query("SELECT ID, VAL FROM T ORDER BY ID");
+                match result {
+                    Err(DriverError::Decode(_)) => {}
+                    other => {
+                        panic!("seed {seed}: corrupted payload must fail decoding, got {other:?}")
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn corruption_is_survivable_with_retries() {
+    use aldsp::driver::{FaultConfig, FaultInjector};
+
+    let server = server_with_nasty();
+    // Corrupt roughly half the shipments; the default policy's three
+    // attempts almost always find a clean one.
+    server.install_fault_injector(Some(std::sync::Arc::new(FaultInjector::new(FaultConfig {
+        seed: 7,
+        transport_corruption: 0.5,
+        ..FaultConfig::default()
+    }))));
+    let conn = Connection::open_with(
+        server,
+        TranslationOptions {
+            transport: Transport::DelimitedText,
+        },
+        std::time::Duration::ZERO,
+    );
+    let mut recovered = 0;
+    for _ in 0..12 {
+        if let Ok(rs) = conn
+            .create_statement()
+            .execute_query("SELECT ID, VAL FROM T ORDER BY ID")
+        {
+            // A result that arrives at all must be complete and intact.
+            assert_eq!(rs.row_count(), NASTY.len() + 1);
+            recovered += 1;
+        }
+    }
+    assert!(recovered > 0, "no execution survived 50% corruption");
+    assert!(conn.retry_stats().retries > 0);
+}
+
+/// The delimited payload of the full nasty table, shipped fault-free,
+/// plus its decoded column set.
+fn nasty_delimited_payload() -> (Vec<aldsp::core::OutputColumn>, String) {
+    let conn = connection(Transport::DelimitedText);
+    let translation = conn
+        .create_statement()
+        .explain("SELECT ID, VAL FROM T ORDER BY ID")
+        .unwrap();
+    let payload = conn
+        .server()
+        .execute_to_payload(&translation.xquery, &[])
+        .unwrap();
+    (translation.columns, payload)
+}
+
+#[test]
+fn every_mid_row_truncation_is_detected() {
+    use aldsp::driver::ResultSet;
+
+    let (columns, payload) = nasty_delimited_payload();
+    let full_rows = ResultSet::from_delimited(columns.clone(), &payload)
+        .unwrap()
+        .row_count();
+    assert_eq!(full_rows, NASTY.len() + 1);
+
+    for (cut, _) in payload.char_indices().skip(1) {
+        let prefix = &payload[..cut];
+        if prefix.ends_with('<') {
+            // A cut exactly on a row boundary is a valid shorter payload;
+            // this is precisely the cut the injector refuses to make.
+            let rs = ResultSet::from_delimited(columns.clone(), prefix).unwrap();
+            assert!(rs.row_count() < full_rows);
+        } else {
+            // Every mid-row cut — including mid-escape and mid-value over
+            // separator-laden data — must be rejected, not reinterpreted.
+            ResultSet::from_delimited(columns.clone(), prefix).expect_err(&format!(
+                "truncation at byte {cut} decoded silently: {prefix:?}"
+            ));
+        }
+    }
+}
+
+#[test]
+fn scripted_corruption_modes_are_detected() {
+    use aldsp::driver::fault::{corrupt_payload, ScriptedRng};
+    use aldsp::driver::ResultSet;
+
+    let (columns, payload) = nasty_delimited_payload();
+    // Mid-escape: the payload of NASTY data is full of entities; mode 1
+    // cuts inside the first one.
+    let mid_escape = corrupt_payload(&payload, &mut ScriptedRng::new(vec![1]));
+    assert!(ResultSet::from_delimited(columns.clone(), &mid_escape).is_err());
+
+    // Mid-row: mode 0 with a cut landing mid-payload.
+    let mid_row = corrupt_payload(&payload, &mut ScriptedRng::new(vec![0, 5]));
+    assert!(ResultSet::from_delimited(columns.clone(), &mid_row).is_err());
+
+    // Empty tail: an empty payload is a *valid* zero-row result, so the
+    // injector's mutation of it must still be detectable.
+    assert_eq!(
+        ResultSet::from_delimited(columns.clone(), "")
+            .unwrap()
+            .row_count(),
+        0
+    );
+    let empty_tail = corrupt_payload("", &mut ScriptedRng::new(vec![0]));
+    assert!(ResultSet::from_delimited(columns, &empty_tail).is_err());
+}
+
 #[test]
 fn group_by_nasty_strings() {
     // Grouping keys pass through the $inter view and the group clause.

@@ -1,0 +1,162 @@
+//! Stale-metadata degradation regression tests.
+//!
+//! The hole being regression-tested: `DspServer` catalog changes used to
+//! leave open connections serving stale `CachedMetadataApi` entries and
+//! executing translations prepared against the old catalog. Now every
+//! catalog/data change bumps the server's metadata epoch; connections
+//! observe it through the shared locator (cache auto-invalidation), and
+//! the server rejects epoch-mismatched translations so the driver can
+//! invalidate and retranslate — at most once — instead of returning
+//! silently wrong rows.
+
+use aldsp_catalog::{Application, ApplicationBuilder, MetadataApi, SqlColumnType};
+use aldsp_driver::{Connection, DspServer};
+use aldsp_relational::{Database, SqlValue, Table};
+use std::rc::Rc;
+
+fn build_app(with_email: bool) -> Application {
+    ApplicationBuilder::new("APP")
+        .project("P")
+        .data_service("CUSTOMERS")
+        .physical_table("CUSTOMERS", |t| {
+            let t = t.column("ID", SqlColumnType::Integer, false).column(
+                "NAME",
+                SqlColumnType::Varchar,
+                true,
+            );
+            if with_email {
+                t.column("EMAIL", SqlColumnType::Varchar, true)
+            } else {
+                t
+            }
+        })
+        .finish_service()
+        .finish_project()
+        .build()
+}
+
+fn build_db(app: &Application, rows: &[(i64, &str)]) -> Database {
+    let schema = app.projects[0].data_services[0].functions[0].schema.clone();
+    let mut table = Table::new(schema);
+    let width = table.schema.columns.len();
+    for (id, name) in rows {
+        let mut row = vec![SqlValue::Int(*id), SqlValue::Str((*name).into())];
+        while row.len() < width {
+            row.push(SqlValue::Null);
+        }
+        table.insert(row);
+    }
+    let mut db = Database::new();
+    db.add_table(table);
+    db
+}
+
+fn open(rows: &[(i64, &str)]) -> (Rc<DspServer>, Connection) {
+    let app = build_app(false);
+    let db = build_db(&app, rows);
+    let server = Rc::new(DspServer::new(app, db));
+    let conn = Connection::open(Rc::clone(&server));
+    (server, conn)
+}
+
+#[test]
+fn prepared_statement_survives_catalog_reload_via_one_retranslation() {
+    let (server, conn) = open(&[(1, "Joe"), (2, "Sue")]);
+    let ps = conn
+        .prepare("SELECT ID, NAME FROM CUSTOMERS ORDER BY ID")
+        .unwrap();
+    let rs = ps.execute_query().unwrap();
+    assert_eq!(rs.row_count(), 2);
+    let epoch_before = ps.translation().metadata_epoch;
+
+    // Catalog redeployment between two executions on one connection: the
+    // schema grows a column and the data changes.
+    let app2 = build_app(true);
+    let db2 = build_db(&app2, &[(7, "Ada"), (8, "Bo"), (9, "Cy")]);
+    server.reload(app2, db2);
+
+    // The second execution's stored translation is stale; the driver
+    // must recover through exactly one invalidate-and-retranslate.
+    let mut rs = ps.execute_query().unwrap();
+    assert_eq!(rs.row_count(), 3);
+    rs.next();
+    assert_eq!(rs.get_i64(1).unwrap(), 7);
+    assert_eq!(rs.get_string(2).unwrap().as_deref(), Some("Ada"));
+    assert_eq!(conn.retry_stats().retranslations, 1);
+    assert!(ps.translation().metadata_epoch > epoch_before);
+
+    // Steady state: the refreshed translation is kept, so a third
+    // execution needs no further recovery.
+    let rs = ps.execute_query().unwrap();
+    assert_eq!(rs.row_count(), 3);
+    assert_eq!(conn.retry_stats().retranslations, 1);
+}
+
+#[test]
+fn open_connection_cache_invalidates_on_epoch_bump() {
+    let (server, conn) = open(&[(1, "Joe")]);
+    conn.create_statement()
+        .execute_query("SELECT ID FROM CUSTOMERS")
+        .unwrap();
+    conn.create_statement()
+        .execute_query("SELECT NAME FROM CUSTOMERS")
+        .unwrap();
+    // Steady state: one metadata round trip, served from cache after.
+    assert_eq!(conn.translator().metadata().round_trips(), 1);
+
+    // Reload with a wider schema. The old cached entry has no EMAIL
+    // column; serving it would wrongly reject the next query.
+    let app2 = build_app(true);
+    let db2 = build_db(&app2, &[(1, "Joe")]);
+    server.reload(app2, db2);
+
+    let mut rs = conn
+        .create_statement()
+        .execute_query("SELECT EMAIL FROM CUSTOMERS")
+        .unwrap();
+    assert_eq!(rs.row_count(), 1);
+    rs.next();
+    assert_eq!(rs.get_string(1).unwrap(), None);
+    assert_eq!(conn.translator().metadata().round_trips(), 2);
+    assert!(conn.translator().metadata().stats().invalidations >= 1);
+}
+
+#[test]
+fn data_mutation_through_shared_handle_is_visible_and_safe() {
+    let (server, conn) = open(&[(1, "Joe")]);
+    let ps = conn.prepare("SELECT COUNT(*) FROM CUSTOMERS").unwrap();
+    let mut rs = ps.execute_query().unwrap();
+    rs.next();
+    assert_eq!(rs.get_i64(1).unwrap(), 1);
+
+    // Mutate data in place (no schema change): the epoch still moves, so
+    // the server drops materialized results and the prepared statement
+    // retranslates rather than serving the old materialization.
+    server.mutate_database(|db| {
+        let table = db.table_mut("CUSTOMERS").unwrap();
+        table.insert(vec![SqlValue::Int(2), SqlValue::Str("Sue".into())]);
+    });
+
+    let mut rs = ps.execute_query().unwrap();
+    rs.next();
+    assert_eq!(rs.get_i64(1).unwrap(), 2);
+    assert_eq!(conn.retry_stats().retranslations, 1);
+}
+
+#[test]
+fn connections_opened_after_reload_start_fresh() {
+    let (server, _old) = open(&[(1, "Joe")]);
+    let app2 = build_app(true);
+    let db2 = build_db(&app2, &[(5, "Eve")]);
+    server.reload(app2, db2);
+
+    let conn = Connection::open(Rc::clone(&server));
+    let mut rs = conn
+        .create_statement()
+        .execute_query("SELECT ID, EMAIL FROM CUSTOMERS")
+        .unwrap();
+    assert_eq!(rs.row_count(), 1);
+    rs.next();
+    assert_eq!(rs.get_i64(1).unwrap(), 5);
+    assert_eq!(conn.retry_stats().retranslations, 0);
+}

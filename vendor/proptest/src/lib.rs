@@ -1,0 +1,460 @@
+//! Offline shim for the `proptest` crate.
+//!
+//! The workspace builds in environments without crates.io access, so the
+//! root `Cargo.toml` patches `proptest` to this crate. It implements the
+//! subset of the real API the workspace's property tests use:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(...)]`),
+//! * [`prop_assert!`] / [`prop_assert_eq!`],
+//! * the [`Strategy`] trait with integer-range, regex-string, tuple,
+//!   boolean, and `collection::vec` strategies,
+//! * [`ProptestConfig::with_cases`].
+//!
+//! Differences from real proptest, deliberately accepted: no shrinking
+//! (failures report the original inputs), and a fixed deterministic seed
+//! per test function rather than an OS-entropy seed, so failures always
+//! reproduce. The regex-string strategy supports the subset of patterns
+//! the workspace uses: concatenations of literal characters and character
+//! classes (`[a-z0-9_]`, ranges and literals, including non-ASCII), each
+//! optionally quantified with `{m,n}` or `{m}`.
+
+use std::ops::{Range, RangeInclusive};
+
+pub mod test_runner {
+    /// Deterministic RNG used to drive all strategies (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// A fixed-seed generator; every test run samples the same cases.
+        pub fn deterministic() -> TestRng {
+            TestRng {
+                state: 0x5EED_CAFE_F00D_D00D,
+            }
+        }
+
+        /// The next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Unbiased uniform sample from `[0, span)`.
+        pub fn below(&mut self, span: u128) -> u128 {
+            debug_assert!(span > 0);
+            let zone = u128::MAX - (u128::MAX % span);
+            loop {
+                let wide = ((self.next_u64() as u128) << 64) | self.next_u64() as u128;
+                if wide < zone {
+                    return wide % span;
+                }
+            }
+        }
+    }
+
+    /// Per-test configuration.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of cases to run per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            // Real proptest defaults to 256; 64 keeps the workspace's
+            // heavier whole-pipeline properties fast while still giving
+            // plenty of coverage per run.
+            ProptestConfig { cases: 64 }
+        }
+    }
+}
+
+pub use test_runner::{ProptestConfig, TestRng};
+
+/// A generator of values for one property input.
+pub trait Strategy {
+    /// The value type produced.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+// Integer ranges. `0i64..100` and `0u64..=u64::MAX` both appear in the
+// workspace; go through u128 arithmetic so full-width ranges cannot
+// overflow.
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128).wrapping_sub(self.start as i128) as u128;
+                (self.start as i128).wrapping_add(rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (low, high) = (*self.start(), *self.end());
+                assert!(low <= high, "empty range strategy");
+                let span = ((high as i128).wrapping_sub(low as i128) as u128) + 1;
+                (low as i128).wrapping_add(rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+/// String-literal strategies are regex patterns, as in real proptest.
+impl Strategy for &str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut TestRng) -> String {
+        string::Pattern::compile(self)
+            .unwrap_or_else(|e| panic!("bad regex strategy {self:?}: {e}"))
+            .sample(rng)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+}
+
+/// A strategy that always yields clones of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+pub mod bool {
+    //! Boolean strategies.
+    use super::{Strategy, TestRng};
+
+    /// Uniformly random booleans.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// The boolean strategy instance (`proptest::bool::ANY`).
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with a length drawn from `size` and elements
+    /// drawn from `element`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `proptest::collection::vec(element, 0..6)`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty vec-size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start) as u128;
+            let len = self.size.start + rng.below(span) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod string {
+    //! Regex-subset string strategy.
+    use super::{Strategy, TestRng};
+
+    /// One compiled pattern element: a set of candidate chars and a
+    /// repetition count range.
+    #[derive(Debug, Clone)]
+    struct Piece {
+        chars: Vec<char>,
+        min: usize,
+        max: usize,
+    }
+
+    /// A compiled pattern: a concatenation of pieces.
+    #[derive(Debug, Clone)]
+    pub struct Pattern {
+        pieces: Vec<Piece>,
+    }
+
+    /// Pattern-compilation error.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct Error(pub String);
+
+    impl std::fmt::Display for Error {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "unsupported regex pattern: {}", self.0)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    impl Pattern {
+        /// Compiles the supported regex subset (see crate docs).
+        pub fn compile(pattern: &str) -> Result<Pattern, Error> {
+            let mut chars = pattern.chars().peekable();
+            let mut pieces = Vec::new();
+            while let Some(c) = chars.next() {
+                let candidates = match c {
+                    '[' => {
+                        let mut set = Vec::new();
+                        let mut class = Vec::new();
+                        for c in chars.by_ref() {
+                            if c == ']' {
+                                break;
+                            }
+                            class.push(c);
+                        }
+                        let mut i = 0;
+                        while i < class.len() {
+                            // `a-z` is a range unless `-` is first/last.
+                            if i + 2 < class.len() && class[i + 1] == '-' {
+                                let (lo, hi) = (class[i], class[i + 2]);
+                                if lo > hi {
+                                    return Err(Error(format!("bad range {lo}-{hi}")));
+                                }
+                                // `char` range iteration skips the
+                                // surrogate gap on its own.
+                                set.extend(lo..=hi);
+                                i += 3;
+                            } else {
+                                set.push(class[i]);
+                                i += 1;
+                            }
+                        }
+                        if set.is_empty() {
+                            return Err(Error("empty character class".into()));
+                        }
+                        set
+                    }
+                    '\\' => {
+                        let escaped = chars
+                            .next()
+                            .ok_or_else(|| Error("dangling escape".into()))?;
+                        vec![escaped]
+                    }
+                    '(' | ')' | '|' | '*' | '+' | '?' => {
+                        return Err(Error(format!("unsupported metacharacter `{c}`")))
+                    }
+                    literal => vec![literal],
+                };
+                // Optional {m} / {m,n} quantifier.
+                let (min, max) = if chars.peek() == Some(&'{') {
+                    chars.next();
+                    let mut spec = String::new();
+                    for c in chars.by_ref() {
+                        if c == '}' {
+                            break;
+                        }
+                        spec.push(c);
+                    }
+                    let parts: Vec<&str> = spec.split(',').collect();
+                    match parts.as_slice() {
+                        [exact] => {
+                            let n = exact
+                                .trim()
+                                .parse()
+                                .map_err(|_| Error(format!("bad quantifier {{{spec}}}")))?;
+                            (n, n)
+                        }
+                        [lo, hi] => (
+                            lo.trim()
+                                .parse()
+                                .map_err(|_| Error(format!("bad quantifier {{{spec}}}")))?,
+                            hi.trim()
+                                .parse()
+                                .map_err(|_| Error(format!("bad quantifier {{{spec}}}")))?,
+                        ),
+                        _ => return Err(Error(format!("bad quantifier {{{spec}}}"))),
+                    }
+                } else {
+                    (1, 1)
+                };
+                if min > max {
+                    return Err(Error("quantifier min > max".into()));
+                }
+                pieces.push(Piece {
+                    chars: candidates,
+                    min,
+                    max,
+                });
+            }
+            Ok(Pattern { pieces })
+        }
+    }
+
+    impl Strategy for Pattern {
+        type Value = String;
+
+        fn sample(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            for piece in &self.pieces {
+                let span = (piece.max - piece.min + 1) as u128;
+                let count = piece.min + rng.below(span) as usize;
+                for _ in 0..count {
+                    let i = rng.below(piece.chars.len() as u128) as usize;
+                    out.push(piece.chars[i]);
+                }
+            }
+            out
+        }
+    }
+
+    /// Compiles `pattern` into a string strategy
+    /// (`proptest::string::string_regex`).
+    pub fn string_regex(pattern: &str) -> Result<Pattern, Error> {
+        Pattern::compile(pattern)
+    }
+}
+
+pub mod prelude {
+    //! The glob-import surface, matching real proptest's prelude.
+    pub use crate::test_runner::{ProptestConfig, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, Strategy};
+}
+
+/// Property-test assertion (panics; this shim does not shrink).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)*) => { assert_eq!($left, $right, $($fmt)*) };
+}
+
+/// Inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => { assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)*) => { assert_ne!($left, $right, $($fmt)*) };
+}
+
+/// The property-test macro: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that samples the strategies `config.cases` times
+/// and runs the body.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@funcs ($config) $($rest)*);
+    };
+    (@funcs ($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let mut rng = $crate::test_runner::TestRng::deterministic();
+            for _case in 0..config.cases {
+                $(let $arg = $crate::Strategy::sample(&($strategy), &mut rng);)+
+                $body
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@funcs (<$crate::ProptestConfig as ::std::default::Default>::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn regex_subset_shapes() {
+        let mut rng = TestRng::deterministic();
+        for _ in 0..200 {
+            let s = crate::string::string_regex("[a-z][a-z0-9_]{0,10}")
+                .unwrap()
+                .sample(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 11);
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            let t: String = "X[A-Z]{0,5}".sample(&mut rng);
+            assert!(t.starts_with('X') && t.len() <= 6);
+            let printable: String = "[ -~]{0,30}".sample(&mut rng);
+            assert!(printable.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_default_config(v in 0i64..100, flag in crate::bool::ANY) {
+            prop_assert!((0..100).contains(&v));
+            let _ = flag;
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+
+        /// Doc comments before the test must be accepted.
+        #[test]
+        fn macro_with_config(
+            items in crate::collection::vec((0usize..4, "[ab]{1,2}"), 0..5),
+        ) {
+            prop_assert!(items.len() < 5);
+            for (n, s) in &items {
+                prop_assert!(*n < 4);
+                prop_assert!(!s.is_empty() && s.len() <= 2);
+            }
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! Offline shim for the `rand` crate.
+//!
+//! The workspace builds in environments without crates.io access, so the
+//! root `Cargo.toml` patches `rand` to this crate. It provides the subset
+//! the workspace uses: `rngs::StdRng`, `SeedableRng::seed_from_u64`, and
+//! the `Rng` methods `gen_range` / `gen_bool` / `gen`.
+//!
+//! The generator is xoshiro256** seeded via SplitMix64. Sequences are
+//! deterministic per seed and stable across platforms and releases of this
+//! shim (the workspace's seeded tests and fault plans depend on that), but
+//! they are NOT the same sequences the real `rand::rngs::StdRng` produces —
+//! which rand itself documents as a non-guarantee across versions.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core trait: a source of uniformly distributed `u64`s.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seedable construction (subset: `seed_from_u64`).
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from a range.
+pub trait SampleUniform: Sized + Copy {
+    /// Uniform sample from `[low, high)`; panics if the range is empty.
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+    /// Uniform sample from `[low, high]`.
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+/// Range argument accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one sample.
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (low, high) = self.into_inner();
+        T::sample_inclusive(rng, low, high)
+    }
+}
+
+/// Unbiased sample from `[0, span)` (span as u128 to cover full-width
+/// integer ranges) by rejection on the top of the 128-bit space.
+fn uniform_u128<R: RngCore + ?Sized>(rng: &mut R, span: u128) -> u128 {
+    debug_assert!(span > 0);
+    let zone = u128::MAX - (u128::MAX % span);
+    loop {
+        let wide = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+        if wide < zone {
+            return wide % span;
+        }
+    }
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty => $wide:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: $t, high: $t) -> $t {
+                assert!(low < high, "gen_range: empty range");
+                let span = (high as $wide).wrapping_sub(low as $wide) as u128;
+                let offset = uniform_u128(rng, span) as $wide;
+                ((low as $wide).wrapping_add(offset)) as $t
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: $t, high: $t) -> $t {
+                assert!(low <= high, "gen_range: empty range");
+                let span = ((high as $wide).wrapping_sub(low as $wide) as u128) + 1;
+                let offset = uniform_u128(rng, span) as $wide;
+                ((low as $wide).wrapping_add(offset)) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int! {
+    i8 => i128, i16 => i128, i32 => i128, i64 => i128, i128 => i128, isize => i128,
+    u8 => u128, u16 => u128, u32 => u128, u64 => u128, u128 => u128, usize => u128,
+}
+
+/// The user-facing random-value methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from a range.
+    fn gen_range<T, S>(&mut self, range: S) -> T
+    where
+        S: SampleRange<T>,
+    {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p not in [0, 1]");
+        // 53 random bits → uniform f64 in [0, 1).
+        ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
+    }
+
+    /// A uniformly random value (`u64`/`bool` subset).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::generate(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Types [`Rng::gen`] can produce.
+pub trait Standard {
+    /// Draws one value.
+    fn generate<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn generate<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for bool {
+    fn generate<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Named generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256** generator (stands in for rand's
+    /// `StdRng`; see the crate docs for the sequence-stability caveat).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut state = seed;
+            let s = [
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+            ];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1]
+                .wrapping_mul(5)
+                .rotate_left(7)
+                .wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..1_000_000), b.gen_range(0u64..1_000_000));
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        let same: Vec<u64> = (0..16).map(|_| c.gen_range(0..u64::MAX)).collect();
+        let mut d = StdRng::seed_from_u64(7);
+        let other: Vec<u64> = (0..16).map(|_| d.gen_range(0..u64::MAX)).collect();
+        assert_ne!(same, other);
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(5..45);
+            assert!((5..45).contains(&v));
+            let w = rng.gen_range(1i64..=3);
+            assert!((1..=3).contains(&w));
+            let u = rng.gen_range(0usize..7);
+            assert!(u < 7);
+        }
+        // Full-width inclusive range must not overflow.
+        let _ = rng.gen_range(0i64..=i64::MAX);
+        let _ = rng.gen_range(i64::MIN..=i64::MAX);
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+        let heads = (0..10_000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((4_000..6_000).contains(&heads), "{heads}");
+    }
+}
