@@ -1,0 +1,135 @@
+//! Diagnostic codes and the diagnostic record.
+//!
+//! Codes are stable API: tests assert on them, and DESIGN.md §10 documents
+//! the full table. `A0xx` codes come from the layer-1 IR checker (stage-1
+//! /stage-2 invariants, paper §3.4); `A1xx` codes come from the layer-2
+//! XQuery lint (scope/def-use over the generated query, paper §3.5).
+
+use std::fmt;
+
+/// A stable diagnostic code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DiagCode {
+    /// Duplicate (or reserved-zero) query-context id — each query block
+    /// must own exactly one context (§3.4.3).
+    A001,
+    /// Range-variable collision inside one FROM clause.
+    A002,
+    /// Column reference that does not resolve against the RSNs in scope.
+    A003,
+    /// GROUP BY legality violated after stage-2 restructuring: a
+    /// projection/HAVING expression references a non-grouped column
+    /// outside an aggregate.
+    A004,
+    /// Projection items do not map one-to-one onto the output columns.
+    A005,
+    /// ORDER BY resolved to an output index that is out of range.
+    A006,
+    /// Set-operation operands (or its declared output) disagree on arity.
+    A007,
+    /// A stage-3-internal `Generated` node appeared in stage-2 output.
+    A008,
+    /// The generated XQuery text failed to parse.
+    A100,
+    /// Unbound variable reference.
+    A101,
+    /// A binding shadows an in-scope variable of the same name.
+    A102,
+    /// A `let` binding that is never referenced.
+    A103,
+    /// Variable-naming violation: the name does not follow the
+    /// `var<ctx><zone><n>` discipline, or its zone tag does not match the
+    /// clause that binds it (§3.5 (iv)).
+    A104,
+    /// A function call that is neither a `fn:`/`fn-bea:`/`xs:` builtin nor
+    /// a data-service function of a declared import.
+    A105,
+    /// A function call whose namespace prefix is not declared.
+    A106,
+}
+
+impl DiagCode {
+    /// The code as printed (`"A101"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DiagCode::A001 => "A001",
+            DiagCode::A002 => "A002",
+            DiagCode::A003 => "A003",
+            DiagCode::A004 => "A004",
+            DiagCode::A005 => "A005",
+            DiagCode::A006 => "A006",
+            DiagCode::A007 => "A007",
+            DiagCode::A008 => "A008",
+            DiagCode::A100 => "A100",
+            DiagCode::A101 => "A101",
+            DiagCode::A102 => "A102",
+            DiagCode::A103 => "A103",
+            DiagCode::A104 => "A104",
+            DiagCode::A105 => "A105",
+            DiagCode::A106 => "A106",
+        }
+    }
+
+    /// Short rule name, for the `analyze` bin's listing.
+    pub fn rule(self) -> &'static str {
+        match self {
+            DiagCode::A001 => "duplicate query-context id",
+            DiagCode::A002 => "range-variable collision",
+            DiagCode::A003 => "unresolved column reference",
+            DiagCode::A004 => "GROUP BY legality",
+            DiagCode::A005 => "projection/output mismatch",
+            DiagCode::A006 => "ORDER BY index out of range",
+            DiagCode::A007 => "set-operation arity mismatch",
+            DiagCode::A008 => "internal node leaked from stage two",
+            DiagCode::A100 => "generated XQuery does not parse",
+            DiagCode::A101 => "unbound variable",
+            DiagCode::A102 => "shadowed binding",
+            DiagCode::A103 => "dead let binding",
+            DiagCode::A104 => "variable naming/zone violation",
+            DiagCode::A105 => "unmapped function call",
+            DiagCode::A106 => "undeclared namespace prefix",
+        }
+    }
+}
+
+impl fmt::Display for DiagCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable code.
+    pub code: DiagCode,
+    /// Human-readable detail naming the offending construct.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Builds a diagnostic.
+    pub fn new(code: DiagCode, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            code,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}]: {}", self.code, self.code.rule(), self.message)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_code_and_rule() {
+        let d = Diagnostic::new(DiagCode::A101, "$x is not in scope");
+        assert_eq!(d.to_string(), "A101 [unbound variable]: $x is not in scope");
+    }
+}

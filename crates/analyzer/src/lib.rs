@@ -1,0 +1,58 @@
+//! # aldsp-analyzer — static analysis over the translation pipeline
+//!
+//! The paper's translator leans on structural discipline that is easy to
+//! break silently: one query context per (sub)query block (§3.4.3), one
+//! RSN per tabular abstraction (§3.4.2), deterministic
+//! `var<ctx><zone><n>` variable naming and zone-ordered FLWOR assembly
+//! (§3.5 (iv)). This crate re-verifies that discipline on every
+//! translation:
+//!
+//! * **Layer 1** ([`ir_check`]) — invariants over the stage-1/stage-2 IR:
+//!   context-id uniqueness, range-variable uniqueness per FROM, column
+//!   resolution against the RSN scope chain, post-restructuring GROUP BY
+//!   legality, projection/output and ORDER BY index integrity, set-op
+//!   arity, and no stage-3-internal nodes. Codes `A001`–`A008`.
+//! * **Layer 2** ([`xq_lint`]) — scope/def-use lint over the generated
+//!   XQuery text: parseability, unbound variables, shadowing, dead `let`
+//!   bindings, naming/zone conformance, and function-map conformance.
+//!   Codes `A100`–`A106`.
+//!
+//! Entry points: [`analyze_sql`] runs the whole pipeline on a SQL string
+//! (used by the `analyze` bin and the workload harnesses);
+//! [`analyze_translation`] checks an existing prepared query + generated
+//! text; [`lint_program`]/[`lint_text`] run layer 2 alone. With the
+//! `debug-analyze` feature, [`install_debug_validator`] hooks the whole
+//! report into `core::stage3` so every generation in a test build
+//! re-checks itself and fails hard on findings.
+
+pub mod diag;
+pub mod ir_check;
+pub mod report;
+pub mod xq_lint;
+
+pub use diag::{DiagCode, Diagnostic};
+pub use ir_check::check_prepared;
+pub use report::{analyze_sql, analyze_translation, Analysis, TranslationReport};
+pub use xq_lint::{lint_program, lint_text};
+
+/// Installs the analyzer into `core::stage3`'s debug validation slot:
+/// from then on, every `stage3::generate` in this process re-checks its
+/// own output (both layers, on the unwrapped query text) and fails the
+/// translation with a semantic error when diagnostics are found.
+/// Idempotent; test harnesses call it unconditionally.
+#[cfg(feature = "debug-analyze")]
+pub fn install_debug_validator() {
+    aldsp_core::stage3::debug_validate::install(validate_generated);
+}
+
+#[cfg(feature = "debug-analyze")]
+fn validate_generated(
+    prepared: &aldsp_core::ir::PreparedQuery,
+    generated: &aldsp_core::stage3::Generated,
+) -> Vec<String> {
+    let text = generated.clone().into_query_text();
+    analyze_translation(prepared, &text)
+        .all()
+        .map(|d| d.to_string())
+        .collect()
+}

@@ -1,0 +1,75 @@
+//! The combined two-layer report, plus the end-to-end entry point the
+//! `analyze` bin and the workload harnesses use.
+
+use crate::diag::Diagnostic;
+use crate::{ir_check, xq_lint};
+use aldsp_catalog::MetadataApi;
+use aldsp_core::ir::PreparedQuery;
+use aldsp_core::{stage1, stage2, stage3, wrapper, TranslateError, TranslationOptions, Transport};
+
+/// Both analysis layers over one translation.
+#[derive(Debug, Clone, Default)]
+pub struct TranslationReport {
+    /// Layer-1 findings (IR invariants, `A0xx`).
+    pub ir: Vec<Diagnostic>,
+    /// Layer-2 findings (XQuery lint, `A1xx`).
+    pub xquery: Vec<Diagnostic>,
+}
+
+impl TranslationReport {
+    /// True when neither layer found anything.
+    pub fn is_clean(&self) -> bool {
+        self.ir.is_empty() && self.xquery.is_empty()
+    }
+
+    /// All findings, layer 1 first.
+    pub fn all(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.ir.iter().chain(self.xquery.iter())
+    }
+
+    /// One line per finding.
+    pub fn render(&self) -> String {
+        self.all()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+/// Analyzes one already-produced translation: layer 1 over the prepared
+/// IR, layer 2 over the generated query text (wrapped or unwrapped).
+pub fn analyze_translation(prepared: &PreparedQuery, xquery_text: &str) -> TranslationReport {
+    TranslationReport {
+        ir: ir_check::check_prepared(prepared),
+        xquery: xq_lint::lint_text(xquery_text),
+    }
+}
+
+/// An end-to-end analysis: the translation plus its report.
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    /// The generated query text, per the requested transport.
+    pub xquery: String,
+    /// The two-layer report.
+    pub report: TranslationReport,
+}
+
+/// Translates `sql` (stage 1 → 2 → 3 → transport wrapper) and analyzes
+/// both the prepared IR and the generated text. Translation failures are
+/// returned as-is — they are the translator rejecting the statement, not
+/// analyzer findings.
+pub fn analyze_sql<M: MetadataApi>(
+    sql: &str,
+    metadata: &M,
+    options: TranslationOptions,
+) -> Result<Analysis, TranslateError> {
+    let parsed = stage1::parse(sql)?;
+    let prepared = stage2::prepare(&parsed, metadata)?;
+    let generated = stage3::generate(&prepared)?;
+    let xquery = match options.transport {
+        Transport::Xml => generated.into_query_text(),
+        Transport::DelimitedText => wrapper::wrap_delimited(generated, &prepared),
+    };
+    let report = analyze_translation(&prepared, &xquery);
+    Ok(Analysis { xquery, report })
+}

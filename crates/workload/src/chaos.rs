@@ -18,7 +18,7 @@
 //! canonicalizes the per-query outcomes for byte-identical comparison
 //! across runs.
 
-use crate::differential::{compare_results, Mismatch};
+use crate::differential::{compare_results, lint_query, Mismatch};
 use crate::querygen::{ConstructClass, QueryGenerator};
 use crate::schema::{build_application, populate_database, Scale};
 use aldsp_driver::{
@@ -47,6 +47,10 @@ pub struct ChaosConfig {
     /// a wall-clock budget would make outcomes timing-dependent, and the
     /// harness asserts byte-identical replays.
     pub retry: RetryPolicy,
+    /// Statically analyze every generated query (through a separate,
+    /// fault-free metadata path — lint results must not depend on the
+    /// fault plan) before executing it; findings are mismatches.
+    pub lint: bool,
 }
 
 impl ChaosConfig {
@@ -63,6 +67,7 @@ impl ChaosConfig {
                 max_backoff: Duration::from_micros(200),
                 deadline: None,
             },
+            lint: true,
         }
     }
 }
@@ -122,10 +127,21 @@ fn error_tag(e: &DriverError) -> String {
 /// plan, comparing successful executions against the fault-free
 /// relational oracle.
 pub fn run_chaos(config: &ChaosConfig) -> ChaosReport {
+    #[cfg(feature = "debug-analyze")]
+    aldsp_analyzer::install_debug_validator();
     let app = build_application();
     let db = populate_database(&app, config.scale, config.seed);
     let oracle_db = db.clone();
     let server = Rc::new(DspServer::new(app, db));
+    // The lint connection gets its own fault-free server: the injector
+    // below intercepts metadata fetches on the main server, and analysis
+    // results must be a pure function of (seed, sql), not of the plan.
+    let lint_conn = config.lint.then(|| {
+        Connection::open(Rc::new(DspServer::new(
+            build_application(),
+            aldsp_relational::Database::new(),
+        )))
+    });
     let injector = Arc::new(FaultInjector::new(FaultConfig::uniform(
         config.seed ^ 0xC4A0_5CA0_5CA0_5EED,
         config.fault_rate,
@@ -165,6 +181,16 @@ pub fn run_chaos(config: &ChaosConfig) -> ChaosReport {
                     continue;
                 }
             };
+            if let Some(conn) = &lint_conn {
+                if let Some(reason) = lint_query(conn, &sql) {
+                    report.mismatches.push(Mismatch {
+                        sql,
+                        class: *class,
+                        reason,
+                    });
+                    continue;
+                }
+            }
             let ordered = !parsed.order_by.is_empty();
             let oracle = match execute_query(&oracle_db, &parsed, &[]) {
                 Ok(r) => r,

@@ -10,6 +10,7 @@
 
 use crate::querygen::{ConstructClass, QueryGenerator};
 use crate::schema::{build_application, populate_database, Scale};
+use aldsp_core::{TranslationOptions, Transport};
 use aldsp_driver::{Connection, DriverError, DspServer};
 use aldsp_relational::{execute_query, Relation, SqlValue};
 use aldsp_sql::parse_select;
@@ -99,9 +100,36 @@ fn values_agree(a: &SqlValue, b: &SqlValue) -> bool {
     }
 }
 
+/// Statically analyzes one query through the connection's translator
+/// metadata, in both transports (the delimited-text wrapper introduces
+/// its own variables, so both final forms are linted). Returns the
+/// rendered findings when the analyzer is not clean; translation failures
+/// return `None` — they surface through the normal execution path as
+/// rejections.
+pub fn lint_query(conn: &Connection, sql: &str) -> Option<String> {
+    let metadata = conn.translator().metadata();
+    for transport in [Transport::DelimitedText, Transport::Xml] {
+        if let Ok(analysis) =
+            aldsp_analyzer::analyze_sql(sql, metadata, TranslationOptions { transport })
+        {
+            if !analysis.report.is_clean() {
+                return Some(format!(
+                    "analyzer ({transport:?}): {}",
+                    analysis.report.render()
+                ));
+            }
+        }
+    }
+    None
+}
+
 /// Runs `count` random queries per construct class at the given scale and
-/// seed, over both transports.
+/// seed, over both transports. Every generated query is linted through
+/// the analyzer before execution; findings count as mismatches (the
+/// harness doubles as a find-the-generator-bug machine).
 pub fn run_differential(seed: u64, count_per_class: usize, scale: Scale) -> DifferentialReport {
+    #[cfg(feature = "debug-analyze")]
+    aldsp_analyzer::install_debug_validator();
     let app = build_application();
     let db = populate_database(&app, scale, seed);
     let oracle_db = db.clone();
@@ -130,6 +158,14 @@ pub fn run_differential(seed: u64, count_per_class: usize, scale: Scale) -> Diff
             let sql = generator.generate(*class);
             let entry = report.per_class.entry(class.label()).or_insert((0, 0));
             entry.1 += 1;
+            if let Some(reason) = lint_query(&text_conn, &sql) {
+                report.mismatches.push(Mismatch {
+                    sql,
+                    class: *class,
+                    reason,
+                });
+                continue;
+            }
             match check_one(&text_conn, &xml_conn, &oracle_db, &sql) {
                 Ok(()) => {
                     report.passed += 1;

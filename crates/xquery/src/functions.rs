@@ -336,6 +336,57 @@ pub fn call_builtin(name: &str, args: &[Sequence]) -> Result<Option<Sequence>, X
     Ok(Some(result))
 }
 
+/// Every name [`call_builtin`] dispatches by match arm (the `xs:*`
+/// constructor casts are handled separately — see [`is_builtin`]). Kept in
+/// sync with the dispatcher by a test below; the analyzer crate checks
+/// emitted calls against this list.
+pub const BUILTIN_NAMES: &[&str] = &[
+    "fn:data",
+    "fn:string",
+    "fn:empty",
+    "fn:exists",
+    "fn:not",
+    "fn:boolean",
+    "fn:true",
+    "fn:false",
+    "fn:count",
+    "fn:sum",
+    "fn:avg",
+    "fn:min",
+    "fn:max",
+    "fn:string-join",
+    "fn:concat",
+    "fn:upper-case",
+    "fn:lower-case",
+    "fn:string-length",
+    "fn:contains",
+    "fn:starts-with",
+    "fn:ends-with",
+    "fn:substring",
+    "fn:abs",
+    "fn:floor",
+    "fn:ceiling",
+    "fn:round",
+    "fn:distinct-values",
+    "fn:zero-or-one",
+    "fn-bea:distinct-records",
+    "fn-bea:intersect-all-records",
+    "fn-bea:except-all-records",
+    "fn-bea:serialize-atomic",
+    "fn-bea:xml-escape",
+    "fn-bea:if-empty",
+    "fn-bea:sql-like",
+    "fn-bea:sql-trim",
+    "fn-bea:sql-position",
+];
+
+/// Whether `name` resolves inside this library: a `fn:`/`fn-bea:` builtin
+/// or an `xs:*` constructor cast. Everything else must resolve through the
+/// data-service [`crate::FunctionSource`].
+pub fn is_builtin(name: &str) -> bool {
+    XsType::from_xs_name(name).is_some() || BUILTIN_NAMES.contains(&name)
+}
+
 fn require_arity(name: &str, args: &[Sequence], n: usize) -> Result<(), XqError> {
     if args.len() == n {
         Ok(())
@@ -887,5 +938,21 @@ mod tests {
             &[seq(&[Atomic::Integer(1), Atomic::Integer(2)])]
         )
         .is_err());
+    }
+
+    #[test]
+    fn builtin_names_matches_dispatcher() {
+        // A known name never yields Ok(None) regardless of arity (wrong
+        // arity is Err), so every listed name must be recognized.
+        for name in BUILTIN_NAMES {
+            assert!(
+                !matches!(call_builtin(name, &[]), Ok(None)),
+                "{name} listed in BUILTIN_NAMES but not dispatched"
+            );
+            assert!(is_builtin(name));
+        }
+        assert!(is_builtin("xs:integer"));
+        assert!(!is_builtin("fn:no-such-function"));
+        assert!(!is_builtin("ns0:CUSTOMERS"));
     }
 }

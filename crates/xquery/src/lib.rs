@@ -26,6 +26,7 @@ pub mod ast;
 pub mod eval;
 pub mod functions;
 pub mod parser;
+pub mod visit;
 
 pub use ast::{Clause, Expr, Flwor, Program, SchemaImport};
 pub use eval::{

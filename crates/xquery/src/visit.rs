@@ -1,0 +1,248 @@
+//! Borrowing visitor over the XQuery AST.
+//!
+//! Static analyses (the `aldsp-analyzer` crate's scope/def-use lint, dead
+//! `let` detection, naming-discipline checks) need to traverse every
+//! expression and clause of a [`Program`] while tracking where variables
+//! are *bound* versus *referenced*. This module provides that traversal
+//! once, so analyses only override the hooks they care about:
+//!
+//! * [`Visitor::visit_expr`] / [`Visitor::visit_clause`] — structural
+//!   hooks; the default implementations recurse via [`walk_expr`] /
+//!   [`walk_clause`].
+//! * [`BindingKind`] — the clause form that introduced a binding, which is
+//!   what the paper's `var<ctx><zone><n>` zone discipline is checked
+//!   against (a `FR` variable must come from a `for`, a guard `GD`
+//!   variable from a `let`, and so on).
+
+use crate::ast::*;
+
+/// The syntactic form that introduces a variable binding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BindingKind {
+    /// `for $v in ...`
+    For,
+    /// `let $v := ...`
+    Let,
+    /// The partition variable of the BEA `group ... as $v by ...` clause.
+    GroupPartition,
+    /// A key variable of the BEA group clause (`... by k as $v`).
+    GroupKey,
+    /// `some/every $v in ... satisfies ...`
+    Quantifier,
+}
+
+impl BindingKind {
+    /// Human-readable clause name for diagnostics.
+    pub fn describe(self) -> &'static str {
+        match self {
+            BindingKind::For => "for",
+            BindingKind::Let => "let",
+            BindingKind::GroupPartition => "group partition",
+            BindingKind::GroupKey => "group key",
+            BindingKind::Quantifier => "some/every",
+        }
+    }
+}
+
+/// A read-only AST visitor. Every hook defaults to plain recursion, so an
+/// implementation only overrides what it observes. Scope-sensitive
+/// analyses typically override [`Visitor::visit_expr`] (to intercept
+/// `VarRef` and FLWOR/quantifier scoping) and call the `walk_*` functions
+/// for the parts they do not handle themselves.
+pub trait Visitor {
+    /// Visits one expression (default: recurse).
+    fn visit_expr(&mut self, expr: &Expr)
+    where
+        Self: Sized,
+    {
+        walk_expr(self, expr);
+    }
+
+    /// Visits one FLWOR clause (default: recurse into its expressions).
+    fn visit_clause(&mut self, clause: &Clause)
+    where
+        Self: Sized,
+    {
+        walk_clause(self, clause);
+    }
+}
+
+/// Recurses into every sub-expression of `expr`, calling
+/// `v.visit_expr` on each.
+pub fn walk_expr<V: Visitor>(v: &mut V, expr: &Expr) {
+    match expr {
+        Expr::Literal(_) | Expr::EmptySequence | Expr::VarRef(_) | Expr::ContextItem => {}
+        Expr::Sequence(items) => {
+            for e in items {
+                v.visit_expr(e);
+            }
+        }
+        Expr::FunctionCall { args, .. } => {
+            for a in args {
+                v.visit_expr(a);
+            }
+        }
+        Expr::Path { start, steps } => {
+            if let PathStart::Expr(e) = &**start {
+                v.visit_expr(e);
+            }
+            for step in steps {
+                for p in &step.predicates {
+                    v.visit_expr(p);
+                }
+            }
+        }
+        Expr::Filter { base, predicates } => {
+            v.visit_expr(base);
+            for p in predicates {
+                v.visit_expr(p);
+            }
+        }
+        Expr::Flwor(flwor) => walk_flwor(v, flwor),
+        Expr::If { cond, then, els } => {
+            v.visit_expr(cond);
+            v.visit_expr(then);
+            v.visit_expr(els);
+        }
+        Expr::Or(a, b) | Expr::And(a, b) => {
+            v.visit_expr(a);
+            v.visit_expr(b);
+        }
+        Expr::GeneralComp { left, right, .. }
+        | Expr::ValueComp { left, right, .. }
+        | Expr::Arith { left, right, .. } => {
+            v.visit_expr(left);
+            v.visit_expr(right);
+        }
+        Expr::UnaryMinus(inner) => v.visit_expr(inner),
+        Expr::Quantified {
+            source, satisfies, ..
+        } => {
+            v.visit_expr(source);
+            v.visit_expr(satisfies);
+        }
+        Expr::Element(ctor) => walk_element(v, ctor),
+    }
+}
+
+/// Recurses into a FLWOR's clauses and return expression.
+pub fn walk_flwor<V: Visitor>(v: &mut V, flwor: &Flwor) {
+    for clause in &flwor.clauses {
+        v.visit_clause(clause);
+    }
+    v.visit_expr(&flwor.ret);
+}
+
+/// Recurses into the expressions of one clause.
+pub fn walk_clause<V: Visitor>(v: &mut V, clause: &Clause) {
+    match clause {
+        Clause::For { source, .. } => v.visit_expr(source),
+        Clause::Let { value, .. } => v.visit_expr(value),
+        Clause::Where(p) => v.visit_expr(p),
+        Clause::GroupBy(group) => {
+            for (key, _) in &group.keys {
+                v.visit_expr(key);
+            }
+        }
+        Clause::OrderBy(specs) => {
+            for spec in specs {
+                v.visit_expr(&spec.key);
+            }
+        }
+    }
+}
+
+/// Recurses into an element constructor's attributes and content.
+pub fn walk_element<V: Visitor>(v: &mut V, ctor: &ElementCtor) {
+    for (_, parts) in &ctor.attributes {
+        for part in parts {
+            if let AttrPart::Enclosed(e) = part {
+                v.visit_expr(e);
+            }
+        }
+    }
+    for content in &ctor.content {
+        match content {
+            Content::Text(_) => {}
+            Content::Enclosed(e) => v.visit_expr(e),
+            Content::Element(nested) => walk_element(v, nested),
+        }
+    }
+}
+
+/// Calls `f` for every variable binding in the program with the binding
+/// name and the clause form that introduced it. Convenience wrapper used
+/// by naming-discipline checks that do not need full scope tracking.
+pub fn for_each_binding(program: &Program, mut f: impl FnMut(&str, BindingKind)) {
+    struct B<F>(F);
+    impl<F: FnMut(&str, BindingKind)> Visitor for B<F> {
+        fn visit_expr(&mut self, expr: &Expr) {
+            if let Expr::Quantified { var, .. } = expr {
+                (self.0)(var, BindingKind::Quantifier);
+            }
+            walk_expr(self, expr);
+        }
+        fn visit_clause(&mut self, clause: &Clause) {
+            match clause {
+                Clause::For { var, .. } => (self.0)(var, BindingKind::For),
+                Clause::Let { var, .. } => (self.0)(var, BindingKind::Let),
+                Clause::GroupBy(group) => {
+                    (self.0)(&group.partition_var, BindingKind::GroupPartition);
+                    for (_, key_var) in &group.keys {
+                        (self.0)(key_var, BindingKind::GroupKey);
+                    }
+                }
+                _ => {}
+            }
+            walk_clause(self, clause);
+        }
+    }
+    let mut b = B(&mut f);
+    b.visit_expr(&program.body);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    #[test]
+    fn for_each_binding_reports_all_clause_forms() {
+        let program = parse_program(
+            "let $a := 1 return \
+             for $b in (1, 2) \
+             group $b as $part by $a as $k \
+             return (some $q in $part satisfies $q = $k)",
+        )
+        .unwrap();
+        let mut seen = Vec::new();
+        for_each_binding(&program, |name, kind| {
+            seen.push((name.to_string(), kind));
+        });
+        assert!(seen.contains(&("a".into(), BindingKind::Let)));
+        assert!(seen.contains(&("b".into(), BindingKind::For)));
+        assert!(seen.contains(&("part".into(), BindingKind::GroupPartition)));
+        assert!(seen.contains(&("k".into(), BindingKind::GroupKey)));
+        assert!(seen.contains(&("q".into(), BindingKind::Quantifier)));
+    }
+
+    #[test]
+    fn walk_reaches_nested_constructors_and_predicates() {
+        let program =
+            parse_program("<R a=\"{$x}\">{ for $y in $x[$z > 1] return <C>{$y}</C> }</R>").unwrap();
+        struct Count(usize);
+        impl Visitor for Count {
+            fn visit_expr(&mut self, expr: &Expr) {
+                if matches!(expr, Expr::VarRef(_)) {
+                    self.0 += 1;
+                }
+                walk_expr(self, expr);
+            }
+        }
+        let mut c = Count(0);
+        c.visit_expr(&program.body);
+        // $x (attribute), $x (for source; a path start is not a VarRef),
+        // $y — plus $z inside the predicate.
+        assert!(c.0 >= 3, "saw {} var refs", c.0);
+    }
+}

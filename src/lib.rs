@@ -13,9 +13,12 @@
 //! * [`xquery`] — XQuery dialect parser and evaluator.
 //! * [`core`] — the three-stage SQL→XQuery translator (the paper's
 //!   contribution).
+//! * [`analyzer`] — static analysis over the pipeline: IR invariant
+//!   checks and XQuery lint (see the `analyze` bin).
 //! * [`driver`] — JDBC-analogue driver with both result-transport modes.
 //! * [`workload`] — schema/data/query generators for tests and benches.
 
+pub use aldsp_analyzer as analyzer;
 pub use aldsp_catalog as catalog;
 pub use aldsp_core as core;
 pub use aldsp_driver as driver;

@@ -1,0 +1,492 @@
+//! Analyzer integration tests.
+//!
+//! Positive direction: every paper golden example (Examples 1–12 shapes),
+//! the Figure 3 views suite, and a fuzzed workload sample must produce
+//! clean two-layer reports in both transports. Negative direction:
+//! hand-built XQuery ASTs and prepared IR seeded with one defect each
+//! must be reported with the exact stable diagnostic code. Finally, the
+//! `debug-analyze` stage-three hook is exercised end to end: once the
+//! validator is installed, a defective IR hard-errors inside
+//! `stage3::generate`.
+
+use aldsp::analyzer::{analyze_sql, check_prepared, lint_program, DiagCode};
+use aldsp::catalog::{
+    ApplicationBuilder, CachedMetadataApi, ColumnMeta, InProcessMetadataApi, QualifiedTableName,
+    SqlColumnType, TableEntry, TableLocator, TableSchema,
+};
+use aldsp::core::ir::{
+    OutputColumn, PreparedBody, PreparedItem, PreparedQuery, PreparedSelect, Rsn, TExpr, TExprKind,
+};
+use aldsp::core::{stage3, TranslationOptions, Transport};
+use aldsp::xquery::ast::{Clause, Expr, Flwor, Program};
+use std::sync::Arc;
+
+// ---- positive: golden examples lint clean ----------------------------
+
+/// The paper's universe (same construction as the core golden tests).
+fn paper_metadata() -> CachedMetadataApi<InProcessMetadataApi> {
+    let app = ApplicationBuilder::new("TESTAPP")
+        .project("TestDataServices")
+        .data_service("CUSTOMERS")
+        .physical_table("CUSTOMERS", |t| {
+            t.column("CUSTOMERID", SqlColumnType::Integer, false)
+                .column("CUSTOMERNAME", SqlColumnType::Varchar, true)
+        })
+        .finish_service()
+        .data_service("PAYMENTS")
+        .physical_table("PAYMENTS", |t| {
+            t.column("CUSTID", SqlColumnType::Integer, false).column(
+                "PAYMENT",
+                SqlColumnType::Decimal,
+                false,
+            )
+        })
+        .finish_service()
+        .data_service("ORDERS")
+        .physical_table("ORDERS", |t| {
+            t.column("ORDERID", SqlColumnType::Integer, false)
+                .column("CUSTID", SqlColumnType::Integer, false)
+                .column("AMOUNT", SqlColumnType::Decimal, true)
+        })
+        .finish_service()
+        .data_service("PO_CUSTOMERS")
+        .physical_table("PO_CUSTOMERS", |t| {
+            t.column("ORDERID", SqlColumnType::Integer, false)
+                .column("CUSTOMERID", SqlColumnType::Integer, false)
+                .column("CUSTOMERNAME", SqlColumnType::Varchar, false)
+        })
+        .finish_service()
+        .finish_project()
+        .build();
+    CachedMetadataApi::new(InProcessMetadataApi::new(TableLocator::for_application(
+        &app,
+    )))
+}
+
+/// Figure 3's A/B/C universe.
+fn figure3_metadata() -> CachedMetadataApi<InProcessMetadataApi> {
+    let mut builder = ApplicationBuilder::new("FIG3").project("P");
+    for (table, key, value) in [("A", "C1", "VA"), ("B", "C1", "VB"), ("C", "C2", "VC")] {
+        builder = builder
+            .data_service(table)
+            .physical_table(table, |t| {
+                t.column(key, SqlColumnType::Integer, false).column(
+                    value,
+                    SqlColumnType::Varchar,
+                    false,
+                )
+            })
+            .finish_service();
+    }
+    let app = builder.finish_project().build();
+    CachedMetadataApi::new(InProcessMetadataApi::new(TableLocator::for_application(
+        &app,
+    )))
+}
+
+fn assert_clean(metadata: &CachedMetadataApi<InProcessMetadataApi>, sql: &str) {
+    for transport in [Transport::Xml, Transport::DelimitedText] {
+        let analysis = analyze_sql(sql, metadata, TranslationOptions { transport })
+            .unwrap_or_else(|e| panic!("translation failed for `{sql}`: {e}"));
+        assert!(
+            analysis.report.is_clean(),
+            "analyzer findings for `{sql}` ({transport:?}):\n{}\nquery:\n{}",
+            analysis.report.render(),
+            analysis.xquery
+        );
+    }
+}
+
+/// Paper Examples 2–12 (Example 1 is the schema itself), as exercised by
+/// the golden suites.
+const GOLDEN_EXAMPLES: &[&str] = &[
+    "SELECT * FROM CUSTOMERS",
+    "SELECT CUSTOMERID FROM CUSTOMERS WHERE CUSTOMERNAME = 'Sue'",
+    "SELECT CUSTOMERID ID, CUSTOMERNAME NAME FROM CUSTOMERS",
+    "SELECT INFO.ID, INFO.NAME FROM (SELECT CUSTOMERID ID, CUSTOMERNAME NAME \
+     FROM CUSTOMERS) AS INFO WHERE INFO.ID > 10 ORDER BY INFO.ID",
+    "SELECT CUSTOMERS.CUSTOMERID, PAYMENTS.PAYMENT FROM CUSTOMERS \
+     LEFT OUTER JOIN PAYMENTS ON CUSTOMERS.CUSTOMERID=PAYMENTS.CUSTID \
+     ORDER BY CUSTOMERS.CUSTOMERID, PAYMENTS.PAYMENT",
+    "SELECT * FROM CUSTOMERS INNER JOIN PO_CUSTOMERS \
+     ON CUSTOMERS.CUSTOMERID = PO_CUSTOMERS.CUSTOMERID",
+    "SELECT PO_CUSTOMERS.CUSTOMERID, PO_CUSTOMERS.CUSTOMERNAME, \
+     COUNT(PO_CUSTOMERS.ORDERID) \
+     FROM CUSTOMERS INNER JOIN PO_CUSTOMERS \
+     ON CUSTOMERS.CUSTOMERID = PO_CUSTOMERS.CUSTOMERID \
+     GROUP BY PO_CUSTOMERS.CUSTOMERID, PO_CUSTOMERS.CUSTOMERNAME \
+     ORDER BY PO_CUSTOMERS.CUSTOMERID",
+    "SELECT DISTINCT CUSTID FROM PAYMENTS",
+    "SELECT CUSTOMERID, CUSTOMERNAME FROM CUSTOMERS ORDER BY CUSTOMERID DESC",
+    "SELECT CUSTID FROM PAYMENTS UNION SELECT CUSTID FROM ORDERS",
+    "SELECT CUSTID FROM PAYMENTS EXCEPT ALL SELECT CUSTID FROM ORDERS",
+    "SELECT CUSTOMERID FROM CUSTOMERS WHERE CUSTOMERID IN (SELECT CUSTID FROM PAYMENTS) \
+     AND CUSTOMERID NOT IN (SELECT CUSTID FROM ORDERS)",
+    "SELECT UPPER(CUSTOMERNAME) FROM CUSTOMERS WHERE CUSTOMERNAME LIKE 'S%'",
+    "SELECT CUSTID, SUM(PAYMENT) FROM PAYMENTS GROUP BY CUSTID",
+    "SELECT CUSTOMERID, CUSTOMERNAME NM, COUNT(*) FROM CUSTOMERS GROUP BY \
+     CUSTOMERID, CUSTOMERNAME HAVING COUNT(*) >= 1",
+    "SELECT CUSTOMERID FROM CUSTOMERS WHERE CUSTOMERID > ? AND CUSTOMERNAME = ?",
+    "SELECT CUSTOMERID / 2 FROM CUSTOMERS",
+    "SELECT CASE WHEN CUSTOMERID > 10 THEN 'big' ELSE 'small' END FROM CUSTOMERS",
+    "SELECT COALESCE(CUSTOMERNAME, 'n/a') FROM CUSTOMERS",
+    "SELECT AVG(AMOUNT) FROM ORDERS WHERE EXISTS \
+     (SELECT ORDERID FROM ORDERS WHERE AMOUNT > 10)",
+];
+
+#[test]
+fn golden_examples_lint_clean_in_both_transports() {
+    let metadata = paper_metadata();
+    for sql in GOLDEN_EXAMPLES {
+        assert_clean(&metadata, sql);
+    }
+}
+
+/// The Figure 3 views suite (same statements the execution tests run).
+const FIGURE3_QUERIES: &[&str] = &[
+    "SELECT * FROM (A JOIN (B JOIN C ON B.C1 = C.C2) AS P ON A.C1 = P.C1)",
+    "SELECT X.C1 FROM (SELECT C1 FROM A WHERE C1 > 1) AS X UNION \
+     SELECT Y.C1 FROM (SELECT C1 FROM B WHERE C1 < 4) AS Y",
+    "SELECT J.VA FROM (SELECT A.VA VA, B.VB VB FROM A INNER JOIN B ON A.C1 = B.C1) AS J \
+     UNION ALL \
+     SELECT K.VC FROM (SELECT VC FROM C WHERE C2 <= 2) AS K",
+    "SELECT A.C1, B.C1, C.C2 FROM A LEFT OUTER JOIN B ON A.C1 = B.C1 \
+     LEFT OUTER JOIN C ON A.C1 = C.C2",
+    "SELECT A.C1, D.C1 FROM A LEFT OUTER JOIN \
+     (SELECT C1 FROM B WHERE C1 > 1) AS D ON A.C1 = D.C1",
+    "SELECT A.C1, B.C1 FROM A FULL OUTER JOIN B ON A.C1 = B.C1",
+    "SELECT * FROM A RIGHT OUTER JOIN B ON A.C1 = B.C1",
+    "SELECT C1 FROM A INTERSECT SELECT C1 FROM B",
+    "SELECT C1 FROM A EXCEPT SELECT Z.C1 FROM (SELECT C1 FROM B WHERE C1 <> 2) AS Z",
+    "SELECT V.C1, V.C1 + 10 FROM (SELECT C1 FROM A UNION SELECT C1 FROM B) AS V \
+     WHERE V.C1 < 4",
+    "SELECT VA FROM A WHERE C1 IN (SELECT C1 FROM B UNION SELECT C2 FROM C)",
+    "SELECT COUNT(*), MIN(V.C1), MAX(V.C1) FROM \
+     (SELECT C1 FROM A UNION ALL SELECT C1 FROM B) AS V",
+    "SELECT X.C1, Y.C1 FROM (SELECT C1 FROM A WHERE C1 > 1) AS X \
+     INNER JOIN (SELECT C1 FROM B) AS Y ON X.C1 = Y.C1",
+    "SELECT W.N FROM (SELECT V.M N FROM \
+     (SELECT C1 M FROM A WHERE C1 >= 1) AS V WHERE V.M <= 3) AS W \
+     WHERE W.N <> 2",
+];
+
+#[test]
+fn figure3_views_suite_lints_clean() {
+    let metadata = figure3_metadata();
+    for sql in FIGURE3_QUERIES {
+        assert_clean(&metadata, sql);
+    }
+}
+
+/// ≥500 fuzzed queries per seed lint clean, without executing them (the
+/// executing version runs in the chaos suite).
+#[test]
+fn fuzzed_workload_lints_clean_per_seed() {
+    use aldsp::driver::{Connection, DspServer};
+    use aldsp::workload::querygen::{ConstructClass, QueryGenerator};
+    for seed in [11, 23] {
+        let server = std::rc::Rc::new(DspServer::new(
+            aldsp::workload::schema::build_application(),
+            aldsp::relational::Database::new(),
+        ));
+        let conn = Connection::open(server);
+        let mut generator = QueryGenerator::new(seed);
+        let mut linted = 0usize;
+        for class in ConstructClass::all() {
+            for _ in 0..46 {
+                let sql = generator.generate(*class);
+                if let Some(reason) = aldsp::workload::differential::lint_query(&conn, &sql) {
+                    panic!("seed {seed}: {reason}\nsql: {sql}");
+                }
+                linted += 1;
+            }
+        }
+        assert!(linted >= 500, "only {linted} queries linted");
+    }
+}
+
+// ---- negative: seeded defects get exact codes ------------------------
+
+fn codes_of(program: &Program) -> Vec<DiagCode> {
+    let mut codes: Vec<DiagCode> = lint_program(program).into_iter().map(|d| d.code).collect();
+    codes.sort_unstable();
+    codes.dedup();
+    codes
+}
+
+fn flwor(clauses: Vec<Clause>, ret: Expr) -> Expr {
+    Expr::Flwor(Flwor {
+        clauses,
+        ret: Box::new(ret),
+    })
+}
+
+fn program(body: Expr) -> Program {
+    Program {
+        imports: vec![],
+        body,
+    }
+}
+
+#[test]
+fn unbound_variable_is_a101() {
+    let p = program(flwor(
+        vec![Clause::For {
+            var: "var1FR1".into(),
+            source: Expr::call("fn:true", vec![]),
+        }],
+        Expr::var("var1FR2"), // never bound
+    ));
+    assert_eq!(codes_of(&p), vec![DiagCode::A101]);
+}
+
+#[test]
+fn shadowed_binding_is_a102() {
+    let p = program(flwor(
+        vec![
+            Clause::For {
+                var: "var1FR1".into(),
+                source: Expr::call("fn:true", vec![]),
+            },
+            Clause::For {
+                var: "var1FR1".into(), // rebinds the same name
+                source: Expr::var("var1FR1"),
+            },
+        ],
+        Expr::var("var1FR1"),
+    ));
+    assert_eq!(codes_of(&p), vec![DiagCode::A102]);
+}
+
+#[test]
+fn dead_let_is_a103() {
+    let p = program(flwor(
+        vec![Clause::Let {
+            var: "var0GD1".into(), // bound, never referenced
+            value: Expr::integer(1),
+        }],
+        Expr::integer(2),
+    ));
+    assert_eq!(codes_of(&p), vec![DiagCode::A103]);
+}
+
+#[test]
+fn zone_violation_is_a104() {
+    // FR is the for-clause zone; a let-bound FR variable is mis-zoned.
+    let p = program(flwor(
+        vec![Clause::Let {
+            var: "var1FR1".into(),
+            value: Expr::integer(1),
+        }],
+        Expr::var("var1FR1"),
+    ));
+    assert_eq!(codes_of(&p), vec![DiagCode::A104]);
+
+    // A name outside the discipline entirely is also A104.
+    let p = program(flwor(
+        vec![Clause::For {
+            var: "rogue".into(),
+            source: Expr::call("fn:true", vec![]),
+        }],
+        Expr::var("rogue"),
+    ));
+    assert_eq!(codes_of(&p), vec![DiagCode::A104]);
+}
+
+#[test]
+fn unmapped_function_is_a105_and_unknown_prefix_is_a106() {
+    let p = program(Expr::call("fn:frobnicate", vec![Expr::integer(1)]));
+    assert_eq!(codes_of(&p), vec![DiagCode::A105]);
+
+    let p = program(Expr::call("ns3:CUSTOMERS", vec![]));
+    assert_eq!(codes_of(&p), vec![DiagCode::A106]);
+}
+
+// ---- negative: IR defects --------------------------------------------
+
+fn table_entry() -> Arc<TableEntry> {
+    Arc::new(TableEntry {
+        qualified: QualifiedTableName {
+            catalog: "APP".into(),
+            schema: "P.DS".into(),
+            table: "T".into(),
+        },
+        ds_path: "P/DS".into(),
+        schema: TableSchema {
+            table_name: "T".into(),
+            row_element: "T".into(),
+            namespace: "ld:P/T".into(),
+            schema_location: "ld:P/schemas/T.xsd".into(),
+            columns: vec![
+                ColumnMeta::new("A", SqlColumnType::Integer, false),
+                ColumnMeta::new("B", SqlColumnType::Varchar, true),
+            ],
+        },
+    })
+}
+
+fn column(range_var: &str, name: &str) -> TExpr {
+    TExpr::new(
+        TExprKind::Column {
+            range_var: range_var.into(),
+            column: name.into(),
+        },
+        Some(SqlColumnType::Integer),
+        false,
+    )
+}
+
+fn output(name: &str) -> OutputColumn {
+    OutputColumn {
+        name: name.into(),
+        label: name.into(),
+        sql_type: Some(SqlColumnType::Integer),
+        nullable: false,
+    }
+}
+
+fn select_of(ctx_id: u32, items: Vec<PreparedItem>, outputs: Vec<OutputColumn>) -> PreparedQuery {
+    PreparedQuery {
+        body: PreparedBody::Select(Box::new(PreparedSelect {
+            ctx_id,
+            distinct: false,
+            items,
+            from: vec![Rsn::Table {
+                range_var: "T".into(),
+                entry: table_entry(),
+            }],
+            where_clause: None,
+            group_by: vec![],
+            having: None,
+            grouped: false,
+            output: outputs.clone(),
+        })),
+        order_by: vec![],
+        output: outputs,
+    }
+}
+
+fn ir_codes(query: &PreparedQuery) -> Vec<DiagCode> {
+    let mut codes: Vec<DiagCode> = check_prepared(query).into_iter().map(|d| d.code).collect();
+    codes.sort_unstable();
+    codes.dedup();
+    codes
+}
+
+#[test]
+fn unresolved_column_is_a003() {
+    let q = select_of(
+        1,
+        vec![PreparedItem {
+            expr: column("T", "NOPE"),
+            output: 0,
+        }],
+        vec![output("NOPE")],
+    );
+    assert_eq!(ir_codes(&q), vec![DiagCode::A003]);
+}
+
+#[test]
+fn reserved_context_zero_is_a001() {
+    let q = select_of(
+        0,
+        vec![PreparedItem {
+            expr: column("T", "A"),
+            output: 0,
+        }],
+        vec![output("A")],
+    );
+    assert_eq!(ir_codes(&q), vec![DiagCode::A001]);
+}
+
+#[test]
+fn generated_node_in_stage2_output_is_a008() {
+    let q = select_of(
+        1,
+        vec![PreparedItem {
+            expr: TExpr::new(
+                TExprKind::Generated {
+                    xquery: "fn:true()".into(),
+                },
+                None,
+                false,
+            ),
+            output: 0,
+        }],
+        vec![output("X")],
+    );
+    assert_eq!(ir_codes(&q), vec![DiagCode::A008]);
+}
+
+#[test]
+fn projection_output_mismatch_is_a005() {
+    // Two items target the same output slot; slot 1 is never produced.
+    let q = select_of(
+        1,
+        vec![
+            PreparedItem {
+                expr: column("T", "A"),
+                output: 0,
+            },
+            PreparedItem {
+                expr: column("T", "A"),
+                output: 0,
+            },
+        ],
+        vec![output("A"), output("A2")],
+    );
+    assert_eq!(ir_codes(&q), vec![DiagCode::A005]);
+}
+
+#[test]
+fn order_by_out_of_range_is_a006() {
+    let mut q = select_of(
+        1,
+        vec![PreparedItem {
+            expr: column("T", "A"),
+            output: 0,
+        }],
+        vec![output("A")],
+    );
+    q.order_by = vec![aldsp::core::ir::PreparedOrder {
+        column: 3,
+        ascending: true,
+    }];
+    assert_eq!(ir_codes(&q), vec![DiagCode::A006]);
+}
+
+// ---- the debug-analyze hard-error hook -------------------------------
+
+#[test]
+fn debug_validator_turns_findings_into_translation_errors() {
+    aldsp::analyzer::install_debug_validator();
+    assert!(stage3::debug_validate::installed());
+
+    // Clean IR still generates.
+    let good = select_of(
+        1,
+        vec![PreparedItem {
+            expr: column("T", "A"),
+            output: 0,
+        }],
+        vec![output("A")],
+    );
+    stage3::generate(&good).expect("clean IR must generate");
+
+    // The same IR carrying the reserved context id 0 generates
+    // syntactically fine XQuery — only the analyzer notices — and the
+    // installed validator turns that finding into a hard error.
+    let bad = select_of(
+        0,
+        vec![PreparedItem {
+            expr: column("T", "A"),
+            output: 0,
+        }],
+        vec![output("A")],
+    );
+    let err = stage3::generate(&bad).expect_err("validator must reject ctx 0");
+    assert!(
+        err.message.contains("debug-analyze") && err.message.contains("A001"),
+        "unexpected error: {err}"
+    );
+}

@@ -77,6 +77,28 @@ fn retries_recover_queries_under_moderate_faults() {
     );
 }
 
+/// The lint-integrated chaos run at scale: ≥500 generated queries per
+/// seed, every one statically analyzed (fault-free metadata path) before
+/// execution, zero analyzer findings. Analyzer findings surface as
+/// mismatches, so `invariant_holds` covers both the lint and the
+/// execution oracle.
+#[test]
+#[ignore = "506 queries × 2 transports per seed; run in the CI chaos job"]
+fn lint_clean_across_five_hundred_queries_per_seed() {
+    for seed in SEEDS {
+        let mut config = ChaosConfig::new(seed, 0.0);
+        assert!(config.lint, "lint must be on by default");
+        config.count_per_class = 46; // 11 construct classes → 506 queries
+        let report = run_chaos(&config);
+        assert!(
+            report.invariant_holds(),
+            "seed {seed}: {:#?}",
+            report.mismatches
+        );
+        assert!(report.total() >= 500, "only {} queries ran", report.total());
+    }
+}
+
 /// Deeper sweep for CI's chaos job (`cargo test --test chaos -- --ignored`).
 #[test]
 #[ignore = "deep sweep; run explicitly in the CI chaos job"]
