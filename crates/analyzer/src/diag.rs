@@ -1,9 +1,12 @@
 //! Diagnostic codes and the diagnostic record.
 //!
-//! Codes are stable API: tests assert on them, and DESIGN.md §10 documents
-//! the full table. `A0xx` codes come from the layer-1 IR checker (stage-1
-//! /stage-2 invariants, paper §3.4); `A1xx` codes come from the layer-2
-//! XQuery lint (scope/def-use over the generated query, paper §3.5).
+//! Codes are stable API: tests assert on them, and DESIGN.md §10/§11
+//! document the full table. `A0xx` codes come from the layer-1 IR checker
+//! (stage-1/stage-2 invariants, paper §3.4); `A1xx` codes come from the
+//! layer-2 XQuery lint (scope/def-use over the generated query, paper
+//! §3.5); `T0xx` codes come from the layer-3 type pass (independent type
+//! re-inference over the IR and the generated query, plus the per-output-
+//! column diff between the two, paper §3.1/§3.5 (v)/§4).
 
 use std::fmt;
 
@@ -46,6 +49,34 @@ pub enum DiagCode {
     A105,
     /// A function call whose namespace prefix is not declared.
     A106,
+    /// Re-inferred expression typing disagrees with the stage-2
+    /// annotation recorded on the IR node (type or nullability).
+    T001,
+    /// An ill-typed operation in the prepared IR (arithmetic over a
+    /// non-numeric, an ordered/numeric aggregate over an incomparable
+    /// type, comparison across incompatible type classes).
+    T002,
+    /// An output column's declared type/nullability disagrees with its
+    /// projection item's inferred typing.
+    T003,
+    /// The generated `<RECORD>` shape does not match the declared output
+    /// columns (arity, element names, or order).
+    T004,
+    /// A result column's type class differs between the SQL-side and the
+    /// XQuery-side inference (a cast was lost or widened in generation).
+    T005,
+    /// A result column's nullability differs between the two inferences
+    /// (conditional construction where the column is NOT NULL, or
+    /// unconditional construction where NULL is possible).
+    T006,
+    /// A result column may yield more than one item per row (a missing
+    /// `fn:zero-or-one`/aggregation guard) — no SQL column has that
+    /// cardinality.
+    T007,
+    /// Driver-visible `ResultSetMetaData` disagrees with the inferred
+    /// output typing (paper §4: the computed result schema drives the
+    /// JDBC metadata).
+    T008,
 }
 
 impl DiagCode {
@@ -67,6 +98,14 @@ impl DiagCode {
             DiagCode::A104 => "A104",
             DiagCode::A105 => "A105",
             DiagCode::A106 => "A106",
+            DiagCode::T001 => "T001",
+            DiagCode::T002 => "T002",
+            DiagCode::T003 => "T003",
+            DiagCode::T004 => "T004",
+            DiagCode::T005 => "T005",
+            DiagCode::T006 => "T006",
+            DiagCode::T007 => "T007",
+            DiagCode::T008 => "T008",
         }
     }
 
@@ -88,6 +127,14 @@ impl DiagCode {
             DiagCode::A104 => "variable naming/zone violation",
             DiagCode::A105 => "unmapped function call",
             DiagCode::A106 => "undeclared namespace prefix",
+            DiagCode::T001 => "stage-2 type annotation mismatch",
+            DiagCode::T002 => "ill-typed operation",
+            DiagCode::T003 => "output column typing mismatch",
+            DiagCode::T004 => "RECORD shape mismatch",
+            DiagCode::T005 => "type lost in translation",
+            DiagCode::T006 => "nullability lost in translation",
+            DiagCode::T007 => "cardinality violation",
+            DiagCode::T008 => "result-set metadata mismatch",
         }
     }
 }

@@ -16,23 +16,39 @@
 //!   XQuery text: parseability, unbound variables, shadowing, dead `let`
 //!   bindings, naming/zone conformance, and function-map conformance.
 //!   Codes `A100`–`A106`.
+//! * **Layer 3** ([`ty`]) — type flow and translation validation: a
+//!   bottom-up re-inference of `(type, nullability)` over the prepared IR
+//!   (SQL-92 promotion, aggregate typing, 3VL NULL propagation), an
+//!   independent abstract interpretation of the *generated* XQuery's
+//!   result type against the imported XML schemas, and a per-output-column
+//!   diff between the two — plus a cross-check against the driver's
+//!   result-set metadata. Codes `T001`–`T008`.
 //!
 //! Entry points: [`analyze_sql`] runs the whole pipeline on a SQL string
 //! (used by the `analyze` bin and the workload harnesses);
 //! [`analyze_translation`] checks an existing prepared query + generated
-//! text; [`lint_program`]/[`lint_text`] run layer 2 alone. With the
-//! `debug-analyze` feature, [`install_debug_validator`] hooks the whole
-//! report into `core::stage3` so every generation in a test build
-//! re-checks itself and fails hard on findings.
+//! text ([`analyze_translation_typed`] also returns the inferred output
+//! typing); [`lint_program`]/[`lint_text`] run layer 2 alone;
+//! [`ty::check_types`]/[`ty::check_translation`]/[`ty::check_metadata`]
+//! run layer 3 piecewise. With the `debug-analyze` feature,
+//! [`install_debug_validator`] hooks the whole report into `core::stage3`
+//! so every generation in a test build re-checks itself and fails hard on
+//! findings.
 
 pub mod diag;
 pub mod ir_check;
 pub mod report;
+pub mod ty;
 pub mod xq_lint;
 
 pub use diag::{DiagCode, Diagnostic};
 pub use ir_check::check_prepared;
-pub use report::{analyze_sql, analyze_translation, Analysis, TranslationReport};
+pub use report::{
+    analyze_sql, analyze_translation, analyze_translation_typed, Analysis, TranslationReport,
+};
+pub use ty::{
+    check_metadata, check_translation, check_types, InferredColumn, ReportedColumn, TypeFlow,
+};
 pub use xq_lint::{lint_program, lint_text};
 
 /// Installs the analyzer into `core::stage3`'s debug validation slot:

@@ -1,30 +1,35 @@
-//! The combined two-layer report, plus the end-to-end entry point the
+//! The combined three-layer report, plus the end-to-end entry point the
 //! `analyze` bin and the workload harnesses use.
 
 use crate::diag::Diagnostic;
-use crate::{ir_check, xq_lint};
+use crate::{ir_check, ty, xq_lint};
 use aldsp_catalog::MetadataApi;
 use aldsp_core::ir::PreparedQuery;
 use aldsp_core::{stage1, stage2, stage3, wrapper, TranslateError, TranslationOptions, Transport};
 
-/// Both analysis layers over one translation.
+/// All three analysis layers over one translation.
 #[derive(Debug, Clone, Default)]
 pub struct TranslationReport {
     /// Layer-1 findings (IR invariants, `A0xx`).
     pub ir: Vec<Diagnostic>,
     /// Layer-2 findings (XQuery lint, `A1xx`).
     pub xquery: Vec<Diagnostic>,
+    /// Layer-3 findings (type flow + translation type diff, `T0xx`).
+    pub types: Vec<Diagnostic>,
 }
 
 impl TranslationReport {
-    /// True when neither layer found anything.
+    /// True when no layer found anything.
     pub fn is_clean(&self) -> bool {
-        self.ir.is_empty() && self.xquery.is_empty()
+        self.ir.is_empty() && self.xquery.is_empty() && self.types.is_empty()
     }
 
     /// All findings, layer 1 first.
     pub fn all(&self) -> impl Iterator<Item = &Diagnostic> {
-        self.ir.iter().chain(self.xquery.iter())
+        self.ir
+            .iter()
+            .chain(self.xquery.iter())
+            .chain(self.types.iter())
     }
 
     /// One line per finding.
@@ -37,12 +42,31 @@ impl TranslationReport {
 }
 
 /// Analyzes one already-produced translation: layer 1 over the prepared
-/// IR, layer 2 over the generated query text (wrapped or unwrapped).
-pub fn analyze_translation(prepared: &PreparedQuery, xquery_text: &str) -> TranslationReport {
-    TranslationReport {
-        ir: ir_check::check_prepared(prepared),
-        xquery: xq_lint::lint_text(xquery_text),
+/// IR, layer 2 over the generated query text (wrapped or unwrapped),
+/// layer 3 re-inferring types on both sides of the translation and
+/// diffing them. Returns the report together with the SQL-side inferred
+/// output typing.
+pub fn analyze_translation_typed(
+    prepared: &PreparedQuery,
+    xquery_text: &str,
+) -> (TranslationReport, Vec<ty::InferredColumn>) {
+    let ir = ir_check::check_prepared(prepared);
+    let xquery = xq_lint::lint_text(xquery_text);
+    let flow = ty::check_types(prepared);
+    let mut types = flow.diagnostics;
+    // The translation diff needs a parseable program; when the text does
+    // not parse, layer 2 already reports `A100` and the diff is moot.
+    if let Ok(program) = aldsp_xquery::parse_program(xquery_text) {
+        types.extend(ty::check_translation(prepared, &program, &flow.columns));
     }
+    (TranslationReport { ir, xquery, types }, flow.columns)
+}
+
+/// [`analyze_translation_typed`] without the typing (the original
+/// two-argument surface, kept for the debug validator and callers that
+/// only want the findings).
+pub fn analyze_translation(prepared: &PreparedQuery, xquery_text: &str) -> TranslationReport {
+    analyze_translation_typed(prepared, xquery_text).0
 }
 
 /// An end-to-end analysis: the translation plus its report.
@@ -50,8 +74,11 @@ pub fn analyze_translation(prepared: &PreparedQuery, xquery_text: &str) -> Trans
 pub struct Analysis {
     /// The generated query text, per the requested transport.
     pub xquery: String,
-    /// The two-layer report.
+    /// The three-layer report.
     pub report: TranslationReport,
+    /// The SQL-side inferred output typing (layer 3's view of the
+    /// result-set metadata).
+    pub typing: Vec<ty::InferredColumn>,
 }
 
 /// Translates `sql` (stage 1 → 2 → 3 → transport wrapper) and analyzes
@@ -70,6 +97,10 @@ pub fn analyze_sql<M: MetadataApi>(
         Transport::Xml => generated.into_query_text(),
         Transport::DelimitedText => wrapper::wrap_delimited(generated, &prepared),
     };
-    let report = analyze_translation(&prepared, &xquery);
-    Ok(Analysis { xquery, report })
+    let (report, typing) = analyze_translation_typed(&prepared, &xquery);
+    Ok(Analysis {
+        xquery,
+        report,
+        typing,
+    })
 }

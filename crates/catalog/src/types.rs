@@ -50,6 +50,26 @@ impl SqlColumnType {
         }
     }
 
+    /// The canonical SQL type for an XML Schema simple type — the inverse
+    /// of [`to_xs`](Self::to_xs), picking the widest member where the
+    /// forward map collapses a class (`xs:integer` → `BIGINT`,
+    /// `xs:string` → `VARCHAR`, `xs:double` → `DOUBLE`). `None` for
+    /// `xs:untypedAtomic`, which carries no schema type. Two SQL types map
+    /// to the same XML value space exactly when their `to_xs` images agree,
+    /// so `from_xs(t.to_xs())` is the canonical representative of `t`'s
+    /// class — the comparison domain the analyzer's type-diff uses.
+    pub fn from_xs(xs: XsType) -> Option<SqlColumnType> {
+        Some(match xs {
+            XsType::Integer => SqlColumnType::Bigint,
+            XsType::Decimal => SqlColumnType::Decimal,
+            XsType::Double => SqlColumnType::Double,
+            XsType::String => SqlColumnType::Varchar,
+            XsType::Date => SqlColumnType::Date,
+            XsType::Boolean => SqlColumnType::Boolean,
+            XsType::Untyped => return None,
+        })
+    }
+
     /// The JDBC/SQL type name reported by result-set metadata.
     pub fn sql_name(self) -> &'static str {
         match self {
@@ -214,6 +234,30 @@ mod tests {
         assert_eq!(SqlColumnType::Varchar.to_xs(), XsType::String);
         assert_eq!(SqlColumnType::Decimal.to_xs(), XsType::Decimal);
         assert_eq!(SqlColumnType::Real.to_xs(), XsType::Double);
+    }
+
+    #[test]
+    fn xs_to_sql_is_a_section_of_to_xs() {
+        use SqlColumnType as T;
+        // from_xs picks a canonical representative inside each to_xs class:
+        // mapping back and forth again is stable.
+        for t in [
+            T::Smallint,
+            T::Integer,
+            T::Bigint,
+            T::Decimal,
+            T::Real,
+            T::Double,
+            T::Char,
+            T::Varchar,
+            T::Date,
+            T::Boolean,
+        ] {
+            let canonical = SqlColumnType::from_xs(t.to_xs()).unwrap();
+            assert_eq!(canonical.to_xs(), t.to_xs());
+            assert_eq!(SqlColumnType::from_xs(canonical.to_xs()), Some(canonical));
+        }
+        assert_eq!(SqlColumnType::from_xs(XsType::Untyped), None);
     }
 
     #[test]

@@ -17,6 +17,31 @@ pub enum NullBehavior {
     NeedsGuard,
 }
 
+/// The declared return type of a mapped function. Every entry must carry
+/// one — the stage-2 inference and the analyzer's type pass both consume
+/// it, and a test below asserts the declaration is well-formed for every
+/// dispatcher entry (no `None`-means-something implicit rule).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReturnType {
+    /// A fixed SQL type, independent of the arguments.
+    Fixed(SqlColumnType),
+    /// The type of the argument at this index (numeric identities such as
+    /// `ABS` and `ROUND` return their operand's type under SQL-92).
+    SameAsArg(usize),
+}
+
+impl ReturnType {
+    /// Resolves the declaration against the (inferred) argument types;
+    /// `None` only when the declaration delegates to an argument whose
+    /// type is itself statically unknown.
+    pub fn resolve(self, arg_types: &[Option<SqlColumnType>]) -> Option<SqlColumnType> {
+        match self {
+            ReturnType::Fixed(t) => Some(t),
+            ReturnType::SameAsArg(i) => arg_types.get(i).copied().flatten(),
+        }
+    }
+}
+
 /// One entry of the function map.
 #[derive(Debug, Clone, Copy)]
 pub struct FunctionMapping {
@@ -26,8 +51,8 @@ pub struct FunctionMapping {
     pub xquery_name: &'static str,
     /// Argument count (min, max); `usize::MAX` for variadic.
     pub arity: (usize, usize),
-    /// Result type (`None` = same as first argument).
-    pub result_type: Option<SqlColumnType>,
+    /// Declared result type.
+    pub result_type: ReturnType,
     /// NULL handling.
     pub null_behavior: NullBehavior,
 }
@@ -40,84 +65,84 @@ pub const FUNCTION_MAP: &[FunctionMapping] = &[
         sql_name: "UPPER",
         xquery_name: "fn:upper-case",
         arity: (1, 1),
-        result_type: Some(SqlColumnType::Varchar),
+        result_type: ReturnType::Fixed(SqlColumnType::Varchar),
         null_behavior: NullBehavior::NeedsGuard,
     },
     FunctionMapping {
         sql_name: "UCASE",
         xquery_name: "fn:upper-case",
         arity: (1, 1),
-        result_type: Some(SqlColumnType::Varchar),
+        result_type: ReturnType::Fixed(SqlColumnType::Varchar),
         null_behavior: NullBehavior::NeedsGuard,
     },
     FunctionMapping {
         sql_name: "LOWER",
         xquery_name: "fn:lower-case",
         arity: (1, 1),
-        result_type: Some(SqlColumnType::Varchar),
+        result_type: ReturnType::Fixed(SqlColumnType::Varchar),
         null_behavior: NullBehavior::NeedsGuard,
     },
     FunctionMapping {
         sql_name: "LCASE",
         xquery_name: "fn:lower-case",
         arity: (1, 1),
-        result_type: Some(SqlColumnType::Varchar),
+        result_type: ReturnType::Fixed(SqlColumnType::Varchar),
         null_behavior: NullBehavior::NeedsGuard,
     },
     FunctionMapping {
         sql_name: "CHAR_LENGTH",
         xquery_name: "fn:string-length",
         arity: (1, 1),
-        result_type: Some(SqlColumnType::Integer),
+        result_type: ReturnType::Fixed(SqlColumnType::Integer),
         null_behavior: NullBehavior::NeedsGuard,
     },
     FunctionMapping {
         sql_name: "CHARACTER_LENGTH",
         xquery_name: "fn:string-length",
         arity: (1, 1),
-        result_type: Some(SqlColumnType::Integer),
+        result_type: ReturnType::Fixed(SqlColumnType::Integer),
         null_behavior: NullBehavior::NeedsGuard,
     },
     FunctionMapping {
         sql_name: "LENGTH",
         xquery_name: "fn:string-length",
         arity: (1, 1),
-        result_type: Some(SqlColumnType::Integer),
+        result_type: ReturnType::Fixed(SqlColumnType::Integer),
         null_behavior: NullBehavior::NeedsGuard,
     },
     FunctionMapping {
         sql_name: "CONCAT",
         xquery_name: "fn:concat",
         arity: (2, usize::MAX),
-        result_type: Some(SqlColumnType::Varchar),
+        result_type: ReturnType::Fixed(SqlColumnType::Varchar),
         null_behavior: NullBehavior::NeedsGuard,
     },
     FunctionMapping {
         sql_name: "ABS",
         xquery_name: "fn:abs",
         arity: (1, 1),
-        result_type: None,
+        result_type: ReturnType::SameAsArg(0),
         null_behavior: NullBehavior::Propagates,
     },
     FunctionMapping {
         sql_name: "ROUND",
         xquery_name: "fn:round",
         arity: (1, 1),
-        result_type: None,
+        result_type: ReturnType::SameAsArg(0),
         null_behavior: NullBehavior::Propagates,
     },
     FunctionMapping {
         sql_name: "FLOOR",
         xquery_name: "fn:floor",
         arity: (1, 1),
-        result_type: None,
+        result_type: ReturnType::SameAsArg(0),
         null_behavior: NullBehavior::Propagates,
     },
     FunctionMapping {
         sql_name: "CEILING",
         xquery_name: "fn:ceiling",
         arity: (1, 1),
-        result_type: None,
+        result_type: ReturnType::SameAsArg(0),
         null_behavior: NullBehavior::Propagates,
     },
 ];
@@ -149,6 +174,28 @@ mod tests {
             "fn:string-length"
         );
         assert!(lookup("NO_SUCH").is_none());
+    }
+
+    #[test]
+    fn every_entry_declares_a_wellformed_return_type() {
+        for m in FUNCTION_MAP {
+            match m.result_type {
+                ReturnType::Fixed(_) => {}
+                ReturnType::SameAsArg(i) => assert!(
+                    i < m.arity.0,
+                    "{}: SameAsArg({i}) exceeds the minimum arity {}",
+                    m.sql_name,
+                    m.arity.0
+                ),
+            }
+            // A fully-typed argument list always resolves to a type.
+            let args = vec![Some(SqlColumnType::Decimal); m.arity.0.max(1)];
+            assert!(
+                m.result_type.resolve(&args).is_some(),
+                "{} does not resolve a return type",
+                m.sql_name
+            );
+        }
     }
 
     #[test]

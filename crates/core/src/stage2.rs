@@ -898,7 +898,8 @@ impl<'a> Preparer<'a> {
                     t_args.len()
                 )));
             }
-            let ty = mapping.result_type.or_else(|| t_args[0].ty);
+            let arg_types: Vec<_> = t_args.iter().map(|a| a.ty).collect();
+            let ty = mapping.result_type.resolve(&arg_types);
             let nullable = t_args.iter().any(|a| a.nullable);
             return Ok(TExpr::new(
                 TExprKind::ScalarFn {

@@ -242,47 +242,14 @@ impl ResultSet {
     }
 }
 
-/// Decodes one transported cell into a typed value.
+/// Decodes one transported cell into a typed value. The type table itself
+/// lives at the relational level (`aldsp_relational::sqltype`), shared
+/// with the oracle; the driver only wraps its error.
 fn decode_cell(
     cell: Option<String>,
     sql_type: Option<SqlColumnType>,
 ) -> Result<SqlValue, DriverError> {
-    let Some(text) = cell else {
-        return Ok(SqlValue::Null);
-    };
-    use SqlColumnType as T;
-    let value = match sql_type {
-        None | Some(T::Char) | Some(T::Varchar) => SqlValue::Str(text),
-        Some(T::Smallint) | Some(T::Integer) | Some(T::Bigint) => SqlValue::Int(
-            text.trim()
-                .parse()
-                .map_err(|_| DriverError::Decode(format!("bad integer `{text}`")))?,
-        ),
-        Some(T::Decimal) => SqlValue::Decimal(
-            text.trim()
-                .parse()
-                .map_err(|_| DriverError::Decode(format!("bad decimal `{text}`")))?,
-        ),
-        Some(T::Real) | Some(T::Double) => SqlValue::Double(parse_double(&text)?),
-        Some(T::Date) => SqlValue::Date(text),
-        Some(T::Boolean) => match text.trim() {
-            "true" | "1" => SqlValue::Bool(true),
-            "false" | "0" => SqlValue::Bool(false),
-            other => return Err(DriverError::Decode(format!("bad boolean `{other}`"))),
-        },
-    };
-    Ok(value)
-}
-
-fn parse_double(text: &str) -> Result<f64, DriverError> {
-    match text.trim() {
-        "INF" => Ok(f64::INFINITY),
-        "-INF" => Ok(f64::NEG_INFINITY),
-        "NaN" => Ok(f64::NAN),
-        t => t
-            .parse()
-            .map_err(|_| DriverError::Decode(format!("bad double `{text}`"))),
-    }
+    aldsp_relational::sqltype::decode_cell(cell, sql_type).map_err(DriverError::Decode)
 }
 
 #[cfg(test)]

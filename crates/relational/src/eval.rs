@@ -11,10 +11,8 @@ use crate::exec::{execute_body_scoped, ExecError};
 use crate::like::like_match;
 use crate::relation::Relation;
 use crate::value::{ArithOp, SqlValue};
-use aldsp_catalog::SqlColumnType;
 use aldsp_sql::{
-    BinaryOp, ColumnRef, CompareOp, Expr, FunctionArgs, Literal, Quantifier, SqlTypeName, TrimSide,
-    UnaryOp,
+    BinaryOp, ColumnRef, CompareOp, Expr, FunctionArgs, Literal, Quantifier, TrimSide, UnaryOp,
 };
 use std::cmp::Ordering;
 
@@ -647,20 +645,7 @@ fn literal_value(l: &Literal) -> SqlValue {
     }
 }
 
-/// Maps AST type names to catalog column types.
-pub fn type_name_to_column(t: SqlTypeName) -> SqlColumnType {
-    match t {
-        SqlTypeName::Smallint => SqlColumnType::Smallint,
-        SqlTypeName::Integer => SqlColumnType::Integer,
-        SqlTypeName::Bigint => SqlColumnType::Bigint,
-        SqlTypeName::Decimal => SqlColumnType::Decimal,
-        SqlTypeName::Real => SqlColumnType::Real,
-        SqlTypeName::Double => SqlColumnType::Double,
-        SqlTypeName::Char => SqlColumnType::Char,
-        SqlTypeName::Varchar => SqlColumnType::Varchar,
-        SqlTypeName::Date => SqlColumnType::Date,
-    }
-}
+pub use crate::sqltype::type_name_to_column;
 
 #[cfg(test)]
 mod tests {

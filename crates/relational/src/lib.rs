@@ -15,6 +15,9 @@
 //! Modules:
 //! * [`value`] — runtime SQL values with 3VL comparison and promotion
 //!   arithmetic.
+//! * [`sqltype`] — the shared SQL type table: AST-type-name → catalog
+//!   type, and typed decoding of transported text cells (consumed by the
+//!   driver's result sets and the analyzer's type pass).
 //! * [`like`] — SQL `LIKE` pattern matching with `ESCAPE`.
 //! * [`relation`] — materialized relations (ordered columns + rows).
 //! * [`database`] — named tables.
@@ -26,9 +29,11 @@ pub mod eval;
 pub mod exec;
 pub mod like;
 pub mod relation;
+pub mod sqltype;
 pub mod value;
 
 pub use database::{Database, Table};
 pub use exec::{execute_query, ExecError};
 pub use relation::{ColumnInfo, Relation};
+pub use sqltype::{column_type_from_name, decode_cell, type_name_to_column};
 pub use value::SqlValue;

@@ -376,6 +376,29 @@ pub enum Literal {
     Null,
 }
 
+impl Literal {
+    /// The SQL-92 type a literal carries on its face (§5.3: an exact
+    /// numeric without a point is INTEGER, with a point DECIMAL; an
+    /// approximate numeric is DOUBLE PRECISION; a character string is
+    /// VARCHAR). `None` for `NULL`, which belongs to every type.
+    pub fn type_name(&self) -> Option<SqlTypeName> {
+        Some(match self {
+            Literal::Integer(_) => SqlTypeName::Integer,
+            Literal::Decimal(_) => SqlTypeName::Decimal,
+            Literal::Double(_) => SqlTypeName::Double,
+            Literal::String(_) => SqlTypeName::Varchar,
+            Literal::Date(_) => SqlTypeName::Date,
+            Literal::Null => return None,
+        })
+    }
+
+    /// Whether the literal is `NULL` — the only literal whose type is
+    /// context-dependent.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Literal::Null)
+    }
+}
+
 /// Unary operators.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum UnaryOp {

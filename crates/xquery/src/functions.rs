@@ -380,6 +380,66 @@ pub const BUILTIN_NAMES: &[&str] = &[
     "fn-bea:sql-position",
 ];
 
+/// The declared static return type of a builtin. Most entries are a fixed
+/// atomic type; the identity-shaped functions pass their argument's item
+/// type through. A test below asserts every [`BUILTIN_NAMES`] entry
+/// declares one, and the analyzer's XQuery-side type inference consumes
+/// the table (it must never have to guess what a dispatched call yields).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BuiltinReturn {
+    /// Always this atomic type.
+    Fixed(XsType),
+    /// The first argument's item type passes through (`fn:data`,
+    /// `fn:abs`, `fn:min`, `fn:zero-or-one`, the record-set helpers,
+    /// `fn-bea:if-empty`, ...). `fn:sum` is here too: a sum of integers
+    /// stays `xs:integer`, of decimals `xs:decimal`, of doubles
+    /// `xs:double` — exactly the dispatcher's behaviour.
+    OfArg,
+    /// `fn:avg`: `xs:double` when the input is `xs:double`, otherwise
+    /// `xs:decimal` (the dispatcher divides in binary either way; this is
+    /// also SQL's AVG result-typing rule as stage two applies it).
+    Average,
+}
+
+/// Looks up the declared return type of a `fn:`/`fn-bea:` builtin (not
+/// the `xs:*` constructor casts, whose result type *is* their name).
+/// `None` exactly when [`BUILTIN_NAMES`] does not list `name`.
+pub fn builtin_return_type(name: &str) -> Option<BuiltinReturn> {
+    use BuiltinReturn::*;
+    Some(match name {
+        "fn:string"
+        | "fn:string-join"
+        | "fn:concat"
+        | "fn:upper-case"
+        | "fn:lower-case"
+        | "fn:substring"
+        | "fn-bea:serialize-atomic"
+        | "fn-bea:xml-escape"
+        | "fn-bea:sql-trim" => Fixed(XsType::String),
+        "fn:empty" | "fn:exists" | "fn:not" | "fn:boolean" | "fn:true" | "fn:false"
+        | "fn:contains" | "fn:starts-with" | "fn:ends-with" | "fn-bea:sql-like" => {
+            Fixed(XsType::Boolean)
+        }
+        "fn:count" | "fn:string-length" | "fn-bea:sql-position" => Fixed(XsType::Integer),
+        "fn:data"
+        | "fn:sum"
+        | "fn:min"
+        | "fn:max"
+        | "fn:abs"
+        | "fn:floor"
+        | "fn:ceiling"
+        | "fn:round"
+        | "fn:distinct-values"
+        | "fn:zero-or-one"
+        | "fn-bea:distinct-records"
+        | "fn-bea:intersect-all-records"
+        | "fn-bea:except-all-records"
+        | "fn-bea:if-empty" => OfArg,
+        "fn:avg" => Average,
+        _ => return None,
+    })
+}
+
 /// Whether `name` resolves inside this library: a `fn:`/`fn-bea:` builtin
 /// or an `xs:*` constructor cast. Everything else must resolve through the
 /// data-service [`crate::FunctionSource`].
@@ -954,5 +1014,23 @@ mod tests {
         assert!(is_builtin("xs:integer"));
         assert!(!is_builtin("fn:no-such-function"));
         assert!(!is_builtin("ns0:CUSTOMERS"));
+    }
+
+    #[test]
+    fn every_dispatcher_entry_declares_a_return_type() {
+        for name in BUILTIN_NAMES {
+            assert!(
+                builtin_return_type(name).is_some(),
+                "{name} carries no declared return type"
+            );
+        }
+        // And only dispatcher entries do.
+        assert_eq!(builtin_return_type("fn:no-such-function"), None);
+        assert_eq!(
+            builtin_return_type("fn:count"),
+            Some(BuiltinReturn::Fixed(XsType::Integer))
+        );
+        assert_eq!(builtin_return_type("fn:sum"), Some(BuiltinReturn::OfArg));
+        assert_eq!(builtin_return_type("fn:avg"), Some(BuiltinReturn::Average));
     }
 }

@@ -3,13 +3,17 @@
 //!
 //! Reads SQL from file arguments (or stdin when none are given), translates
 //! each statement against the bundled demo schema (the workload generator's
-//! universe: CUSTOMERS / ORDERS / PAYMENTS / LINEITEMS), and runs the
-//! two-layer analyzer over the result in both transports: the stage-2 IR
-//! invariant check and the XQuery lint over the generated text. Statements
-//! are separated by `;`.
+//! universe: CUSTOMERS / ORDERS / PAYMENTS), and runs the three-layer
+//! analyzer over the result in both transports: the stage-2 IR invariant
+//! check, the XQuery lint over the generated text, and the type-flow pass
+//! with its translation type-diff. Statements are separated by `;`.
+//!
+//! With `--types`, the inferred output typing of each statement is printed
+//! as a `label TYPE NULL|NOT NULL` table — the analyzer's independently
+//! re-derived view of what the driver's result-set metadata must report.
 //!
 //! ```text
-//! Usage: analyze [--print-xquery] [FILE ...]
+//! Usage: analyze [--print-xquery] [--types] [FILE ...]
 //! ```
 //!
 //! Exit status is 0 when every statement is clean, 1 when any statement
@@ -24,14 +28,17 @@ use std::io::Read;
 
 fn main() {
     let mut print_xquery = false;
+    let mut print_types = false;
     let mut files: Vec<String> = Vec::new();
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--print-xquery" => print_xquery = true,
+            "--types" => print_types = true,
             "--help" | "-h" => {
-                println!("Usage: analyze [--print-xquery] [FILE ...]");
+                println!("Usage: analyze [--print-xquery] [--types] [FILE ...]");
                 println!("Lints SQL statements (from files or stdin, `;`-separated)");
                 println!("through the SQL-to-XQuery pipeline against the demo schema.");
+                println!("--types additionally prints the inferred output typing.");
                 return;
             }
             other if other.starts_with('-') => {
@@ -81,6 +88,16 @@ fn main() {
                         println!("   {transport:?}:");
                         for line in analysis.report.render().lines() {
                             println!("     {line}");
+                        }
+                    }
+                    if print_types && transport == Transport::Xml {
+                        for col in &analysis.typing {
+                            println!(
+                                "   : {} {} {}",
+                                col.label,
+                                col.sql_type.map_or("<unknown>", |t| t.sql_name()),
+                                if col.nullable { "NULL" } else { "NOT NULL" }
+                            );
                         }
                     }
                     if print_xquery && transport == Transport::Xml {

@@ -9,7 +9,10 @@
 //! validator is installed, a defective IR hard-errors inside
 //! `stage3::generate`.
 
-use aldsp::analyzer::{analyze_sql, check_prepared, lint_program, DiagCode};
+use aldsp::analyzer::{
+    analyze_sql, check_metadata, check_prepared, check_translation, check_types, lint_program,
+    DiagCode, ReportedColumn,
+};
 use aldsp::catalog::{
     ApplicationBuilder, CachedMetadataApi, ColumnMeta, InProcessMetadataApi, QualifiedTableName,
     SqlColumnType, TableEntry, TableLocator, TableSchema,
@@ -453,6 +456,461 @@ fn order_by_out_of_range_is_a006() {
         ascending: true,
     }];
     assert_eq!(ir_codes(&q), vec![DiagCode::A006]);
+}
+
+// ---- layer 3: type-flow negatives (exact T codes) --------------------
+
+use aldsp::core::ir::AggFunc;
+use aldsp::sql::{CompareOp, JoinKind, Literal};
+
+fn ty_codes(query: &PreparedQuery) -> Vec<DiagCode> {
+    let mut codes: Vec<DiagCode> = check_types(query)
+        .diagnostics
+        .into_iter()
+        .map(|d| d.code)
+        .collect();
+    codes.sort_unstable();
+    codes.dedup();
+    codes
+}
+
+/// A select over `T` with the given items/output and a free-form FROM.
+fn select_from(
+    from: Vec<Rsn>,
+    items: Vec<PreparedItem>,
+    outputs: Vec<OutputColumn>,
+) -> PreparedQuery {
+    PreparedQuery {
+        body: PreparedBody::Select(Box::new(PreparedSelect {
+            ctx_id: 1,
+            distinct: false,
+            items,
+            from,
+            where_clause: None,
+            group_by: vec![],
+            having: None,
+            grouped: false,
+            output: outputs.clone(),
+        })),
+        order_by: vec![],
+        output: outputs,
+    }
+}
+
+fn t_table(range_var: &str) -> Rsn {
+    Rsn::Table {
+        range_var: range_var.into(),
+        entry: table_entry(),
+    }
+}
+
+/// `T.B` — the Varchar NULL column, correctly annotated.
+fn varchar_column(range_var: &str) -> TExpr {
+    TExpr::new(
+        TExprKind::Column {
+            range_var: range_var.into(),
+            column: "B".into(),
+        },
+        Some(SqlColumnType::Varchar),
+        true,
+    )
+}
+
+#[test]
+fn lost_outer_join_nullability_is_t001() {
+    // R.A sits on the NULL-padded side of a LEFT OUTER JOIN; the
+    // annotation claims NOT NULL as if the padding never happened.
+    let q = select_from(
+        vec![Rsn::Join {
+            kind: JoinKind::LeftOuter,
+            left: Box::new(t_table("L")),
+            right: Box::new(t_table("R")),
+            on: None,
+        }],
+        vec![PreparedItem {
+            expr: column("R", "A"), // annotated (Integer, NOT NULL)
+            output: 0,
+        }],
+        vec![OutputColumn {
+            name: "A".into(),
+            label: "A".into(),
+            sql_type: Some(SqlColumnType::Integer),
+            nullable: true,
+        }],
+    );
+    assert_eq!(ty_codes(&q), vec![DiagCode::T001]);
+}
+
+#[test]
+fn numeric_string_comparison_is_t002() {
+    // WHERE T.A = 'x' — INTEGER against VARCHAR has no common
+    // comparability class.
+    let mut q = select_from(
+        vec![t_table("T")],
+        vec![PreparedItem {
+            expr: column("T", "A"),
+            output: 0,
+        }],
+        vec![output("A")],
+    );
+    if let PreparedBody::Select(s) = &mut q.body {
+        s.where_clause = Some(TExpr::new(
+            TExprKind::Compare {
+                op: CompareOp::Eq,
+                left: Box::new(column("T", "A")),
+                right: Box::new(TExpr::new(
+                    TExprKind::Literal(Literal::String("x".into())),
+                    Some(SqlColumnType::Varchar),
+                    false,
+                )),
+            },
+            Some(SqlColumnType::Boolean),
+            false,
+        ));
+    }
+    assert_eq!(ty_codes(&q), vec![DiagCode::T002]);
+}
+
+#[test]
+fn aggregate_over_incomparable_type_is_t002() {
+    // SUM over a VARCHAR column.
+    let q = select_from(
+        vec![t_table("T")],
+        vec![PreparedItem {
+            expr: TExpr::new(
+                TExprKind::Aggregate {
+                    func: AggFunc::Sum,
+                    distinct: false,
+                    arg: Some(Box::new(varchar_column("T"))),
+                },
+                Some(SqlColumnType::Varchar),
+                true,
+            ),
+            output: 0,
+        }],
+        vec![OutputColumn {
+            name: "S".into(),
+            label: "S".into(),
+            sql_type: Some(SqlColumnType::Varchar),
+            nullable: true,
+        }],
+    );
+    assert_eq!(ty_codes(&q), vec![DiagCode::T002]);
+}
+
+#[test]
+fn arithmetic_over_non_numeric_is_t002() {
+    // T.B + 1 with B VARCHAR.
+    let q = select_from(
+        vec![t_table("T")],
+        vec![PreparedItem {
+            expr: TExpr::new(
+                TExprKind::Arith {
+                    op: aldsp::core::ir::ArithOp::Add,
+                    left: Box::new(varchar_column("T")),
+                    right: Box::new(TExpr::new(
+                        TExprKind::Literal(Literal::Integer(1)),
+                        Some(SqlColumnType::Integer),
+                        false,
+                    )),
+                },
+                None,
+                true,
+            ),
+            output: 0,
+        }],
+        vec![OutputColumn {
+            name: "X".into(),
+            label: "X".into(),
+            sql_type: None,
+            nullable: true,
+        }],
+    );
+    assert_eq!(ty_codes(&q), vec![DiagCode::T002]);
+}
+
+#[test]
+fn output_column_type_mismatch_is_t003() {
+    // The item is a correctly-annotated INTEGER column, the declared
+    // output column claims VARCHAR.
+    let q = select_from(
+        vec![t_table("T")],
+        vec![PreparedItem {
+            expr: column("T", "A"),
+            output: 0,
+        }],
+        vec![OutputColumn {
+            name: "A".into(),
+            label: "A".into(),
+            sql_type: Some(SqlColumnType::Varchar),
+            nullable: false,
+        }],
+    );
+    assert_eq!(ty_codes(&q), vec![DiagCode::T003]);
+}
+
+// ---- layer 3: translation-diff negatives (T004-T007) -----------------
+
+/// A clean one-column query (`SELECT A FROM T`) whose inferred typing is
+/// `[A INTEGER NOT NULL]` — the SQL side for the hand-built XQuery diffs.
+fn one_column_query() -> PreparedQuery {
+    select_from(
+        vec![t_table("T")],
+        vec![PreparedItem {
+            expr: column("T", "A"),
+            output: 0,
+        }],
+        vec![output("A")],
+    )
+}
+
+fn diff_codes(prepared: &PreparedQuery, xquery: &str) -> Vec<DiagCode> {
+    let flow = check_types(prepared);
+    assert!(flow.diagnostics.is_empty(), "SQL side must be clean");
+    let program = aldsp::xquery::parse_program(xquery).expect("hand-built XQuery must parse");
+    let mut codes: Vec<DiagCode> = check_translation(prepared, &program, &flow.columns)
+        .into_iter()
+        .map(|d| d.code)
+        .collect();
+    codes.sort_unstable();
+    codes.dedup();
+    codes
+}
+
+const T_IMPORT: &str = "import schema namespace ns0 = \"ld:P/T\" at \"ld:P/schemas/T.xsd\";\n";
+
+#[test]
+fn record_shape_mismatch_is_t004() {
+    // The generated RECORD carries a column named B where SQL says A.
+    let xq = format!(
+        "{T_IMPORT}<RECORDSET>{{\nfor $var1FR0 in ns0:T()\nreturn\n\
+         <RECORD><B>{{fn:data($var1FR0/A)}}</B></RECORD>\n}}</RECORDSET>"
+    );
+    assert_eq!(diff_codes(&one_column_query(), &xq), vec![DiagCode::T004]);
+}
+
+#[test]
+fn type_lost_in_translation_is_t005() {
+    // The element is constructed from the VARCHAR column B but named A:
+    // same shape, wrong value type.
+    let xq = format!(
+        "{T_IMPORT}<RECORDSET>{{\nfor $var1FR0 in ns0:T()\nreturn\n\
+         <RECORD><A>{{fn:string(fn:data($var1FR0/A))}}</A></RECORD>\n}}</RECORDSET>"
+    );
+    assert_eq!(diff_codes(&one_column_query(), &xq), vec![DiagCode::T005]);
+}
+
+#[test]
+fn nullability_lost_in_translation_is_t006() {
+    // B is nullable, but the element is constructed unconditionally: a
+    // NULL row would serialize as an empty string, not an absent element.
+    let prepared = select_from(
+        vec![t_table("T")],
+        vec![PreparedItem {
+            expr: varchar_column("T"),
+            output: 0,
+        }],
+        vec![OutputColumn {
+            name: "B".into(),
+            label: "B".into(),
+            sql_type: Some(SqlColumnType::Varchar),
+            nullable: true,
+        }],
+    );
+    let xq = format!(
+        "{T_IMPORT}<RECORDSET>{{\nfor $var1FR0 in ns0:T()\nreturn\n\
+         <RECORD><B>{{fn:data($var1FR0/B)}}</B></RECORD>\n}}</RECORDSET>"
+    );
+    assert_eq!(diff_codes(&prepared, &xq), vec![DiagCode::T006]);
+
+    // The converse corruption: a NOT NULL column constructed behind a
+    // conditional, so the element may be absent where NULL is forbidden.
+    let xq = format!(
+        "{T_IMPORT}<RECORDSET>{{\nfor $var1FR0 in ns0:T()\nreturn\n\
+         <RECORD>{{ for $var1SL0 in fn:data($var1FR0/B) return <A>{{$var1SL0}}</A> }}</RECORD>\n\
+         }}</RECORDSET>"
+    );
+    assert_eq!(
+        diff_codes(&one_column_query(), &xq),
+        // The element may be absent for a NOT NULL column (T006) and its
+        // value type is VARCHAR where INTEGER is declared (T005).
+        vec![DiagCode::T005, DiagCode::T006]
+    );
+}
+
+#[test]
+fn cardinality_violation_is_t007() {
+    // The column element sits under an inner `for`, so one RECORD can
+    // carry many A elements.
+    let xq = format!(
+        "{T_IMPORT}<RECORDSET>{{\nfor $var1FR0 in ns0:T()\nreturn\n\
+         <RECORD>{{ for $var1SL0 in ns0:T() return <A>{{fn:data($var1SL0/A)}}</A> }}</RECORD>\n\
+         }}</RECORDSET>"
+    );
+    assert_eq!(diff_codes(&one_column_query(), &xq), vec![DiagCode::T007]);
+}
+
+// ---- layer 3: metadata cross-check (T008) ----------------------------
+
+#[test]
+fn metadata_mismatch_is_t008() {
+    let flow = check_types(&one_column_query());
+    // Wrong type name.
+    let codes: Vec<DiagCode> = check_metadata(
+        &flow.columns,
+        &[ReportedColumn {
+            label: "A".into(),
+            type_name: "VARCHAR".into(),
+            nullable: false,
+        }],
+    )
+    .into_iter()
+    .map(|d| d.code)
+    .collect();
+    assert_eq!(codes, vec![DiagCode::T008]);
+
+    // Wrong nullability.
+    let codes: Vec<DiagCode> = check_metadata(
+        &flow.columns,
+        &[ReportedColumn {
+            label: "A".into(),
+            type_name: "INTEGER".into(),
+            nullable: true,
+        }],
+    )
+    .into_iter()
+    .map(|d| d.code)
+    .collect();
+    assert_eq!(codes, vec![DiagCode::T008]);
+
+    // Column-count mismatch.
+    let codes: Vec<DiagCode> = check_metadata(&flow.columns, &[])
+        .into_iter()
+        .map(|d| d.code)
+        .collect();
+    assert_eq!(codes, vec![DiagCode::T008]);
+
+    // The matching surface is clean.
+    assert!(check_metadata(
+        &flow.columns,
+        &[ReportedColumn {
+            label: "A".into(),
+            type_name: "INTEGER".into(),
+            nullable: false,
+        }],
+    )
+    .is_empty());
+}
+
+/// The driver's actual `ResultSetMetaData` surface agrees with the
+/// analyzer's independently inferred typing for every golden example —
+/// type names and nullability byte-for-byte.
+#[test]
+fn golden_result_set_metadata_matches_inferred_typing() {
+    use aldsp::driver::{Connection, DspServer};
+    let server = std::rc::Rc::new(DspServer::new(
+        aldsp::workload::schema::build_application(),
+        aldsp::relational::Database::new(),
+    ));
+    let conn = Connection::open(server);
+    let statement = conn.create_statement();
+    let metadata = CachedMetadataApi::new(InProcessMetadataApi::new(
+        TableLocator::for_application(&aldsp::workload::schema::build_application()),
+    ));
+    let sql_file = include_str!("golden.sql");
+    let mut checked = 0usize;
+    for sql in sql_file
+        .lines()
+        .filter(|l| !l.trim_start().starts_with("--"))
+        .collect::<String>()
+        .split(';')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+    {
+        let analysis = analyze_sql(sql, &metadata, TranslationOptions::default())
+            .unwrap_or_else(|e| panic!("golden `{sql}` failed: {e}"));
+        let translation = statement
+            .explain(sql)
+            .unwrap_or_else(|e| panic!("explain `{sql}` failed: {e}"));
+        // What the driver's ResultSetMetaData reports, spelled exactly as
+        // crates/driver/src/resultset.rs reports it.
+        let reported: Vec<ReportedColumn> = translation
+            .columns
+            .iter()
+            .map(|c| ReportedColumn {
+                label: c.label.clone(),
+                type_name: c.sql_type.map_or("VARCHAR", |t| t.sql_name()).to_string(),
+                nullable: c.nullable,
+            })
+            .collect();
+        let diags = check_metadata(&analysis.typing, &reported);
+        assert!(
+            diags.is_empty(),
+            "metadata disagreement for `{sql}`:\n{}",
+            diags
+                .iter()
+                .map(|d| d.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+        checked += 1;
+    }
+    assert!(checked >= 20, "only {checked} golden statements checked");
+}
+
+/// Non-vacuity: the golden examples produce fully-inferred typings (no
+/// column degrades to unknown), so the clean type-diff above is not
+/// trivially clean.
+#[test]
+fn golden_examples_infer_complete_typings() {
+    let metadata = paper_metadata();
+    for sql in GOLDEN_EXAMPLES {
+        let analysis = analyze_sql(sql, &metadata, TranslationOptions::default())
+            .unwrap_or_else(|e| panic!("`{sql}` failed: {e}"));
+        assert!(!analysis.typing.is_empty(), "no typing for `{sql}`");
+        for col in &analysis.typing {
+            assert!(
+                col.sql_type.is_some(),
+                "column {} of `{sql}` has unknown type",
+                col.label
+            );
+        }
+    }
+}
+
+/// ≥500 fuzzed queries per seed type-check clean (all T codes), in both
+/// transports, with the inferred typing present for every query.
+#[test]
+fn fuzzed_workload_type_checks_clean_per_seed() {
+    use aldsp::workload::querygen::{ConstructClass, QueryGenerator};
+    let app = aldsp::workload::schema::build_application();
+    let metadata = CachedMetadataApi::new(InProcessMetadataApi::new(
+        TableLocator::for_application(&app),
+    ));
+    for seed in [11u64, 23] {
+        let mut generator = QueryGenerator::new(seed);
+        let mut checked = 0usize;
+        for class in ConstructClass::all() {
+            for _ in 0..46 {
+                let sql = generator.generate(*class);
+                for transport in [Transport::Xml, Transport::DelimitedText] {
+                    let analysis = analyze_sql(&sql, &metadata, TranslationOptions { transport })
+                        .unwrap_or_else(|e| panic!("seed {seed}: `{sql}` failed: {e}"));
+                    assert!(
+                        analysis.report.types.is_empty(),
+                        "seed {seed}: type findings for `{sql}`:\n{}",
+                        analysis.report.render()
+                    );
+                    assert!(
+                        !analysis.typing.is_empty(),
+                        "seed {seed}: no typing for `{sql}`"
+                    );
+                }
+                checked += 1;
+            }
+        }
+        assert!(checked >= 500, "only {checked} queries type-checked");
+    }
 }
 
 // ---- the debug-analyze hard-error hook -------------------------------

@@ -4,11 +4,17 @@
 //! compute the oracle's answer. These pin the whole pipeline, not one
 //! crate.
 
-use aldsp::catalog::{CachedMetadataApi, InProcessMetadataApi, TableLocator};
+use aldsp::catalog::{
+    ApplicationBuilder, CachedMetadataApi, InProcessMetadataApi, SqlColumnType, TableLocator,
+};
 use aldsp::core::{TranslationOptions, Translator, Transport};
+use aldsp::driver::{Connection, DspServer};
+use aldsp::relational::{Database, SqlValue, Table};
 use aldsp::workload::{build_application, ConstructClass, QueryGenerator};
 use aldsp::xquery::parse_program;
 use proptest::prelude::*;
+use std::rc::Rc;
+use std::time::Duration;
 
 fn translator() -> Translator<CachedMetadataApi<InProcessMetadataApi>> {
     let app = build_application();
@@ -104,4 +110,239 @@ proptest! {
             report.mismatches.first()
         );
     }
+}
+
+// ---------------------------------------------------------------------------
+// Three-valued logic over NULLs (SQL-92 §8.2, paper §4's NULL discussion).
+//
+// A comparison against NULL is UNKNOWN, not FALSE: `X = v`, `X <> v`, and
+// `NOT (X = v)` must all exclude NULL rows, and only IS [NOT] NULL may
+// observe them. Aggregates skip NULL inputs, and a HAVING predicate over a
+// NULL aggregate (an all-NULL group) is UNKNOWN and drops the group. These
+// tests pin that behaviour through the *full* pipeline — SQL → XQuery →
+// execution — in both transports, so a translation change that collapses
+// UNKNOWN into FALSE (or TRUE) fails here, not just in the analyzer.
+// ---------------------------------------------------------------------------
+
+/// ID INTEGER NOT NULL, CATEGORY VARCHAR NOT NULL, AMOUNT INTEGER NULL.
+/// Rows 2, 3 and 5 have a NULL AMOUNT; category 'c' is entirely NULL.
+fn null_heavy_server() -> Rc<DspServer> {
+    let app = ApplicationBuilder::new("TESTAPP")
+        .project("TestDataServices")
+        .data_service("METRICS")
+        .physical_table("METRICS", |t| {
+            t.column("ID", SqlColumnType::Integer, false)
+                .column("CATEGORY", SqlColumnType::Varchar, false)
+                .column("AMOUNT", SqlColumnType::Integer, true)
+        })
+        .finish_service()
+        .finish_project()
+        .build();
+
+    let schema = app
+        .functions()
+        .find(|(_, _, f)| f.name == "METRICS")
+        .unwrap()
+        .2
+        .schema
+        .clone();
+    let mut metrics = Table::new(schema);
+    for (id, cat, amount) in [
+        (1, "a", Some(10)),
+        (2, "a", None),
+        (3, "b", None),
+        (4, "b", Some(20)),
+        (5, "c", None),
+    ] {
+        metrics.insert(vec![
+            SqlValue::Int(id),
+            SqlValue::Str(cat.into()),
+            amount.map(SqlValue::Int).unwrap_or(SqlValue::Null),
+        ]);
+    }
+    let mut db = Database::new();
+    db.add_table(metrics);
+    Rc::new(DspServer::new(app, db))
+}
+
+/// Runs `sql` in the given transport and returns the first column as ints.
+fn ids_in(transport: Transport, sql: &str) -> Vec<i64> {
+    let conn = Connection::open_with(
+        null_heavy_server(),
+        TranslationOptions { transport },
+        Duration::ZERO,
+    );
+    let rs = conn
+        .create_statement()
+        .execute_query(sql)
+        .unwrap_or_else(|e| panic!("query failed [{transport:?}]: {e}\nsql: {sql}"));
+    rs.rows()
+        .iter()
+        .map(|row| match &row[0] {
+            SqlValue::Int(i) => *i,
+            other => panic!("expected int id, got {other:?} [{transport:?}]\nsql: {sql}"),
+        })
+        .collect()
+}
+
+fn both_transports(check: impl Fn(Transport)) {
+    check(Transport::Xml);
+    check(Transport::DelimitedText);
+}
+
+#[test]
+fn null_comparison_is_unknown_in_where() {
+    both_transports(|t| {
+        // Neither the comparison nor its complement admits a NULL row:
+        // rows 2, 3, 5 satisfy neither AMOUNT = 10 nor AMOUNT <> 10.
+        assert_eq!(
+            ids_in(t, "SELECT ID FROM METRICS WHERE AMOUNT = 10 ORDER BY ID"),
+            vec![1]
+        );
+        assert_eq!(
+            ids_in(t, "SELECT ID FROM METRICS WHERE AMOUNT <> 10 ORDER BY ID"),
+            vec![4]
+        );
+    });
+}
+
+#[test]
+fn negation_of_unknown_stays_unknown() {
+    both_transports(|t| {
+        // NOT UNKNOWN is UNKNOWN: negating the predicate must not turn the
+        // excluded NULL rows into matches.
+        assert_eq!(
+            ids_in(
+                t,
+                "SELECT ID FROM METRICS WHERE NOT (AMOUNT = 10) ORDER BY ID"
+            ),
+            vec![4]
+        );
+    });
+}
+
+#[test]
+fn is_null_partitions_the_rows() {
+    both_transports(|t| {
+        assert_eq!(
+            ids_in(t, "SELECT ID FROM METRICS WHERE AMOUNT IS NULL ORDER BY ID"),
+            vec![2, 3, 5]
+        );
+        assert_eq!(
+            ids_in(
+                t,
+                "SELECT ID FROM METRICS WHERE AMOUNT IS NOT NULL ORDER BY ID"
+            ),
+            vec![1, 4]
+        );
+    });
+}
+
+#[test]
+fn kleene_connectives_over_unknown() {
+    both_transports(|t| {
+        // UNKNOWN OR TRUE = TRUE: row 2's NULL comparison is rescued by the
+        // true right disjunct.
+        assert_eq!(
+            ids_in(
+                t,
+                "SELECT ID FROM METRICS WHERE AMOUNT = 10 OR ID = 2 ORDER BY ID"
+            ),
+            vec![1, 2]
+        );
+        // UNKNOWN AND FALSE = FALSE, so NOT of it is TRUE: rows 3 and 5
+        // (NULL AMOUNT, ID <> 2) pass; row 2 (UNKNOWN AND TRUE = UNKNOWN)
+        // still does not.
+        assert_eq!(
+            ids_in(
+                t,
+                "SELECT ID FROM METRICS WHERE NOT (AMOUNT = 10 AND ID = 2) ORDER BY ID"
+            ),
+            vec![1, 3, 4, 5]
+        );
+    });
+}
+
+#[test]
+fn aggregates_skip_nulls_and_having_drops_unknown_groups() {
+    both_transports(|t| {
+        // COUNT(column) counts only non-NULL values; COUNT(*) counts rows.
+        let conn = Connection::open_with(
+            null_heavy_server(),
+            TranslationOptions { transport: t },
+            Duration::ZERO,
+        );
+        let rs = conn
+            .create_statement()
+            .execute_query(
+                "SELECT CATEGORY, COUNT(*), COUNT(AMOUNT) FROM METRICS \
+                 GROUP BY CATEGORY ORDER BY CATEGORY",
+            )
+            .unwrap();
+        assert_eq!(
+            rs.rows().to_vec(),
+            vec![
+                vec![
+                    SqlValue::Str("a".into()),
+                    SqlValue::Int(2),
+                    SqlValue::Int(1)
+                ],
+                vec![
+                    SqlValue::Str("b".into()),
+                    SqlValue::Int(2),
+                    SqlValue::Int(1)
+                ],
+                vec![
+                    SqlValue::Str("c".into()),
+                    SqlValue::Int(1),
+                    SqlValue::Int(0)
+                ],
+            ],
+            "[{t:?}]"
+        );
+
+        // Category 'c' has only NULL AMOUNTs: SUM(AMOUNT) is NULL, the
+        // HAVING comparison is UNKNOWN, and the group is dropped — it is
+        // not treated as 0 (which would pass a `> -1` threshold either).
+        let conn = Connection::open_with(
+            null_heavy_server(),
+            TranslationOptions { transport: t },
+            Duration::ZERO,
+        );
+        let rs = conn
+            .create_statement()
+            .execute_query(
+                "SELECT CATEGORY FROM METRICS GROUP BY CATEGORY \
+                 HAVING SUM(AMOUNT) > 5 ORDER BY CATEGORY",
+            )
+            .unwrap();
+        assert_eq!(
+            rs.rows().to_vec(),
+            vec![
+                vec![SqlValue::Str("a".into())],
+                vec![SqlValue::Str("b".into())],
+            ],
+            "[{t:?}]"
+        );
+        let conn = Connection::open_with(
+            null_heavy_server(),
+            TranslationOptions { transport: t },
+            Duration::ZERO,
+        );
+        let rs = conn
+            .create_statement()
+            .execute_query(
+                "SELECT CATEGORY FROM METRICS GROUP BY CATEGORY \
+                 HAVING SUM(AMOUNT) > -1 ORDER BY CATEGORY",
+            )
+            .unwrap();
+        assert_eq!(
+            rs.rows().to_vec(),
+            vec![
+                vec![SqlValue::Str("a".into())],
+                vec![SqlValue::Str("b".into())],
+            ],
+            "[{t:?}]"
+        );
+    });
 }
