@@ -232,15 +232,16 @@ fn promote(a: SqlColumnType, b: SqlColumnType) -> SqlColumnType {
     }
 }
 
-/// SQL-92 §5.3 literal typing.
+/// SQL-92 §5.3 literal typing, via the face-type table shared with the
+/// plan-cache normalizer ([`Literal::type_name`] +
+/// [`aldsp_relational::type_name_to_column`]): both consumers agree on
+/// what type a literal carries, so a plan cached for an extracted literal
+/// type-checks identically to the inline original.
 fn literal_ty(l: &Literal) -> Ty {
-    match l {
-        Literal::Integer(_) => Ty::new(Some(SqlColumnType::Integer), false),
-        Literal::Decimal(_) => Ty::new(Some(SqlColumnType::Decimal), false),
-        Literal::Double(_) => Ty::new(Some(SqlColumnType::Double), false),
-        Literal::String(_) => Ty::new(Some(SqlColumnType::Varchar), false),
-        Literal::Date(_) => Ty::new(Some(SqlColumnType::Date), false),
-        Literal::Null => Ty::new(None, true),
+    match l.type_name() {
+        Some(name) => Ty::new(Some(aldsp_relational::type_name_to_column(name)), false),
+        // NULL belongs to every type.
+        None => Ty::new(None, true),
     }
 }
 

@@ -9,15 +9,18 @@
 use aldsp_bench::{connect, payload_for, projection_query, server_at_scale};
 use aldsp_catalog::{CachedMetadataApi, InProcessMetadataApi, TableLocator};
 use aldsp_core::{TranslationOptions, Translator, Transport};
-use aldsp_driver::ResultSet;
-use aldsp_relational::execute_query;
+use aldsp_driver::{Connection, QueryService, ResultSet};
+use aldsp_plancache::PlanCache;
+use aldsp_relational::{execute_query, SqlValue};
 use aldsp_sql::parse_select;
 use aldsp_workload::{build_application, paper_queries, run_differential, Scale};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name);
+    let smoke = args.iter().any(|a| a == "smoke");
+    let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name && a != "smoke");
 
     if want("e1") {
         e1_result_transport();
@@ -37,6 +40,23 @@ fn main() {
     if want("e7") {
         e7_null_machinery_ablation();
     }
+    if want("e8") || args.iter().any(|a| a == "plancache") {
+        e8_plancache(smoke);
+    }
+}
+
+/// `percentile(sorted, 0.95)` — nearest-rank over a sorted sample set.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted.len() as f64) * p).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+fn sorted_us(mut samples: Vec<f64>) -> Vec<f64> {
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples
 }
 
 fn time_n<R>(n: usize, mut f: impl FnMut() -> R) -> Duration {
@@ -239,10 +259,10 @@ fn e7_null_machinery_ablation() {
     use aldsp_catalog::{ApplicationBuilder, SqlColumnType};
     use aldsp_driver::{Connection, DspServer};
     use aldsp_relational::{Database, SqlValue, Table};
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     println!("== E7: ablation — NULL-fidelity machinery cost (DESIGN.md §8) ==");
-    let build = |nullable: bool| -> Rc<DspServer> {
+    let build = |nullable: bool| -> Arc<DspServer> {
         let app = ApplicationBuilder::new("AB")
             .project("P")
             .data_service("T")
@@ -265,7 +285,7 @@ fn e7_null_machinery_ablation() {
             ]);
         }
         db.add_table(table);
-        Rc::new(DspServer::new(app, db))
+        Arc::new(DspServer::new(app, db))
     };
 
     let sql = "SELECT ID, UPPER(NAME) U, V FROM T WHERE V > 100 ORDER BY V DESC";
@@ -275,7 +295,7 @@ fn e7_null_machinery_ablation() {
     );
     for (label, nullable) in [("all NOT NULL", false), ("nullable columns", true)] {
         let server = build(nullable);
-        let conn = Connection::open(Rc::clone(&server));
+        let conn = Connection::open(Arc::clone(&server));
         let translation = conn.create_statement().explain(sql).unwrap();
         conn.create_statement().execute_query(sql).unwrap(); // warm
         let elapsed = time_n(10, || conn.create_statement().execute_query(sql).unwrap());
@@ -291,6 +311,230 @@ fn e7_null_machinery_ablation() {
          emptiness guards; the NOT NULL variant generates the paper's plain\n\
          patterns. Catalog nullability is what arbitrates, per column.\n"
     );
+}
+
+/// The E8 template mix: three `?`-parameterized statements plus one that
+/// bakes its value in as a literal, so successive turns produce distinct
+/// SQL texts that normalize onto one shared plan.
+fn e8_statement(template: usize, turn: i64) -> (String, Vec<SqlValue>) {
+    let v = turn % 9 + 1;
+    match template % 4 {
+        0 => (
+            "SELECT CUSTOMERID, CUSTOMERNAME FROM CUSTOMERS WHERE CUSTOMERID > ? \
+             ORDER BY CUSTOMERID"
+                .to_string(),
+            vec![SqlValue::Int(v)],
+        ),
+        1 => (
+            "SELECT ORDERID, AMOUNT FROM ORDERS WHERE CUSTID = ? ORDER BY ORDERID".to_string(),
+            vec![SqlValue::Int(v)],
+        ),
+        2 => (
+            "SELECT CUSTOMERS.CUSTOMERNAME, ORDERS.AMOUNT FROM CUSTOMERS \
+             INNER JOIN ORDERS ON CUSTOMERS.CUSTOMERID = ORDERS.CUSTID \
+             WHERE ORDERS.CUSTID = ? ORDER BY CUSTOMERS.CUSTOMERNAME, ORDERS.AMOUNT"
+                .to_string(),
+            vec![SqlValue::Int(v)],
+        ),
+        _ => (
+            format!("SELECT CUSTOMERID FROM CUSTOMERS WHERE CUSTOMERID > {v} ORDER BY CUSTOMERID"),
+            Vec::new(),
+        ),
+    }
+}
+
+/// E8: the plan-cache subsystem — cold/warm translation latency
+/// percentiles, normalized-hit latency, and multi-threaded `QueryService`
+/// throughput against a single-threaded uncached oracle. Emits
+/// `BENCH_plancache.json` and `BENCH_translation.json` in the working
+/// directory. `smoke` shrinks every dimension for CI while keeping the
+/// correctness assertions (hit rate > 0, oracle match).
+fn e8_plancache(smoke: bool) {
+    println!("== E8: plan cache (translation reuse + concurrent service) ==");
+    let customers = if smoke { 30 } else { 200 };
+    let samples_per_query = if smoke { 30 } else { 200 };
+    let threads: usize = if smoke { 4 } else { 8 };
+    let iterations: usize = if smoke { 25 } else { 150 };
+
+    let server = server_at_scale(customers, 7);
+    let options = TranslationOptions::default();
+
+    // --- cold vs warm plan acquisition over the golden paper queries ---
+    let cache = Arc::new(PlanCache::default());
+    let conn = Connection::open_with_cache(Arc::clone(&server), options, Arc::clone(&cache));
+    let queries: Vec<&str> = paper_queries().iter().map(|(_, sql)| *sql).collect();
+    let mut cold = Vec::new();
+    let mut warm = Vec::new();
+    let mut normalized = Vec::new();
+    // Metadata warm-up: the comparison is cache-hit vs full translation,
+    // not vs a cold metadata round trip (that is E3's subject).
+    for sql in &queries {
+        cache.plan(conn.translator(), sql, options).unwrap();
+    }
+    for _ in 0..samples_per_query {
+        for sql in &queries {
+            cache.clear();
+            let t = Instant::now();
+            cache.plan(conn.translator(), sql, options).unwrap();
+            cold.push(t.elapsed().as_secs_f64() * 1e6);
+        }
+    }
+    for sql in &queries {
+        cache.plan(conn.translator(), sql, options).unwrap();
+    }
+    for _ in 0..samples_per_query {
+        for sql in &queries {
+            let t = Instant::now();
+            cache.plan(conn.translator(), sql, options).unwrap();
+            warm.push(t.elapsed().as_secs_f64() * 1e6);
+        }
+    }
+    // Normalized hits: every turn is a distinct SQL text (fresh literal)
+    // landing on one shared plan — pays parse + normalize, skips
+    // translation.
+    for turn in 0..(samples_per_query * queries.len()) {
+        let (sql, _) = e8_statement(3, turn as i64 + 100_000);
+        let sql = format!("{sql} /* v{turn} */");
+        let t = Instant::now();
+        cache.plan(conn.translator(), &sql, options).unwrap();
+        normalized.push(t.elapsed().as_secs_f64() * 1e6);
+    }
+    let (cold, warm, normalized) = (sorted_us(cold), sorted_us(warm), sorted_us(normalized));
+    let speedup = percentile(&cold, 0.5) / percentile(&warm, 0.5).max(1e-9);
+    println!("{:>22} {:>10} {:>10}", "path", "p50_us", "p95_us");
+    for (label, s) in [
+        ("cold (translate)", &cold),
+        ("warm (exact hit)", &warm),
+        ("warm (normalized)", &normalized),
+    ] {
+        println!(
+            "{:>22} {:>10.2} {:>10.2}",
+            label,
+            percentile(s, 0.5),
+            percentile(s, 0.95)
+        );
+    }
+    println!("warm exact-hit speedup over cold translation (p50): {speedup:.1}x");
+    assert!(
+        speedup >= 5.0,
+        "acceptance: warm cache hits must be at least 5x faster than cold \
+         translation (measured {speedup:.1}x)"
+    );
+
+    // --- multi-threaded throughput vs the single-threaded oracle ---
+    let oracle_conn = Connection::open(Arc::clone(&server));
+    let mut oracle: Vec<Vec<Vec<Vec<SqlValue>>>> = Vec::new();
+    for worker in 0..threads {
+        let mut per_worker = Vec::new();
+        for turn in 0..iterations {
+            let (sql, params) = e8_statement(worker + turn, (worker + turn) as i64);
+            let rs = oracle_conn.execute_cached(&sql, &params).unwrap();
+            per_worker.push(rs.rows().to_vec());
+        }
+        oracle.push(per_worker);
+    }
+    let service = QueryService::new(Arc::clone(&server), options);
+    let started = Instant::now();
+    let mismatches: usize = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..threads)
+            .map(|worker| {
+                let service = &service;
+                let expected = &oracle[worker];
+                scope.spawn(move || {
+                    let mut bad = 0usize;
+                    for (turn, expected_rows) in expected.iter().enumerate() {
+                        let (sql, params) = e8_statement(worker + turn, (worker + turn) as i64);
+                        match service.execute(&sql, &params) {
+                            Ok(rs) if rs.rows() == expected_rows.as_slice() => {}
+                            _ => bad += 1,
+                        }
+                    }
+                    bad
+                })
+            })
+            .collect();
+        workers.into_iter().map(|w| w.join().unwrap()).sum()
+    });
+    let elapsed = started.elapsed();
+    let executions = threads * iterations;
+    let qps = executions as f64 / elapsed.as_secs_f64();
+    let stats = service.cache_stats();
+    let hit_rate = stats.hit_rate().unwrap_or(0.0);
+    println!(
+        "{threads} threads x {iterations} statements: {qps:.0} q/s, \
+         hit rate {:.3} ({} exact + {} normalized / {} lookups), oracle mismatches: {mismatches}",
+        hit_rate,
+        stats.exact_hits,
+        stats.normalized_hits,
+        stats.hits() + stats.misses + stats.fallbacks,
+    );
+    assert_eq!(
+        mismatches, 0,
+        "acceptance: threaded service must be byte-identical to the \
+         single-threaded uncached oracle"
+    );
+    assert!(
+        hit_rate > 0.0,
+        "acceptance: cache hit rate must be positive"
+    );
+
+    let plancache_json = format!(
+        "{{\n  \"smoke\": {smoke},\n  \"scale_customers\": {customers},\n  \
+         \"cold_plan_us\": {{ \"p50\": {:.2}, \"p95\": {:.2} }},\n  \
+         \"warm_exact_hit_us\": {{ \"p50\": {:.2}, \"p95\": {:.2} }},\n  \
+         \"warm_normalized_hit_us\": {{ \"p50\": {:.2}, \"p95\": {:.2} }},\n  \
+         \"warm_speedup_p50\": {speedup:.2},\n  \
+         \"throughput\": {{ \"threads\": {threads}, \"statements\": {executions}, \
+         \"elapsed_ms\": {:.2}, \"qps\": {qps:.1}, \"oracle_matched\": {} }},\n  \
+         \"cache_stats\": {{ \"exact_hits\": {}, \"normalized_hits\": {}, \
+         \"misses\": {}, \"fallbacks\": {}, \"evictions\": {}, \
+         \"epoch_invalidations\": {}, \"hit_rate\": {hit_rate:.4} }}\n}}\n",
+        percentile(&cold, 0.5),
+        percentile(&cold, 0.95),
+        percentile(&warm, 0.5),
+        percentile(&warm, 0.95),
+        percentile(&normalized, 0.5),
+        percentile(&normalized, 0.95),
+        elapsed.as_secs_f64() * 1e3,
+        mismatches == 0,
+        stats.exact_hits,
+        stats.normalized_hits,
+        stats.misses,
+        stats.fallbacks,
+        stats.evictions,
+        stats.epoch_invalidations,
+    );
+    std::fs::write("BENCH_plancache.json", plancache_json).unwrap();
+    println!("wrote BENCH_plancache.json");
+
+    // --- per-class translation latency percentiles (uncached path) ---
+    let app = build_application();
+    let locator = TableLocator::for_application(&app);
+    let translator = Translator::new(CachedMetadataApi::new(InProcessMetadataApi::new(locator)));
+    let mut entries = Vec::new();
+    for (name, sql) in paper_queries() {
+        translator.translate(sql, options).unwrap(); // warm metadata
+        let mut samples = Vec::new();
+        for _ in 0..samples_per_query {
+            let t = Instant::now();
+            translator.translate(sql, options).unwrap();
+            samples.push(t.elapsed().as_secs_f64() * 1e6);
+        }
+        let samples = sorted_us(samples);
+        entries.push(format!(
+            "    {{ \"class\": \"{name}\", \"p50_us\": {:.2}, \"p95_us\": {:.2} }}",
+            percentile(&samples, 0.5),
+            percentile(&samples, 0.95)
+        ));
+    }
+    let translation_json = format!(
+        "{{\n  \"smoke\": {smoke},\n  \"samples_per_class\": {samples_per_query},\n  \
+         \"classes\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    std::fs::write("BENCH_translation.json", translation_json).unwrap();
+    println!("wrote BENCH_translation.json");
+    println!();
 }
 
 /// E6: differential correctness counts.

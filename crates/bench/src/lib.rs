@@ -7,20 +7,20 @@
 use aldsp_core::{TranslationOptions, Transport};
 use aldsp_driver::{Connection, DspServer};
 use aldsp_workload::{build_application, populate_database, Scale};
-use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Builds a populated server at the given customer count.
-pub fn server_at_scale(customers: usize, seed: u64) -> Rc<DspServer> {
+pub fn server_at_scale(customers: usize, seed: u64) -> Arc<DspServer> {
     let app = build_application();
     let db = populate_database(&app, Scale::of(customers), seed);
-    Rc::new(DspServer::new(app, db))
+    Arc::new(DspServer::new(app, db))
 }
 
 /// Opens a connection with a given transport (no metadata latency).
-pub fn connect(server: &Rc<DspServer>, transport: Transport) -> Connection {
+pub fn connect(server: &Arc<DspServer>, transport: Transport) -> Connection {
     Connection::open_with(
-        Rc::clone(server),
+        Arc::clone(server),
         TranslationOptions { transport },
         Duration::ZERO,
     )
@@ -30,7 +30,7 @@ pub fn connect(server: &Rc<DspServer>, transport: Transport) -> Connection {
 /// decode-side benchmarks can isolate driver work — the paper's §4 claim
 /// is specifically about client-side materialization/parsing overhead.
 pub fn payload_for(
-    server: &Rc<DspServer>,
+    server: &Arc<DspServer>,
     transport: Transport,
     sql: &str,
 ) -> (String, Vec<aldsp_core::OutputColumn>) {

@@ -47,7 +47,7 @@ use aldsp_catalog::MetadataApi;
 use std::time::{Duration, Instant};
 
 /// How results travel back to the driver (paper §4).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Transport {
     /// Serialize the `<RECORDSET>` XML and re-parse in the driver — the
     /// baseline the paper found wasteful.
@@ -58,8 +58,9 @@ pub enum Transport {
     DelimitedText,
 }
 
-/// Translation options.
-#[derive(Debug, Clone, Copy, Default)]
+/// Translation options. Part of plan-cache keys (two translations share a
+/// cached plan only when their options agree), hence `Eq + Hash`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct TranslationOptions {
     /// Result transport mode.
     pub transport: Transport,
@@ -120,6 +121,17 @@ impl<M: MetadataApi> Translator<M> {
         sql: &str,
         options: TranslationOptions,
     ) -> Result<Translation, TranslateError> {
+        Ok(self.translate_full(sql, options)?.translation)
+    }
+
+    /// [`Translator::translate`], also returning the stage-two
+    /// [`PreparedQuery`] — plan caches keep it so cached plans can be
+    /// re-analyzed without re-running the pipeline.
+    pub fn translate_full(
+        &self,
+        sql: &str,
+        options: TranslationOptions,
+    ) -> Result<FullTranslation, TranslateError> {
         let start = Instant::now();
         // Captured before stage two's lookups: if the catalog changes
         // mid-translation, the stale epoch makes the server reject the
@@ -127,8 +139,29 @@ impl<M: MetadataApi> Translator<M> {
         let metadata_epoch = self.metadata.epoch();
         let parsed = stage1::parse(sql)?;
         let after_parse = Instant::now();
+        self.translate_parsed_at(&parsed, options, metadata_epoch, after_parse - start)
+    }
 
-        let prepared = stage2::prepare(&parsed, &self.metadata)?;
+    /// Runs stages two and three over an already-parsed statement — the
+    /// plan-cache path, where stage one ran once on the original text and
+    /// the normalized statement is translated without re-parsing.
+    pub fn translate_parsed(
+        &self,
+        parsed: &stage1::ParsedStatement,
+        options: TranslationOptions,
+    ) -> Result<FullTranslation, TranslateError> {
+        self.translate_parsed_at(parsed, options, self.metadata.epoch(), Duration::ZERO)
+    }
+
+    fn translate_parsed_at(
+        &self,
+        parsed: &stage1::ParsedStatement,
+        options: TranslationOptions,
+        metadata_epoch: u64,
+        parse_time: Duration,
+    ) -> Result<FullTranslation, TranslateError> {
+        let after_parse = Instant::now();
+        let prepared = stage2::prepare(parsed, &self.metadata)?;
         let after_prepare = Instant::now();
 
         let generated = stage3::generate(&prepared)?;
@@ -138,16 +171,29 @@ impl<M: MetadataApi> Translator<M> {
         };
         let after_generate = Instant::now();
 
-        Ok(Translation {
+        let translation = Translation {
             xquery,
             columns: prepared.output.clone(),
             parameter_count: parsed.parameter_count,
             metadata_epoch,
             timings: StageTimings {
-                parse: after_parse - start,
+                parse: parse_time,
                 prepare: after_prepare - after_parse,
                 generate: after_generate - after_prepare,
             },
+        };
+        Ok(FullTranslation {
+            translation,
+            prepared,
         })
     }
+}
+
+/// A translation together with the stage-two IR it was generated from.
+#[derive(Debug, Clone)]
+pub struct FullTranslation {
+    /// The generated translation.
+    pub translation: Translation,
+    /// The stage-two prepared query (the cacheable plan form).
+    pub prepared: PreparedQuery,
 }

@@ -16,12 +16,13 @@ use crate::fault::RetryPolicy;
 use crate::resultset::ResultSet;
 use crate::server::{sql_value_to_sequence, DspServer};
 use crate::DriverError;
-use aldsp_catalog::{CachedMetadataApi, InProcessMetadataApi};
+use aldsp_catalog::{CachedMetadataApi, InProcessMetadataApi, MetadataApi};
 use aldsp_core::{Translation, TranslationOptions, Translator, Transport};
+use aldsp_plancache::{BoundPlan, PlanCache};
 use aldsp_relational::SqlValue;
 use aldsp_xml::Sequence;
 use std::cell::{Cell, RefCell};
-use std::rc::Rc;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Recovery-action counters for one connection.
@@ -35,9 +36,10 @@ pub struct RetryStats {
 
 /// A client connection to a DSP application.
 pub struct Connection {
-    server: Rc<DspServer>,
+    server: Arc<DspServer>,
     translator: Translator<CachedMetadataApi<InProcessMetadataApi>>,
     options: TranslationOptions,
+    plan_cache: Option<Arc<PlanCache>>,
     retry: Cell<RetryPolicy>,
     retries: Cell<u64>,
     retranslations: Cell<u64>,
@@ -45,8 +47,21 @@ pub struct Connection {
 
 impl Connection {
     /// Opens a connection with the default (delimited-text) transport.
-    pub fn open(server: Rc<DspServer>) -> Connection {
+    pub fn open(server: Arc<DspServer>) -> Connection {
         Connection::open_with(server, TranslationOptions::default(), Duration::ZERO)
+    }
+
+    /// Opens a connection that shares a translation plan cache with other
+    /// connections (typically via a `QueryService`). The cached execute
+    /// path is [`Connection::execute_cached`].
+    pub fn open_with_cache(
+        server: Arc<DspServer>,
+        options: TranslationOptions,
+        cache: Arc<PlanCache>,
+    ) -> Connection {
+        let mut connection = Connection::open_with(server, options, Duration::ZERO);
+        connection.plan_cache = Some(cache);
+        connection
     }
 
     /// Opens a connection choosing the transport and a simulated metadata
@@ -54,7 +69,7 @@ impl Connection {
     /// server's locator and epoch counter, and routes through the
     /// server's fault injector when one is installed.
     pub fn open_with(
-        server: Rc<DspServer>,
+        server: Arc<DspServer>,
         options: TranslationOptions,
         metadata_latency: Duration,
     ) -> Connection {
@@ -70,10 +85,21 @@ impl Connection {
             translator: Translator::new(CachedMetadataApi::new(api)),
             server,
             options,
+            plan_cache: None,
             retry: Cell::new(RetryPolicy::default()),
             retries: Cell::new(0),
             retranslations: Cell::new(0),
         }
+    }
+
+    /// Attaches (or detaches) a shared plan cache.
+    pub fn set_plan_cache(&mut self, cache: Option<Arc<PlanCache>>) {
+        self.plan_cache = cache;
+    }
+
+    /// The shared plan cache, when one is attached.
+    pub fn plan_cache(&self) -> Option<&Arc<PlanCache>> {
+        self.plan_cache.as_ref()
     }
 
     /// The transport in use.
@@ -82,7 +108,7 @@ impl Connection {
     }
 
     /// The server handle.
-    pub fn server(&self) -> &Rc<DspServer> {
+    pub fn server(&self) -> &Arc<DspServer> {
         &self.server
     }
 
@@ -269,6 +295,75 @@ impl Connection {
         let payload = self.server.execute_to_payload_at(
             &translation.xquery,
             &bound,
+            Some(translation.metadata_epoch),
+        )?;
+        match self.options.transport {
+            Transport::DelimitedText => {
+                ResultSet::from_delimited(translation.columns.clone(), &payload)
+            }
+            Transport::Xml => ResultSet::from_xml(translation.columns.clone(), &payload),
+        }
+    }
+
+    /// Executes one SELECT through the shared plan cache: exact-text hits
+    /// skip translation (and parsing) entirely, normalized hits re-bind
+    /// this statement's literals onto a plan built for a sibling
+    /// statement, and misses translate once for every future caller.
+    /// `params` bind the statement's own `?` markers, in order.
+    ///
+    /// Recovery mirrors [`Connection::run_with_recovery`]: transient
+    /// failures retry under the policy, and a stale-metadata rejection
+    /// invalidates both the metadata cache *and* the cached plan, then
+    /// retranslates — at most once — before failing. Without an attached
+    /// cache this degrades to the ordinary translate-and-execute path.
+    pub fn execute_cached(&self, sql: &str, params: &[SqlValue]) -> Result<ResultSet, DriverError> {
+        let Some(cache) = &self.plan_cache else {
+            let bound: Vec<Option<SqlValue>> = params.iter().cloned().map(Some).collect();
+            let mut translation = None;
+            return self.run_with_recovery(sql, &mut translation, &bound);
+        };
+        let mut retranslated = false;
+        loop {
+            let result = self.retry_transient(|| {
+                let (bound, _) = cache
+                    .plan(&self.translator, sql, self.options)
+                    .map_err(DriverError::from)?;
+                self.attempt_cached(&bound, params)
+            });
+            match result {
+                Err(DriverError::StaleMetadata { .. }) if !retranslated => {
+                    retranslated = true;
+                    // Refresh the metadata view first: invalidate() also
+                    // advances the cached epoch, so the purge below sees
+                    // the server's current generation and drops the plan
+                    // that just failed along with every other stale one.
+                    self.translator.metadata().invalidate();
+                    cache.purge_stale(self.translator.metadata().epoch());
+                    self.retranslations.set(self.retranslations.get() + 1);
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// One cached-plan execution attempt: resolve the `$sqlParam` vector
+    /// from user parameters + extracted literals, execute at the plan's
+    /// epoch, decode.
+    fn attempt_cached(
+        &self,
+        bound: &BoundPlan,
+        params: &[SqlValue],
+    ) -> Result<ResultSet, DriverError> {
+        let values = bound.resolve_args(params).map_err(DriverError::Usage)?;
+        let external: Vec<(String, Sequence)> = values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (format!("sqlParam{}", i + 1), sql_value_to_sequence(v)))
+            .collect();
+        let translation = &bound.plan.translation;
+        let payload = self.server.execute_to_payload_at(
+            &translation.xquery,
+            &external,
             Some(translation.metadata_epoch),
         )?;
         match self.options.transport {
@@ -507,7 +602,7 @@ mod tests {
             ]);
         }
         db.add_table(table);
-        let server = Rc::new(DspServer::new(app, db));
+        let server = Arc::new(DspServer::new(app, db));
         Connection::open_with(server, TranslationOptions { transport }, Duration::ZERO)
     }
 
@@ -628,7 +723,7 @@ mod tests {
         let mut backing = db.table("CUSTOMERS").unwrap().clone();
         backing.schema.table_name = "CUSTOMER_BY_ID".into();
         db.add_table(backing);
-        Connection::open(Rc::new(DspServer::new(app, db)))
+        Connection::open(Arc::new(DspServer::new(app, db)))
     }
 
     #[test]

@@ -21,12 +21,14 @@ pub mod dbmeta;
 pub mod fault;
 pub mod resultset;
 pub mod server;
+pub mod service;
 
 pub use connection::{CallableStatement, Connection, PreparedStatement, RetryStats, Statement};
 pub use dbmeta::DatabaseMetaData;
 pub use fault::{FaultConfig, FaultInjector, FaultStats, RetryPolicy};
 pub use resultset::{ResultSet, ResultSetMetaData};
 pub use server::{DspServer, ServerStats};
+pub use service::QueryService;
 
 use std::fmt;
 

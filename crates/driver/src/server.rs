@@ -12,10 +12,17 @@ use aldsp_catalog::{shared_locator, Application, SharedLocator, TableLocator};
 use aldsp_relational::{Database, SqlValue};
 use aldsp_xml::{flat::build_row, QName, Sequence};
 use aldsp_xquery::{evaluate_program_with, parse_program, FunctionSource, XqError};
-use std::cell::{Ref, RefCell};
-use std::collections::HashMap;
+use parking_lot::{Mutex, RwLock};
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::thread::ThreadId;
+
+/// A read guard over the server's application artifacts.
+pub type ApplicationRef<'a> = std::sync::RwLockReadGuard<'a, Application>;
+
+/// A read guard over the server's backing database.
+pub type DatabaseRef<'a> = std::sync::RwLockReadGuard<'a, Database>;
 
 /// Execution statistics (bytes shipped, calls made) for the E1/E4
 /// experiments.
@@ -43,16 +50,18 @@ pub struct DspServer {
     locator: SharedLocator,
     /// The metadata generation; bumped on every catalog/data change.
     epoch: Arc<AtomicU64>,
-    database: RefCell<Database>,
-    application: RefCell<Application>,
+    database: RwLock<Database>,
+    application: RwLock<Application>,
     /// Materialized function results, keyed by function name. Items are
-    /// `Rc`-backed, so cached sequences are cheap to clone per query.
-    materialized: RefCell<HashMap<String, Sequence>>,
-    /// Logical functions currently being evaluated (cycle detection).
-    logical_in_flight: RefCell<std::collections::HashSet<String>>,
-    stats: RefCell<ServerStats>,
+    /// `Arc`-backed, so cached sequences are cheap to clone per query.
+    materialized: RwLock<HashMap<String, Sequence>>,
+    /// Logical functions currently being evaluated, tracked per thread
+    /// (cycle detection must not trip when two threads evaluate the same
+    /// logical service concurrently).
+    logical_in_flight: Mutex<HashMap<ThreadId, HashSet<String>>>,
+    stats: Mutex<ServerStats>,
     /// Optional fault injector exercising the driver boundary.
-    fault: RefCell<Option<Arc<FaultInjector>>>,
+    fault: RwLock<Option<Arc<FaultInjector>>>,
 }
 
 impl DspServer {
@@ -61,18 +70,18 @@ impl DspServer {
         DspServer {
             locator: shared_locator(TableLocator::for_application(&application)),
             epoch: Arc::new(AtomicU64::new(0)),
-            database: RefCell::new(database),
-            application: RefCell::new(application),
-            materialized: RefCell::new(HashMap::new()),
-            logical_in_flight: RefCell::new(std::collections::HashSet::new()),
-            stats: RefCell::new(ServerStats::default()),
-            fault: RefCell::new(None),
+            database: RwLock::new(database),
+            application: RwLock::new(application),
+            materialized: RwLock::new(HashMap::new()),
+            logical_in_flight: Mutex::new(HashMap::new()),
+            stats: Mutex::new(ServerStats::default()),
+            fault: RwLock::new(None),
         }
     }
 
     /// The application's artifacts.
-    pub fn application(&self) -> Ref<'_, Application> {
-        self.application.borrow()
+    pub fn application(&self) -> ApplicationRef<'_> {
+        self.application.read()
     }
 
     /// The table locator handle (shared with the driver's metadata API).
@@ -92,7 +101,7 @@ impl DspServer {
 
     fn bump_epoch(&self) {
         self.epoch.fetch_add(1, Ordering::AcqRel);
-        self.materialized.borrow_mut().clear();
+        self.materialized.write().clear();
     }
 
     /// The backing database (data loading). Counts as a metadata/data
@@ -103,10 +112,10 @@ impl DspServer {
     }
 
     /// Mutates the backing database through a shared handle (the driver
-    /// holds servers in `Rc`). Epoch semantics match
+    /// holds servers in `Arc`). Epoch semantics match
     /// [`DspServer::database_mut`].
     pub fn mutate_database(&self, f: impl FnOnce(&mut Database)) {
-        f(&mut self.database.borrow_mut());
+        f(&mut self.database.write());
         self.bump_epoch();
     }
 
@@ -116,8 +125,8 @@ impl DspServer {
     /// makes their caches and prepared translations detectably stale.
     pub fn reload(&self, application: Application, database: Database) {
         *self.locator.write() = TableLocator::for_application(&application);
-        *self.application.borrow_mut() = application;
-        *self.database.borrow_mut() = database;
+        *self.application.write() = application;
+        *self.database.write() = database;
         self.bump_epoch();
     }
 
@@ -125,27 +134,27 @@ impl DspServer {
     /// simulated boundary. Connections opened on this server also route
     /// their metadata fetches through it.
     pub fn install_fault_injector(&self, injector: Option<Arc<FaultInjector>>) {
-        *self.fault.borrow_mut() = injector;
+        *self.fault.write() = injector;
     }
 
     /// The installed fault injector, if any.
     pub fn fault_injector(&self) -> Option<Arc<FaultInjector>> {
-        self.fault.borrow().clone()
+        self.fault.read().clone()
     }
 
     /// The backing database (read access).
-    pub fn database(&self) -> Ref<'_, Database> {
-        self.database.borrow()
+    pub fn database(&self) -> DatabaseRef<'_> {
+        self.database.read()
     }
 
     /// Statistics so far.
     pub fn stats(&self) -> ServerStats {
-        *self.stats.borrow()
+        *self.stats.lock()
     }
 
     /// Resets statistics (benchmark warm-up).
     pub fn reset_stats(&self) {
-        *self.stats.borrow_mut() = ServerStats::default();
+        *self.stats.lock() = ServerStats::default();
     }
 
     /// Compiles and runs XQuery text with external variable bindings,
@@ -160,7 +169,7 @@ impl DspServer {
         }
         let program = parse_program(xquery)
             .map_err(|e| DriverError::Execution(format!("XQuery compilation failed: {e}")))?;
-        self.stats.borrow_mut().queries += 1;
+        self.stats.lock().queries += 1;
         evaluate_program_with(&program, self, params).map_err(|e| DriverError::Execution(e.message))
     }
 
@@ -206,12 +215,12 @@ impl DspServer {
         if let Some(injector) = self.fault_injector() {
             payload = injector.on_transport(payload)?;
         }
-        self.stats.borrow_mut().bytes_shipped += payload.len() as u64;
+        self.stats.lock().bytes_shipped += payload.len() as u64;
         Ok(payload)
     }
 
     fn rows_for_function(&self, name: &str) -> Result<Sequence, XqError> {
-        if let Some(cached) = self.materialized.borrow().get(name) {
+        if let Some(cached) = self.materialized.read().get(name) {
             return Ok(cached.clone());
         }
         // Logical data services execute their XQuery body, which calls
@@ -219,24 +228,29 @@ impl DspServer {
         // each data service function for a logical data service is an
         // XQuery written in terms of one or more lower-level data service
         // function calls").
-        let logical_body = self.application.borrow().functions().find_map(|(_, _, f)| {
-            if f.name == name {
-                match &f.kind {
-                    aldsp_catalog::FunctionKind::Logical { body } => Some(body.clone()),
-                    aldsp_catalog::FunctionKind::Physical => None,
+        let logical_body = {
+            let application = self.application.read();
+            let body = application.functions().find_map(|(_, _, f)| {
+                if f.name == name {
+                    match &f.kind {
+                        aldsp_catalog::FunctionKind::Logical { body } => Some(body.clone()),
+                        aldsp_catalog::FunctionKind::Physical => None,
+                    }
+                } else {
+                    None
                 }
-            } else {
-                None
-            }
-        });
+            });
+            body
+        };
         let rows = match logical_body {
             Some(body) => {
                 // Re-entrancy guard: a logical function calling itself
                 // (directly or through a cycle) must fail, not recurse
                 // forever.
                 {
-                    let mut in_flight = self.logical_in_flight.borrow_mut();
-                    if !in_flight.insert(name.to_string()) {
+                    let mut in_flight = self.logical_in_flight.lock();
+                    let mine = in_flight.entry(std::thread::current().id()).or_default();
+                    if !mine.insert(name.to_string()) {
                         return Err(XqError::new(format!(
                             "cyclic logical data service definition involving {name}"
                         )));
@@ -248,11 +262,20 @@ impl DspServer {
                     })?;
                     evaluate_program_with(&program, self, &[])
                 })();
-                self.logical_in_flight.borrow_mut().remove(name);
+                {
+                    let mut in_flight = self.logical_in_flight.lock();
+                    let id = std::thread::current().id();
+                    if let Some(mine) = in_flight.get_mut(&id) {
+                        mine.remove(name);
+                        if mine.is_empty() {
+                            in_flight.remove(&id);
+                        }
+                    }
+                }
                 result?
             }
             None => {
-                let database = self.database.borrow();
+                let database = self.database.read();
                 let table = database.table(name).ok_or_else(|| {
                     XqError::new(format!("no data behind data-service function {name}"))
                 })?;
@@ -271,7 +294,7 @@ impl DspServer {
             }
         };
         self.materialized
-            .borrow_mut()
+            .write()
             .insert(name.to_string(), rows.clone());
         Ok(rows)
     }
@@ -284,7 +307,7 @@ impl FunctionSource for DspServer {
         local: &str,
         args: &[Sequence],
     ) -> Result<Sequence, XqError> {
-        self.stats.borrow_mut().function_calls += 1;
+        self.stats.lock().function_calls += 1;
         let rows = self.rows_for_function(local)?;
         if args.is_empty() {
             return Ok(rows);
@@ -292,7 +315,7 @@ impl FunctionSource for DspServer {
         // Functions with parameters (SQL stored procedures, Figure 2
         // (iii)): parameters filter by the function's declared parameter
         // names, matched against row columns.
-        let application = self.application.borrow();
+        let application = self.application.read();
         let function = application
             .functions()
             .map(|(_, _, f)| f)
@@ -501,7 +524,7 @@ mod tests {
         // The JDBC driver treats the logical function as just another
         // table (paper §2.3: "one can always define additional 'flat'
         // data service functions").
-        let conn = crate::Connection::open(std::rc::Rc::new(server_with_logical()));
+        let conn = crate::Connection::open(std::sync::Arc::new(server_with_logical()));
         let mut rs = conn
             .create_statement()
             .execute_query("SELECT ID, NAME FROM BIG_T WHERE NAME IS NOT NULL")
@@ -537,6 +560,6 @@ mod tests {
         s.call(None, "T", &[]).unwrap();
         s.call(None, "T", &[]).unwrap();
         assert_eq!(s.stats().function_calls, 2);
-        assert_eq!(s.materialized.borrow().len(), 1);
+        assert_eq!(s.materialized.read().len(), 1);
     }
 }

@@ -1,0 +1,130 @@
+//! The multi-threaded query service.
+//!
+//! The paper's driver is single-connection: one translator, one metadata
+//! cache, one statement at a time. A reporting deployment in the
+//! ROADMAP's north star serves many clients concurrently against one
+//! server, sharing translation work between them. [`QueryService`] is
+//! that front end:
+//!
+//! * one shared [`PlanCache`] — all threads reuse each other's
+//!   translations (normalized, so literal-differing statements share);
+//! * a pool of [`Connection`]s — each checkout gets a connection with
+//!   its own metadata cache and retry counters, so no lock is held
+//!   across translation or execution;
+//! * the server itself ([`DspServer`]) is thread-safe (interior locking
+//!   over catalog, database, and materialization state).
+//!
+//! `execute` is safe to call from any number of threads; results are
+//! byte-identical to a single-threaded uncached connection (pinned by
+//! `tests/query_service.rs` and the cache-consistency chaos scenario),
+//! including across a mid-run [`DspServer::reload`], where the epoch
+//! protocol invalidates cached plans instead of serving stale ones.
+
+use crate::connection::Connection;
+use crate::resultset::ResultSet;
+use crate::server::DspServer;
+use crate::DriverError;
+use aldsp_core::TranslationOptions;
+use aldsp_plancache::{CacheStats, PlanCache};
+use aldsp_relational::SqlValue;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A thread-safe, plan-caching query front end over one server.
+pub struct QueryService {
+    server: Arc<DspServer>,
+    options: TranslationOptions,
+    cache: Arc<PlanCache>,
+    pool: Mutex<Vec<Connection>>,
+    executions: AtomicU64,
+    peak_pool: AtomicU64,
+}
+
+impl QueryService {
+    /// A service with a default-sized plan cache.
+    pub fn new(server: Arc<DspServer>, options: TranslationOptions) -> QueryService {
+        QueryService::with_cache(server, options, Arc::new(PlanCache::default()))
+    }
+
+    /// A service over an existing (possibly shared) plan cache.
+    pub fn with_cache(
+        server: Arc<DspServer>,
+        options: TranslationOptions,
+        cache: Arc<PlanCache>,
+    ) -> QueryService {
+        QueryService {
+            server,
+            options,
+            cache,
+            pool: Mutex::new(Vec::new()),
+            executions: AtomicU64::new(0),
+            peak_pool: AtomicU64::new(0),
+        }
+    }
+
+    /// Executes one SELECT with positional `?` parameters through the
+    /// shared plan cache. Callable from any thread.
+    pub fn execute(&self, sql: &str, params: &[SqlValue]) -> Result<ResultSet, DriverError> {
+        self.executions.fetch_add(1, Ordering::Relaxed);
+        let connection = self.checkout();
+        let result = connection.execute_cached(sql, params);
+        self.check_in(connection);
+        result
+    }
+
+    /// The shared plan cache.
+    pub fn cache(&self) -> &Arc<PlanCache> {
+        &self.cache
+    }
+
+    /// Plan-cache counters (exposed alongside [`DspServer::stats`]).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// The server this service fronts.
+    pub fn server(&self) -> &Arc<DspServer> {
+        &self.server
+    }
+
+    /// Total `execute` calls.
+    pub fn executions(&self) -> u64 {
+        self.executions.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of pooled idle connections — an upper bound on the
+    /// concurrency the service has actually seen.
+    pub fn peak_pooled_connections(&self) -> u64 {
+        self.peak_pool.load(Ordering::Relaxed)
+    }
+
+    fn checkout(&self) -> Connection {
+        if let Some(connection) = self.pool.lock().pop() {
+            return connection;
+        }
+        Connection::open_with_cache(
+            Arc::clone(&self.server),
+            self.options,
+            Arc::clone(&self.cache),
+        )
+    }
+
+    fn check_in(&self, connection: Connection) {
+        let mut pool = self.pool.lock();
+        pool.push(connection);
+        self.peak_pool
+            .fetch_max(pool.len() as u64, Ordering::Relaxed);
+    }
+}
+
+// The service's whole point is cross-thread sharing; assert the bounds
+// at compile time rather than at first use in a distant test.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    const fn assert_send<T: Send>() {}
+    assert_send_sync::<QueryService>();
+    assert_send_sync::<DspServer>();
+    assert_send_sync::<PlanCache>();
+    assert_send::<Connection>();
+};

@@ -661,6 +661,95 @@ impl Expr {
             }
         }
     }
+
+    /// Calls `visit` on each direct child expression (not subqueries),
+    /// mutably. Children are visited in the same order as
+    /// [`Expr::visit_children`], which is also the order the `Display`
+    /// impl renders them — rewriters (e.g. the plan-cache normalizer)
+    /// rely on that agreement to keep rewritten-node ordinals aligned
+    /// with the re-parsed rendered text.
+    pub fn visit_children_mut(&mut self, visit: &mut dyn FnMut(&mut Expr)) {
+        match self {
+            Expr::Column(_) | Expr::Literal(_) | Expr::Parameter(_) => {}
+            Expr::Unary { expr, .. } => visit(expr),
+            Expr::Binary { left, right, .. } => {
+                visit(left);
+                visit(right);
+            }
+            Expr::Function { args, .. } => {
+                if let FunctionArgs::List { args, .. } = args {
+                    args.iter_mut().for_each(&mut *visit);
+                }
+            }
+            Expr::Case {
+                operand,
+                branches,
+                else_result,
+            } => {
+                if let Some(op) = operand {
+                    visit(op);
+                }
+                for (w, t) in branches {
+                    visit(w);
+                    visit(t);
+                }
+                if let Some(e) = else_result {
+                    visit(e);
+                }
+            }
+            Expr::Cast { expr, .. } => visit(expr),
+            Expr::IsNull { expr, .. } => visit(expr),
+            Expr::Between {
+                expr, low, high, ..
+            } => {
+                visit(expr);
+                visit(low);
+                visit(high);
+            }
+            Expr::InList { expr, list, .. } => {
+                visit(expr);
+                list.iter_mut().for_each(&mut *visit);
+            }
+            Expr::InSubquery { expr, .. } => visit(expr),
+            Expr::Exists { .. } | Expr::ScalarSubquery(_) => {}
+            Expr::Quantified { expr, .. } => visit(expr),
+            Expr::Like {
+                expr,
+                pattern,
+                escape,
+                ..
+            } => {
+                visit(expr);
+                visit(pattern);
+                if let Some(e) = escape {
+                    visit(e);
+                }
+            }
+            Expr::Substring {
+                expr,
+                start,
+                length,
+            } => {
+                visit(expr);
+                visit(start);
+                if let Some(l) = length {
+                    visit(l);
+                }
+            }
+            Expr::Trim {
+                trim_chars, expr, ..
+            } => {
+                if let Some(c) = trim_chars {
+                    visit(c);
+                }
+                visit(expr);
+            }
+            Expr::Position { needle, haystack } => {
+                visit(needle);
+                visit(haystack);
+            }
+        }
+    }
 }
 
 #[cfg(test)]

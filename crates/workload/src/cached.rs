@@ -1,0 +1,431 @@
+//! Plan-cache correctness harnesses.
+//!
+//! Two invariants guard the cache subsystem:
+//!
+//! 1. **Cached == fresh** ([`run_cached_differential`]): for every golden
+//!    paper query and every fuzzed query, executing through a plan-cache
+//!    attached connection returns rows byte-identical to a fresh,
+//!    uncached translation on the same server — on the first (miss)
+//!    execution, and again on the warm (hit) execution. Every cached
+//!    plan's prepared IR and generated text must also pass all three
+//!    analyzer layers clean.
+//! 2. **Never stale** ([`run_cache_consistency`]): a multi-threaded
+//!    [`QueryService`] racing a mid-run [`DspServer::reload`] must return
+//!    rows matching either the old-catalog oracle or the new-catalog
+//!    oracle for every execution — never a stale or mixed answer. The
+//!    epoch tags on cached entries are what makes this hold: a reload
+//!    bumps the server epoch, and every post-reload lookup invalidates
+//!    the entry instead of serving it.
+
+use crate::differential::compare_results;
+use crate::querygen::{ConstructClass, QueryGenerator};
+use crate::schema::{build_application, paper_queries, populate_database, Scale};
+use aldsp_analyzer::analyze_translation;
+use aldsp_core::{TranslationOptions, Transport};
+use aldsp_driver::{Connection, DspServer, QueryService};
+use aldsp_plancache::{CacheStats, Lookup, PlanCache};
+use aldsp_relational::{execute_query, Database, SqlValue};
+use aldsp_sql::parse_select;
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+/// Outcome of one [`run_cached_differential`] run.
+#[derive(Debug, Clone, Default)]
+pub struct CachedDifferentialReport {
+    /// Queries whose cached and fresh executions were compared.
+    pub checked: usize,
+    /// Cached plans run through the three analyzer layers.
+    pub analyzed: usize,
+    /// Invariant violations, one line each.
+    pub mismatches: Vec<String>,
+    /// Final cache counters, per transport.
+    pub stats: Vec<(&'static str, CacheStats)>,
+}
+
+impl CachedDifferentialReport {
+    /// True when every cached execution matched its fresh twin and every
+    /// cached plan analyzed clean.
+    pub fn invariant_holds(&self) -> bool {
+        self.mismatches.is_empty()
+    }
+}
+
+/// Runs the golden paper queries plus a seeded fuzzed workload through a
+/// plan-cache attached connection and a fresh uncached connection on the
+/// same server, on both transports, and compares:
+///
+/// * first (cold) cached execution vs fresh — byte-identical rows;
+/// * second (warm) cached execution — must be an exact cache hit, again
+///   byte-identical;
+/// * the cached plan's `PreparedQuery` + generated text — clean under
+///   [`analyze_translation`] (no `A` or `T` findings).
+///
+/// Queries the fresh path rejects must be rejected by the cached path
+/// too (same translation error), never silently executed.
+pub fn run_cached_differential(
+    seed: u64,
+    count_per_class: usize,
+    scale: Scale,
+) -> CachedDifferentialReport {
+    let app = build_application();
+    let db = populate_database(&app, scale, seed);
+    let server = Arc::new(DspServer::new(app, db));
+
+    let mut queries: Vec<String> = paper_queries()
+        .into_iter()
+        .map(|(_, sql)| sql.to_string())
+        .collect();
+    let mut generator = QueryGenerator::new(seed);
+    for class in ConstructClass::all() {
+        for _ in 0..count_per_class {
+            queries.push(generator.generate(*class));
+        }
+    }
+
+    let mut report = CachedDifferentialReport::default();
+    for (label, transport) in [("text", Transport::DelimitedText), ("xml", Transport::Xml)] {
+        let options = TranslationOptions { transport };
+        let cache = Arc::new(PlanCache::default());
+        let fresh = Connection::open_with(Arc::clone(&server), options, Duration::ZERO);
+        let cached = Connection::open_with_cache(Arc::clone(&server), options, Arc::clone(&cache));
+
+        for sql in &queries {
+            report.checked += 1;
+            let fresh_result = fresh.create_statement().execute_query(sql);
+            let cold = cached.execute_cached(sql, &[]);
+            match (&fresh_result, &cold) {
+                (Ok(fresh_rs), Ok(cold_rs)) => {
+                    if fresh_rs.rows() != cold_rs.rows() {
+                        report.mismatches.push(format!(
+                            "{label}: cold cached rows differ from fresh for `{sql}`"
+                        ));
+                        continue;
+                    }
+                    let warm = cached.execute_cached(sql, &[]);
+                    match warm {
+                        Ok(warm_rs) if warm_rs.rows() == fresh_rs.rows() => {}
+                        Ok(_) => {
+                            report.mismatches.push(format!(
+                                "{label}: warm cached rows differ from fresh for `{sql}`"
+                            ));
+                            continue;
+                        }
+                        Err(e) => {
+                            report.mismatches.push(format!(
+                                "{label}: warm cached execution failed for `{sql}`: {e}"
+                            ));
+                            continue;
+                        }
+                    }
+                    // The warm plan must now be resident; pull it and run
+                    // the analyzer over exactly what the cache will keep
+                    // serving.
+                    match cache.plan(cached.translator(), sql, options) {
+                        Ok((bound, lookup)) => {
+                            if lookup != Lookup::ExactHit {
+                                report.mismatches.push(format!(
+                                    "{label}: third lookup was {lookup:?}, not an exact hit, \
+                                     for `{sql}`"
+                                ));
+                            }
+                            let analysis = analyze_translation(
+                                &bound.plan.prepared,
+                                &bound.plan.translation.xquery,
+                            );
+                            report.analyzed += 1;
+                            if !analysis.is_clean() {
+                                report.mismatches.push(format!(
+                                    "{label}: cached plan has analyzer findings for `{sql}`:\n{}",
+                                    analysis.render()
+                                ));
+                            }
+                        }
+                        Err(e) => report.mismatches.push(format!(
+                            "{label}: plan lookup failed after warm execution of `{sql}`: {e}"
+                        )),
+                    }
+                }
+                (Err(_), Err(_)) => {
+                    // Both paths rejected the statement — acceptable, as
+                    // long as neither executed what the other refused.
+                }
+                (Ok(_), Err(e)) => report.mismatches.push(format!(
+                    "{label}: cached path rejected `{sql}` that fresh path executed: {e}"
+                )),
+                (Err(e), Ok(_)) => report.mismatches.push(format!(
+                    "{label}: cached path executed `{sql}` that fresh path rejected: {e}"
+                )),
+            }
+        }
+        report.stats.push((label, cache.stats()));
+    }
+    report
+}
+
+/// One cache-consistency run's parameters.
+#[derive(Debug, Clone)]
+pub struct CacheConsistencyConfig {
+    /// Seed for the two data populations (old catalog: `seed`, new
+    /// catalog: `seed + 1`).
+    pub seed: u64,
+    /// Worker threads driving the service concurrently.
+    pub threads: usize,
+    /// Executions per thread in each of the three phases (before the
+    /// reload, racing it, and after it).
+    pub iterations_per_phase: usize,
+    /// Data scale.
+    pub scale: Scale,
+}
+
+impl CacheConsistencyConfig {
+    /// A small, fast configuration.
+    pub fn new(seed: u64, threads: usize) -> CacheConsistencyConfig {
+        CacheConsistencyConfig {
+            seed,
+            threads,
+            iterations_per_phase: 4,
+            scale: Scale::small(),
+        }
+    }
+}
+
+/// Aggregate outcome of one cache-consistency run.
+#[derive(Debug, Clone, Default)]
+pub struct CacheConsistencyReport {
+    /// Total executions across all threads and phases.
+    pub executions: usize,
+    /// Executions whose rows matched the old-catalog oracle.
+    pub matched_old: usize,
+    /// Executions whose rows matched the new-catalog oracle.
+    pub matched_new: usize,
+    /// Invariant violations: rows matching neither oracle (a stale or
+    /// mixed answer), or an execution error (this run injects no faults,
+    /// so every statement must succeed).
+    pub mismatches: Vec<String>,
+    /// Final shared-cache counters.
+    pub cache_stats: CacheStats,
+}
+
+impl CacheConsistencyReport {
+    /// The consistency invariant: every execution matched one catalog
+    /// generation in full.
+    pub fn invariant_holds(&self) -> bool {
+        self.mismatches.is_empty()
+    }
+}
+
+/// The parameterized statement mix the workers replay. Templates 0–2
+/// carry a `?` marker (bound per iteration); template 3 bakes the value
+/// in as a literal, so successive iterations produce distinct SQL texts
+/// that the normalizer folds onto one shared plan.
+fn statement(template: usize, turn: i64) -> (String, Vec<SqlValue>) {
+    let v = turn % 10 + 1;
+    match template % 4 {
+        0 => (
+            "SELECT CUSTOMERID, CUSTOMERNAME FROM CUSTOMERS WHERE CUSTOMERID > ? \
+             ORDER BY CUSTOMERID"
+                .to_string(),
+            vec![SqlValue::Int(v)],
+        ),
+        1 => (
+            "SELECT ORDERID, AMOUNT FROM ORDERS WHERE CUSTID = ? ORDER BY ORDERID".to_string(),
+            vec![SqlValue::Int(v)],
+        ),
+        2 => (
+            "SELECT CUSTOMERS.CUSTOMERNAME, ORDERS.AMOUNT FROM CUSTOMERS \
+             INNER JOIN ORDERS ON CUSTOMERS.CUSTOMERID = ORDERS.CUSTID \
+             WHERE ORDERS.CUSTID = ? ORDER BY CUSTOMERS.CUSTOMERNAME, ORDERS.AMOUNT"
+                .to_string(),
+            vec![SqlValue::Int(v)],
+        ),
+        _ => (
+            format!("SELECT CUSTOMERID FROM CUSTOMERS WHERE CUSTOMERID > {v} ORDER BY CUSTOMERID"),
+            Vec::new(),
+        ),
+    }
+}
+
+/// Which catalog generation one execution's rows matched. Queries over
+/// data the reload leaves unchanged (sequential key columns) legitimately
+/// match both generations.
+enum Generation {
+    Old,
+    New,
+    Both,
+    Neither(String),
+}
+
+fn classify(
+    sql: &str,
+    params: &[SqlValue],
+    rows: &[Vec<SqlValue>],
+    old_db: &Database,
+    new_db: &Database,
+) -> Generation {
+    let parsed = match parse_select(sql) {
+        Ok(p) => p,
+        Err(e) => return Generation::Neither(format!("template failed to parse: {e}")),
+    };
+    let ordered = !parsed.order_by.is_empty();
+    let matches = |db: &Database| {
+        execute_query(db, &parsed, params)
+            .map_err(|e| format!("oracle failed: {e}"))
+            .and_then(|oracle| compare_results(rows, &oracle, ordered))
+    };
+    match (matches(old_db), matches(new_db)) {
+        (Ok(()), Ok(())) => Generation::Both,
+        (Ok(()), Err(_)) => Generation::Old,
+        (Err(_), Ok(())) => Generation::New,
+        (Err(_), Err(reason)) => Generation::Neither(format!(
+            "rows match neither catalog generation (vs new: {reason})"
+        )),
+    }
+}
+
+/// Drives a shared [`QueryService`] from `threads` workers while the
+/// catalog is reloaded mid-run, and classifies every result against the
+/// old- and new-catalog relational oracles.
+///
+/// The run has three phases, fenced by barriers so the claim per phase is
+/// exact:
+///
+/// 1. **Warm-up** — the reload has not happened; every result must match
+///    the old oracle (and the shared cache fills up with old-epoch
+///    plans).
+/// 2. **Race** — the main thread reloads the server while workers keep
+///    executing; each result may match either generation, but must match
+///    one of them in full.
+/// 3. **Settled** — the reload is complete before the phase starts; every
+///    result must match the new oracle. Old-epoch plans cached in phase 1
+///    must be invalidated here (epoch tag or server rejection), never
+///    served.
+pub fn run_cache_consistency(config: &CacheConsistencyConfig) -> CacheConsistencyReport {
+    let app = build_application();
+    let old_db = populate_database(&app, config.scale, config.seed);
+    let new_db = populate_database(&app, config.scale, config.seed.wrapping_add(1));
+    let old_oracle = old_db.clone();
+    let new_oracle = new_db.clone();
+
+    let server = Arc::new(DspServer::new(app, old_db));
+    let service = QueryService::new(Arc::clone(&server), TranslationOptions::default());
+    // threads + 1: the main thread participates to place the reload
+    // between the phase fences.
+    let fence = Barrier::new(config.threads + 1);
+    let per_phase = config.iterations_per_phase;
+
+    let mut report = CacheConsistencyReport::default();
+    let outcomes: Vec<(usize, usize, Vec<String>)> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..config.threads)
+            .map(|worker| {
+                let service = &service;
+                let fence = &fence;
+                let (old_oracle, new_oracle) = (&old_oracle, &new_oracle);
+                scope.spawn(move || {
+                    let mut matched = (0usize, 0usize);
+                    let mut mismatches = Vec::new();
+                    let mut run = |phase: usize, turn: usize, expect: &str| {
+                        let template = worker + turn;
+                        let (sql, params) = statement(template, (worker * per_phase + turn) as i64);
+                        match service.execute(&sql, &params) {
+                            Ok(rs) => {
+                                let generation =
+                                    classify(&sql, &params, rs.rows(), old_oracle, new_oracle);
+                                match generation {
+                                    Generation::Both if expect == "old" => matched.0 += 1,
+                                    Generation::Both => matched.1 += 1,
+                                    Generation::Old if expect != "new" => matched.0 += 1,
+                                    Generation::New if expect != "old" => matched.1 += 1,
+                                    Generation::Old => mismatches.push(format!(
+                                        "phase {phase}: stale (old-catalog) rows served \
+                                         after reload for `{sql}`"
+                                    )),
+                                    Generation::New => mismatches.push(format!(
+                                        "phase {phase}: new-catalog rows served before \
+                                         reload for `{sql}`"
+                                    )),
+                                    Generation::Neither(reason) => {
+                                        mismatches.push(format!("phase {phase}: `{sql}`: {reason}"))
+                                    }
+                                }
+                            }
+                            Err(e) => {
+                                mismatches.push(format!("phase {phase}: `{sql}` failed: {e}"))
+                            }
+                        }
+                    };
+                    for turn in 0..per_phase {
+                        run(1, turn, "old");
+                    }
+                    fence.wait();
+                    for turn in 0..per_phase {
+                        run(2, turn, "either");
+                    }
+                    fence.wait();
+                    for turn in 0..per_phase {
+                        run(3, turn, "new");
+                    }
+                    (matched.0, matched.1, mismatches)
+                })
+            })
+            .collect();
+
+        fence.wait(); // end of phase 1 — all warm-up executions are done
+        server.reload(build_application(), new_db); // races phase 2
+        fence.wait(); // reload complete — phase 3 may begin
+
+        workers.into_iter().map(|w| w.join().unwrap()).collect()
+    });
+
+    for (old, new, mismatches) in outcomes {
+        report.matched_old += old;
+        report.matched_new += new;
+        report.executions += old + new + mismatches.len();
+        report.mismatches.extend(mismatches);
+    }
+    report.cache_stats = service.cache_stats();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cached_execution_matches_fresh_on_golden_and_fuzzed_queries() {
+        let report = run_cached_differential(7, 2, Scale::small());
+        assert!(report.invariant_holds(), "{:#?}", report.mismatches);
+        assert!(report.checked > 0);
+        assert!(report.analyzed > 0, "no cached plan reached the analyzer");
+        for (label, stats) in &report.stats {
+            assert!(stats.hits() > 0, "{label}: warm executions never hit");
+        }
+    }
+
+    #[test]
+    fn concurrent_service_never_serves_stale_plans_across_reload() {
+        let report = run_cache_consistency(&CacheConsistencyConfig::new(3, 4));
+        assert!(report.invariant_holds(), "{:#?}", report.mismatches);
+        assert!(
+            report.matched_old > 0,
+            "no execution observed the old catalog"
+        );
+        assert!(
+            report.matched_new > 0,
+            "no execution observed the new catalog"
+        );
+        assert_eq!(
+            report.executions,
+            4 * 3 * report_phase_len(&report),
+            "an execution was dropped"
+        );
+        assert!(
+            report.cache_stats.epoch_invalidations > 0,
+            "the reload never invalidated a cached plan: {:#?}",
+            report.cache_stats
+        );
+    }
+
+    fn report_phase_len(_report: &CacheConsistencyReport) -> usize {
+        CacheConsistencyConfig::new(3, 4).iterations_per_phase
+    }
+}

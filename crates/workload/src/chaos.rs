@@ -26,7 +26,7 @@ use aldsp_driver::{
 };
 use aldsp_relational::execute_query;
 use aldsp_sql::parse_select;
-use std::rc::Rc;
+
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -132,12 +132,12 @@ pub fn run_chaos(config: &ChaosConfig) -> ChaosReport {
     let app = build_application();
     let db = populate_database(&app, config.scale, config.seed);
     let oracle_db = db.clone();
-    let server = Rc::new(DspServer::new(app, db));
+    let server = Arc::new(DspServer::new(app, db));
     // The lint connection gets its own fault-free server: the injector
     // below intercepts metadata fetches on the main server, and analysis
     // results must be a pure function of (seed, sql), not of the plan.
     let lint_conn = config.lint.then(|| {
-        Connection::open(Rc::new(DspServer::new(
+        Connection::open(Arc::new(DspServer::new(
             build_application(),
             aldsp_relational::Database::new(),
         )))
@@ -150,7 +150,7 @@ pub fn run_chaos(config: &ChaosConfig) -> ChaosReport {
 
     let open = |transport| {
         let conn = Connection::open_with(
-            Rc::clone(&server),
+            Arc::clone(&server),
             aldsp_core::TranslationOptions { transport },
             Duration::ZERO,
         );

@@ -15,7 +15,7 @@ use aldsp_driver::{Connection, DriverError, DspServer};
 use aldsp_relational::{execute_query, Relation, SqlValue};
 use aldsp_sql::parse_select;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// One disagreement.
 #[derive(Debug, Clone)]
@@ -133,17 +133,17 @@ pub fn run_differential(seed: u64, count_per_class: usize, scale: Scale) -> Diff
     let app = build_application();
     let db = populate_database(&app, scale, seed);
     let oracle_db = db.clone();
-    let server = Rc::new(DspServer::new(app, db));
+    let server = Arc::new(DspServer::new(app, db));
 
     let text_conn = Connection::open_with(
-        Rc::clone(&server),
+        Arc::clone(&server),
         aldsp_core::TranslationOptions {
             transport: aldsp_core::Transport::DelimitedText,
         },
         std::time::Duration::ZERO,
     );
     let xml_conn = Connection::open_with(
-        Rc::clone(&server),
+        Arc::clone(&server),
         aldsp_core::TranslationOptions {
             transport: aldsp_core::Transport::Xml,
         },

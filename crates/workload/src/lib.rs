@@ -16,12 +16,21 @@
 //! * [`chaos`] — the same differential check under injected boundary
 //!   faults and a retrying connection: every query must either match the
 //!   oracle or fail with a typed error.
+//! * [`cached`] — the plan-cache harnesses: cached execution must be
+//!   byte-identical to fresh uncached translation, and a multi-threaded
+//!   `QueryService` must never serve a stale plan across a mid-run
+//!   catalog reload.
 
+pub mod cached;
 pub mod chaos;
 pub mod differential;
 pub mod querygen;
 pub mod schema;
 
+pub use cached::{
+    run_cache_consistency, run_cached_differential, CacheConsistencyConfig, CacheConsistencyReport,
+    CachedDifferentialReport,
+};
 pub use chaos::{run_chaos, ChaosConfig, ChaosReport};
 pub use differential::{compare_results, run_differential, DifferentialReport, Mismatch};
 pub use querygen::{ConstructClass, QueryGenerator};

@@ -2,14 +2,14 @@
 //!
 //! The generated query dialect constructs element trees
 //! (`<RECORD><ID>{...}</ID></RECORD>`) and navigates them with child steps.
-//! Nodes are immutable once built and shared via `Rc`, so sequences can hold
+//! Nodes are immutable once built and shared via `Arc`, so sequences can hold
 //! many references to the same subtree without copying — important for
 //! `let`-bound views that are iterated by several downstream clauses.
 
 use crate::atomic::{Atomic, XsType};
 use crate::qname::QName;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// An XML node: element or text. (The generated dialect never constructs
 /// comments, processing instructions, or standalone attribute nodes;
@@ -17,9 +17,9 @@ use std::rc::Rc;
 #[derive(Clone, PartialEq)]
 pub enum Node {
     /// An element node.
-    Element(Rc<Element>),
+    Element(Arc<Element>),
     /// A text node.
-    Text(Rc<str>),
+    Text(Arc<str>),
 }
 
 /// An element: name, attributes, ordered children.
@@ -45,7 +45,7 @@ impl Element {
 
     /// Builder-style: appends a child element.
     pub fn with_child(mut self, child: Element) -> Element {
-        self.children.push(Node::Element(Rc::new(child)));
+        self.children.push(Node::Element(Arc::new(child)));
         self
     }
 
@@ -53,7 +53,7 @@ impl Element {
     /// nothing — an empty text node has no XML representation (it would
     /// not survive a serialize/parse round trip), and the element's
     /// string value is `""` either way.
-    pub fn with_text(mut self, text: impl Into<Rc<str>>) -> Element {
+    pub fn with_text(mut self, text: impl Into<Arc<str>>) -> Element {
         let text = text.into();
         if !text.is_empty() {
             self.children.push(Node::Text(text));
@@ -69,11 +69,11 @@ impl Element {
 
     /// Wraps this element as a [`Node`].
     pub fn into_node(self) -> Node {
-        Node::Element(Rc::new(self))
+        Node::Element(Arc::new(self))
     }
 
     /// Child *elements* in document order.
-    pub fn child_elements(&self) -> impl Iterator<Item = &Rc<Element>> {
+    pub fn child_elements(&self) -> impl Iterator<Item = &Arc<Element>> {
         self.children.iter().filter_map(|c| match c {
             Node::Element(e) => Some(e),
             Node::Text(_) => None,
@@ -82,7 +82,7 @@ impl Element {
 
     /// Child elements whose local name equals `local` (path step semantics
     /// of the generated dialect — see [`QName::matches_local`]).
-    pub fn children_named<'a>(&'a self, local: &'a str) -> impl Iterator<Item = &'a Rc<Element>> {
+    pub fn children_named<'a>(&'a self, local: &'a str) -> impl Iterator<Item = &'a Arc<Element>> {
         self.child_elements()
             .filter(move |e| e.name.matches_local(local))
     }
@@ -111,7 +111,7 @@ impl Element {
 
 impl Node {
     /// The element behind this node, if it is one.
-    pub fn as_element(&self) -> Option<&Rc<Element>> {
+    pub fn as_element(&self) -> Option<&Arc<Element>> {
         match self {
             Node::Element(e) => Some(e),
             Node::Text(_) => None,
@@ -148,7 +148,7 @@ impl fmt::Debug for Node {
 
 impl fmt::Debug for Element {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&crate::serialize::serialize_node(&Node::Element(Rc::new(
+        f.write_str(&crate::serialize::serialize_node(&Node::Element(Arc::new(
             self.clone(),
         ))))
     }

@@ -10,7 +10,7 @@
 use crate::atomic::{Atomic, XsType};
 use crate::node::{Element, Node};
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A single XQuery item: a node or an atomic value.
 #[derive(Clone, PartialEq)]
@@ -47,7 +47,7 @@ impl Item {
     }
 
     /// The element behind this item, if it is an element node.
-    pub fn as_element(&self) -> Option<&Rc<Element>> {
+    pub fn as_element(&self) -> Option<&Arc<Element>> {
         match self {
             Item::Node(n) => n.as_element(),
             Item::Atomic(_) => None,
@@ -90,7 +90,7 @@ impl From<Node> for Item {
 /// (singleton column values), some are large (a whole view). The inner
 /// vector is not reference counted: large sequences get bound to variables
 /// exactly once in the generated dialect, and items themselves are cheap to
-/// clone (Rc-backed nodes).
+/// clone (Arc-backed nodes).
 #[derive(Clone, PartialEq, Default)]
 pub struct Sequence(Vec<Item>);
 

@@ -13,7 +13,7 @@ use aldsp_xml::{Atomic, Element, Item, Node, QName, Sequence};
 use std::cmp::Ordering;
 use std::collections::HashMap;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Evaluation error.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -73,7 +73,7 @@ impl FunctionSource for EmptyFunctionSource {
 /// Persistent variable environment: a shared-tail linked list, so binding
 /// inside a FLWOR tuple is O(1) and tuples share their common prefix.
 #[derive(Clone, Default)]
-pub struct Env(Option<Rc<EnvNode>>);
+pub struct Env(Option<Arc<EnvNode>>);
 
 struct EnvNode {
     name: String,
@@ -89,7 +89,7 @@ impl Env {
 
     /// Returns a new environment with `name` bound to `value`.
     pub fn bind(&self, name: impl Into<String>, value: Sequence) -> Env {
-        Env(Some(Rc::new(EnvNode {
+        Env(Some(Arc::new(EnvNode {
             name: name.into(),
             value,
             parent: self.clone(),
@@ -349,7 +349,7 @@ impl<'a> Evaluator<'a> {
                     NodeTest::Name(name) => element_name_matches(child, name),
                 };
                 if matches {
-                    out.push(Item::Node(Node::Element(Rc::clone(child))));
+                    out.push(Item::Node(Node::Element(Arc::clone(child))));
                 }
             }
         }
@@ -600,7 +600,7 @@ impl<'a> Evaluator<'a> {
     }
 }
 
-fn element_name_matches(element: &Rc<Element>, test: &str) -> bool {
+fn element_name_matches(element: &Arc<Element>, test: &str) -> bool {
     // Step tests in the generated dialect are written without prefixes and
     // match by local name; a prefixed test matches exactly.
     match test.split_once(':') {

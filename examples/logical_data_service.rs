@@ -15,7 +15,7 @@
 use aldsp::catalog::{ApplicationBuilder, SqlColumnType};
 use aldsp::driver::{Connection, DspServer};
 use aldsp::relational::{Database, SqlValue, Table};
-use std::rc::Rc;
+use std::sync::Arc;
 
 fn main() {
     // The logical function's body: per customer, the sum of payments.
@@ -88,7 +88,7 @@ return
 
     // SQL over the logical view — three layers deep: SQL → translated
     // XQuery → logical service body → physical functions.
-    let conn = Connection::open(Rc::new(DspServer::new(app, db)));
+    let conn = Connection::open(Arc::new(DspServer::new(app, db)));
     let mut rs = conn
         .create_statement()
         .execute_query(

@@ -8,7 +8,7 @@
 use aldsp::catalog::{ApplicationBuilder, SqlColumnType};
 use aldsp::driver::{Connection, DspServer};
 use aldsp::relational::{Database, SqlValue, Table};
-use std::rc::Rc;
+use std::sync::Arc;
 
 fn main() {
     // 1. Declare the DSP application: one project, one data service whose
@@ -41,8 +41,8 @@ fn main() {
     // 3. Connect and query with plain SQL-92. Under the hood the driver
     //    translates to XQuery, executes it against the data service, and
     //    decodes the delimited-text result transport.
-    let server = Rc::new(DspServer::new(app, db));
-    let conn = Connection::open(Rc::clone(&server));
+    let server = Arc::new(DspServer::new(app, db));
+    let conn = Connection::open(Arc::clone(&server));
 
     let sql = "SELECT CUSTOMERID, CUSTOMERNAME FROM CUSTOMERS \
                WHERE CUSTOMERID > 10 ORDER BY CUSTOMERID";

@@ -13,13 +13,13 @@
 use aldsp::driver::{Connection, DatabaseMetaData, DspServer};
 use aldsp::relational::SqlValue;
 use aldsp::workload::{build_application, populate_database, Scale};
-use std::rc::Rc;
+use std::sync::Arc;
 
 fn main() {
     // Server side: the workload universe at a small scale.
     let app = build_application();
     let db = populate_database(&app, Scale::of(40), 2026);
-    let server = Rc::new(DspServer::new(app, db));
+    let server = Arc::new(DspServer::new(app, db));
 
     // --- 1. metadata discovery (tool connect time) -----------------
     let meta = DatabaseMetaData::new(&server);
@@ -44,7 +44,7 @@ fn main() {
     }
 
     // --- 2. the report: revenue by region for big customers --------
-    let conn = Connection::open(Rc::clone(&server));
+    let conn = Connection::open(Arc::clone(&server));
     let mut report = conn
         .prepare(
             "SELECT CUSTOMERS.REGION, COUNT(ORDERS.ORDERID) NUM_ORDERS, \

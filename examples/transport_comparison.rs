@@ -10,7 +10,7 @@
 use aldsp::core::{TranslationOptions, Transport};
 use aldsp::driver::{Connection, DspServer};
 use aldsp::workload::{build_application, populate_database, Scale};
-use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Instant;
 
 fn main() {
@@ -24,12 +24,12 @@ fn main() {
     for customers in [100usize, 1_000, 10_000] {
         let app = build_application();
         let db = populate_database(&app, Scale::of(customers), 7);
-        let server = Rc::new(DspServer::new(app, db));
+        let server = Arc::new(DspServer::new(app, db));
 
         let mut measurements = Vec::new();
         for transport in [Transport::Xml, Transport::DelimitedText] {
             let conn = Connection::open_with(
-                Rc::clone(&server),
+                Arc::clone(&server),
                 TranslationOptions { transport },
                 std::time::Duration::ZERO,
             );

@@ -188,7 +188,7 @@ fn fuzzed_workload_lints_clean_per_seed() {
     use aldsp::driver::{Connection, DspServer};
     use aldsp::workload::querygen::{ConstructClass, QueryGenerator};
     for seed in [11, 23] {
-        let server = std::rc::Rc::new(DspServer::new(
+        let server = std::sync::Arc::new(DspServer::new(
             aldsp::workload::schema::build_application(),
             aldsp::relational::Database::new(),
         ));
@@ -808,7 +808,7 @@ fn metadata_mismatch_is_t008() {
 #[test]
 fn golden_result_set_metadata_matches_inferred_typing() {
     use aldsp::driver::{Connection, DspServer};
-    let server = std::rc::Rc::new(DspServer::new(
+    let server = std::sync::Arc::new(DspServer::new(
         aldsp::workload::schema::build_application(),
         aldsp::relational::Database::new(),
     ));

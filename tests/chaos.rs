@@ -7,6 +7,9 @@
 //! fingerprint assertions pin byte-identical replay.
 
 use aldsp_workload::chaos::{run_chaos, ChaosConfig};
+use aldsp_workload::{
+    run_cache_consistency, run_cached_differential, CacheConsistencyConfig, Scale,
+};
 
 const SEEDS: [u64; 3] = [11, 42, 20060403];
 const RATES: [f64; 3] = [0.0, 0.1, 0.3];
@@ -96,6 +99,54 @@ fn lint_clean_across_five_hundred_queries_per_seed() {
             report.mismatches
         );
         assert!(report.total() >= 500, "only {} queries ran", report.total());
+    }
+}
+
+/// The cache-consistency chaos scenario: eight threads drive a shared
+/// `QueryService` while the catalog is reloaded mid-run. Every result
+/// must match the old- or new-catalog oracle in full — a stale cached
+/// plan surviving the reload would show up as a mismatch.
+#[test]
+fn cache_consistency_holds_across_mid_run_reloads() {
+    for seed in SEEDS {
+        let report = run_cache_consistency(&CacheConsistencyConfig::new(seed, 8));
+        assert!(
+            report.invariant_holds(),
+            "seed {seed}: {:#?}",
+            report.mismatches
+        );
+        assert!(
+            report.matched_old > 0,
+            "seed {seed}: no execution observed the old catalog"
+        );
+        assert!(
+            report.matched_new > 0,
+            "seed {seed}: no execution observed the new catalog"
+        );
+        assert!(
+            report.cache_stats.epoch_invalidations > 0,
+            "seed {seed}: the reload never invalidated a cached plan: {:#?}",
+            report.cache_stats
+        );
+    }
+}
+
+/// Cached-vs-fresh differential: golden + fuzzed queries through a
+/// plan-cache attached connection must be byte-identical to fresh
+/// uncached translation, and every cached plan must analyze clean.
+#[test]
+fn cached_execution_matches_fresh_across_seeds() {
+    for seed in [5u64, 29] {
+        let report = run_cached_differential(seed, 3, Scale::small());
+        assert!(
+            report.invariant_holds(),
+            "seed {seed}: {:#?}",
+            report.mismatches
+        );
+        assert!(
+            report.analyzed > 0,
+            "seed {seed}: no plan reached the analyzer"
+        );
     }
 }
 

@@ -8,13 +8,13 @@ use aldsp::driver::{Connection, DspServer};
 use aldsp::relational::{execute_query, Relation, SqlValue};
 use aldsp::sql::parse_select;
 use aldsp::workload::{build_application, populate_database, Scale};
-use std::rc::Rc;
+use std::sync::Arc;
 
 fn check(sql: &str) {
     let app = build_application();
     let db = populate_database(&app, Scale::of(25), 1234);
     let oracle_db = db.clone();
-    let conn = Connection::open(Rc::new(DspServer::new(app, db)));
+    let conn = Connection::open(Arc::new(DspServer::new(app, db)));
 
     let rs = conn
         .create_statement()

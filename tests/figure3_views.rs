@@ -7,9 +7,9 @@ use aldsp::catalog::{ApplicationBuilder, SqlColumnType};
 use aldsp::driver::{Connection, DspServer};
 use aldsp::relational::{execute_query, Database, SqlValue, Table};
 use aldsp::sql::parse_select;
-use std::rc::Rc;
+use std::sync::Arc;
 
-fn abc_server() -> (Rc<DspServer>, Database) {
+fn abc_server() -> (Arc<DspServer>, Database) {
     let app = ApplicationBuilder::new("FIG3")
         .project("P")
         .data_service("A")
@@ -68,7 +68,7 @@ fn abc_server() -> (Rc<DspServer>, Database) {
     db.add_table(c);
 
     let oracle = db.clone();
-    (Rc::new(DspServer::new(app, db)), oracle)
+    (Arc::new(DspServer::new(app, db)), oracle)
 }
 
 fn check(sql: &str) {

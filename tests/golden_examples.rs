@@ -9,10 +9,10 @@ use aldsp::catalog::{ApplicationBuilder, SqlColumnType};
 use aldsp::core::{TranslationOptions, Transport};
 use aldsp::driver::{Connection, DspServer};
 use aldsp::relational::{Database, SqlValue, Table};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// The paper's data (Example 1 and the Example 9/10 discussion).
-fn paper_server() -> Rc<DspServer> {
+fn paper_server() -> Arc<DspServer> {
     let app = ApplicationBuilder::new("TESTAPP")
         .project("TestDataServices")
         .data_service("CUSTOMERS")
@@ -76,7 +76,7 @@ fn paper_server() -> Rc<DspServer> {
     }
     db.add_table(po);
 
-    Rc::new(DspServer::new(app, db))
+    Arc::new(DspServer::new(app, db))
 }
 
 fn query(sql: &str) -> Vec<Vec<SqlValue>> {
@@ -173,7 +173,7 @@ fn both_transports_agree_on_every_example() {
         "SELECT CUSTID, SUM(PAYMENT) FROM PAYMENTS GROUP BY CUSTID",
     ] {
         let text = Connection::open_with(
-            Rc::clone(&server),
+            Arc::clone(&server),
             TranslationOptions {
                 transport: Transport::DelimitedText,
             },
@@ -183,7 +183,7 @@ fn both_transports_agree_on_every_example() {
         .execute_query(sql)
         .unwrap();
         let xml = Connection::open_with(
-            Rc::clone(&server),
+            Arc::clone(&server),
             TranslationOptions {
                 transport: Transport::Xml,
             },

@@ -9,7 +9,7 @@ use aldsp::catalog::{ApplicationBuilder, SqlColumnType};
 use aldsp::core::{TranslationOptions, Transport};
 use aldsp::driver::{Connection, DspServer};
 use aldsp::relational::{Database, SqlValue, Table};
-use std::rc::Rc;
+use std::sync::Arc;
 
 const NASTY: &[&str] = &[
     "plain",
@@ -26,7 +26,7 @@ const NASTY: &[&str] = &[
     "&#65; not an A", // entity-reference look-alike
 ];
 
-fn server_with_nasty() -> Rc<DspServer> {
+fn server_with_nasty() -> Arc<DspServer> {
     let app = ApplicationBuilder::new("NASTY")
         .project("P")
         .data_service("T")
@@ -48,7 +48,7 @@ fn server_with_nasty() -> Rc<DspServer> {
     }
     table.insert(vec![SqlValue::Int(999), SqlValue::Null]);
     db.add_table(table);
-    Rc::new(DspServer::new(app, db))
+    Arc::new(DspServer::new(app, db))
 }
 
 fn connection(transport: Transport) -> Connection {

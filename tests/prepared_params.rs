@@ -7,13 +7,13 @@ use aldsp::driver::{Connection, DspServer};
 use aldsp::relational::{execute_query, Relation, SqlValue};
 use aldsp::sql::parse_select;
 use aldsp::workload::{build_application, populate_database, Scale};
-use std::rc::Rc;
+use std::sync::Arc;
 
 fn setup() -> (Connection, aldsp::relational::Database) {
     let app = build_application();
     let db = populate_database(&app, Scale::of(30), 77);
     let oracle = db.clone();
-    (Connection::open(Rc::new(DspServer::new(app, db))), oracle)
+    (Connection::open(Arc::new(DspServer::new(app, db))), oracle)
 }
 
 fn check(sql: &str, params: &[SqlValue]) {

@@ -13,7 +13,7 @@ use aldsp::relational::{Database, SqlValue, Table};
 use aldsp::workload::{build_application, ConstructClass, QueryGenerator};
 use aldsp::xquery::parse_program;
 use proptest::prelude::*;
-use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Duration;
 
 fn translator() -> Translator<CachedMetadataApi<InProcessMetadataApi>> {
@@ -126,7 +126,7 @@ proptest! {
 
 /// ID INTEGER NOT NULL, CATEGORY VARCHAR NOT NULL, AMOUNT INTEGER NULL.
 /// Rows 2, 3 and 5 have a NULL AMOUNT; category 'c' is entirely NULL.
-fn null_heavy_server() -> Rc<DspServer> {
+fn null_heavy_server() -> Arc<DspServer> {
     let app = ApplicationBuilder::new("TESTAPP")
         .project("TestDataServices")
         .data_service("METRICS")
@@ -162,7 +162,7 @@ fn null_heavy_server() -> Rc<DspServer> {
     }
     let mut db = Database::new();
     db.add_table(metrics);
-    Rc::new(DspServer::new(app, db))
+    Arc::new(DspServer::new(app, db))
 }
 
 /// Runs `sql` in the given transport and returns the first column as ints.

@@ -1,0 +1,116 @@
+//! Multi-threaded `QueryService` integration tests: M threads replaying
+//! K parameterized templates must produce rows byte-identical to a
+//! single-threaded, uncached oracle connection — the acceptance bar for
+//! the concurrent plan-cache subsystem.
+
+use aldsp_core::TranslationOptions;
+use aldsp_driver::{Connection, DspServer, QueryService};
+use aldsp_relational::SqlValue;
+use aldsp_workload::{build_application, populate_database, Scale};
+use std::sync::Arc;
+
+const THREADS: usize = 8;
+const ITERATIONS: usize = 12;
+
+/// The template mix: `?`-parameterized statements plus one that bakes
+/// the value in as a literal (distinct texts, one normalized plan).
+fn statement(template: usize, turn: i64) -> (String, Vec<SqlValue>) {
+    let v = turn % 9 + 1;
+    match template % 4 {
+        0 => (
+            "SELECT CUSTOMERID, CUSTOMERNAME FROM CUSTOMERS WHERE CUSTOMERID > ? \
+             ORDER BY CUSTOMERID"
+                .to_string(),
+            vec![SqlValue::Int(v)],
+        ),
+        1 => (
+            "SELECT ORDERID, AMOUNT FROM ORDERS WHERE CUSTID = ? ORDER BY ORDERID".to_string(),
+            vec![SqlValue::Int(v)],
+        ),
+        2 => (
+            "SELECT CUSTOMERS.CUSTOMERNAME, ORDERS.AMOUNT FROM CUSTOMERS \
+             INNER JOIN ORDERS ON CUSTOMERS.CUSTOMERID = ORDERS.CUSTID \
+             WHERE ORDERS.CUSTID = ? ORDER BY CUSTOMERS.CUSTOMERNAME, ORDERS.AMOUNT"
+                .to_string(),
+            vec![SqlValue::Int(v)],
+        ),
+        _ => (
+            format!("SELECT CUSTOMERID FROM CUSTOMERS WHERE CUSTOMERID > {v} ORDER BY CUSTOMERID"),
+            Vec::new(),
+        ),
+    }
+}
+
+#[test]
+fn threaded_service_is_byte_identical_to_single_threaded_oracle() {
+    let app = build_application();
+    let db = populate_database(&app, Scale::small(), 17);
+    let server = Arc::new(DspServer::new(app, db));
+
+    // The oracle: one plain connection, no plan cache, executed serially
+    // before any service thread starts.
+    let oracle_conn = Connection::open(Arc::clone(&server));
+    let mut oracle: Vec<Vec<Vec<Vec<SqlValue>>>> = Vec::new();
+    for worker in 0..THREADS {
+        let mut per_worker = Vec::new();
+        for turn in 0..ITERATIONS {
+            let (sql, params) = statement(worker + turn, (worker + turn) as i64);
+            let rs = oracle_conn.execute_cached(&sql, &params).unwrap();
+            per_worker.push(rs.rows().to_vec());
+        }
+        oracle.push(per_worker);
+    }
+
+    let service = QueryService::new(Arc::clone(&server), TranslationOptions::default());
+    std::thread::scope(|scope| {
+        for (worker, expected) in oracle.iter().enumerate() {
+            let service = &service;
+            scope.spawn(move || {
+                for (turn, expected_rows) in expected.iter().enumerate() {
+                    let (sql, params) = statement(worker + turn, (worker + turn) as i64);
+                    let rs = service.execute(&sql, &params).unwrap();
+                    assert_eq!(
+                        rs.rows(),
+                        expected_rows.as_slice(),
+                        "worker {worker} turn {turn}: `{sql}` diverged from the \
+                         single-threaded oracle"
+                    );
+                }
+            });
+        }
+    });
+
+    assert_eq!(service.executions(), (THREADS * ITERATIONS) as u64);
+    let stats = service.cache_stats();
+    assert!(
+        stats.hits() > 0,
+        "threads never reused each other's plans: {stats:#?}"
+    );
+    // Four distinct templates; everything beyond the first translation
+    // of each is shared work.
+    assert!(
+        stats.misses <= 8,
+        "plan sharing collapsed — every thread translated for itself: {stats:#?}"
+    );
+    assert!(
+        service.peak_pooled_connections() <= THREADS as u64,
+        "pool grew beyond the number of concurrent clients"
+    );
+}
+
+#[test]
+fn service_surfaces_translation_errors_without_poisoning_the_cache() {
+    let app = build_application();
+    let db = populate_database(&app, Scale::small(), 17);
+    let server = Arc::new(DspServer::new(app, db));
+    let service = QueryService::new(server, TranslationOptions::default());
+
+    assert!(service.execute("SELECT NOPE FROM NOWHERE", &[]).is_err());
+    let rs = service
+        .execute("SELECT CUSTOMERID FROM CUSTOMERS ORDER BY CUSTOMERID", &[])
+        .unwrap();
+    assert!(!rs.rows().is_empty());
+    // The failed statement cached nothing.
+    let (exact, plans) = service.cache().len();
+    assert_eq!((exact, plans), (1, 1));
+}

@@ -10,9 +10,11 @@
 //! silently wrong rows.
 
 use aldsp_catalog::{Application, ApplicationBuilder, MetadataApi, SqlColumnType};
+use aldsp_core::TranslationOptions;
 use aldsp_driver::{Connection, DspServer};
+use aldsp_plancache::PlanCache;
 use aldsp_relational::{Database, SqlValue, Table};
-use std::rc::Rc;
+use std::sync::Arc;
 
 fn build_app(with_email: bool) -> Application {
     ApplicationBuilder::new("APP")
@@ -51,11 +53,11 @@ fn build_db(app: &Application, rows: &[(i64, &str)]) -> Database {
     db
 }
 
-fn open(rows: &[(i64, &str)]) -> (Rc<DspServer>, Connection) {
+fn open(rows: &[(i64, &str)]) -> (Arc<DspServer>, Connection) {
     let app = build_app(false);
     let db = build_db(&app, rows);
-    let server = Rc::new(DspServer::new(app, db));
-    let conn = Connection::open(Rc::clone(&server));
+    let server = Arc::new(DspServer::new(app, db));
+    let conn = Connection::open(Arc::clone(&server));
     (server, conn)
 }
 
@@ -144,13 +146,74 @@ fn data_mutation_through_shared_handle_is_visible_and_safe() {
 }
 
 #[test]
+fn cached_plans_are_invalidated_on_reload_never_served_stale() {
+    let app = build_app(false);
+    let db = build_db(&app, &[(1, "Joe"), (2, "Sue")]);
+    let server = Arc::new(DspServer::new(app, db));
+    let cache = Arc::new(PlanCache::default());
+    let conn = Connection::open_with_cache(
+        Arc::clone(&server),
+        TranslationOptions::default(),
+        Arc::clone(&cache),
+    );
+
+    // Fill the cache: two literal-differing statements share one
+    // normalized plan.
+    let rs = conn
+        .execute_cached("SELECT ID, NAME FROM CUSTOMERS WHERE ID = 1", &[])
+        .unwrap();
+    assert_eq!(rs.row_count(), 1);
+    let rs = conn
+        .execute_cached("SELECT ID, NAME FROM CUSTOMERS WHERE ID = 2", &[])
+        .unwrap();
+    assert_eq!(rs.row_count(), 1);
+    assert_eq!(cache.stats().normalized_hits, 1);
+
+    // Catalog redeployment: wider schema, different rows. Every plan in
+    // the cache now carries a stale epoch tag.
+    let app2 = build_app(true);
+    let db2 = build_db(&app2, &[(2, "Sue"), (3, "Ada")]);
+    server.reload(app2, db2);
+
+    // A literal-sharing sibling of the cached plan: the stale plan must
+    // be invalidated and rebuilt, not served.
+    let mut rs = conn
+        .execute_cached("SELECT ID, NAME FROM CUSTOMERS WHERE ID = 3", &[])
+        .unwrap();
+    assert_eq!(rs.row_count(), 1);
+    rs.next();
+    assert_eq!(rs.get_i64(1).unwrap(), 3);
+    assert_eq!(rs.get_string(2).unwrap().as_deref(), Some("Ada"));
+
+    // The exact text cached before the reload: same story.
+    let mut rs = conn
+        .execute_cached("SELECT ID, NAME FROM CUSTOMERS WHERE ID = 2", &[])
+        .unwrap();
+    assert_eq!(rs.row_count(), 1);
+    rs.next();
+    assert_eq!(rs.get_string(2).unwrap().as_deref(), Some("Sue"));
+
+    let stats = cache.stats();
+    assert!(
+        stats.epoch_invalidations >= 1,
+        "reload never invalidated a cached plan: {stats:#?}"
+    );
+
+    // Steady state at the new epoch: the rebuilt plan is a normal hit.
+    let hits_before = cache.stats().hits();
+    conn.execute_cached("SELECT ID, NAME FROM CUSTOMERS WHERE ID = 3", &[])
+        .unwrap();
+    assert!(cache.stats().hits() > hits_before);
+}
+
+#[test]
 fn connections_opened_after_reload_start_fresh() {
     let (server, _old) = open(&[(1, "Joe")]);
     let app2 = build_app(true);
     let db2 = build_db(&app2, &[(5, "Eve")]);
     server.reload(app2, db2);
 
-    let conn = Connection::open(Rc::clone(&server));
+    let conn = Connection::open(Arc::clone(&server));
     let mut rs = conn
         .create_statement()
         .execute_query("SELECT ID, EMAIL FROM CUSTOMERS")
