@@ -43,6 +43,9 @@ fn main() {
     if want("e8") || args.iter().any(|a| a == "plancache") {
         e8_plancache(smoke);
     }
+    if want("e9") || args.iter().any(|a| a == "overload") {
+        e9_overload(smoke);
+    }
 }
 
 /// `percentile(sorted, 0.95)` — nearest-rank over a sorted sample set.
@@ -535,6 +538,115 @@ fn e8_plancache(smoke: bool) {
     std::fs::write("BENCH_translation.json", translation_json).unwrap();
     println!("wrote BENCH_translation.json");
     println!();
+}
+
+/// E9: overload protection — the same mixed good/pathological workload
+/// runs uncontended (1 thread), under ungoverned overload (N threads, no
+/// admission control), and under governed overload (N threads, admission
+/// capacity 2 with a short queue). Every run must hold the governance
+/// invariant (no panics, typed rejections, oracle-matching good
+/// queries); the governed run additionally demonstrates bounded
+/// admitted-query latency and a nonzero shed rate. Emits
+/// `BENCH_overload.json`.
+fn e9_overload(smoke: bool) {
+    use aldsp_workload::{run_overload, OverloadConfig, OverloadReport};
+
+    println!("== E9: overload protection (admission control, budgets, breaker) ==");
+    let threads = if smoke { 4 } else { 8 };
+    let iterations = if smoke { 16 } else { 80 };
+    let queue_timeout = Duration::from_micros(500);
+
+    let run = |label: &str, threads: usize, concurrency: usize| -> OverloadReport {
+        let mut config = OverloadConfig::new(33, threads);
+        config.iterations_per_thread = iterations;
+        config.governor.max_concurrency = concurrency;
+        config.governor.queue_timeout = queue_timeout;
+        let report = run_overload(&config);
+        assert!(
+            report.invariant_holds(),
+            "acceptance ({label}): governance invariant violated: {:#?}",
+            report.violations
+        );
+        let stats = &report.governor;
+        println!(
+            "{label:>22}: {} submitted, {} admitted, {} shed, {} breaker, \
+             {} oversize, good p95 {}us",
+            stats.submitted,
+            stats.admitted,
+            stats.shed,
+            stats.breaker_rejections,
+            stats.statement_rejections,
+            report.p95_latency_us(),
+        );
+        report
+    };
+
+    // Admission capacity 1: admitted queries execute serially, so each
+    // one sees an uncontended server — the strongest latency bound the
+    // gate can give. Everything that cannot get the slot within the
+    // queue timeout is shed instead of queued indefinitely.
+    let uncontended = run("uncontended", 1, 0);
+    let ungoverned = run("ungoverned overload", threads, 0);
+    let governed = run("governed overload", threads, 1);
+
+    let (p95_base, p95_open, p95_gov) = (
+        uncontended.p95_latency_us(),
+        ungoverned.p95_latency_us(),
+        governed.p95_latency_us(),
+    );
+    let shed_rate = governed.shed() as f64 / governed.governor.submitted.max(1) as f64;
+    println!(
+        "admitted-query p95: uncontended {p95_base}us, ungoverned {p95_open}us, \
+         governed {p95_gov}us; governed shed rate {shed_rate:.3}"
+    );
+    if !smoke {
+        // The governor's latency guarantee: an admitted query waits at
+        // most `queue_timeout` for a slot and then runs at bounded
+        // concurrency, so its p95 stays within 2x the uncontended p95
+        // plus the queue bound — however many threads pile on.
+        let bound = 2 * (p95_base + queue_timeout.as_micros() as u64);
+        assert!(
+            p95_gov <= bound,
+            "acceptance: governed overload p95 ({p95_gov}us) exceeds \
+             2x uncontended + queue bound ({bound}us)"
+        );
+    }
+
+    let json = format!(
+        "{{\n  \"smoke\": {smoke},\n  \"threads\": {threads},\n  \
+         \"iterations_per_thread\": {iterations},\n  \
+         \"queue_timeout_us\": {},\n  \
+         \"uncontended\": {},\n  \"ungoverned\": {},\n  \"governed\": {},\n  \
+         \"governed_shed_rate\": {shed_rate:.4}\n}}\n",
+        queue_timeout.as_micros(),
+        e9_json(&uncontended),
+        e9_json(&ungoverned),
+        e9_json(&governed),
+    );
+    std::fs::write("BENCH_overload.json", json).unwrap();
+    println!("wrote BENCH_overload.json");
+    println!();
+}
+
+fn e9_json(report: &aldsp_workload::OverloadReport) -> String {
+    let g = &report.governor;
+    format!(
+        "{{ \"executions\": {}, \"passed\": {}, \"typed_errors\": {}, \
+         \"good_p95_us\": {}, \"submitted\": {}, \"admitted\": {}, \
+         \"shed\": {}, \"breaker_rejections\": {}, \"statement_rejections\": {}, \
+         \"budget_rejections\": {}, \"breaker_trips\": {} }}",
+        report.executions,
+        report.passed,
+        report.typed_errors,
+        report.p95_latency_us(),
+        g.submitted,
+        g.admitted,
+        g.shed,
+        g.breaker_rejections,
+        g.statement_rejections,
+        g.budget_rejections,
+        g.breaker_trips,
+    )
 }
 
 /// E6: differential correctness counts.

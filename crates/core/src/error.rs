@@ -1,7 +1,8 @@
 //! Translation errors.
 
 use aldsp_catalog::MetadataError;
-use aldsp_sql::ParseError;
+use aldsp_governor::BudgetError;
+use aldsp_sql::{ParseError, ParseErrorKind};
 use std::fmt;
 
 /// What phase rejected the statement.
@@ -20,6 +21,13 @@ pub enum ErrorKind {
     /// The metadata endpoint could not be reached (transient — the same
     /// statement can succeed on retry once the endpoint recovers).
     Unavailable,
+    /// The statement nests past the parser's recursion limit — an input
+    /// guard against stack exhaustion, kept distinct from `Syntax` so
+    /// callers can surface it as a resource rejection.
+    DepthExceeded,
+    /// A [`QueryBudget`](aldsp_governor::QueryBudget) limit was hit
+    /// during translation (deadline, cancellation, or statement size).
+    Budget(BudgetError),
 }
 
 /// A translation error.
@@ -52,9 +60,19 @@ impl TranslateError {
         }
     }
 
+    /// A budget-violation error.
+    pub fn budget(err: BudgetError) -> TranslateError {
+        TranslateError {
+            kind: ErrorKind::Budget(err),
+            message: err.to_string(),
+            offset: None,
+        }
+    }
+
     /// Whether retrying the same statement can succeed. Only endpoint
     /// unavailability is retryable; the statement itself is at fault for
-    /// every other kind.
+    /// every other kind (a blown budget included — the same budget would
+    /// blow again).
     pub fn is_transient(&self) -> bool {
         self.kind == ErrorKind::Unavailable
     }
@@ -68,6 +86,8 @@ impl fmt::Display for TranslateError {
             ErrorKind::Metadata => "metadata error",
             ErrorKind::Unsupported => "unsupported construct",
             ErrorKind::Unavailable => "metadata endpoint unavailable",
+            ErrorKind::DepthExceeded => "nesting depth limit",
+            ErrorKind::Budget(_) => "query budget",
         };
         match self.offset {
             Some(offset) => write!(f, "{kind} at byte {offset}: {}", self.message),
@@ -80,8 +100,12 @@ impl std::error::Error for TranslateError {}
 
 impl From<ParseError> for TranslateError {
     fn from(e: ParseError) -> Self {
+        let kind = match e.kind {
+            ParseErrorKind::Syntax => ErrorKind::Syntax,
+            ParseErrorKind::DepthExceeded => ErrorKind::DepthExceeded,
+        };
         TranslateError {
-            kind: ErrorKind::Syntax,
+            kind,
             message: e.message,
             offset: Some(e.offset),
         }

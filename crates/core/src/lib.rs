@@ -38,12 +38,13 @@ pub mod stage2;
 pub mod stage3;
 pub mod wrapper;
 
-pub use error::TranslateError;
+pub use error::{ErrorKind, TranslateError};
 pub use ir::{OutputColumn, PreparedBody, PreparedQuery, PreparedSelect, Rsn, TExpr, TExprKind};
 pub use stage2::prepare;
 pub use wrapper::{COLUMN_SEPARATOR, NULL_MARKER, ROW_SEPARATOR};
 
 use aldsp_catalog::MetadataApi;
+use aldsp_governor::QueryBudget;
 use std::time::{Duration, Instant};
 
 /// How results travel back to the driver (paper §4).
@@ -132,6 +133,23 @@ impl<M: MetadataApi> Translator<M> {
         sql: &str,
         options: TranslationOptions,
     ) -> Result<FullTranslation, TranslateError> {
+        self.translate_full_governed(sql, options, None)
+    }
+
+    /// [`Translator::translate_full`] under an optional [`QueryBudget`]:
+    /// the budget's deadline and cancellation token are checked before
+    /// stage one and between stages, so a cancelled or out-of-time query
+    /// stops at the next stage boundary instead of completing generation
+    /// it will never use.
+    pub fn translate_full_governed(
+        &self,
+        sql: &str,
+        options: TranslationOptions,
+        budget: Option<&QueryBudget>,
+    ) -> Result<FullTranslation, TranslateError> {
+        if let Some(budget) = budget {
+            budget.check().map_err(TranslateError::budget)?;
+        }
         let start = Instant::now();
         // Captured before stage two's lookups: if the catalog changes
         // mid-translation, the stale epoch makes the server reject the
@@ -139,7 +157,13 @@ impl<M: MetadataApi> Translator<M> {
         let metadata_epoch = self.metadata.epoch();
         let parsed = stage1::parse(sql)?;
         let after_parse = Instant::now();
-        self.translate_parsed_at(&parsed, options, metadata_epoch, after_parse - start)
+        self.translate_parsed_at(
+            &parsed,
+            options,
+            metadata_epoch,
+            after_parse - start,
+            budget,
+        )
     }
 
     /// Runs stages two and three over an already-parsed statement — the
@@ -150,7 +174,7 @@ impl<M: MetadataApi> Translator<M> {
         parsed: &stage1::ParsedStatement,
         options: TranslationOptions,
     ) -> Result<FullTranslation, TranslateError> {
-        self.translate_parsed_at(parsed, options, self.metadata.epoch(), Duration::ZERO)
+        self.translate_parsed_at(parsed, options, self.metadata.epoch(), Duration::ZERO, None)
     }
 
     fn translate_parsed_at(
@@ -159,9 +183,16 @@ impl<M: MetadataApi> Translator<M> {
         options: TranslationOptions,
         metadata_epoch: u64,
         parse_time: Duration,
+        budget: Option<&QueryBudget>,
     ) -> Result<FullTranslation, TranslateError> {
+        let check = |budget: Option<&QueryBudget>| match budget {
+            Some(b) => b.check().map_err(TranslateError::budget),
+            None => Ok(()),
+        };
+        check(budget)?;
         let after_parse = Instant::now();
         let prepared = stage2::prepare(parsed, &self.metadata)?;
+        check(budget)?;
         let after_prepare = Instant::now();
 
         let generated = stage3::generate(&prepared)?;

@@ -18,6 +18,7 @@ use crate::server::{sql_value_to_sequence, DspServer};
 use crate::DriverError;
 use aldsp_catalog::{CachedMetadataApi, InProcessMetadataApi, MetadataApi};
 use aldsp_core::{Translation, TranslationOptions, Translator, Transport};
+use aldsp_governor::QueryBudget;
 use aldsp_plancache::{BoundPlan, PlanCache};
 use aldsp_relational::SqlValue;
 use aldsp_xml::Sequence;
@@ -135,18 +136,40 @@ impl Connection {
         }
     }
 
+    /// Builds the per-statement [`QueryBudget`] for entry points that were
+    /// not handed one by the caller: the retry policy's deadline becomes
+    /// the budget deadline, so the *in-flight* attempt observes it (the
+    /// evaluator polls the budget clock) instead of only the gaps between
+    /// attempts. No deadline → no budget → zero governance overhead.
+    fn budget_from_policy(&self) -> Option<QueryBudget> {
+        self.retry
+            .get()
+            .deadline
+            .map(|d| QueryBudget::unlimited().with_deadline(d))
+    }
+
     /// Runs `op` under the retry policy: transient errors are retried
     /// with exponential backoff up to `max_attempts`, never past the
     /// deadline budget (exceeding it surfaces as
     /// [`DriverError::Timeout`]).
+    ///
+    /// When a budget is supplied it is authoritative: it is re-checked at
+    /// the head of every attempt, so a deadline that expired (or a token
+    /// cancelled) *during* the previous attempt stops the loop here even
+    /// though the resulting `Timeout` is nominally transient — retrying
+    /// against a spent budget could only time out again.
     fn retry_transient<T>(
         &self,
+        budget: Option<&QueryBudget>,
         mut op: impl FnMut() -> Result<T, DriverError>,
     ) -> Result<T, DriverError> {
         let policy = self.retry.get();
         let started = Instant::now();
         let mut attempt: u32 = 0;
         loop {
+            if let Some(budget) = budget {
+                budget.check().map_err(DriverError::from_budget)?;
+            }
             attempt += 1;
             match op() {
                 Ok(value) => return Ok(value),
@@ -157,6 +180,17 @@ impl Connection {
                             return Err(DriverError::Timeout(format!(
                                 "statement budget {deadline:?} exhausted after \
                                  {attempt} attempt(s); last error: {e}"
+                            )));
+                        }
+                    }
+                    // The shared budget may carry a tighter deadline than
+                    // the policy (e.g. one handed in by a `QueryService`
+                    // caller): don't sleep past it either.
+                    if let Some(remaining) = budget.and_then(|b| b.remaining()) {
+                        if backoff >= remaining {
+                            return Err(DriverError::Timeout(format!(
+                                "query budget exhausted after {attempt} attempt(s); \
+                                 last error: {e}"
                             )));
                         }
                     }
@@ -181,9 +215,11 @@ impl Connection {
     /// Prepares a parameterized statement (translation happens once,
     /// here — transient metadata failures are retried under the policy).
     pub fn prepare(&self, sql: &str) -> Result<PreparedStatement<'_>, DriverError> {
-        let translation = self.retry_transient(|| {
+        let budget = self.budget_from_policy();
+        let translation = self.retry_transient(budget.as_ref(), || {
             self.translator
-                .translate(sql, self.options)
+                .translate_full_governed(sql, self.options, budget.as_ref())
+                .map(|full| full.translation)
                 .map_err(DriverError::from)
         })?;
         let parameters = vec![None; translation.parameter_count];
@@ -270,9 +306,14 @@ impl Connection {
         sql: &str,
         translation: &mut Option<Translation>,
         params: &[Option<SqlValue>],
+        budget: Option<&QueryBudget>,
     ) -> Result<ResultSet, DriverError> {
         if translation.is_none() {
-            *translation = Some(self.translator.translate(sql, self.options)?);
+            *translation = Some(
+                self.translator
+                    .translate_full_governed(sql, self.options, budget)?
+                    .translation,
+            );
         }
         let translation = translation.as_ref().expect("translation just filled");
         if translation.parameter_count != params.len() {
@@ -292,10 +333,11 @@ impl Connection {
                 Ok((format!("sqlParam{}", i + 1), sql_value_to_sequence(value)))
             })
             .collect::<Result<_, DriverError>>()?;
-        let payload = self.server.execute_to_payload_at(
+        let payload = self.server.execute_to_payload_governed(
             &translation.xquery,
             &bound,
             Some(translation.metadata_epoch),
+            budget,
         )?;
         match self.options.transport {
             Transport::DelimitedText => {
@@ -317,18 +359,33 @@ impl Connection {
     /// retranslates — at most once — before failing. Without an attached
     /// cache this degrades to the ordinary translate-and-execute path.
     pub fn execute_cached(&self, sql: &str, params: &[SqlValue]) -> Result<ResultSet, DriverError> {
+        let budget = self.budget_from_policy();
+        self.execute_cached_governed(sql, params, budget.as_ref())
+    }
+
+    /// [`Connection::execute_cached`] under an explicit [`QueryBudget`]
+    /// (the `QueryService` execution path). The budget governs the whole
+    /// statement: translation stage boundaries, every evaluator loop, and
+    /// the retry loop all spend from it, so retries and evaluation share
+    /// one deadline instead of each starting their own clock.
+    pub fn execute_cached_governed(
+        &self,
+        sql: &str,
+        params: &[SqlValue],
+        budget: Option<&QueryBudget>,
+    ) -> Result<ResultSet, DriverError> {
         let Some(cache) = &self.plan_cache else {
             let bound: Vec<Option<SqlValue>> = params.iter().cloned().map(Some).collect();
             let mut translation = None;
-            return self.run_with_recovery(sql, &mut translation, &bound);
+            return self.run_with_recovery(sql, &mut translation, &bound, budget);
         };
         let mut retranslated = false;
         loop {
-            let result = self.retry_transient(|| {
+            let result = self.retry_transient(budget, || {
                 let (bound, _) = cache
                     .plan(&self.translator, sql, self.options)
                     .map_err(DriverError::from)?;
-                self.attempt_cached(&bound, params)
+                self.attempt_cached(&bound, params, budget)
             });
             match result {
                 Err(DriverError::StaleMetadata { .. }) if !retranslated => {
@@ -353,6 +410,7 @@ impl Connection {
         &self,
         bound: &BoundPlan,
         params: &[SqlValue],
+        budget: Option<&QueryBudget>,
     ) -> Result<ResultSet, DriverError> {
         let values = bound.resolve_args(params).map_err(DriverError::Usage)?;
         let external: Vec<(String, Sequence)> = values
@@ -361,10 +419,11 @@ impl Connection {
             .map(|(i, v)| (format!("sqlParam{}", i + 1), sql_value_to_sequence(v)))
             .collect();
         let translation = &bound.plan.translation;
-        let payload = self.server.execute_to_payload_at(
+        let payload = self.server.execute_to_payload_governed(
             &translation.xquery,
             &external,
             Some(translation.metadata_epoch),
+            budget,
         )?;
         match self.options.transport {
             Transport::DelimitedText => {
@@ -384,10 +443,12 @@ impl Connection {
         sql: &str,
         translation: &mut Option<Translation>,
         params: &[Option<SqlValue>],
+        budget: Option<&QueryBudget>,
     ) -> Result<ResultSet, DriverError> {
         let mut retranslated = false;
         loop {
-            let result = self.retry_transient(|| self.attempt(sql, translation, params));
+            let result =
+                self.retry_transient(budget, || self.attempt(sql, translation, params, budget));
             match result {
                 Err(DriverError::StaleMetadata { .. }) if !retranslated => {
                     retranslated = true;
@@ -420,9 +481,10 @@ impl<'a> Statement<'a> {
     /// and stale-metadata recovery).
     pub fn execute_query(&self, sql: &str) -> Result<ResultSet, DriverError> {
         let mut translation = None;
-        let mut rs = self
-            .connection
-            .run_with_recovery(sql, &mut translation, &[])?;
+        let budget = self.connection.budget_from_policy();
+        let mut rs =
+            self.connection
+                .run_with_recovery(sql, &mut translation, &[], budget.as_ref())?;
         if self.max_rows > 0 {
             rs.truncate(self.max_rows);
         }
@@ -477,9 +539,13 @@ impl<'a> PreparedStatement<'a> {
     /// the refreshed translation for subsequent executions.
     pub fn execute_query(&self) -> Result<ResultSet, DriverError> {
         let mut slot = Some(self.translation.borrow().clone());
-        let result = self
-            .connection
-            .run_with_recovery(&self.sql, &mut slot, &self.parameters);
+        let budget = self.connection.budget_from_policy();
+        let result = self.connection.run_with_recovery(
+            &self.sql,
+            &mut slot,
+            &self.parameters,
+            budget.as_ref(),
+        );
         if let Some(refreshed) = slot {
             *self.translation.borrow_mut() = refreshed;
         }
@@ -539,11 +605,14 @@ impl<'a> CallableStatement<'a> {
                 Ok((format!("sqlParam{}", i + 1), sql_value_to_sequence(value)))
             })
             .collect::<Result<_, DriverError>>()?;
-        self.connection.retry_transient(|| {
-            let payload = self
-                .connection
-                .server
-                .execute_to_payload(&self.xquery, &bound)?;
+        let budget = self.connection.budget_from_policy();
+        self.connection.retry_transient(budget.as_ref(), || {
+            let payload = self.connection.server.execute_to_payload_governed(
+                &self.xquery,
+                &bound,
+                None,
+                budget.as_ref(),
+            )?;
             ResultSet::from_xml(self.columns.clone(), &payload)
         })
     }

@@ -23,9 +23,17 @@ pub mod resultset;
 pub mod server;
 pub mod service;
 
+/// Resource-governance primitives (re-exported from `aldsp-governor`):
+/// budgets, cancellation, admission control, and the circuit breaker.
+pub use aldsp_governor as governor;
+
 pub use connection::{CallableStatement, Connection, PreparedStatement, RetryStats, Statement};
 pub use dbmeta::DatabaseMetaData;
 pub use fault::{FaultConfig, FaultInjector, FaultStats, RetryPolicy};
+pub use governor::{
+    AdmissionError, BreakerConfig, BreakerState, BudgetError, CancellationToken, CircuitBreaker,
+    Governor, GovernorConfig, GovernorStats, QueryBudget,
+};
 pub use resultset::{ResultSet, ResultSetMetaData};
 pub use server::{DspServer, ServerStats};
 pub use service::QueryService;
@@ -61,6 +69,18 @@ pub enum DriverError {
     Decode(String),
     /// Client misuse (bad column index, unbound parameter, ...).
     Usage(String),
+    /// A [`QueryBudget`] resource limit was hit (fuel, row cap, or
+    /// statement size). Permanent: the same budget would blow again.
+    BudgetExceeded(String),
+    /// The query's [`CancellationToken`] was triggered.
+    Cancelled(String),
+    /// The service shed the query before execution — the admission gate
+    /// timed out or the backend's circuit breaker is open. Deliberately
+    /// *not* transient: overload pushes back on the caller; auto-retry
+    /// would amplify the very load being shed.
+    Overloaded(String),
+    /// The statement nests past a parser's recursion limit.
+    DepthExceeded(String),
 }
 
 impl DriverError {
@@ -76,7 +96,25 @@ impl DriverError {
             DriverError::Translation(e) => e.is_transient(),
             DriverError::Execution(_)
             | DriverError::StaleMetadata { .. }
-            | DriverError::Usage(_) => false,
+            | DriverError::Usage(_)
+            | DriverError::BudgetExceeded(_)
+            | DriverError::Cancelled(_)
+            | DriverError::Overloaded(_)
+            | DriverError::DepthExceeded(_) => false,
+        }
+    }
+
+    /// Maps a budget violation onto the driver taxonomy: deadlines align
+    /// with [`DriverError::Timeout`] (PR-1's retry loop already speaks
+    /// that language), cancellation and resource caps get their own
+    /// variants.
+    pub fn from_budget(err: BudgetError) -> DriverError {
+        match err {
+            BudgetError::DeadlineExceeded { .. } => DriverError::Timeout(err.to_string()),
+            BudgetError::Cancelled => DriverError::Cancelled(err.to_string()),
+            BudgetError::FuelExhausted { .. }
+            | BudgetError::RowCapExceeded { .. }
+            | BudgetError::StatementTooLarge { .. } => DriverError::BudgetExceeded(err.to_string()),
         }
     }
 }
@@ -97,6 +135,10 @@ impl fmt::Display for DriverError {
             ),
             DriverError::Decode(m) => write!(f, "decode: {m}"),
             DriverError::Usage(m) => write!(f, "usage: {m}"),
+            DriverError::BudgetExceeded(m) => write!(f, "budget exceeded: {m}"),
+            DriverError::Cancelled(m) => write!(f, "cancelled: {m}"),
+            DriverError::Overloaded(m) => write!(f, "overloaded: {m}"),
+            DriverError::DepthExceeded(m) => write!(f, "depth exceeded: {m}"),
         }
     }
 }
@@ -112,6 +154,12 @@ impl std::error::Error for DriverError {
 
 impl From<aldsp_core::TranslateError> for DriverError {
     fn from(e: aldsp_core::TranslateError) -> Self {
-        DriverError::Translation(e)
+        // Resource rejections keep their identity across the boundary
+        // instead of hiding inside `Translation`.
+        match e.kind {
+            aldsp_core::ErrorKind::DepthExceeded => DriverError::DepthExceeded(e.message),
+            aldsp_core::ErrorKind::Budget(b) => DriverError::from_budget(b),
+            _ => DriverError::Translation(e),
+        }
     }
 }

@@ -9,9 +9,12 @@
 use crate::fault::FaultInjector;
 use crate::DriverError;
 use aldsp_catalog::{shared_locator, Application, SharedLocator, TableLocator};
+use aldsp_governor::QueryBudget;
 use aldsp_relational::{Database, SqlValue};
 use aldsp_xml::{flat::build_row, QName, Sequence};
-use aldsp_xquery::{evaluate_program_with, parse_program, FunctionSource, XqError};
+use aldsp_xquery::{
+    evaluate_program_governed, evaluate_program_with, parse_program, FunctionSource, XqError,
+};
 use parking_lot::{Mutex, RwLock};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -164,13 +167,31 @@ impl DspServer {
         xquery: &str,
         params: &[(String, Sequence)],
     ) -> Result<Sequence, DriverError> {
+        self.execute_governed(xquery, params, None)
+    }
+
+    /// [`DspServer::execute`] under an optional [`QueryBudget`]: the
+    /// evaluator charges fuel per expression and enforces the row cap and
+    /// deadline mid-evaluation, so a runaway query stops inside the
+    /// engine instead of after it.
+    pub fn execute_governed(
+        &self,
+        xquery: &str,
+        params: &[(String, Sequence)],
+        budget: Option<&QueryBudget>,
+    ) -> Result<Sequence, DriverError> {
         if let Some(injector) = self.fault_injector() {
             injector.on_execute()?;
         }
         let program = parse_program(xquery)
             .map_err(|e| DriverError::Execution(format!("XQuery compilation failed: {e}")))?;
         self.stats.lock().queries += 1;
-        evaluate_program_with(&program, self, params).map_err(|e| DriverError::Execution(e.message))
+        evaluate_program_governed(&program, self, params, budget).map_err(|e| {
+            match e.budget_error() {
+                Some(b) => DriverError::from_budget(b),
+                None => DriverError::Execution(e.message),
+            }
+        })
     }
 
     /// Executes and ships the result as serialized text (either the XML
@@ -197,6 +218,18 @@ impl DspServer {
         params: &[(String, Sequence)],
         client_epoch: Option<u64>,
     ) -> Result<String, DriverError> {
+        self.execute_to_payload_governed(xquery, params, client_epoch, None)
+    }
+
+    /// [`DspServer::execute_to_payload_at`] under an optional
+    /// [`QueryBudget`] (see [`DspServer::execute_governed`]).
+    pub fn execute_to_payload_governed(
+        &self,
+        xquery: &str,
+        params: &[(String, Sequence)],
+        client_epoch: Option<u64>,
+        budget: Option<&QueryBudget>,
+    ) -> Result<String, DriverError> {
         if let Some(client_epoch) = client_epoch {
             let server_epoch = self.epoch();
             if client_epoch != server_epoch {
@@ -206,7 +239,7 @@ impl DspServer {
                 });
             }
         }
-        let result = self.execute(xquery, params)?;
+        let result = self.execute_governed(xquery, params, budget)?;
         let mut payload = match result.as_singleton() {
             // A single string item: the delimited-text transport.
             Some(aldsp_xml::Item::Atomic(aldsp_xml::Atomic::String(s))) => s.clone(),

@@ -25,6 +25,7 @@ use crate::resultset::ResultSet;
 use crate::server::DspServer;
 use crate::DriverError;
 use aldsp_core::TranslationOptions;
+use aldsp_governor::{AdmissionError, Governor, GovernorConfig, GovernorStats, QueryBudget};
 use aldsp_plancache::{CacheStats, PlanCache};
 use aldsp_relational::SqlValue;
 use parking_lot::Mutex;
@@ -36,6 +37,7 @@ pub struct QueryService {
     server: Arc<DspServer>,
     options: TranslationOptions,
     cache: Arc<PlanCache>,
+    governor: Governor,
     pool: Mutex<Vec<Connection>>,
     executions: AtomicU64,
     peak_pool: AtomicU64,
@@ -57,20 +59,82 @@ impl QueryService {
             server,
             options,
             cache,
+            governor: Governor::default(),
             pool: Mutex::new(Vec::new()),
             executions: AtomicU64::new(0),
             peak_pool: AtomicU64::new(0),
         }
     }
 
+    /// Replaces the governor tuning (admission concurrency, queue
+    /// timeout, statement-size cap, breaker thresholds). Builder-style:
+    /// call before sharing the service across threads.
+    pub fn with_governor(mut self, config: GovernorConfig) -> QueryService {
+        self.governor = Governor::new(config);
+        self
+    }
+
     /// Executes one SELECT with positional `?` parameters through the
     /// shared plan cache. Callable from any thread.
     pub fn execute(&self, sql: &str, params: &[SqlValue]) -> Result<ResultSet, DriverError> {
+        self.execute_with_budget(sql, params, None)
+    }
+
+    /// [`QueryService::execute`] under a caller-supplied [`QueryBudget`].
+    ///
+    /// Every statement first passes the governor's guards — statement-size
+    /// cap, circuit breaker, admission gate — and a rejection surfaces as
+    /// a typed error *before* any translation or execution work happens:
+    ///
+    /// * queue timeout / open breaker → [`DriverError::Overloaded`]
+    /// * oversized statement → [`DriverError::BudgetExceeded`]
+    ///
+    /// Admitted statements run under `budget` (or, when `None`, a budget
+    /// derived from the connection's retry-policy deadline), and their
+    /// outcome feeds the breaker: backend failures count toward opening
+    /// it, successes close it, and the caller's own budget violations are
+    /// counted separately without penalizing the backend.
+    pub fn execute_with_budget(
+        &self,
+        sql: &str,
+        params: &[SqlValue],
+        budget: Option<&QueryBudget>,
+    ) -> Result<ResultSet, DriverError> {
         self.executions.fetch_add(1, Ordering::Relaxed);
+        let _permit = match self.governor.admit(sql.len()) {
+            Ok(permit) => permit,
+            Err(e) => return Err(admission_to_driver(e)),
+        };
         let connection = self.checkout();
-        let result = connection.execute_cached(sql, params);
+        let result = match budget {
+            Some(budget) => connection.execute_cached_governed(sql, params, Some(budget)),
+            None => connection.execute_cached(sql, params),
+        };
         self.check_in(connection);
+        self.observe(&result);
         result
+    }
+
+    /// Feeds an execution outcome back into the governor. Backend-health
+    /// signals (execution, transport, timeout, decode failures) count
+    /// toward opening the breaker; the statement's own defects
+    /// (translation, usage, depth) and the caller's budget choices
+    /// (budget, cancellation) are neutral — a storm of bad queries must
+    /// not take the backend offline for good ones.
+    fn observe(&self, result: &Result<ResultSet, DriverError>) {
+        match result {
+            Ok(_) => self.governor.record_backend_success(),
+            Err(
+                DriverError::Execution(_)
+                | DriverError::Transient(_)
+                | DriverError::Timeout(_)
+                | DriverError::Decode(_),
+            ) => self.governor.record_backend_failure(),
+            Err(DriverError::BudgetExceeded(_) | DriverError::Cancelled(_)) => {
+                self.governor.record_budget_rejection()
+            }
+            Err(_) => {}
+        }
     }
 
     /// The shared plan cache.
@@ -81,6 +145,16 @@ impl QueryService {
     /// Plan-cache counters (exposed alongside [`DspServer::stats`]).
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// The governor guarding this service.
+    pub fn governor(&self) -> &Governor {
+        &self.governor
+    }
+
+    /// Governor counters (exposed alongside [`QueryService::cache_stats`]).
+    pub fn governor_stats(&self) -> GovernorStats {
+        self.governor.stats()
     }
 
     /// The server this service fronts.
@@ -118,6 +192,19 @@ impl QueryService {
     }
 }
 
+/// Maps a pre-execution governor rejection onto the driver taxonomy.
+/// Shedding (queue timeout, open breaker) is [`DriverError::Overloaded`]
+/// — deliberately non-transient, so callers back off instead of
+/// amplifying the load being shed. The size cap is a budget violation.
+fn admission_to_driver(e: AdmissionError) -> DriverError {
+    match e {
+        AdmissionError::QueueTimeout { .. } | AdmissionError::BreakerOpen => {
+            DriverError::Overloaded(e.to_string())
+        }
+        AdmissionError::StatementTooLarge(b) => DriverError::from_budget(b),
+    }
+}
+
 // The service's whole point is cross-thread sharing; assert the bounds
 // at compile time rather than at first use in a distant test.
 const _: () = {
@@ -126,5 +213,6 @@ const _: () = {
     assert_send_sync::<QueryService>();
     assert_send_sync::<DspServer>();
     assert_send_sync::<PlanCache>();
+    assert_send_sync::<Governor>();
     assert_send::<Connection>();
 };

@@ -131,6 +131,10 @@ pub enum Lookup {
     /// Full translation of the original text; the normalized form could
     /// not be translated, so the plan is cached under the exact key only.
     Fallback,
+    /// The statement exceeded the cache's size cap: translated directly,
+    /// never inserted — one pathological megastatement cannot evict a
+    /// shard of warm plans.
+    Bypass,
 }
 
 /// A point-in-time snapshot of cache counters.
@@ -149,6 +153,9 @@ pub struct CacheStats {
     /// Entries dropped because their epoch tag no longer matched the
     /// caller's metadata epoch.
     pub epoch_invalidations: u64,
+    /// Statements translated without caching because they exceeded the
+    /// size cap.
+    pub oversize_bypasses: u64,
 }
 
 impl CacheStats {
@@ -187,10 +194,14 @@ struct Shard {
     plans: HashMap<Key, PlanEntry>,
 }
 
+/// Default [`PlanCache`] statement-size cap: 1 MiB of SQL text.
+pub const DEFAULT_STATEMENT_CAP: usize = 1 << 20;
+
 /// The concurrent translation plan cache.
 pub struct PlanCache {
     shards: Vec<RwLock<Shard>>,
     shard_capacity: usize,
+    max_statement_bytes: usize,
     tick: AtomicU64,
     exact_hits: AtomicU64,
     normalized_hits: AtomicU64,
@@ -198,6 +209,7 @@ pub struct PlanCache {
     fallbacks: AtomicU64,
     evictions: AtomicU64,
     epoch_invalidations: AtomicU64,
+    oversize_bypasses: AtomicU64,
 }
 
 impl Default for PlanCache {
@@ -208,12 +220,14 @@ impl Default for PlanCache {
 
 impl PlanCache {
     /// A cache with `shards` lock domains, each holding up to
-    /// `shard_capacity` entries per level.
+    /// `shard_capacity` entries per level, with the default statement-size
+    /// cap of [`DEFAULT_STATEMENT_CAP`] bytes.
     pub fn new(shards: usize, shard_capacity: usize) -> PlanCache {
         let shards = shards.max(1);
         PlanCache {
             shards: (0..shards).map(|_| RwLock::new(Shard::default())).collect(),
             shard_capacity: shard_capacity.max(1),
+            max_statement_bytes: DEFAULT_STATEMENT_CAP,
             tick: AtomicU64::new(0),
             exact_hits: AtomicU64::new(0),
             normalized_hits: AtomicU64::new(0),
@@ -221,7 +235,20 @@ impl PlanCache {
             fallbacks: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             epoch_invalidations: AtomicU64::new(0),
+            oversize_bypasses: AtomicU64::new(0),
         }
+    }
+
+    /// Replaces the statement-size cap: statements longer than `bytes`
+    /// bypass the cache entirely (`0` disables the cap).
+    pub fn with_statement_cap(mut self, bytes: usize) -> PlanCache {
+        self.max_statement_bytes = bytes;
+        self
+    }
+
+    /// The current statement-size cap in bytes (`0` = uncapped).
+    pub fn statement_cap(&self) -> usize {
+        self.max_statement_bytes
     }
 
     /// The central entry point: an executable plan for `sql`, from the
@@ -237,6 +264,29 @@ impl PlanCache {
         sql: &str,
         options: TranslationOptions,
     ) -> Result<(BoundPlan, Lookup), TranslateError> {
+        if self.max_statement_bytes > 0 && sql.len() > self.max_statement_bytes {
+            // Oversized statement: translate without touching the store,
+            // so it can neither evict warm plans nor pin a megabyte of
+            // text in a shard.
+            self.oversize_bypasses.fetch_add(1, Ordering::Relaxed);
+            let full = translator.translate_full(sql, options)?;
+            let parameter_count = full.translation.parameter_count;
+            let plan = Arc::new(CachedPlan {
+                canonical_sql: sql.to_string(),
+                options,
+                slots: (0..parameter_count).map(ParamSlot::User).collect(),
+                user_param_count: parameter_count,
+                normalized: false,
+                translation: full.translation,
+                prepared: full.prepared,
+            });
+            let bound = BoundPlan {
+                plan,
+                literal_args: Vec::new().into(),
+            };
+            return Ok((bound, Lookup::Bypass));
+        }
+
         let epoch = translator.metadata().epoch();
         if let Some(bound) = self.lookup_exact(sql, options, epoch) {
             self.exact_hits.fetch_add(1, Ordering::Relaxed);
@@ -452,6 +502,7 @@ impl PlanCache {
             fallbacks: self.fallbacks.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             epoch_invalidations: self.epoch_invalidations.load(Ordering::Relaxed),
+            oversize_bypasses: self.oversize_bypasses.load(Ordering::Relaxed),
         }
     }
 

@@ -22,5 +22,5 @@
 pub mod cache;
 pub mod normalize;
 
-pub use cache::{BoundPlan, CacheStats, CachedPlan, Lookup, PlanCache};
+pub use cache::{BoundPlan, CacheStats, CachedPlan, Lookup, PlanCache, DEFAULT_STATEMENT_CAP};
 pub use normalize::{literal_value, normalize, NormalizedStatement, ParamSlot};

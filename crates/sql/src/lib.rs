@@ -35,4 +35,4 @@ pub mod parser;
 
 pub use ast::*;
 pub use lexer::{LexError, Lexer, Token, TokenKind};
-pub use parser::{parse_select, ParseError};
+pub use parser::{parse_select, ParseError, ParseErrorKind, MAX_PARSE_DEPTH};

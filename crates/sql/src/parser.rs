@@ -10,6 +10,25 @@ use crate::ast::*;
 use crate::lexer::{LexError, Lexer, Symbol, Token, TokenKind};
 use std::fmt;
 
+/// Maximum expression/subquery nesting depth. The parser is
+/// recursive-descent, so unbounded nesting (`((((...))))`) turns input
+/// length into native stack frames — each level costs the whole
+/// precedence-climbing chain (~9 frames). 64 levels rejects adversarial
+/// inputs while the stack is still mostly free, and accepts any
+/// realistic statement.
+pub const MAX_PARSE_DEPTH: usize = 64;
+
+/// Classifies a parse failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ParseErrorKind {
+    /// Malformed SQL.
+    #[default]
+    Syntax,
+    /// Nesting exceeded [`MAX_PARSE_DEPTH`] — an input guard, not a
+    /// grammar violation.
+    DepthExceeded,
+}
+
 /// A parse error with byte offset into the original statement.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError {
@@ -18,6 +37,8 @@ pub struct ParseError {
     /// Byte offset where the problem was detected (end of input when the
     /// statement was truncated).
     pub offset: usize,
+    /// Classification of the failure.
+    pub kind: ParseErrorKind,
 }
 
 impl fmt::Display for ParseError {
@@ -37,6 +58,7 @@ impl From<LexError> for ParseError {
         ParseError {
             message: e.message,
             offset: e.offset,
+            kind: ParseErrorKind::Syntax,
         }
     }
 }
@@ -50,6 +72,7 @@ pub fn parse_select(sql: &str) -> Result<Query, ParseError> {
         pos: 0,
         end_offset: sql.len(),
         parameter_count: 0,
+        depth: 0,
     };
     let query = parser.parse_query()?;
     if !parser.at_end() {
@@ -63,6 +86,7 @@ struct Parser {
     pos: usize,
     end_offset: usize,
     parameter_count: usize,
+    depth: usize,
 }
 
 impl Parser {
@@ -99,7 +123,23 @@ impl Parser {
         ParseError {
             message: message.into(),
             offset: self.here(),
+            kind: ParseErrorKind::Syntax,
         }
+    }
+
+    /// Enters one recursion level, rejecting statements nested past
+    /// [`MAX_PARSE_DEPTH`]. Every recursion cycle in the grammar passes
+    /// through a guarded function, so the native stack stays bounded.
+    fn enter(&mut self) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_PARSE_DEPTH {
+            return Err(ParseError {
+                message: format!("statement nesting exceeds {MAX_PARSE_DEPTH} levels"),
+                offset: self.here(),
+                kind: ParseErrorKind::DepthExceeded,
+            });
+        }
+        Ok(())
     }
 
     fn peek_keyword(&self, kw: &str) -> bool {
@@ -209,6 +249,13 @@ impl Parser {
     }
 
     fn parse_query_primary(&mut self) -> Result<QueryBody, ParseError> {
+        self.enter()?;
+        let result = self.parse_query_primary_inner();
+        self.depth -= 1;
+        result
+    }
+
+    fn parse_query_primary_inner(&mut self) -> Result<QueryBody, ParseError> {
         if self.take_symbol(Symbol::LeftParen) {
             let body = self.parse_query_body()?;
             self.expect_symbol(Symbol::RightParen)?;
@@ -428,7 +475,10 @@ impl Parser {
     //   primary.
 
     fn parse_expr(&mut self) -> Result<Expr, ParseError> {
-        self.parse_or()
+        self.enter()?;
+        let result = self.parse_or();
+        self.depth -= 1;
+        result
     }
 
     fn parse_or(&mut self) -> Result<Expr, ParseError> {
@@ -459,10 +509,13 @@ impl Parser {
 
     fn parse_not(&mut self) -> Result<Expr, ParseError> {
         if self.take_keyword("NOT") {
-            let inner = self.parse_not()?;
+            // Self-recursive (`NOT NOT x`), so it needs its own depth guard.
+            self.enter()?;
+            let inner = self.parse_not();
+            self.depth -= 1;
             Ok(Expr::Unary {
                 op: UnaryOp::Not,
-                expr: Box::new(inner),
+                expr: Box::new(inner?),
             })
         } else {
             self.parse_predicate()
@@ -618,10 +671,13 @@ impl Parser {
 
     fn parse_unary(&mut self) -> Result<Expr, ParseError> {
         if self.take_symbol(Symbol::Minus) {
-            let inner = self.parse_unary()?;
+            // Self-recursive (`--x`), so it needs its own depth guard.
+            self.enter()?;
+            let inner = self.parse_unary();
+            self.depth -= 1;
             return Ok(Expr::Unary {
                 op: UnaryOp::Neg,
-                expr: Box::new(inner),
+                expr: Box::new(inner?),
             });
         }
         if self.take_symbol(Symbol::Plus) {
@@ -1348,5 +1404,33 @@ mod tests {
         let q = parse_select("(SELECT A FROM T) UNION (SELECT A FROM U) ORDER BY A").unwrap();
         assert!(matches!(q.body, QueryBody::SetOp { .. }));
         assert_eq!(q.order_by.len(), 1);
+    }
+
+    #[test]
+    fn deep_expression_nesting_reports_depth_exceeded() {
+        let sql = format!("SELECT {}1{} FROM T", "(".repeat(5_000), ")".repeat(5_000));
+        let err = parse_select(&sql).unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::DepthExceeded);
+    }
+
+    #[test]
+    fn deep_query_nesting_reports_depth_exceeded() {
+        let sql = format!("{}SELECT A FROM T{}", "(".repeat(5_000), ")".repeat(5_000));
+        let err = parse_select(&sql).unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::DepthExceeded);
+    }
+
+    #[test]
+    fn deep_not_chain_reports_depth_exceeded() {
+        let sql = format!("SELECT A FROM T WHERE {} A = 1", "NOT ".repeat(5_000));
+        let err = parse_select(&sql).unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::DepthExceeded);
+    }
+
+    #[test]
+    fn nesting_under_the_limit_still_parses() {
+        let depth = MAX_PARSE_DEPTH / 2;
+        let sql = format!("SELECT {}1{} FROM T", "(".repeat(depth), ")".repeat(depth));
+        assert!(parse_select(&sql).is_ok());
     }
 }

@@ -111,7 +111,7 @@ impl ChaosReport {
 }
 
 /// A stable, deterministic tag for an execution outcome.
-fn error_tag(e: &DriverError) -> String {
+pub(crate) fn error_tag(e: &DriverError) -> String {
     match e {
         DriverError::Translation(inner) => format!("error:translation:{inner}"),
         DriverError::Execution(m) => format!("error:execution:{m}"),
@@ -120,6 +120,12 @@ fn error_tag(e: &DriverError) -> String {
         DriverError::StaleMetadata { .. } => "error:stale-metadata".to_string(),
         DriverError::Decode(m) => format!("error:decode:{m}"),
         DriverError::Usage(m) => format!("error:usage:{m}"),
+        DriverError::BudgetExceeded(m) => format!("error:budget:{m}"),
+        DriverError::Cancelled(m) => format!("error:cancelled:{m}"),
+        // Shed queries carry the queue-timeout duration in the message;
+        // keep the tag message-free so fingerprints stay deterministic.
+        DriverError::Overloaded(_) => "error:overloaded".to_string(),
+        DriverError::DepthExceeded(m) => format!("error:depth:{m}"),
     }
 }
 

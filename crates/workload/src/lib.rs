@@ -20,10 +20,17 @@
 //!   byte-identical to fresh uncached translation, and a multi-threaded
 //!   `QueryService` must never serve a stale plan across a mid-run
 //!   catalog reload.
+//! * [`overload`] — the resource-governance chaos harness: worker
+//!   threads hammer a governed `QueryService` with mixed good and
+//!   pathological statements (deep nesting, fuel-starved cartesian
+//!   products, oversized texts, cancelled budgets); every rejection must
+//!   be typed, admitted good queries must match the oracle, and the
+//!   governor's accounting identity must hold.
 
 pub mod cached;
 pub mod chaos;
 pub mod differential;
+pub mod overload;
 pub mod querygen;
 pub mod schema;
 
@@ -33,5 +40,6 @@ pub use cached::{
 };
 pub use chaos::{run_chaos, ChaosConfig, ChaosReport};
 pub use differential::{compare_results, run_differential, DifferentialReport, Mismatch};
+pub use overload::{run_overload, OverloadConfig, OverloadReport};
 pub use querygen::{ConstructClass, QueryGenerator};
 pub use schema::{build_application, paper_queries, populate_database, Scale};

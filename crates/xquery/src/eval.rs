@@ -9,24 +9,59 @@
 
 use crate::ast::*;
 use crate::functions::{atomic_group_key, call_builtin, coerce_numeric, data};
+use aldsp_governor::{BudgetError, QueryBudget};
 use aldsp_xml::{Atomic, Element, Item, Node, QName, Sequence};
 use std::cmp::Ordering;
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
+/// What stopped evaluation: an ordinary dynamic error, or a resource
+/// budget the caller imposed. Callers that govern evaluation (the
+/// driver) use this to map budget violations onto their own typed
+/// errors instead of pattern-matching message strings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum XqErrorKind {
+    /// A dynamic error from the query itself (type error, unknown
+    /// function, division by zero, ...).
+    #[default]
+    General,
+    /// A [`QueryBudget`] limit was hit (deadline, fuel, row cap, or
+    /// cooperative cancellation).
+    Budget(BudgetError),
+}
+
 /// Evaluation error.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct XqError {
     /// Human-readable description.
     pub message: String,
+    /// Classification of the failure.
+    pub kind: XqErrorKind,
 }
 
 impl XqError {
-    /// Creates an error.
+    /// Creates an ordinary dynamic error.
     pub fn new(message: impl Into<String>) -> XqError {
         XqError {
             message: message.into(),
+            kind: XqErrorKind::General,
+        }
+    }
+
+    /// Creates a budget-violation error.
+    pub fn budget(err: BudgetError) -> XqError {
+        XqError {
+            message: err.to_string(),
+            kind: XqErrorKind::Budget(err),
+        }
+    }
+
+    /// The budget violation behind this error, when there is one.
+    pub fn budget_error(&self) -> Option<BudgetError> {
+        match self.kind {
+            XqErrorKind::Budget(b) => Some(b),
+            XqErrorKind::General => None,
         }
     }
 }
@@ -109,10 +144,13 @@ impl Env {
     }
 }
 
-/// The evaluator: function source plus the prolog's prefix bindings.
+/// The evaluator: function source plus the prolog's prefix bindings,
+/// and an optional [`QueryBudget`] charged at expression and tuple
+/// granularity.
 pub struct Evaluator<'a> {
     functions: &'a dyn FunctionSource,
     prefixes: HashMap<String, String>,
+    budget: Option<&'a QueryBudget>,
 }
 
 /// Evaluates a parsed program against a function source.
@@ -130,7 +168,25 @@ pub fn evaluate_program_with(
     functions: &dyn FunctionSource,
     vars: &[(String, Sequence)],
 ) -> Result<Sequence, XqError> {
-    let evaluator = Evaluator::new(functions, &program.imports);
+    evaluate_program_governed(program, functions, vars, None)
+}
+
+/// Evaluates a program under an optional [`QueryBudget`]: the evaluator
+/// charges one fuel unit per expression node and per FLWOR tuple
+/// binding, polls the wall-clock deadline and cancellation token at
+/// those charge points, and enforces the row cap while `for` clauses
+/// expand — so a runaway cartesian product stops mid-expansion instead
+/// of exhausting memory first.
+pub fn evaluate_program_governed(
+    program: &Program,
+    functions: &dyn FunctionSource,
+    vars: &[(String, Sequence)],
+    budget: Option<&QueryBudget>,
+) -> Result<Sequence, XqError> {
+    if let Some(budget) = budget {
+        budget.check().map_err(XqError::budget)?;
+    }
+    let evaluator = Evaluator::with_budget(functions, &program.imports, budget);
     let mut env = Env::new();
     for (name, value) in vars {
         env = env.bind(name.clone(), value.clone());
@@ -139,8 +195,18 @@ pub fn evaluate_program_with(
 }
 
 impl<'a> Evaluator<'a> {
-    /// Creates an evaluator with the given prolog imports.
+    /// Creates an ungoverned evaluator with the given prolog imports.
     pub fn new(functions: &'a dyn FunctionSource, imports: &[SchemaImport]) -> Evaluator<'a> {
+        Evaluator::with_budget(functions, imports, None)
+    }
+
+    /// Creates an evaluator that charges every expression node and FLWOR
+    /// tuple against `budget`.
+    pub fn with_budget(
+        functions: &'a dyn FunctionSource,
+        imports: &[SchemaImport],
+        budget: Option<&'a QueryBudget>,
+    ) -> Evaluator<'a> {
         let prefixes = imports
             .iter()
             .map(|i| (i.prefix.clone(), i.namespace.clone()))
@@ -148,6 +214,16 @@ impl<'a> Evaluator<'a> {
         Evaluator {
             functions,
             prefixes,
+            budget,
+        }
+    }
+
+    /// Spends `n` fuel units, surfacing deadline/cancellation/fuel
+    /// violations as typed budget errors.
+    fn charge(&self, n: u64) -> Result<(), XqError> {
+        match self.budget {
+            Some(budget) => budget.charge(n).map_err(XqError::budget),
+            None => Ok(()),
         }
     }
 
@@ -159,6 +235,7 @@ impl<'a> Evaluator<'a> {
         env: &Env,
         context: Option<&Item>,
     ) -> Result<Sequence, XqError> {
+        self.charge(1)?;
         match expr {
             Expr::Literal(a) => Ok(Sequence::singleton(a.clone())),
             Expr::EmptySequence => Ok(Sequence::empty()),
@@ -398,7 +475,16 @@ impl<'a> Evaluator<'a> {
                     for tuple in &tuples {
                         let seq = self.eval(source, tuple, context)?;
                         for item in seq.into_items() {
+                            // Charge inside the expansion so a cartesian
+                            // product hits its fuel/row limits before the
+                            // tuple vector swallows memory.
+                            self.charge(1)?;
                             next.push(tuple.bind(var.clone(), Sequence::singleton(item)));
+                            if let Some(budget) = self.budget {
+                                budget
+                                    .check_rows(next.len() as u64)
+                                    .map_err(XqError::budget)?;
+                            }
                         }
                     }
                     tuples = next;
@@ -1012,5 +1098,57 @@ mod tests {
             "{IMPORT} for $c in ns0:CUSTOMERS() where $c/CUSTOMERID = 55 return $c/*"
         ));
         assert_eq!(out.len(), 2);
+    }
+
+    const CARTESIAN: &str = "for $a in ns0:CUSTOMERS(), $b in ns0:CUSTOMERS(), \
+         $c in ns0:CUSTOMERS() return <R>{fn:data($a/CUSTOMERID)}</R>";
+
+    fn run_governed(query: &str, budget: &QueryBudget) -> Result<Sequence, XqError> {
+        let program = parse_program(query).unwrap_or_else(|e| panic!("{e}"));
+        evaluate_program_governed(&program, &TestSource, &[], Some(budget))
+    }
+
+    #[test]
+    fn fuel_exhaustion_stops_evaluation() {
+        let budget = QueryBudget::unlimited().with_fuel(20);
+        let err = run_governed(&format!("{IMPORT} {CARTESIAN}"), &budget).unwrap_err();
+        assert_eq!(
+            err.budget_error(),
+            Some(BudgetError::FuelExhausted { limit: 20 })
+        );
+    }
+
+    #[test]
+    fn row_cap_stops_cartesian_expansion() {
+        // 3 customers × 3 × 3 would expand to 27 tuples; cap at 5.
+        let budget = QueryBudget::unlimited().with_row_cap(5);
+        let err = run_governed(&format!("{IMPORT} {CARTESIAN}"), &budget).unwrap_err();
+        let Some(BudgetError::RowCapExceeded { cap: 5, .. }) = err.budget_error() else {
+            panic!("expected row-cap violation, got {err:?}");
+        };
+    }
+
+    #[test]
+    fn cancellation_observed_mid_evaluation() {
+        let budget = QueryBudget::unlimited();
+        budget.cancel();
+        let err = run_governed(&format!("{IMPORT} {CARTESIAN}"), &budget).unwrap_err();
+        assert_eq!(err.budget_error(), Some(BudgetError::Cancelled));
+    }
+
+    #[test]
+    fn generous_budget_changes_nothing() {
+        let query = format!(
+            "{IMPORT} for $c in ns0:CUSTOMERS() where $c/CUSTOMERNAME eq \"Sue\" \
+             return <ID>{{fn:data($c/CUSTOMERID)}}</ID>"
+        );
+        let budget = QueryBudget::unlimited()
+            .with_fuel(1_000_000)
+            .with_row_cap(1_000_000);
+        let governed = run_governed(&query, &budget).unwrap();
+        assert_eq!(
+            serialize_sequence(&governed),
+            serialize_sequence(&run(&query))
+        );
     }
 }

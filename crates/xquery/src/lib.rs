@@ -30,7 +30,7 @@ pub mod visit;
 
 pub use ast::{Clause, Expr, Flwor, Program, SchemaImport};
 pub use eval::{
-    evaluate_program, evaluate_program_with, EmptyFunctionSource, Env, Evaluator, FunctionSource,
-    XqError,
+    evaluate_program, evaluate_program_governed, evaluate_program_with, EmptyFunctionSource, Env,
+    Evaluator, FunctionSource, XqError, XqErrorKind,
 };
-pub use parser::{parse_program, XqParseError};
+pub use parser::{parse_program, XqParseError, XqParseErrorKind, MAX_PARSE_DEPTH};

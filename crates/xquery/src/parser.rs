@@ -12,6 +12,24 @@ use aldsp_xml::escape::unescape;
 use aldsp_xml::Atomic;
 use std::fmt;
 
+/// Maximum expression/constructor nesting depth. The parser is
+/// recursive-descent, so without a ceiling an adversarial input like
+/// `((((...1...))))` converts its own length into native stack frames
+/// and overflows; 128 levels is far beyond anything the translator
+/// emits while staying well inside the default stack.
+pub const MAX_PARSE_DEPTH: usize = 128;
+
+/// Classifies a parse failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum XqParseErrorKind {
+    /// Malformed input.
+    #[default]
+    Syntax,
+    /// Nesting exceeded [`MAX_PARSE_DEPTH`] — an input guard, not a
+    /// grammar violation.
+    DepthExceeded,
+}
+
 /// Parse error with byte offset.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct XqParseError {
@@ -19,6 +37,8 @@ pub struct XqParseError {
     pub message: String,
     /// Byte offset in the query text.
     pub offset: usize,
+    /// Classification of the failure.
+    pub kind: XqParseErrorKind,
 }
 
 impl fmt::Display for XqParseError {
@@ -35,7 +55,11 @@ impl std::error::Error for XqParseError {}
 
 /// Parses a complete program: prolog imports then one body expression.
 pub fn parse_program(input: &str) -> Result<Program, XqParseError> {
-    let mut p = Parser { input, pos: 0 };
+    let mut p = Parser {
+        input,
+        pos: 0,
+        depth: 0,
+    };
     let mut imports = Vec::new();
     loop {
         p.skip_ws();
@@ -56,6 +80,7 @@ pub fn parse_program(input: &str) -> Result<Program, XqParseError> {
 struct Parser<'a> {
     input: &'a str,
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -69,7 +94,23 @@ impl<'a> Parser<'a> {
         XqParseError {
             message: message.into(),
             offset: self.pos,
+            kind: XqParseErrorKind::Syntax,
         }
+    }
+
+    /// Enters one recursion level, rejecting inputs nested past
+    /// [`MAX_PARSE_DEPTH`]. Every recursion cycle in the grammar passes
+    /// through a guarded function, so the native stack stays bounded.
+    fn enter(&mut self) -> Result<(), XqParseError> {
+        self.depth += 1;
+        if self.depth > MAX_PARSE_DEPTH {
+            return Err(XqParseError {
+                message: format!("expression nesting exceeds {MAX_PARSE_DEPTH} levels"),
+                offset: self.pos,
+                kind: XqParseErrorKind::DepthExceeded,
+            });
+        }
+        Ok(())
     }
 
     /// Skips whitespace and (possibly nested) `(: ... :)` comments.
@@ -276,6 +317,13 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_expr_single(&mut self) -> Result<Expr, XqParseError> {
+        self.enter()?;
+        let result = self.parse_expr_single_inner();
+        self.depth -= 1;
+        result
+    }
+
+    fn parse_expr_single_inner(&mut self) -> Result<Expr, XqParseError> {
         self.skip_ws();
         if self.peek_word("for") || self.peek_word("let") {
             return self.parse_flwor();
@@ -552,8 +600,11 @@ impl<'a> Parser<'a> {
     fn parse_unary(&mut self) -> Result<Expr, XqParseError> {
         self.skip_ws();
         if self.eat_char('-') {
-            let inner = self.parse_unary()?;
-            return Ok(Expr::UnaryMinus(Box::new(inner)));
+            // Self-recursive (`--x`), so it needs its own depth guard.
+            self.enter()?;
+            let inner = self.parse_unary();
+            self.depth -= 1;
+            return Ok(Expr::UnaryMinus(Box::new(inner?)));
         }
         self.eat_char('+'); // unary plus is a no-op
         self.parse_path()
@@ -739,6 +790,15 @@ impl<'a> Parser<'a> {
     // ---- element constructors ------------------------------------------
 
     fn parse_element_ctor(&mut self) -> Result<ElementCtor, XqParseError> {
+        // Nested constructors recurse without passing through
+        // `parse_expr_single`, so guard here too.
+        self.enter()?;
+        let result = self.parse_element_ctor_inner();
+        self.depth -= 1;
+        result
+    }
+
+    fn parse_element_ctor_inner(&mut self) -> Result<ElementCtor, XqParseError> {
         self.expect_char('<')?;
         let name = self.parse_name()?;
         let mut attributes = Vec::new();
@@ -1089,6 +1149,35 @@ mod tests {
             p.body,
             Expr::FunctionCall { ref name, .. } if name == "fn-bea:if-empty"
         ));
+    }
+
+    #[test]
+    fn deep_paren_nesting_reports_depth_exceeded() {
+        let query = format!("{}1{}", "(".repeat(5_000), ")".repeat(5_000));
+        let err = parse_program(&query).unwrap_err();
+        assert_eq!(err.kind, XqParseErrorKind::DepthExceeded);
+    }
+
+    #[test]
+    fn deep_constructor_nesting_reports_depth_exceeded() {
+        let open: String = (0..5_000).map(|_| "<A>").collect();
+        let close: String = (0..5_000).map(|_| "</A>").collect();
+        let err = parse_program(&format!("{open}x{close}")).unwrap_err();
+        assert_eq!(err.kind, XqParseErrorKind::DepthExceeded);
+    }
+
+    #[test]
+    fn deep_unary_minus_reports_depth_exceeded() {
+        let query = format!("{}1", "- ".repeat(5_000));
+        let err = parse_program(&query).unwrap_err();
+        assert_eq!(err.kind, XqParseErrorKind::DepthExceeded);
+    }
+
+    #[test]
+    fn nesting_under_the_limit_still_parses() {
+        let depth = MAX_PARSE_DEPTH / 2;
+        let query = format!("{}1{}", "(".repeat(depth), ")".repeat(depth));
+        assert!(parse_program(&query).is_ok());
     }
 
     #[test]

@@ -22,6 +22,7 @@ pub use aldsp_analyzer as analyzer;
 pub use aldsp_catalog as catalog;
 pub use aldsp_core as core;
 pub use aldsp_driver as driver;
+pub use aldsp_governor as governor;
 pub use aldsp_plancache as plancache;
 pub use aldsp_relational as relational;
 pub use aldsp_sql as sql;

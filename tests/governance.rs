@@ -1,0 +1,231 @@
+//! Resource-governance integration tests: query budgets, the in-flight
+//! deadline, admission control, the circuit breaker, and stats accounting
+//! — the overload-protection subsystem exercised through the public
+//! facade, end to end.
+
+use aldsp::driver::{
+    BreakerConfig, BreakerState, Connection, DriverError, DspServer, FaultConfig, FaultInjector,
+    GovernorConfig, QueryBudget, QueryService, RetryPolicy,
+};
+use aldsp::relational::SqlValue;
+use aldsp::workload::{build_application, populate_database, Scale};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A three-way cartesian product: cheap to translate, ruinous to
+/// evaluate. At `Scale::of(50)` the expansion is 50 x 125 x 75 bindings.
+const CARTESIAN: &str =
+    "SELECT CUSTOMERS.CUSTOMERID FROM CUSTOMERS, ORDERS, PAYMENTS WHERE CUSTOMERS.CUSTOMERID > 0";
+
+fn server(scale: Scale, seed: u64) -> Arc<DspServer> {
+    let app = build_application();
+    let db = populate_database(&app, scale, seed);
+    Arc::new(DspServer::new(app, db))
+}
+
+/// The satellite-1 regression: `RetryPolicy.deadline` used to be checked
+/// only *between* attempts, so a single runaway evaluation could blow
+/// far past the statement budget and still return rows. The deadline now
+/// seeds a shared `QueryBudget` that the evaluator polls mid-flight —
+/// the cartesian below must be stopped inside its (only) attempt and
+/// surface as `Timeout`, never complete successfully.
+#[test]
+fn in_flight_attempt_observes_the_deadline_budget() {
+    let conn = Connection::open(server(Scale::of(50), 3));
+    conn.set_retry_policy(RetryPolicy {
+        max_attempts: 3,
+        base_backoff: Duration::ZERO,
+        max_backoff: Duration::ZERO,
+        deadline: Some(Duration::from_millis(50)),
+    });
+    let started = Instant::now();
+    let result = conn.create_statement().execute_query(CARTESIAN);
+    let elapsed = started.elapsed();
+    match result {
+        Err(DriverError::Timeout(_)) => {}
+        other => panic!(
+            "expected Timeout from the in-flight deadline, got {:?}",
+            other.map(|rs| rs.row_count())
+        ),
+    }
+    // The evaluator polls the budget clock every few dozen operations, so
+    // the statement dies shortly after the 50ms deadline — not after the
+    // full cartesian expansion.
+    assert!(
+        elapsed < Duration::from_secs(10),
+        "deadline took {elapsed:?} to be observed"
+    );
+}
+
+/// The same in-flight deadline through the governed `QueryService` path,
+/// with the budget handed in by the caller instead of derived from the
+/// retry policy.
+#[test]
+fn service_budget_deadline_stops_runaway_evaluation() {
+    let service = QueryService::new(server(Scale::of(50), 3), Default::default());
+    let budget = QueryBudget::unlimited().with_deadline(Duration::from_millis(50));
+    let result = service.execute_with_budget(CARTESIAN, &[], Some(&budget));
+    assert!(
+        matches!(result, Err(DriverError::Timeout(_))),
+        "expected Timeout, got {:?}",
+        result.map(|rs| rs.row_count())
+    );
+    // The violation is counted as the caller's budget choice, not a
+    // backend failure: the breaker must still be closed.
+    assert_eq!(service.governor_stats().breaker_state, BreakerState::Closed);
+}
+
+#[test]
+fn oversized_statement_is_rejected_before_translation() {
+    let service = QueryService::new(server(Scale::small(), 1), Default::default()).with_governor(
+        GovernorConfig {
+            max_statement_bytes: 256,
+            ..GovernorConfig::default()
+        },
+    );
+    let sql = format!("SELECT CUSTOMERID FROM CUSTOMERS{}", " ".repeat(300));
+    let result = service.execute(&sql, &[]);
+    assert!(
+        matches!(result, Err(DriverError::BudgetExceeded(_))),
+        "expected BudgetExceeded, got {result:?}"
+    );
+    let stats = service.governor_stats();
+    assert_eq!(stats.submitted, 1);
+    assert_eq!(stats.admitted, 0);
+    assert_eq!(stats.statement_rejections, 1);
+    // The guard fired before any translation or cache work.
+    let cache = service.cache_stats();
+    assert_eq!(cache.misses + cache.hits(), 0);
+}
+
+/// Breaker lifecycle through the service: consecutive backend failures
+/// trip it open, an open breaker sheds with `Overloaded`, and once the
+/// backend heals the half-open probe closes it again.
+#[test]
+fn breaker_opens_sheds_and_recovers_via_half_open_probe() {
+    let srv = server(Scale::small(), 5);
+    let injector = Arc::new(FaultInjector::new(FaultConfig {
+        seed: 9,
+        metadata_failure: 0.0,
+        execute_failure: 1.0,
+        execute_timeout: 0.0,
+        transport_failure: 0.0,
+        transport_corruption: 0.0,
+        permanent_ratio: 1.0,
+    }));
+    srv.install_fault_injector(Some(Arc::clone(&injector)));
+    let service =
+        QueryService::new(Arc::clone(&srv), Default::default()).with_governor(GovernorConfig {
+            breaker: BreakerConfig {
+                failure_threshold: 3,
+                open_duration: Duration::from_millis(30),
+            },
+            ..GovernorConfig::default()
+        });
+    let sql = "SELECT CUSTOMERID FROM CUSTOMERS ORDER BY CUSTOMERID";
+
+    // Three consecutive permanent execution failures trip the breaker.
+    for _ in 0..3 {
+        let r = service.execute(sql, &[]);
+        assert!(
+            matches!(r, Err(DriverError::Execution(_))),
+            "expected Execution failure, got {r:?}"
+        );
+    }
+    assert_eq!(service.governor_stats().breaker_state, BreakerState::Open);
+    assert_eq!(service.governor_stats().breaker_trips, 1);
+
+    // While open, statements are shed without touching the backend.
+    let shed = service.execute(sql, &[]);
+    assert!(
+        matches!(shed, Err(DriverError::Overloaded(_))),
+        "expected Overloaded from the open breaker, got {shed:?}"
+    );
+    assert_eq!(service.governor_stats().breaker_rejections, 1);
+
+    // Heal the backend, wait out the open window: the next statement is
+    // the half-open probe, and its success closes the breaker.
+    srv.install_fault_injector(None);
+    std::thread::sleep(Duration::from_millis(40));
+    let probe = service.execute(sql, &[]);
+    assert!(probe.is_ok(), "probe failed: {probe:?}");
+    assert_eq!(service.governor_stats().breaker_state, BreakerState::Closed);
+
+    // And the service keeps working.
+    assert!(service.execute(sql, &[]).is_ok());
+    assert!(service.governor_stats().is_consistent());
+}
+
+/// Satellite 3: 8 threads of mixed good/pathological statements against
+/// a tightly governed service — the governor and cache counters must sum
+/// consistently whatever the interleaving, and every shed statement must
+/// have surfaced as `Overloaded`.
+#[test]
+fn stats_account_consistently_under_8_thread_overload() {
+    const THREADS: usize = 8;
+    const ITERATIONS: usize = 20;
+    let service = QueryService::new(server(Scale::small(), 7), Default::default()).with_governor(
+        GovernorConfig {
+            max_concurrency: 2,
+            queue_timeout: Duration::from_micros(200),
+            max_statement_bytes: 512,
+            ..GovernorConfig::default()
+        },
+    );
+    let oversized = format!("SELECT CUSTOMERID FROM CUSTOMERS{}", " ".repeat(600));
+
+    let per_worker: Vec<(usize, usize, usize)> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..THREADS)
+            .map(|worker| {
+                let service = &service;
+                let oversized = &oversized;
+                scope.spawn(move || {
+                    let (mut ok, mut typed, mut oversize_sent) = (0usize, 0usize, 0usize);
+                    for turn in 0..ITERATIONS {
+                        let r = if (worker + turn) % 5 == 4 {
+                            oversize_sent += 1;
+                            service.execute(oversized, &[])
+                        } else {
+                            let v = SqlValue::Int((turn % 9 + 1) as i64);
+                            service.execute(
+                                "SELECT CUSTOMERID, CUSTOMERNAME FROM CUSTOMERS \
+                                 WHERE CUSTOMERID > ? ORDER BY CUSTOMERID",
+                                &[v],
+                            )
+                        };
+                        match r {
+                            Ok(_) => ok += 1,
+                            Err(DriverError::Overloaded(_) | DriverError::BudgetExceeded(_)) => {
+                                typed += 1
+                            }
+                            Err(e) => panic!("out-of-taxonomy error under overload: {e}"),
+                        }
+                    }
+                    (ok, typed, oversize_sent)
+                })
+            })
+            .collect();
+        workers.into_iter().map(|w| w.join().unwrap()).collect()
+    });
+
+    let submitted: usize = THREADS * ITERATIONS;
+    let ok: usize = per_worker.iter().map(|(a, _, _)| a).sum();
+    let typed: usize = per_worker.iter().map(|(_, b, _)| b).sum();
+    let oversize_sent: usize = per_worker.iter().map(|(_, _, c)| c).sum();
+    assert_eq!(ok + typed, submitted, "an execution was dropped");
+
+    let stats = service.governor_stats();
+    assert!(stats.is_consistent(), "identity violated: {stats:#?}");
+    assert_eq!(stats.submitted as usize, submitted);
+    assert_eq!(stats.statement_rejections as usize, oversize_sent);
+    assert_eq!(
+        stats.admitted as usize,
+        ok + typed - stats.rejected() as usize
+    );
+    // Every admitted statement took exactly one plan-cache lookup.
+    let cache = service.cache_stats();
+    assert_eq!(
+        (cache.hits() + cache.misses + cache.fallbacks) as usize,
+        stats.admitted as usize
+    );
+}

@@ -318,3 +318,40 @@ fn group_by_nasty_strings() {
     assert_eq!(rs.get_string(1).unwrap(), None);
     assert_eq!(rs.get_i64(2).unwrap(), 1);
 }
+
+/// Adversarial *structure* instead of adversarial data: statements nested
+/// far past the parsers' recursion limits must come back as a typed
+/// `DepthExceeded` from the full driver stack — never a stack overflow,
+/// and never a generic syntax error that callers can't distinguish.
+#[test]
+fn deeply_nested_statements_return_depth_exceeded() {
+    use aldsp::driver::DriverError;
+
+    let conn = connection(Transport::DelimitedText);
+    let depth = 5_000;
+    let nested_where = format!(
+        "SELECT ID FROM T WHERE {}ID = 1{}",
+        "(".repeat(depth),
+        ")".repeat(depth)
+    );
+    let nested_query = format!("{}SELECT ID FROM T{}", "(".repeat(depth), ")".repeat(depth));
+    let not_chain = format!("SELECT ID FROM T WHERE {}ID = 1", "NOT ".repeat(depth));
+    for sql in [&nested_where, &nested_query, &not_chain] {
+        let result = conn.create_statement().execute_query(sql);
+        assert!(
+            matches!(result, Err(DriverError::DepthExceeded(_))),
+            "expected DepthExceeded for depth-{depth} statement, got {:?}",
+            result.map(|rs| rs.row_count())
+        );
+    }
+
+    // Nesting under the limit still executes: the guard rejects only
+    // pathological inputs, not legitimately parenthesized queries.
+    let shallow = format!(
+        "SELECT ID FROM T WHERE {}ID = 0{} ORDER BY ID",
+        "(".repeat(aldsp::sql::MAX_PARSE_DEPTH / 4),
+        ")".repeat(aldsp::sql::MAX_PARSE_DEPTH / 4)
+    );
+    let rs = conn.create_statement().execute_query(&shallow).unwrap();
+    assert_eq!(rs.row_count(), 1);
+}
