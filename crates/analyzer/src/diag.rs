@@ -6,7 +6,12 @@
 //! layer-2 XQuery lint (scope/def-use over the generated query, paper
 //! §3.5); `T0xx` codes come from the layer-3 type pass (independent type
 //! re-inference over the IR and the generated query, plus the per-output-
-//! column diff between the two, paper §3.1/§3.5 (v)/§4).
+//! column diff between the two, paper §3.1/§3.5 (v)/§4); `P0xx` codes
+//! come from the layer-4 cost pass (catalog-seeded cardinality/cost
+//! estimation over the IR and the generated FLWOR nesting, DESIGN.md
+//! §14). `A`/`T` findings are correctness defects; `P` findings are
+//! advisory performance lints — a `P`-flagged query still computes the
+//! right answer, it just pays for it.
 
 use std::fmt;
 
@@ -77,6 +82,40 @@ pub enum DiagCode {
     /// output typing (paper §4: the computed result schema drives the
     /// JDBC metadata).
     T008,
+    /// Cartesian product: a FROM input joins no other input — no
+    /// equality predicate (WHERE or ON) relates it to the rest, so the
+    /// generated FLWOR nesting enumerates the full cross product.
+    P001,
+    /// A WHERE conjunct over an implicit (comma) join references only
+    /// earlier FROM inputs, yet stage 3 evaluates it in the outermost
+    /// where zone — after the innermost `for` has already multiplied the
+    /// tuple stream it could have filtered.
+    P002,
+    /// DISTINCT over a projection that includes a declared-unique column
+    /// of the (single) scanned table: every row is already distinct, the
+    /// dedup pass is pure cost.
+    P003,
+    /// ORDER BY keys following a declared-unique leading key: the tie
+    /// they would break cannot occur, the extra key evaluations are pure
+    /// cost.
+    P004,
+    /// A predicate compares against a NULL literal — the one
+    /// predicate-zone literal plan-cache normalization must leave
+    /// verbatim (it defeats canonical-text sharing), and under
+    /// three-valued logic the comparison never holds anyway.
+    P005,
+    /// The estimated result cardinality exceeds the governor row cap the
+    /// query will run under: the evaluator is predicted to hit
+    /// `RowCapExceeded` after doing most of the work.
+    P006,
+    /// A nested-loop join re-scans a large inner table once per outer
+    /// tuple (the generated FLWOR re-evaluates the inner `for` source
+    /// each iteration) and the estimated total re-scan work is large.
+    P007,
+    /// A predicate-position subquery (IN / EXISTS / quantified / scalar)
+    /// is re-evaluated for every candidate row and the estimated total
+    /// work is large.
+    P008,
 }
 
 impl DiagCode {
@@ -106,6 +145,14 @@ impl DiagCode {
             DiagCode::T006 => "T006",
             DiagCode::T007 => "T007",
             DiagCode::T008 => "T008",
+            DiagCode::P001 => "P001",
+            DiagCode::P002 => "P002",
+            DiagCode::P003 => "P003",
+            DiagCode::P004 => "P004",
+            DiagCode::P005 => "P005",
+            DiagCode::P006 => "P006",
+            DiagCode::P007 => "P007",
+            DiagCode::P008 => "P008",
         }
     }
 
@@ -135,6 +182,14 @@ impl DiagCode {
             DiagCode::T006 => "nullability lost in translation",
             DiagCode::T007 => "cardinality violation",
             DiagCode::T008 => "result-set metadata mismatch",
+            DiagCode::P001 => "cartesian product",
+            DiagCode::P002 => "predicate not pushed",
+            DiagCode::P003 => "redundant DISTINCT under unique key",
+            DiagCode::P004 => "redundant ORDER BY keys under unique key",
+            DiagCode::P005 => "non-normalizable NULL-literal predicate",
+            DiagCode::P006 => "estimated rows exceed governor cap",
+            DiagCode::P007 => "nested-loop re-scan of large table",
+            DiagCode::P008 => "per-row subquery re-evaluation",
         }
     }
 }

@@ -1,13 +1,14 @@
-//! The combined three-layer report, plus the end-to-end entry point the
+//! The combined four-layer report, plus the end-to-end entry point the
 //! `analyze` bin and the workload harnesses use.
 
+use crate::cost::{self, CostOptions, CostReport};
 use crate::diag::Diagnostic;
 use crate::{ir_check, ty, xq_lint};
 use aldsp_catalog::MetadataApi;
 use aldsp_core::ir::PreparedQuery;
 use aldsp_core::{stage1, stage2, stage3, wrapper, TranslateError, TranslationOptions, Transport};
 
-/// All three analysis layers over one translation.
+/// All four analysis layers over one translation.
 #[derive(Debug, Clone, Default)]
 pub struct TranslationReport {
     /// Layer-1 findings (IR invariants, `A0xx`).
@@ -16,20 +17,34 @@ pub struct TranslationReport {
     pub xquery: Vec<Diagnostic>,
     /// Layer-3 findings (type flow + translation type diff, `T0xx`).
     pub types: Vec<Diagnostic>,
+    /// Layer-4 result: cardinality/cost estimates and the advisory
+    /// `P0xx` findings.
+    pub cost: CostReport,
 }
 
 impl TranslationReport {
-    /// True when no layer found anything.
+    /// True when no *correctness* layer found anything (`A`/`T` codes).
+    /// Layer-4 `P` findings are advisory — a `P`-flagged query still
+    /// computes the right answer — so they deliberately do not dirty
+    /// this predicate (chaos workloads run cartesian stressors on
+    /// purpose). Use [`TranslationReport::is_performance_clean`] or
+    /// [`TranslationReport::all`] when `P` findings should count.
     pub fn is_clean(&self) -> bool {
         self.ir.is_empty() && self.xquery.is_empty() && self.types.is_empty()
     }
 
-    /// All findings, layer 1 first.
+    /// True when layer 4 found no performance lints either.
+    pub fn is_performance_clean(&self) -> bool {
+        self.cost.diagnostics.is_empty()
+    }
+
+    /// All findings, layer 1 first, advisory layer-4 findings last.
     pub fn all(&self) -> impl Iterator<Item = &Diagnostic> {
         self.ir
             .iter()
             .chain(self.xquery.iter())
             .chain(self.types.iter())
+            .chain(self.cost.diagnostics.iter())
     }
 
     /// One line per finding.
@@ -44,22 +59,44 @@ impl TranslationReport {
 /// Analyzes one already-produced translation: layer 1 over the prepared
 /// IR, layer 2 over the generated query text (wrapped or unwrapped),
 /// layer 3 re-inferring types on both sides of the translation and
-/// diffing them. Returns the report together with the SQL-side inferred
-/// output typing.
-pub fn analyze_translation_typed(
+/// diffing them, layer 4 estimating cardinality/cost under
+/// `cost_options`. Returns the report together with the SQL-side
+/// inferred output typing.
+pub fn analyze_translation_typed_with(
     prepared: &PreparedQuery,
     xquery_text: &str,
+    cost_options: &CostOptions,
 ) -> (TranslationReport, Vec<ty::InferredColumn>) {
     let ir = ir_check::check_prepared(prepared);
     let xquery = xq_lint::lint_text(xquery_text);
     let flow = ty::check_types(prepared);
     let mut types = flow.diagnostics;
-    // The translation diff needs a parseable program; when the text does
-    // not parse, layer 2 already reports `A100` and the diff is moot.
-    if let Ok(program) = aldsp_xquery::parse_program(xquery_text) {
-        types.extend(ty::check_translation(prepared, &program, &flow.columns));
+    // The translation diff (and layer 4's FLWOR fuel walk) need a
+    // parseable program; when the text does not parse, layer 2 already
+    // reports `A100` and both are moot.
+    let program = aldsp_xquery::parse_program(xquery_text).ok();
+    if let Some(program) = &program {
+        types.extend(ty::check_translation(prepared, program, &flow.columns));
     }
-    (TranslationReport { ir, xquery, types }, flow.columns)
+    let cost = cost::check_cost(prepared, program.as_ref(), cost_options);
+    (
+        TranslationReport {
+            ir,
+            xquery,
+            types,
+            cost,
+        },
+        flow.columns,
+    )
+}
+
+/// [`analyze_translation_typed_with`] under default (stats-less) cost
+/// options.
+pub fn analyze_translation_typed(
+    prepared: &PreparedQuery,
+    xquery_text: &str,
+) -> (TranslationReport, Vec<ty::InferredColumn>) {
+    analyze_translation_typed_with(prepared, xquery_text, &CostOptions::default())
 }
 
 /// [`analyze_translation_typed`] without the typing (the original
@@ -74,7 +111,7 @@ pub fn analyze_translation(prepared: &PreparedQuery, xquery_text: &str) -> Trans
 pub struct Analysis {
     /// The generated query text, per the requested transport.
     pub xquery: String,
-    /// The three-layer report.
+    /// The four-layer report.
     pub report: TranslationReport,
     /// The SQL-side inferred output typing (layer 3's view of the
     /// result-set metadata).
@@ -82,13 +119,14 @@ pub struct Analysis {
 }
 
 /// Translates `sql` (stage 1 → 2 → 3 → transport wrapper) and analyzes
-/// both the prepared IR and the generated text. Translation failures are
-/// returned as-is — they are the translator rejecting the statement, not
-/// analyzer findings.
-pub fn analyze_sql<M: MetadataApi>(
+/// both the prepared IR and the generated text, estimating cost under
+/// `cost_options`. Translation failures are returned as-is — they are
+/// the translator rejecting the statement, not analyzer findings.
+pub fn analyze_sql_with<M: MetadataApi>(
     sql: &str,
     metadata: &M,
     options: TranslationOptions,
+    cost_options: &CostOptions,
 ) -> Result<Analysis, TranslateError> {
     let parsed = stage1::parse(sql)?;
     let prepared = stage2::prepare(&parsed, metadata)?;
@@ -97,10 +135,19 @@ pub fn analyze_sql<M: MetadataApi>(
         Transport::Xml => generated.into_query_text(),
         Transport::DelimitedText => wrapper::wrap_delimited(generated, &prepared),
     };
-    let (report, typing) = analyze_translation_typed(&prepared, &xquery);
+    let (report, typing) = analyze_translation_typed_with(&prepared, &xquery, cost_options);
     Ok(Analysis {
         xquery,
         report,
         typing,
     })
+}
+
+/// [`analyze_sql_with`] under default (stats-less) cost options.
+pub fn analyze_sql<M: MetadataApi>(
+    sql: &str,
+    metadata: &M,
+    options: TranslationOptions,
+) -> Result<Analysis, TranslateError> {
+    analyze_sql_with(sql, metadata, options, &CostOptions::default())
 }

@@ -25,6 +25,7 @@ pub mod artifacts;
 pub mod builder;
 pub mod metadata;
 pub mod naming;
+pub mod stats;
 pub mod types;
 
 pub use artifacts::{Application, DataService, DataServiceFunction, FunctionKind, Project};
@@ -34,4 +35,5 @@ pub use metadata::{
     MetadataError, MetadataFaultHook, MetadataOp, SharedLocator,
 };
 pub use naming::{QualifiedTableName, ResolveError, TableEntry, TableLocator};
+pub use stats::{CatalogStats, ColumnStats, TableStats};
 pub use types::{ColumnMeta, SqlColumnType, TableSchema};

@@ -115,6 +115,30 @@ impl QueryService {
         result
     }
 
+    /// [`QueryService::execute_with_budget`] that also reports the
+    /// evaluator fuel the statement consumed. When the caller passes no
+    /// budget, an effectively unbounded one is created just to meter —
+    /// the fuel ledger comes for free, evaluation is charged either way.
+    /// This is the read path for E10's cost-model calibration and for
+    /// per-query telemetry in tests.
+    pub fn execute_metered(
+        &self,
+        sql: &str,
+        params: &[SqlValue],
+        budget: Option<&QueryBudget>,
+    ) -> Result<(ResultSet, u64), DriverError> {
+        let meter;
+        let budget = match budget {
+            Some(b) => b,
+            None => {
+                meter = QueryBudget::unlimited();
+                &meter
+            }
+        };
+        let rows = self.execute_with_budget(sql, params, Some(budget))?;
+        Ok((rows, budget.fuel_consumed()))
+    }
+
     /// Feeds an execution outcome back into the governor. Backend-health
     /// signals (execution, transport, timeout, decode failures) count
     /// toward opening the breaker; the statement's own defects

@@ -62,6 +62,11 @@ pub struct CachedPlan {
     /// The stage-two IR — kept so cached plans remain analyzable without
     /// re-running the pipeline.
     pub prepared: PreparedQuery,
+    /// The analyzer's static cost estimate for this plan, in evaluator-
+    /// fuel units, computed once at build time under default (stats-less)
+    /// cost options. Feeds the [`CacheStats::cost_buckets`] histogram so
+    /// eviction tuning has data on what the cache actually holds.
+    pub cost_estimate: f64,
 }
 
 impl CachedPlan {
@@ -156,6 +161,12 @@ pub struct CacheStats {
     /// Statements translated without caching because they exceeded the
     /// size cap.
     pub oversize_bypasses: u64,
+    /// Histogram of built plans by static cost estimate, in decimal
+    /// orders of magnitude of fuel: bucket `i` counts plans with
+    /// `10^i <= cost < 10^(i+1)` (bucket 0 also takes cheaper, bucket 7
+    /// also takes dearer). Counts *builds* (misses, fallbacks, bypasses),
+    /// not store occupancy — evictions do not decrement.
+    pub cost_buckets: [u64; 8],
 }
 
 impl CacheStats {
@@ -210,6 +221,7 @@ pub struct PlanCache {
     evictions: AtomicU64,
     epoch_invalidations: AtomicU64,
     oversize_bypasses: AtomicU64,
+    cost_buckets: [AtomicU64; 8],
 }
 
 impl Default for PlanCache {
@@ -236,6 +248,7 @@ impl PlanCache {
             evictions: AtomicU64::new(0),
             epoch_invalidations: AtomicU64::new(0),
             oversize_bypasses: AtomicU64::new(0),
+            cost_buckets: Default::default(),
         }
     }
 
@@ -271,6 +284,7 @@ impl PlanCache {
             self.oversize_bypasses.fetch_add(1, Ordering::Relaxed);
             let full = translator.translate_full(sql, options)?;
             let parameter_count = full.translation.parameter_count;
+            let cost_estimate = self.price(&full.prepared);
             let plan = Arc::new(CachedPlan {
                 canonical_sql: sql.to_string(),
                 options,
@@ -279,6 +293,7 @@ impl PlanCache {
                 normalized: false,
                 translation: full.translation,
                 prepared: full.prepared,
+                cost_estimate,
             });
             let bound = BoundPlan {
                 plan,
@@ -323,6 +338,7 @@ impl PlanCache {
         // statement's own error and surfaces unchanged.
         self.fallbacks.fetch_add(1, Ordering::Relaxed);
         let full = translator.translate_parsed(&parsed, options)?;
+        let cost_estimate = self.price(&full.prepared);
         let plan = Arc::new(CachedPlan {
             canonical_sql: sql.to_string(),
             options,
@@ -331,6 +347,7 @@ impl PlanCache {
             normalized: false,
             translation: full.translation,
             prepared: full.prepared,
+            cost_estimate,
         });
         let bound = BoundPlan {
             plan,
@@ -353,6 +370,7 @@ impl PlanCache {
             return None;
         }
         let full = translator.translate_parsed(&reparsed, options).ok()?;
+        let cost_estimate = self.price(&full.prepared);
         Some(CachedPlan {
             canonical_sql: norm.canonical_sql.clone(),
             options,
@@ -361,7 +379,25 @@ impl PlanCache {
             normalized: true,
             translation: full.translation,
             prepared: full.prepared,
+            cost_estimate,
         })
+    }
+
+    /// Prices a freshly built plan with the analyzer's layer-4 estimator
+    /// (default stats) and records it in the cost histogram. Estimation
+    /// is a pure IR walk — microseconds against the translation the plan
+    /// just paid for.
+    fn price(&self, prepared: &PreparedQuery) -> f64 {
+        let cost =
+            aldsp_analyzer::estimate_prepared(prepared, &aldsp_analyzer::CostOptions::default())
+                .cost;
+        let bucket = if cost < 1.0 {
+            0
+        } else {
+            (cost.log10().floor() as usize).min(7)
+        };
+        self.cost_buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        cost
     }
 
     /// Exact-level lookup (no parsing). Drops and reports entries whose
@@ -503,6 +539,7 @@ impl PlanCache {
             evictions: self.evictions.load(Ordering::Relaxed),
             epoch_invalidations: self.epoch_invalidations.load(Ordering::Relaxed),
             oversize_bypasses: self.oversize_bypasses.load(Ordering::Relaxed),
+            cost_buckets: std::array::from_fn(|i| self.cost_buckets[i].load(Ordering::Relaxed)),
         }
     }
 

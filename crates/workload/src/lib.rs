@@ -42,4 +42,4 @@ pub use chaos::{run_chaos, ChaosConfig, ChaosReport};
 pub use differential::{compare_results, run_differential, DifferentialReport, Mismatch};
 pub use overload::{run_overload, OverloadConfig, OverloadReport};
 pub use querygen::{ConstructClass, QueryGenerator};
-pub use schema::{build_application, paper_queries, populate_database, Scale};
+pub use schema::{build_application, paper_queries, populate_database, stats_for, Scale};

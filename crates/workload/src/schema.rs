@@ -1,5 +1,6 @@
 //! The benchmark universe: the paper's tables at parameterized scale.
 
+use aldsp_catalog::stats::CatalogStats;
 use aldsp_catalog::{Application, ApplicationBuilder, SqlColumnType};
 use aldsp_relational::{Database, SqlValue, Table};
 use rand::rngs::StdRng;
@@ -164,6 +165,39 @@ pub fn populate_database(app: &Application, scale: Scale, seed: u64) -> Database
     }
     db.add_table(payments);
     db
+}
+
+/// Catalog statistics matching what [`populate_database`] actually
+/// generates at `scale` — the snapshot the cost analyzer (`analyze
+/// --cost`, harness E10) is seeded with. NDVs follow the population
+/// code: ids are unique sequences, category columns draw from the fixed
+/// pools (`REGIONS`/`STATUSES`/`METHODS`), foreign keys cover at
+/// most the customer id range, and money columns are effectively
+/// distinct.
+pub fn stats_for(scale: Scale) -> CatalogStats {
+    let customers = scale.customers as u64;
+    let orders = scale.orders as u64;
+    let payments = scale.payments as u64;
+    CatalogStats::new()
+        .table("CUSTOMERS", customers, |t| {
+            t.unique("CUSTOMERID")
+                .ndv("CUSTOMERNAME", (customers * 17 / 20).max(1))
+                .ndv("REGION", REGIONS.len() as u64)
+                .ndv("CREDIT", (customers * 17 / 20).max(1))
+                .ndv("SIGNUP", (customers * 7 / 10).max(1))
+        })
+        .table("ORDERS", orders, |t| {
+            t.unique("ORDERID")
+                .ndv("CUSTID", orders.min(customers).max(1))
+                .ndv("AMOUNT", (orders * 17 / 20).max(1))
+                .ndv("STATUS", STATUSES.len() as u64)
+        })
+        .table("PAYMENTS", payments, |t| {
+            t.unique("PAYMENTID")
+                .ndv("CUSTID", payments.min(customers).max(1))
+                .ndv("PAYMENT", payments.max(1))
+                .ndv("METHOD", METHODS.len() as u64)
+        })
 }
 
 /// The paper's worked example queries (adapted to this universe where the

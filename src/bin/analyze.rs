@@ -3,42 +3,59 @@
 //!
 //! Reads SQL from file arguments (or stdin when none are given), translates
 //! each statement against the bundled demo schema (the workload generator's
-//! universe: CUSTOMERS / ORDERS / PAYMENTS), and runs the three-layer
+//! universe: CUSTOMERS / ORDERS / PAYMENTS), and runs the four-layer
 //! analyzer over the result in both transports: the stage-2 IR invariant
-//! check, the XQuery lint over the generated text, and the type-flow pass
-//! with its translation type-diff. Statements are separated by `;`.
+//! check, the XQuery lint over the generated text, the type-flow pass with
+//! its translation type-diff, and (on request) the cost layer. Statements
+//! are separated by `;`.
 //!
-//! With `--types`, the inferred output typing of each statement is printed
-//! as a `label TYPE NULL|NOT NULL` table — the analyzer's independently
-//! re-derived view of what the driver's result-set metadata must report.
+//! The correctness layers (`A`/`T` codes) always run and always count
+//! toward the exit status. The display flags compose:
+//!
+//! * `--types` prints the inferred output typing of each statement as a
+//!   `label TYPE NULL|NOT NULL` table — the analyzer's independently
+//!   re-derived view of what the driver's result-set metadata must report.
+//! * `--cost` prints the layer-4 estimate (rows, fuel, FLWOR-walk fuel),
+//!   seeded with the demo universe's small-scale statistics, and adds any
+//!   `P` performance findings to the report *and* the exit status.
+//! * `--all` is `--types --cost`.
 //!
 //! ```text
-//! Usage: analyze [--print-xquery] [--types] [FILE ...]
+//! Usage: analyze [--print-xquery] [--types] [--cost] [--all] [FILE ...]
 //! ```
 //!
-//! Exit status is 0 when every statement is clean, 1 when any statement
-//! fails to parse/translate or produces analyzer findings, 2 on usage or
-//! I/O errors.
+//! Exit status is 0 when every statement is clean across every requested
+//! layer, 1 when any statement fails to parse/translate or produces
+//! findings in a requested layer, 2 on usage or I/O errors.
 
-use aldsp::analyzer::analyze_sql;
+use aldsp::analyzer::{analyze_sql_with, CostOptions};
 use aldsp::catalog::{CachedMetadataApi, InProcessMetadataApi, TableLocator};
 use aldsp::core::{TranslationOptions, Transport};
-use aldsp::workload::schema::build_application;
+use aldsp::workload::schema::{build_application, stats_for};
+use aldsp::workload::Scale;
 use std::io::Read;
 
 fn main() {
     let mut print_xquery = false;
     let mut print_types = false;
+    let mut check_cost = false;
     let mut files: Vec<String> = Vec::new();
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--print-xquery" => print_xquery = true,
             "--types" => print_types = true,
+            "--cost" => check_cost = true,
+            "--all" => {
+                print_types = true;
+                check_cost = true;
+            }
             "--help" | "-h" => {
-                println!("Usage: analyze [--print-xquery] [--types] [FILE ...]");
+                println!("Usage: analyze [--print-xquery] [--types] [--cost] [--all] [FILE ...]");
                 println!("Lints SQL statements (from files or stdin, `;`-separated)");
                 println!("through the SQL-to-XQuery pipeline against the demo schema.");
-                println!("--types additionally prints the inferred output typing.");
+                println!("--types additionally prints the inferred output typing;");
+                println!("--cost adds the cost/cardinality layer (P findings affect");
+                println!("the exit status); --all is both. Flags compose.");
                 return;
             }
             other if other.starts_with('-') => {
@@ -74,20 +91,53 @@ fn main() {
     let metadata = CachedMetadataApi::new(InProcessMetadataApi::new(
         TableLocator::for_application(&app),
     ));
+    // Cost estimates are seeded with the statistics of the demo universe
+    // at the differential-test scale, so `analyze --cost` prices queries
+    // against the same data the harnesses execute them on.
+    let cost_options = CostOptions {
+        stats: stats_for(Scale::small()),
+        ..CostOptions::default()
+    };
 
     let mut dirty = false;
     for sql in input.split(';').map(str::trim).filter(|s| !s.is_empty()) {
         println!("-- {sql}");
         for transport in [Transport::Xml, Transport::DelimitedText] {
-            match analyze_sql(sql, &metadata, TranslationOptions { transport }) {
+            match analyze_sql_with(
+                sql,
+                &metadata,
+                TranslationOptions { transport },
+                &cost_options,
+            ) {
                 Ok(analysis) => {
-                    if analysis.report.is_clean() {
+                    let report = &analysis.report;
+                    let mut findings: Vec<String> = report
+                        .ir
+                        .iter()
+                        .chain(report.xquery.iter())
+                        .chain(report.types.iter())
+                        .map(|d| d.to_string())
+                        .collect();
+                    if check_cost {
+                        findings.extend(report.cost.diagnostics.iter().map(|d| d.to_string()));
+                    }
+                    if findings.is_empty() {
                         println!("   {transport:?}: clean");
                     } else {
                         dirty = true;
                         println!("   {transport:?}:");
-                        for line in analysis.report.render().lines() {
+                        for line in &findings {
                             println!("     {line}");
+                        }
+                    }
+                    if check_cost && transport == Transport::Xml {
+                        print!(
+                            "   ~ est rows {:.0}, est fuel {:.0}",
+                            report.cost.rows, report.cost.cost
+                        );
+                        match report.cost.flwor_fuel {
+                            Some(fuel) => println!(", flwor walk {fuel:.0}"),
+                            None => println!(),
                         }
                     }
                     if print_types && transport == Transport::Xml {
