@@ -9,11 +9,51 @@
 //! column diff between the two, paper §3.1/§3.5 (v)/§4); `P0xx` codes
 //! come from the layer-4 cost pass (catalog-seeded cardinality/cost
 //! estimation over the IR and the generated FLWOR nesting, DESIGN.md
-//! §14). `A`/`T` findings are correctness defects; `P` findings are
-//! advisory performance lints — a `P`-flagged query still computes the
-//! right answer, it just pays for it.
+//! §14); `V0xx` codes come from the layer-5 translation validator
+//! (bounded equivalence checking of the generated XQuery against a
+//! reference relational interpreter over enumerated witness databases,
+//! DESIGN.md §15). `A`/`T`/`V` findings are correctness defects; `P`
+//! findings are advisory performance lints — a `P`-flagged query still
+//! computes the right answer, it just pays for it. The split is made
+//! explicit by [`Severity`], derived in exactly one place
+//! ([`DiagCode::severity`]).
 
 use std::fmt;
+
+/// How serious a finding is. Derived from the code in one place
+/// ([`DiagCode::severity`]) instead of prefix string-matching scattered
+/// through the report predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Severity {
+    /// A correctness defect: the translation is (or may be) wrong. All
+    /// `A`, `T` and `V` codes. Errors fail `is_clean` and the
+    /// debug-validate hook.
+    Error,
+    /// A performance finding that predicts a *runtime failure or refusal*
+    /// under the configured governor/cache policy rather than mere waste
+    /// (`P005`, `P006`).
+    Warning,
+    /// A pure performance lint: the query computes the right answer but
+    /// pays more than it needs to (the remaining `P` codes).
+    Advisory,
+}
+
+impl Severity {
+    /// Lower-case label, as printed by `analyze --format json`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Advisory => "advisory",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
 
 /// A stable diagnostic code.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -116,6 +156,27 @@ pub enum DiagCode {
     /// is re-evaluated for every candidate row and the estimated total
     /// work is large.
     P008,
+    /// Row-set mismatch: on some witness database the generated XQuery
+    /// returns a different set of rows than the reference interpreter
+    /// (rows present on one side only).
+    V001,
+    /// Duplicate-multiplicity mismatch: both sides agree on the distinct
+    /// rows but disagree on how many times some row appears (bag
+    /// semantics, SQL-92 §7.10).
+    V002,
+    /// NULL-handling divergence: both sides return the same number of
+    /// rows, and every disagreeing cell has a NULL on exactly one side
+    /// (lost or invented NULLs — 3VL or padding gone wrong).
+    V003,
+    /// Ordering divergence: the result bags agree but the generated
+    /// query's row order violates the statement's ORDER BY specification.
+    V004,
+    /// Column-value divergence: both sides return the same number of rows
+    /// but some non-NULL cell values differ (a miscompiled expression).
+    V005,
+    /// The XQuery evaluator rejected (or the transport failed to decode)
+    /// a translation the reference interpreter executes cleanly.
+    V006,
 }
 
 impl DiagCode {
@@ -153,6 +214,41 @@ impl DiagCode {
             DiagCode::P006 => "P006",
             DiagCode::P007 => "P007",
             DiagCode::P008 => "P008",
+            DiagCode::V001 => "V001",
+            DiagCode::V002 => "V002",
+            DiagCode::V003 => "V003",
+            DiagCode::V004 => "V004",
+            DiagCode::V005 => "V005",
+            DiagCode::V006 => "V006",
+        }
+    }
+
+    /// The analyzer layer that produces the code, as printed by
+    /// `analyze --format json`.
+    pub fn layer(self) -> &'static str {
+        match self.as_str().as_bytes()[0] {
+            b'A' if self.as_str() < "A100" => "ir",
+            b'A' => "xquery",
+            b'T' => "types",
+            b'P' => "cost",
+            _ => "validation",
+        }
+    }
+
+    /// Severity, derived from the code in exactly one place: every `A`,
+    /// `T` and `V` code is a correctness [`Severity::Error`]; `P005` and
+    /// `P006` predict a runtime refusal and are [`Severity::Warning`];
+    /// the remaining `P` codes are [`Severity::Advisory`].
+    pub fn severity(self) -> Severity {
+        match self {
+            DiagCode::P005 | DiagCode::P006 => Severity::Warning,
+            DiagCode::P001
+            | DiagCode::P002
+            | DiagCode::P003
+            | DiagCode::P004
+            | DiagCode::P007
+            | DiagCode::P008 => Severity::Advisory,
+            _ => Severity::Error,
         }
     }
 
@@ -190,6 +286,12 @@ impl DiagCode {
             DiagCode::P006 => "estimated rows exceed governor cap",
             DiagCode::P007 => "nested-loop re-scan of large table",
             DiagCode::P008 => "per-row subquery re-evaluation",
+            DiagCode::V001 => "row-set mismatch on witness database",
+            DiagCode::V002 => "duplicate-multiplicity mismatch",
+            DiagCode::V003 => "NULL-handling divergence",
+            DiagCode::V004 => "ordering divergence under ORDER BY",
+            DiagCode::V005 => "column-value divergence",
+            DiagCode::V006 => "evaluator rejected a valid translation",
         }
     }
 }
@@ -217,6 +319,11 @@ impl Diagnostic {
             message: message.into(),
         }
     }
+
+    /// The finding's severity (delegates to [`DiagCode::severity`]).
+    pub fn severity(&self) -> Severity {
+        self.code.severity()
+    }
 }
 
 impl fmt::Display for Diagnostic {
@@ -233,5 +340,25 @@ mod tests {
     fn display_includes_code_and_rule() {
         let d = Diagnostic::new(DiagCode::A101, "$x is not in scope");
         assert_eq!(d.to_string(), "A101 [unbound variable]: $x is not in scope");
+    }
+
+    #[test]
+    fn severity_is_derived_from_code() {
+        assert_eq!(DiagCode::A003.severity(), Severity::Error);
+        assert_eq!(DiagCode::T005.severity(), Severity::Error);
+        assert_eq!(DiagCode::V001.severity(), Severity::Error);
+        assert_eq!(DiagCode::P005.severity(), Severity::Warning);
+        assert_eq!(DiagCode::P006.severity(), Severity::Warning);
+        assert_eq!(DiagCode::P001.severity(), Severity::Advisory);
+        assert_eq!(DiagCode::P008.severity(), Severity::Advisory);
+    }
+
+    #[test]
+    fn layer_is_derived_from_code() {
+        assert_eq!(DiagCode::A001.layer(), "ir");
+        assert_eq!(DiagCode::A100.layer(), "xquery");
+        assert_eq!(DiagCode::T004.layer(), "types");
+        assert_eq!(DiagCode::P003.layer(), "cost");
+        assert_eq!(DiagCode::V002.layer(), "validation");
     }
 }

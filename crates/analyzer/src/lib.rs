@@ -33,38 +33,56 @@
 //!   literals, row-cap blowups, large re-scans, per-row subqueries.
 //!   Codes `P001`–`P008`; calibrated against measured evaluator fuel by
 //!   harness E10.
+//! * **Layer 5** ([`validate`]) — bounded equivalence validation: a
+//!   reference relational interpreter executes the prepared IR under
+//!   SQL-92 bag semantics while the generated XQuery runs through the
+//!   real evaluator against the same enumerated witness databases
+//!   (0–2 rows per table, NULL-bearing value domains seeded from the
+//!   query's own literals); the decoded row bags are compared. A
+//!   divergence is a *miscompilation witness*, reported as hard-error
+//!   codes `V001`–`V006` carrying the minimal witness database. Teeth
+//!   are measured by harness E11's seeded mutation kill rate.
 //!
-//! Entry points: [`analyze_sql`] runs the whole pipeline on a SQL string
-//! (used by the `analyze` bin and the workload harnesses;
-//! [`analyze_sql_with`] takes explicit [`CostOptions`]);
-//! [`analyze_translation`] checks an existing prepared query + generated
-//! text ([`analyze_translation_typed`] also returns the inferred output
-//! typing); [`lint_program`]/[`lint_text`] run layer 2 alone;
+//! Entry points: [`analyze_sql`] runs the static pipeline on a SQL
+//! string (used by the `analyze` bin and the workload harnesses;
+//! [`analyze_sql_with`] takes explicit [`CostOptions`], and
+//! [`analyze_sql_validated`] additionally runs layer 5 under
+//! [`ValidateOptions`]); [`analyze_translation`] checks an existing
+//! prepared query + generated text ([`analyze_translation_typed`] also
+//! returns the inferred output typing); [`lint_program`]/[`lint_text`]
+//! run layer 2 alone;
 //! [`ty::check_types`]/[`ty::check_translation`]/[`ty::check_metadata`]
 //! run layer 3 piecewise; [`cost::check_cost`]/[`cost::estimate_prepared`]
-//! run layer 4 alone. With the `debug-analyze` feature,
-//! [`install_debug_validator`] hooks the *correctness* layers (1–3) into
-//! `core::stage3` so every generation in a test build re-checks itself
-//! and fails hard on findings — layer 4 stays out of the validator
-//! because its findings are advisory and test workloads run expensive
-//! queries on purpose.
+//! run layer 4 alone; [`validate::check_equivalence`] /
+//! [`validate::validate_translation`] /
+//! [`validate::execute_reference`] run layer 5 piecewise. With the
+//! `debug-analyze` feature, [`install_debug_validator`] hooks the
+//! *correctness* layers (1–3, plus a quick-budget layer-5 pass when the
+//! static layers are clean) into `core::stage3` so every generation in
+//! a test build re-checks itself and fails hard on findings — layer 4
+//! stays out of the validator because its findings are advisory and
+//! test workloads run expensive queries on purpose.
 
 pub mod cost;
 pub mod diag;
 pub mod ir_check;
 pub mod report;
 pub mod ty;
+pub mod validate;
 pub mod xq_lint;
 
 pub use cost::{check_cost, estimate_prepared, CostOptions, CostReport, Estimate};
-pub use diag::{DiagCode, Diagnostic};
+pub use diag::{DiagCode, Diagnostic, Severity};
 pub use ir_check::check_prepared;
 pub use report::{
-    analyze_sql, analyze_sql_with, analyze_translation, analyze_translation_typed,
-    analyze_translation_typed_with, Analysis, TranslationReport,
+    analyze_sql, analyze_sql_validated, analyze_sql_with, analyze_translation,
+    analyze_translation_typed, analyze_translation_typed_with, Analysis, TranslationReport,
 };
 pub use ty::{
     check_metadata, check_translation, check_types, InferredColumn, ReportedColumn, TypeFlow,
+};
+pub use validate::{
+    check_equivalence, execute_reference, validate_translation, ValidateOptions, ValidationOutcome,
 };
 pub use xq_lint::{lint_program, lint_text};
 
@@ -88,11 +106,23 @@ fn validate_generated(
     // Correctness layers only: advisory `P` findings must not fail a
     // translation (chaos/governance tests execute cartesian stressors
     // and NULL-literal predicates deliberately).
-    report
+    let mut findings: Vec<String> = report
         .ir
         .iter()
         .chain(report.xquery.iter())
         .chain(report.types.iter())
         .map(|d| d.to_string())
-        .collect()
+        .collect();
+    // Layer 5 under the quick budget, only once the static layers are
+    // clean (a statically broken program would just produce a noisier
+    // `V006` for the same root cause). `V` findings are hard errors too:
+    // an inequivalence witness is a miscompilation.
+    if findings.is_empty() {
+        findings.extend(
+            validate::check_equivalence(prepared, &text, &validate::ValidateOptions::quick())
+                .iter()
+                .map(|d| d.to_string()),
+        );
+    }
+    findings
 }

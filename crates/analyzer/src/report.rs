@@ -1,14 +1,15 @@
-//! The combined four-layer report, plus the end-to-end entry point the
+//! The combined five-layer report, plus the end-to-end entry point the
 //! `analyze` bin and the workload harnesses use.
 
 use crate::cost::{self, CostOptions, CostReport};
-use crate::diag::Diagnostic;
+use crate::diag::{Diagnostic, Severity};
+use crate::validate::{self, ValidateOptions};
 use crate::{ir_check, ty, xq_lint};
 use aldsp_catalog::MetadataApi;
 use aldsp_core::ir::PreparedQuery;
 use aldsp_core::{stage1, stage2, stage3, wrapper, TranslateError, TranslationOptions, Transport};
 
-/// All four analysis layers over one translation.
+/// All five analysis layers over one translation.
 #[derive(Debug, Clone, Default)]
 pub struct TranslationReport {
     /// Layer-1 findings (IR invariants, `A0xx`).
@@ -17,25 +18,32 @@ pub struct TranslationReport {
     pub xquery: Vec<Diagnostic>,
     /// Layer-3 findings (type flow + translation type diff, `T0xx`).
     pub types: Vec<Diagnostic>,
+    /// Layer-5 findings (bounded equivalence validation, `V0xx`).
+    /// Empty unless validation was requested
+    /// ([`analyze_sql_validated`] / [`validate::check_equivalence`]).
+    pub validation: Vec<Diagnostic>,
     /// Layer-4 result: cardinality/cost estimates and the advisory
     /// `P0xx` findings.
     pub cost: CostReport,
 }
 
 impl TranslationReport {
-    /// True when no *correctness* layer found anything (`A`/`T` codes).
-    /// Layer-4 `P` findings are advisory — a `P`-flagged query still
-    /// computes the right answer — so they deliberately do not dirty
-    /// this predicate (chaos workloads run cartesian stressors on
-    /// purpose). Use [`TranslationReport::is_performance_clean`] or
+    /// True when no finding of [`Severity::Error`] is present — the
+    /// correctness layers (`A`/`T` codes) and, when validation ran, the
+    /// `V` codes. Layer-4 `P` findings are advisory or warning — a
+    /// `P`-flagged query still computes the right answer — so they
+    /// deliberately do not dirty this predicate (chaos workloads run
+    /// cartesian stressors on purpose). Use
+    /// [`TranslationReport::is_performance_clean`] or
     /// [`TranslationReport::all`] when `P` findings should count.
     pub fn is_clean(&self) -> bool {
-        self.ir.is_empty() && self.xquery.is_empty() && self.types.is_empty()
+        self.all().all(|d| d.severity() != Severity::Error)
     }
 
-    /// True when layer 4 found no performance lints either.
+    /// True when there are no warning/advisory findings either (today:
+    /// layer 4's performance lints).
     pub fn is_performance_clean(&self) -> bool {
-        self.cost.diagnostics.is_empty()
+        !self.all().any(|d| d.severity() != Severity::Error)
     }
 
     /// All findings, layer 1 first, advisory layer-4 findings last.
@@ -44,6 +52,7 @@ impl TranslationReport {
             .iter()
             .chain(self.xquery.iter())
             .chain(self.types.iter())
+            .chain(self.validation.iter())
             .chain(self.cost.diagnostics.iter())
     }
 
@@ -84,6 +93,7 @@ pub fn analyze_translation_typed_with(
             ir,
             xquery,
             types,
+            validation: Vec::new(),
             cost,
         },
         flow.columns,
@@ -150,4 +160,33 @@ pub fn analyze_sql<M: MetadataApi>(
     options: TranslationOptions,
 ) -> Result<Analysis, TranslateError> {
     analyze_sql_with(sql, metadata, options, &CostOptions::default())
+}
+
+/// [`analyze_sql_with`] plus layer 5: runs the bounded equivalence
+/// validator over the translation under `validate_options`, filling
+/// [`TranslationReport::validation`]. `V` findings are hard errors
+/// ([`TranslationReport::is_clean`] goes false), because an observed
+/// inequivalence on a concrete witness database is a miscompilation,
+/// not advice.
+pub fn analyze_sql_validated<M: MetadataApi>(
+    sql: &str,
+    metadata: &M,
+    options: TranslationOptions,
+    cost_options: &CostOptions,
+    validate_options: &ValidateOptions,
+) -> Result<Analysis, TranslateError> {
+    let parsed = stage1::parse(sql)?;
+    let prepared = stage2::prepare(&parsed, metadata)?;
+    let generated = stage3::generate(&prepared)?;
+    let xquery = match options.transport {
+        Transport::Xml => generated.into_query_text(),
+        Transport::DelimitedText => wrapper::wrap_delimited(generated, &prepared),
+    };
+    let (mut report, typing) = analyze_translation_typed_with(&prepared, &xquery, cost_options);
+    report.validation = validate::check_equivalence(&prepared, &xquery, validate_options);
+    Ok(Analysis {
+        xquery,
+        report,
+        typing,
+    })
 }

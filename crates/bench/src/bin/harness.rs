@@ -49,6 +49,9 @@ fn main() {
     if want("e10") || args.iter().any(|a| a == "cost") {
         e10_cost_model(smoke);
     }
+    if want("e11") || args.iter().any(|a| a == "validation") {
+        e11_validation(smoke);
+    }
 }
 
 /// `percentile(sorted, 0.95)` — nearest-rank over a sorted sample set.
@@ -789,6 +792,205 @@ fn e10_cost_model(smoke: bool) {
     );
     std::fs::write("BENCH_cost.json", json).unwrap();
     println!("wrote BENCH_cost.json");
+    println!();
+}
+
+/// E11: layer-5 validation teeth — the false-positive rate on
+/// known-good translations and the kill rate on seeded translation
+/// mutants. Every golden statement (both transports) and >= 500 fuzzed
+/// queries per seed must validate clean under the default witness
+/// budget; >= 90% of >= 200 seeded mutants must be refuted with a
+/// `V`-code. Emits `BENCH_validation.json`.
+fn e11_validation(smoke: bool) {
+    use aldsp_analyzer::{validate_translation, ValidateOptions};
+    use aldsp_core::{stage1, stage2, stage3, wrapper};
+    use aldsp_workload::{mutants_for, MutationClass, QueryGenerator};
+    use std::collections::BTreeMap;
+
+    println!("== E11: bounded equivalence validation teeth ==");
+    let app = aldsp_workload::build_application();
+    let metadata = CachedMetadataApi::new(InProcessMetadataApi::new(
+        TableLocator::for_application(&app),
+    ));
+    let defaults = ValidateOptions::default();
+    // The acceptance bars (>= 500 fuzzed queries per seed clean,
+    // >= 90% kill over >= 200 mutants) hold at any scale; smoke only
+    // trims the mutant oversample, never the bar's sample sizes.
+    let per_seed = 500usize;
+    let mutant_target = if smoke { 220 } else { 450 };
+
+    let translate = |sql: &str| {
+        let parsed =
+            stage1::parse(sql).unwrap_or_else(|e| panic!("E11: stage 1 rejected `{sql}`: {e}"));
+        let prepared = stage2::prepare(&parsed, &metadata)
+            .unwrap_or_else(|e| panic!("E11: stage 2 rejected `{sql}`: {e}"));
+        let generated = stage3::generate(&prepared)
+            .unwrap_or_else(|e| panic!("E11: stage 3 rejected `{sql}`: {e}"));
+        let xml = generated.clone().into_query_text();
+        let delimited = wrapper::wrap_delimited(generated, &prepared);
+        (prepared, xml, delimited)
+    };
+
+    let mut latency_us: Vec<f64> = Vec::new();
+    let mut witnesses = 0usize;
+    let mut validated = 0usize;
+    let mut false_positives: Vec<String> = Vec::new();
+
+    // -- false positives: the golden statements, both transports ------
+    let golden = std::fs::read_to_string("tests/golden.sql")
+        .or_else(|_| {
+            std::fs::read_to_string(concat!(
+                env!("CARGO_MANIFEST_DIR"),
+                "/../../tests/golden.sql"
+            ))
+        })
+        .expect("E11: tests/golden.sql not found");
+    let mut golden_statements = 0usize;
+    for sql in golden
+        .lines()
+        .filter(|l| !l.trim_start().starts_with("--"))
+        .collect::<String>()
+        .split(';')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+    {
+        golden_statements += 1;
+        let (prepared, xml, delimited) = translate(sql);
+        for text in [&xml, &delimited] {
+            let started = Instant::now();
+            let outcome = validate_translation(&prepared, text, &defaults);
+            latency_us.push(started.elapsed().as_secs_f64() * 1e6);
+            witnesses += outcome.witnesses_checked;
+            validated += 1;
+            for d in &outcome.diagnostics {
+                false_positives.push(format!("golden `{sql}`: {d}"));
+            }
+        }
+    }
+
+    // -- false positives: the fuzzed workload, both transports --------
+    // The XML-transport translations double as the mutation corpus.
+    let mut corpus: Vec<(aldsp_core::ir::PreparedQuery, String)> = Vec::new();
+    let mut fuzzed_clean = 0usize;
+    for seed in [11u64, 23] {
+        let mut generator = QueryGenerator::new(seed);
+        for _ in 0..per_seed {
+            let (_, sql) = generator.generate_any();
+            let (prepared, xml, delimited) = translate(&sql);
+            for text in [&xml, &delimited] {
+                let started = Instant::now();
+                let outcome = validate_translation(&prepared, text, &defaults);
+                latency_us.push(started.elapsed().as_secs_f64() * 1e6);
+                witnesses += outcome.witnesses_checked;
+                validated += 1;
+                for d in &outcome.diagnostics {
+                    false_positives.push(format!("seed {seed} `{sql}`: {d}"));
+                }
+            }
+            fuzzed_clean += 1;
+            corpus.push((prepared, xml));
+        }
+    }
+    if !false_positives.is_empty() {
+        for fp in false_positives.iter().take(10) {
+            println!("FALSE POSITIVE: {fp}");
+        }
+    }
+
+    // -- mutation kill rate -------------------------------------------
+    let mut mutants_total = 0usize;
+    let mut killed_total = 0usize;
+    let mut by_class: BTreeMap<&'static str, (usize, usize)> = BTreeMap::new();
+    for class in MutationClass::all() {
+        by_class.insert(class.name(), (0, 0));
+    }
+    let mut escaped: Vec<String> = Vec::new();
+    'corpus: for (prepared, xml) in &corpus {
+        for mutant in mutants_for(xml) {
+            let outcome = validate_translation(prepared, &mutant.xquery, &defaults);
+            mutants_total += 1;
+            let entry = by_class.entry(mutant.class.name()).or_insert((0, 0));
+            entry.0 += 1;
+            if outcome.diagnostics.is_empty() {
+                if escaped.len() < 8 {
+                    escaped.push(format!("[{}] {}", mutant.class.name(), mutant.description));
+                }
+            } else {
+                killed_total += 1;
+                entry.1 += 1;
+            }
+        }
+        if mutants_total >= mutant_target {
+            break 'corpus;
+        }
+    }
+    let kill_rate = killed_total as f64 / mutants_total.max(1) as f64;
+
+    let sorted = sorted_us(latency_us);
+    let p50 = percentile(&sorted, 0.50);
+    let p95 = percentile(&sorted, 0.95);
+    let witnesses_per_query = witnesses as f64 / validated.max(1) as f64;
+
+    println!(
+        "{:>22} {:>8} {:>8} {:>10}",
+        "mutation class", "mutants", "killed", "kill rate"
+    );
+    for (name, (n, k)) in &by_class {
+        let rate = if *n == 0 {
+            String::from("-")
+        } else {
+            format!("{:.3}", *k as f64 / *n as f64)
+        };
+        println!("{name:>22} {n:>8} {k:>8} {rate:>10}");
+    }
+    println!(
+        "{validated} clean validations ({golden_statements} golden x 2 transports + \
+         {fuzzed_clean} fuzzed x 2 transports): {} false positives, \
+         {witnesses_per_query:.1} witness dbs/query, p50 {p50:.0}us p95 {p95:.0}us",
+        false_positives.len()
+    );
+    println!("{killed_total}/{mutants_total} seeded mutants refuted ({kill_rate:.3})");
+    for e in &escaped {
+        println!("  escaped: {e}");
+    }
+
+    assert!(
+        false_positives.is_empty(),
+        "acceptance: validator must report 0 false positives on clean \
+         translations, got {}",
+        false_positives.len()
+    );
+    assert!(
+        fuzzed_clean >= 2 * 500,
+        "acceptance: E11 must validate >= 500 fuzzed queries per seed, got {fuzzed_clean}"
+    );
+    assert!(
+        mutants_total >= 200,
+        "acceptance: E11 must judge >= 200 seeded mutants, got {mutants_total}"
+    );
+    assert!(
+        kill_rate >= 0.90,
+        "acceptance: validator must refute >= 90% of seeded mutants, \
+         got {killed_total}/{mutants_total} = {kill_rate:.3}"
+    );
+
+    let by_class_json = by_class
+        .iter()
+        .map(|(name, (n, k))| format!("    \"{name}\": {{\"mutants\": {n}, \"killed\": {k}}}"))
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let json = format!(
+        "{{\n  \"smoke\": {smoke},\n  \"golden_statements\": {golden_statements},\n  \
+         \"fuzzed_clean\": {fuzzed_clean},\n  \"clean_validations\": {validated},\n  \
+         \"false_positives\": {},\n  \"mutants\": {mutants_total},\n  \
+         \"killed\": {killed_total},\n  \"kill_rate\": {kill_rate:.4},\n  \"bar\": 0.9,\n  \
+         \"witnesses_per_query\": {witnesses_per_query:.2},\n  \
+         \"validation_p50_us\": {p50:.1},\n  \"validation_p95_us\": {p95:.1},\n  \
+         \"kill_by_class\": {{\n{by_class_json}\n  }}\n}}\n",
+        false_positives.len()
+    );
+    std::fs::write("BENCH_validation.json", json).unwrap();
+    println!("wrote BENCH_validation.json");
     println!();
 }
 

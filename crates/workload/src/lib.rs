@@ -30,6 +30,7 @@
 pub mod cached;
 pub mod chaos;
 pub mod differential;
+pub mod mutation;
 pub mod overload;
 pub mod querygen;
 pub mod schema;
@@ -40,6 +41,7 @@ pub use cached::{
 };
 pub use chaos::{run_chaos, ChaosConfig, ChaosReport};
 pub use differential::{compare_results, run_differential, DifferentialReport, Mismatch};
+pub use mutation::{mutants_for, Mutant, MutationClass};
 pub use overload::{run_overload, OverloadConfig, OverloadReport};
 pub use querygen::{ConstructClass, QueryGenerator};
 pub use schema::{build_application, paper_queries, populate_database, stats_for, Scale};

@@ -1,0 +1,545 @@
+//! Seeded mutation of generated XQuery, for measuring the layer-5
+//! validator's kill rate (harness E11).
+//!
+//! A validator that never fires on real translations proves nothing by
+//! itself — it must also *refute* wrong translations. This module
+//! manufactures wrong ones systematically: parse a generated query,
+//! perturb the AST in one targeted, semantics-breaking way, serialize it
+//! back (`aldsp_xquery::unparse`), and hand the mutant to the validator.
+//! Each [`MutationClass`] models a plausible translator bug:
+//!
+//! * [`SwapComparison`](MutationClass::SwapComparison) — a predicate
+//!   translated with the wrong operator (§3.5 (ii)'s comparison
+//!   mapping): `=`↔`!=`, `<`↔`<=`, `>`↔`>=`. Strict-vs-inclusive swaps
+//!   are only observable on boundary values, which the witness
+//!   enumerator seeds from the query's own literals.
+//! * [`DropWhere`](MutationClass::DropWhere) — a lost WHERE/HAVING:
+//!   remove one `where` clause.
+//! * [`ReorderFlwor`](MutationClass::ReorderFlwor) — zone discipline
+//!   broken (§3.5 (iv)): hoist a later `where` clause to just after its
+//!   FLWOR's leading clause, ahead of a `for`/`let`/`group` binding it
+//!   depends on (the mutant still parses but evaluates an unbound
+//!   variable).
+//! * [`PositionalOffByOne`](MutationClass::PositionalOffByOne) — an
+//!   off-by-one in a positional/filter predicate: increment an integer
+//!   literal inside a `[...]`.
+//! * [`DropOuterPad`](MutationClass::DropOuterPad) — outer-join NULL
+//!   padding lost (§3.4.2): replace an
+//!   `if (fn:empty(...)) then <pad> else <matched>` with its matched
+//!   branch only.
+//! * [`FlipOrderDirection`](MutationClass::FlipOrderDirection) —
+//!   ascending/descending inverted on an `order by` key.
+//!
+//! Mutants are enumerated deterministically (pre-order site order, one
+//! mutation per mutant), so a harness run is reproducible without any
+//! RNG.
+
+use aldsp_xml::Atomic;
+use aldsp_xquery::ast::{Clause, CompOp, Content, Expr, PathStart, Program};
+use aldsp_xquery::{parse_program, unparse_program};
+
+/// One family of seeded translator bugs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MutationClass {
+    /// Swap a comparison operator with its boundary neighbour.
+    SwapComparison,
+    /// Remove one `where` clause.
+    DropWhere,
+    /// Hoist a non-leading `where` clause to the front of its FLWOR.
+    ReorderFlwor,
+    /// Increment an integer literal inside a predicate.
+    PositionalOffByOne,
+    /// Replace an `if (fn:empty(...))` padding conditional with its
+    /// else branch.
+    DropOuterPad,
+    /// Toggle `descending` on an `order by` key.
+    FlipOrderDirection,
+}
+
+impl MutationClass {
+    /// Every class, in a stable order.
+    pub fn all() -> [MutationClass; 6] {
+        [
+            MutationClass::SwapComparison,
+            MutationClass::DropWhere,
+            MutationClass::ReorderFlwor,
+            MutationClass::PositionalOffByOne,
+            MutationClass::DropOuterPad,
+            MutationClass::FlipOrderDirection,
+        ]
+    }
+
+    /// Stable identifier used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            MutationClass::SwapComparison => "swap_comparison",
+            MutationClass::DropWhere => "drop_where",
+            MutationClass::ReorderFlwor => "reorder_flwor",
+            MutationClass::PositionalOffByOne => "positional_off_by_one",
+            MutationClass::DropOuterPad => "drop_outer_pad",
+            MutationClass::FlipOrderDirection => "flip_order_direction",
+        }
+    }
+}
+
+/// One corrupted translation.
+#[derive(Debug, Clone)]
+pub struct Mutant {
+    /// Which bug family produced it.
+    pub class: MutationClass,
+    /// Human-readable description of the specific site mutated.
+    pub description: String,
+    /// The corrupted query text.
+    pub xquery: String,
+}
+
+/// Enumerates every applicable single-site mutant of `xquery_text`.
+/// Unparsable text yields no mutants. Mutants whose serialized text
+/// equals the original (a self-inverse site, e.g. reordering a `where`
+/// already in front) are dropped.
+pub fn mutants_for(xquery_text: &str) -> Vec<Mutant> {
+    let Ok(program) = parse_program(xquery_text) else {
+        return Vec::new();
+    };
+    let original = unparse_program(&program);
+    let mut mutants = Vec::new();
+    for class in MutationClass::all() {
+        let sites = {
+            let mut probe = program.clone();
+            let mut counter = 0usize;
+            mutate_program(&mut probe, class, usize::MAX, &mut counter);
+            counter
+        };
+        for site in 0..sites {
+            let mut mutated = program.clone();
+            let mut counter = 0usize;
+            if !mutate_program(&mut mutated, class, site, &mut counter) {
+                continue;
+            }
+            let text = unparse_program(&mutated);
+            if text == original {
+                continue;
+            }
+            mutants.push(Mutant {
+                class,
+                description: format!("{} at site {site}", class.name()),
+                xquery: text,
+            });
+        }
+    }
+    mutants
+}
+
+/// Applies `class` at the `target`-th site (pre-order), counting sites
+/// into `counter` along the way. Returns true once a mutation happened.
+fn mutate_program(
+    program: &mut Program,
+    class: MutationClass,
+    target: usize,
+    counter: &mut usize,
+) -> bool {
+    mutate_expr(&mut program.body, class, target, counter, false)
+}
+
+/// `in_predicate` tracks whether the walk is inside a `[...]` — the
+/// scope `PositionalOffByOne` applies to.
+fn mutate_expr(
+    expr: &mut Expr,
+    class: MutationClass,
+    target: usize,
+    counter: &mut usize,
+    in_predicate: bool,
+) -> bool {
+    // Site checks at this node first (pre-order).
+    match (&class, &mut *expr) {
+        (MutationClass::SwapComparison, Expr::GeneralComp { op, .. })
+        | (MutationClass::SwapComparison, Expr::ValueComp { op, .. })
+            if bump(counter, target) =>
+        {
+            *op = swap_comp(*op);
+            return true;
+        }
+        (MutationClass::PositionalOffByOne, Expr::Literal(atomic)) if in_predicate => {
+            if let Atomic::Integer(i) = atomic {
+                if bump(counter, target) {
+                    *atomic = Atomic::Integer(*i + 1);
+                    return true;
+                }
+            }
+        }
+        (MutationClass::DropOuterPad, Expr::If { cond, els, .. }) => {
+            let is_empty_guard = matches!(
+                &**cond,
+                Expr::FunctionCall { name, .. } if name == "fn:empty" || name == "empty"
+            );
+            if is_empty_guard && bump(counter, target) {
+                *expr = (**els).clone();
+                // The replacement subtree still gets walked by the
+                // caller's recursion below only via a fresh traversal;
+                // returning here keeps this a single-site mutation.
+                return true;
+            }
+        }
+        _ => {}
+    }
+
+    // FLWOR clause-level sites.
+    if let Expr::Flwor(flwor) = expr {
+        match class {
+            MutationClass::DropWhere => {
+                let wheres: Vec<usize> = flwor
+                    .clauses
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, c)| matches!(c, Clause::Where(_)))
+                    .map(|(i, _)| i)
+                    .collect();
+                for i in wheres {
+                    if bump(counter, target) {
+                        flwor.clauses.remove(i);
+                        return true;
+                    }
+                }
+            }
+            MutationClass::ReorderFlwor => {
+                // A `where` is only a reorder site when hoisting it to
+                // just after the leading clause moves it ahead of a
+                // clause that binds one of its variables: the mutant
+                // still parses (the FLWOR keeps its leading `for`/`let`)
+                // but evaluates an unbound variable. Independent
+                // `where`s are skipped — moving them is semantically
+                // neutral and would dilute the kill-rate measurement.
+                let sites: Vec<usize> = flwor
+                    .clauses
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, c)| {
+                        let Clause::Where(cond) = c else { return false };
+                        *i >= 2 && {
+                            let mut used = Vec::new();
+                            collect_var_refs(cond, &mut used);
+                            flwor.clauses[1..*i]
+                                .iter()
+                                .any(|b| binder_vars(b).iter().any(|v| used.iter().any(|u| u == v)))
+                        }
+                    })
+                    .map(|(i, _)| i)
+                    .collect();
+                for i in sites {
+                    if bump(counter, target) {
+                        let clause = flwor.clauses.remove(i);
+                        flwor.clauses.insert(1, clause);
+                        return true;
+                    }
+                }
+            }
+            MutationClass::FlipOrderDirection => {
+                for clause in &mut flwor.clauses {
+                    if let Clause::OrderBy(specs) = clause {
+                        for spec in specs.iter_mut() {
+                            if bump(counter, target) {
+                                spec.descending = !spec.descending;
+                                return true;
+                            }
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // Recurse into children.
+    each_child(expr, &mut |child, child_in_pred| {
+        mutate_expr(child, class, target, counter, in_predicate || child_in_pred)
+    })
+}
+
+/// Variables a FLWOR clause binds.
+fn binder_vars(clause: &Clause) -> Vec<&str> {
+    match clause {
+        Clause::For { var, .. } | Clause::Let { var, .. } => vec![var.as_str()],
+        Clause::GroupBy(group) => {
+            let mut vars = vec![group.partition_var.as_str()];
+            vars.extend(group.keys.iter().map(|(_, v)| v.as_str()));
+            vars
+        }
+        Clause::Where(_) | Clause::OrderBy(_) => Vec::new(),
+    }
+}
+
+/// Collects every `$var` reference in a subtree (immutably; used for
+/// reorder-site eligibility).
+fn collect_var_refs(expr: &Expr, out: &mut Vec<String>) {
+    if let Expr::VarRef(name) = expr {
+        out.push(name.clone());
+    }
+    // Reuse the mutable walker over a clone-free path: a tiny local
+    // recursion keeps this read-only.
+    match expr {
+        Expr::Sequence(items) => items.iter().for_each(|e| collect_var_refs(e, out)),
+        Expr::FunctionCall { args, .. } => args.iter().for_each(|e| collect_var_refs(e, out)),
+        Expr::Path { start, steps } => {
+            if let PathStart::Var(v) = &**start {
+                out.push(v.clone());
+            }
+            if let PathStart::Expr(e) = &**start {
+                collect_var_refs(e, out);
+            }
+            steps
+                .iter()
+                .flat_map(|s| s.predicates.iter())
+                .for_each(|p| collect_var_refs(p, out));
+        }
+        Expr::Filter { base, predicates } => {
+            collect_var_refs(base, out);
+            predicates.iter().for_each(|p| collect_var_refs(p, out));
+        }
+        Expr::Flwor(flwor) => {
+            for clause in &flwor.clauses {
+                match clause {
+                    Clause::For { source, .. } => collect_var_refs(source, out),
+                    Clause::Let { value, .. } => collect_var_refs(value, out),
+                    Clause::Where(cond) => collect_var_refs(cond, out),
+                    Clause::GroupBy(group) => {
+                        out.push(group.source_var.clone());
+                        group
+                            .keys
+                            .iter()
+                            .for_each(|(k, _)| collect_var_refs(k, out));
+                    }
+                    Clause::OrderBy(specs) => {
+                        specs.iter().for_each(|s| collect_var_refs(&s.key, out))
+                    }
+                }
+            }
+            collect_var_refs(&flwor.ret, out);
+        }
+        Expr::If { cond, then, els } => {
+            collect_var_refs(cond, out);
+            collect_var_refs(then, out);
+            collect_var_refs(els, out);
+        }
+        Expr::Or(l, r)
+        | Expr::And(l, r)
+        | Expr::GeneralComp {
+            left: l, right: r, ..
+        }
+        | Expr::ValueComp {
+            left: l, right: r, ..
+        }
+        | Expr::Arith {
+            left: l, right: r, ..
+        } => {
+            collect_var_refs(l, out);
+            collect_var_refs(r, out);
+        }
+        Expr::UnaryMinus(e) => collect_var_refs(e, out),
+        Expr::Quantified {
+            source, satisfies, ..
+        } => {
+            collect_var_refs(source, out);
+            collect_var_refs(satisfies, out);
+        }
+        Expr::Element(ctor) => collect_ctor_var_refs(ctor, out),
+        Expr::Literal(_) | Expr::EmptySequence | Expr::VarRef(_) | Expr::ContextItem => {}
+    }
+}
+
+fn collect_ctor_var_refs(ctor: &aldsp_xquery::ast::ElementCtor, out: &mut Vec<String>) {
+    for (_, parts) in &ctor.attributes {
+        for part in parts {
+            if let aldsp_xquery::ast::AttrPart::Enclosed(e) = part {
+                collect_var_refs(e, out);
+            }
+        }
+    }
+    for content in &ctor.content {
+        match content {
+            Content::Text(_) => {}
+            Content::Enclosed(e) => collect_var_refs(e, out),
+            Content::Element(child) => collect_ctor_var_refs(child, out),
+        }
+    }
+}
+
+fn bump(counter: &mut usize, target: usize) -> bool {
+    let hit = *counter == target;
+    *counter += 1;
+    hit
+}
+
+fn swap_comp(op: CompOp) -> CompOp {
+    match op {
+        CompOp::Eq => CompOp::Ne,
+        CompOp::Ne => CompOp::Eq,
+        CompOp::Lt => CompOp::Le,
+        CompOp::Le => CompOp::Lt,
+        CompOp::Gt => CompOp::Ge,
+        CompOp::Ge => CompOp::Gt,
+    }
+}
+
+/// Visits each direct child expression; the callback's second argument
+/// is true when the child lives inside a predicate. Stops (returning
+/// true) as soon as the callback does.
+fn each_child(expr: &mut Expr, f: &mut dyn FnMut(&mut Expr, bool) -> bool) -> bool {
+    match expr {
+        Expr::Literal(_) | Expr::EmptySequence | Expr::VarRef(_) | Expr::ContextItem => false,
+        Expr::Sequence(items) => items.iter_mut().any(|e| f(e, false)),
+        Expr::FunctionCall { args, .. } => args.iter_mut().any(|e| f(e, false)),
+        Expr::Path { start, steps } => {
+            if let PathStart::Expr(e) = &mut **start {
+                if f(e, false) {
+                    return true;
+                }
+            }
+            steps
+                .iter_mut()
+                .any(|s| s.predicates.iter_mut().any(|p| f(p, true)))
+        }
+        Expr::Filter { base, predicates } => {
+            f(base, false) || predicates.iter_mut().any(|p| f(p, true))
+        }
+        Expr::Flwor(flwor) => {
+            for clause in &mut flwor.clauses {
+                let hit = match clause {
+                    Clause::For { source, .. } => f(source, false),
+                    Clause::Let { value, .. } => f(value, false),
+                    Clause::Where(cond) => f(cond, false),
+                    Clause::GroupBy(group) => group.keys.iter_mut().any(|(k, _)| f(k, false)),
+                    Clause::OrderBy(specs) => specs.iter_mut().any(|s| f(&mut s.key, false)),
+                };
+                if hit {
+                    return true;
+                }
+            }
+            f(&mut flwor.ret, false)
+        }
+        Expr::If { cond, then, els } => f(cond, false) || f(then, false) || f(els, false),
+        Expr::Or(l, r)
+        | Expr::And(l, r)
+        | Expr::GeneralComp {
+            left: l, right: r, ..
+        }
+        | Expr::ValueComp {
+            left: l, right: r, ..
+        }
+        | Expr::Arith {
+            left: l, right: r, ..
+        } => f(l, false) || f(r, false),
+        Expr::UnaryMinus(e) => f(e, false),
+        Expr::Quantified {
+            source, satisfies, ..
+        } => f(source, false) || f(satisfies, false),
+        Expr::Element(ctor) => each_ctor_child(ctor, f),
+    }
+}
+
+fn each_ctor_child(
+    ctor: &mut aldsp_xquery::ast::ElementCtor,
+    f: &mut dyn FnMut(&mut Expr, bool) -> bool,
+) -> bool {
+    for (_, parts) in &mut ctor.attributes {
+        for part in parts {
+            if let aldsp_xquery::ast::AttrPart::Enclosed(e) = part {
+                if f(e, false) {
+                    return true;
+                }
+            }
+        }
+    }
+    for content in &mut ctor.content {
+        let hit = match content {
+            Content::Text(_) => false,
+            Content::Enclosed(e) => f(e, false),
+            Content::Element(child) => each_ctor_child(child, f),
+        };
+        if hit {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const QUERY: &str = "for $v in ns0:CUSTOMERS() \
+        where $v/CUSTOMERID > xs:integer(3) \
+        order by $v/REGION descending \
+        return <RECORD>{fn:data($v/CUSTOMERID)}</RECORD>";
+
+    #[test]
+    fn enumerates_applicable_classes() {
+        let mutants = mutants_for(QUERY);
+        let classes: Vec<&str> = mutants.iter().map(|m| m.class.name()).collect();
+        assert!(classes.contains(&"swap_comparison"), "{classes:?}");
+        assert!(classes.contains(&"drop_where"), "{classes:?}");
+        assert!(classes.contains(&"flip_order_direction"), "{classes:?}");
+        // Every mutant differs from the original and reparses.
+        for m in &mutants {
+            assert_ne!(m.xquery, QUERY);
+            parse_program(&m.xquery).expect("mutant parses");
+        }
+    }
+
+    #[test]
+    fn swap_is_targeted_and_single_site() {
+        let text = "for $v in (1, 2) where $v > 1 and $v < 5 return $v";
+        let mutants: Vec<Mutant> = mutants_for(text)
+            .into_iter()
+            .filter(|m| m.class == MutationClass::SwapComparison)
+            .collect();
+        assert_eq!(mutants.len(), 2);
+        assert!(mutants[0].xquery.contains(">=") && !mutants[0].xquery.contains("<="));
+        assert!(mutants[1].xquery.contains("<=") && !mutants[1].xquery.contains(">="));
+    }
+
+    #[test]
+    fn drop_outer_pad_targets_empty_guards() {
+        let text = "for $l in ns0:T() return if (fn:empty($l/X)) then <RECORD/> else \
+                    (for $r in $l/X return <RECORD>{$r}</RECORD>)";
+        let mutants: Vec<Mutant> = mutants_for(text)
+            .into_iter()
+            .filter(|m| m.class == MutationClass::DropOuterPad)
+            .collect();
+        assert_eq!(mutants.len(), 1);
+        assert!(!mutants[0].xquery.contains("if ("), "{}", mutants[0].xquery);
+    }
+
+    #[test]
+    fn off_by_one_only_inside_predicates() {
+        let text = "for $v in ns0:T() return $v/A[1] + 1";
+        let mutants: Vec<Mutant> = mutants_for(text)
+            .into_iter()
+            .filter(|m| m.class == MutationClass::PositionalOffByOne)
+            .collect();
+        assert_eq!(mutants.len(), 1);
+        assert!(mutants[0].xquery.contains("[2]"), "{}", mutants[0].xquery);
+        assert!(mutants[0].xquery.contains("+ 1"), "{}", mutants[0].xquery);
+    }
+
+    #[test]
+    fn reorder_targets_dependent_wheres_only() {
+        // `where $w = 1` depends on the `let` at index 1: site.
+        let dependent = "for $v in (1, 2) let $w := $v + 1 where $w = 1 return $w";
+        let mutants: Vec<Mutant> = mutants_for(dependent)
+            .into_iter()
+            .filter(|m| m.class == MutationClass::ReorderFlwor)
+            .collect();
+        assert_eq!(mutants.len(), 1);
+        parse_program(&mutants[0].xquery).expect("reorder mutant parses");
+        // `where $v = 1` depends only on the leading clause: not a site.
+        let independent = "for $v in (1, 2) let $w := $v + 1 where $v = 1 return $w";
+        assert!(mutants_for(independent)
+            .iter()
+            .all(|m| m.class != MutationClass::ReorderFlwor));
+    }
+
+    #[test]
+    fn unparsable_text_yields_nothing() {
+        assert!(mutants_for("this is not xquery ((").is_empty());
+    }
+}

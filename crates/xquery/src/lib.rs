@@ -26,6 +26,7 @@ pub mod ast;
 pub mod eval;
 pub mod functions;
 pub mod parser;
+pub mod unparse;
 pub mod visit;
 
 pub use ast::{Clause, Expr, Flwor, Program, SchemaImport};
@@ -34,3 +35,4 @@ pub use eval::{
     Evaluator, FunctionSource, XqError, XqErrorKind,
 };
 pub use parser::{parse_program, XqParseError, XqParseErrorKind, MAX_PARSE_DEPTH};
+pub use unparse::{unparse_expr, unparse_program};

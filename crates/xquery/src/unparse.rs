@@ -1,0 +1,481 @@
+//! Serialization of the XQuery AST back to parseable source text.
+//!
+//! The translator only ever *emits* query text, so until the layer-5
+//! mutation harness there was no need to go the other way. The harness
+//! parses a generated query, perturbs the AST (swap an operator, drop a
+//! `where`, reorder clauses), and needs concrete text again to hand to
+//! the validator — exactly this module's job.
+//!
+//! The contract is **reparse fidelity**, not byte fidelity:
+//! `parse_program(&unparse_program(&p))` yields an AST equal to `p` for
+//! every program the parser can produce. Operands are parenthesized by
+//! precedence (parentheses around a single expression are transparent to
+//! the parser, so extra ones are always safe), paths are written without
+//! whitespace before `/`, string literals double their quotes and entity-
+//! escape markup characters (the parser unescapes on read), and numeric
+//! literals keep their lexical class: a decimal always carries a `.`, a
+//! double always carries an exponent.
+//!
+//! Two AST shapes have no literal source spelling and serialize as the
+//! equivalent call: `Atomic::Boolean` as `fn:true()`/`fn:false()` and
+//! `Atomic::Date` as `xs:date("...")`. Neither is ever produced by the
+//! parser, so reparse fidelity is unaffected.
+
+use crate::ast::{
+    ArithOp, AttrPart, Clause, CompOp, Content, ElementCtor, Expr, Flwor, NodeTest, PathStart,
+    Program, SchemaImport, Step,
+};
+use aldsp_xml::escape::{escape_attribute, escape_text};
+use aldsp_xml::Atomic;
+use std::fmt::Write;
+
+/// Serializes a whole program: prolog imports, then the body.
+pub fn unparse_program(program: &Program) -> String {
+    let mut out = String::new();
+    for import in &program.imports {
+        unparse_import(&mut out, import);
+    }
+    write_expr(&mut out, &program.body, 0);
+    out
+}
+
+/// Serializes one expression (no prolog).
+pub fn unparse_expr(expr: &Expr) -> String {
+    let mut out = String::new();
+    write_expr(&mut out, expr, 0);
+    out
+}
+
+fn unparse_import(out: &mut String, import: &SchemaImport) {
+    let _ = writeln!(
+        out,
+        "import schema namespace {} = {} at {};",
+        import.prefix,
+        string_literal(&import.namespace),
+        string_literal(&import.location)
+    );
+}
+
+// Precedence ladder, mirroring the parser's descent. A child whose level
+// is below its context's requirement gets parenthesized.
+const PREC_SINGLE: u8 = 0; // flwor / if / quantified
+const PREC_OR: u8 = 1;
+const PREC_AND: u8 = 2;
+const PREC_COMP: u8 = 3; // non-associative
+const PREC_ADD: u8 = 4;
+const PREC_MUL: u8 = 5;
+const PREC_UNARY: u8 = 6;
+const PREC_PATH: u8 = 7;
+const PREC_PRIMARY: u8 = 8;
+
+fn prec(expr: &Expr) -> u8 {
+    match expr {
+        Expr::Flwor(_) | Expr::If { .. } | Expr::Quantified { .. } => PREC_SINGLE,
+        Expr::Or(..) => PREC_OR,
+        Expr::And(..) => PREC_AND,
+        Expr::GeneralComp { .. } | Expr::ValueComp { .. } => PREC_COMP,
+        Expr::Arith { op, .. } => match op {
+            ArithOp::Add | ArithOp::Sub => PREC_ADD,
+            ArithOp::Mul | ArithOp::Div | ArithOp::IDiv | ArithOp::Mod => PREC_MUL,
+        },
+        Expr::UnaryMinus(_) => PREC_UNARY,
+        Expr::Path { .. } | Expr::Filter { .. } => PREC_PATH,
+        // `(a, b)` and `()` serialize with their own parentheses, so they
+        // behave as primaries wherever they appear.
+        Expr::Literal(_)
+        | Expr::EmptySequence
+        | Expr::Sequence(_)
+        | Expr::VarRef(_)
+        | Expr::ContextItem
+        | Expr::FunctionCall { .. }
+        | Expr::Element(_) => PREC_PRIMARY,
+    }
+}
+
+fn write_expr(out: &mut String, expr: &Expr, min_prec: u8) {
+    if prec(expr) < min_prec {
+        out.push('(');
+        write_expr(out, expr, 0);
+        out.push(')');
+        return;
+    }
+    match expr {
+        Expr::Literal(atomic) => write_literal(out, atomic),
+        Expr::EmptySequence => out.push_str("()"),
+        Expr::Sequence(items) => {
+            out.push('(');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_expr(out, item, PREC_SINGLE);
+            }
+            out.push(')');
+        }
+        Expr::VarRef(name) => {
+            out.push('$');
+            out.push_str(name);
+        }
+        Expr::ContextItem => out.push('.'),
+        Expr::FunctionCall { name, args } => {
+            out.push_str(name);
+            out.push('(');
+            for (i, arg) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_expr(out, arg, PREC_SINGLE);
+            }
+            out.push(')');
+        }
+        Expr::Path { start, steps } => {
+            match &**start {
+                PathStart::Var(v) => {
+                    out.push('$');
+                    out.push_str(v);
+                }
+                // A function call is a primary and cannot absorb the
+                // following steps, so it may start the path bare; any
+                // other expression is parenthesized.
+                PathStart::Expr(e @ Expr::FunctionCall { .. }) => write_expr(out, e, PREC_PRIMARY),
+                PathStart::Expr(e) => {
+                    out.push('(');
+                    write_expr(out, e, 0);
+                    out.push(')');
+                }
+                PathStart::Context => {
+                    // Relative path: the first step is written bare.
+                    write_steps(out, steps, true);
+                    return;
+                }
+            }
+            write_steps(out, steps, false);
+        }
+        Expr::Filter { base, predicates } => {
+            match &**base {
+                // Primaries that cannot absorb a `[...]` differently may
+                // stay bare; everything else (notably paths, whose last
+                // step would capture the predicate) is parenthesized.
+                Expr::VarRef(_) | Expr::FunctionCall { .. } => write_expr(out, base, PREC_PRIMARY),
+                other => {
+                    out.push('(');
+                    write_expr(out, other, 0);
+                    out.push(')');
+                }
+            }
+            for p in predicates {
+                out.push('[');
+                write_expr(out, p, PREC_SINGLE);
+                out.push(']');
+            }
+        }
+        Expr::Flwor(flwor) => write_flwor(out, flwor),
+        Expr::If { cond, then, els } => {
+            out.push_str("if (");
+            write_expr(out, cond, PREC_SINGLE);
+            out.push_str(") then ");
+            write_expr(out, then, PREC_SINGLE);
+            out.push_str(" else ");
+            write_expr(out, els, PREC_SINGLE);
+        }
+        Expr::Or(left, right) => {
+            write_expr(out, left, PREC_OR);
+            out.push_str(" or ");
+            write_expr(out, right, PREC_AND);
+        }
+        Expr::And(left, right) => {
+            write_expr(out, left, PREC_AND);
+            out.push_str(" and ");
+            write_expr(out, right, PREC_COMP);
+        }
+        Expr::GeneralComp { op, left, right } => {
+            write_expr(out, left, PREC_ADD);
+            let _ = write!(out, " {} ", general_op(*op));
+            write_expr(out, right, PREC_ADD);
+        }
+        Expr::ValueComp { op, left, right } => {
+            write_expr(out, left, PREC_ADD);
+            let _ = write!(out, " {} ", value_op(*op));
+            write_expr(out, right, PREC_ADD);
+        }
+        Expr::Arith { op, left, right } => {
+            let (level, text) = match op {
+                ArithOp::Add => (PREC_ADD, "+"),
+                ArithOp::Sub => (PREC_ADD, "-"),
+                ArithOp::Mul => (PREC_MUL, "*"),
+                ArithOp::Div => (PREC_MUL, "div"),
+                ArithOp::IDiv => (PREC_MUL, "idiv"),
+                ArithOp::Mod => (PREC_MUL, "mod"),
+            };
+            write_expr(out, left, level);
+            let _ = write!(out, " {text} ");
+            write_expr(out, right, level + 1);
+        }
+        Expr::UnaryMinus(inner) => {
+            out.push('-');
+            write_expr(out, inner, PREC_UNARY);
+        }
+        Expr::Quantified {
+            every,
+            var,
+            source,
+            satisfies,
+        } => {
+            out.push_str(if *every { "every $" } else { "some $" });
+            out.push_str(var);
+            out.push_str(" in ");
+            write_expr(out, source, PREC_SINGLE);
+            out.push_str(" satisfies ");
+            write_expr(out, satisfies, PREC_SINGLE);
+        }
+        Expr::Element(ctor) => write_element(out, ctor),
+    }
+}
+
+fn write_steps(out: &mut String, steps: &[Step], relative: bool) {
+    for (i, step) in steps.iter().enumerate() {
+        if !(relative && i == 0) {
+            out.push('/');
+        }
+        match &step.test {
+            NodeTest::Name(name) => out.push_str(name),
+            NodeTest::Wildcard => out.push('*'),
+        }
+        for p in &step.predicates {
+            out.push('[');
+            write_expr(out, p, PREC_SINGLE);
+            out.push(']');
+        }
+    }
+}
+
+fn write_flwor(out: &mut String, flwor: &Flwor) {
+    for clause in &flwor.clauses {
+        match clause {
+            Clause::For { var, source } => {
+                out.push_str("for $");
+                out.push_str(var);
+                out.push_str(" in ");
+                write_expr(out, source, PREC_SINGLE);
+            }
+            Clause::Let { var, value } => {
+                out.push_str("let $");
+                out.push_str(var);
+                out.push_str(" := ");
+                write_expr(out, value, PREC_SINGLE);
+            }
+            Clause::Where(cond) => {
+                out.push_str("where ");
+                write_expr(out, cond, PREC_SINGLE);
+            }
+            Clause::GroupBy(group) => {
+                out.push_str("group $");
+                out.push_str(&group.source_var);
+                out.push_str(" as $");
+                out.push_str(&group.partition_var);
+                out.push_str(" by ");
+                for (i, (key, var)) in group.keys.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    write_expr(out, key, PREC_SINGLE);
+                    out.push_str(" as $");
+                    out.push_str(var);
+                }
+            }
+            Clause::OrderBy(specs) => {
+                out.push_str("order by ");
+                for (i, spec) in specs.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    write_expr(out, &spec.key, PREC_SINGLE);
+                    if spec.descending {
+                        out.push_str(" descending");
+                    }
+                    if spec.empty_greatest {
+                        out.push_str(" empty greatest");
+                    }
+                }
+            }
+        }
+        out.push('\n');
+    }
+    out.push_str("return ");
+    write_expr(out, &flwor.ret, PREC_SINGLE);
+}
+
+fn write_element(out: &mut String, ctor: &ElementCtor) {
+    out.push('<');
+    out.push_str(&ctor.name);
+    for (name, parts) in &ctor.attributes {
+        let _ = write!(out, " {name}=\"");
+        for part in parts {
+            match part {
+                AttrPart::Text(text) => out.push_str(&escape_attribute(text)),
+                AttrPart::Enclosed(expr) => {
+                    out.push('{');
+                    write_expr(out, expr, PREC_SINGLE);
+                    out.push('}');
+                }
+            }
+        }
+        out.push('"');
+    }
+    if ctor.content.is_empty() {
+        out.push_str("/>");
+        return;
+    }
+    out.push('>');
+    for content in &ctor.content {
+        match content {
+            Content::Text(text) => out.push_str(&escape_text(text)),
+            Content::Enclosed(expr) => {
+                out.push('{');
+                write_expr(out, expr, PREC_SINGLE);
+                out.push('}');
+            }
+            Content::Element(child) => write_element(out, child),
+        }
+    }
+    let _ = write!(out, "</{}>", ctor.name);
+}
+
+fn write_literal(out: &mut String, atomic: &Atomic) {
+    match atomic {
+        Atomic::String(s) | Atomic::Untyped(s) => out.push_str(&string_literal(s)),
+        Atomic::Integer(i) => {
+            let _ = write!(out, "{i}");
+        }
+        Atomic::Decimal(d) => out.push_str(&decimal_literal(*d)),
+        Atomic::Double(d) => {
+            // `{:e}` always carries an exponent, which is what makes the
+            // token reparse as a double.
+            let _ = write!(out, "{d:e}");
+        }
+        Atomic::Boolean(b) => out.push_str(if *b { "fn:true()" } else { "fn:false()" }),
+        Atomic::Date(d) => {
+            let _ = write!(out, "xs:date({})", string_literal(d));
+        }
+    }
+}
+
+fn general_op(op: CompOp) -> &'static str {
+    match op {
+        CompOp::Eq => "=",
+        CompOp::Ne => "!=",
+        CompOp::Lt => "<",
+        CompOp::Le => "<=",
+        CompOp::Gt => ">",
+        CompOp::Ge => ">=",
+    }
+}
+
+fn value_op(op: CompOp) -> &'static str {
+    match op {
+        CompOp::Eq => "eq",
+        CompOp::Ne => "ne",
+        CompOp::Lt => "lt",
+        CompOp::Le => "le",
+        CompOp::Gt => "gt",
+        CompOp::Ge => "ge",
+    }
+}
+
+/// A double-quoted string literal: markup characters entity-escaped (the
+/// parser unescapes), quotes doubled.
+fn string_literal(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    out.push_str(&escape_text(s).replace('"', "\"\""));
+    out.push('"');
+    out
+}
+
+/// A decimal literal must contain `.` and no exponent to keep its
+/// lexical class on reparse.
+fn decimal_literal(d: f64) -> String {
+    let plain = format!("{d}");
+    if plain.contains(['e', 'E']) {
+        // Forced fixed notation; enough fractional digits to preserve the
+        // value for the magnitudes the dialect produces.
+        format!("{d:.17}")
+    } else if plain.contains('.') {
+        plain
+    } else {
+        format!("{plain}.0")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn roundtrip(text: &str) {
+        let first = parse_program(text).expect("original parses");
+        let unparsed = unparse_program(&first);
+        let second = parse_program(&unparsed)
+            .unwrap_or_else(|e| panic!("unparsed text fails to parse: {e}\n---\n{unparsed}"));
+        assert_eq!(first, second, "roundtrip changed the AST\n---\n{unparsed}");
+    }
+
+    #[test]
+    fn roundtrips_flwor_with_paths_and_comparison() {
+        roundtrip(
+            "for $v in ns0:CUSTOMERS() where $v/CUSTOMERID > xs:integer(3) \
+             order by $v/REGION descending, $v/CREDIT empty greatest \
+             return <RECORD>{fn:data($v/CUSTOMERID)}</RECORD>",
+        );
+    }
+
+    #[test]
+    fn roundtrips_operator_precedence() {
+        roundtrip("for $v in (1, 2) return 1 + 2 * 3 - -4 div 5");
+        roundtrip("for $v in (1) return (1 + 2) * (3 mod 2)");
+        roundtrip("for $v in (1) return $v = 1 or $v != 2 and $v <= 3");
+        roundtrip("for $v in (1) return $v eq 1 and ($v lt 2 or $v ge 0)");
+    }
+
+    #[test]
+    fn roundtrips_filters_predicates_and_relative_paths() {
+        roundtrip("for $p in ns1:PAYMENTS()[CUSTID = 7][2] return $p/PAYMENT");
+        roundtrip("let $t := <R>{(1, 2)}</R> return $t/RECORD[AMOUNT > 5]/AMOUNT");
+        roundtrip("for $v in ns0:T() return fn:count($v/*)");
+    }
+
+    #[test]
+    fn roundtrips_conditionals_and_quantifiers() {
+        roundtrip(
+            "for $v in ns0:T() return if (fn:empty($v/X)) then <A/> else \
+             (for $w in $v/X return <B>{$w}</B>)",
+        );
+        roundtrip("for $v in (1) return some $w in (1, 2) satisfies $w = $v");
+        roundtrip("for $v in (1) return every $w in () satisfies $w != 0");
+    }
+
+    #[test]
+    fn roundtrips_group_by_and_imports() {
+        roundtrip(
+            "import schema namespace ns0 = \"ld:App/T\" at \"ld:App/schemas/T.xsd\"; \
+             for $v in ns0:T() let $k := $v/ID \
+             group $v as $part by $k as $g1, $v/R as $g2 \
+             where fn:count($part) > 1 return <G>{$g1}</G>",
+        );
+    }
+
+    #[test]
+    fn roundtrips_string_escapes_and_numeric_classes() {
+        roundtrip(r#"for $v in (1) return "say ""hi"" & <markup>""#);
+        roundtrip("for $v in (1) return (1, 1.5, 1.5e0, .5, 2e3)");
+        roundtrip("for $v in (1) return <A b=\"x{1}y\">literal &amp; text</A>");
+    }
+
+    #[test]
+    fn decimal_literals_keep_their_class() {
+        assert_eq!(decimal_literal(1.5), "1.5");
+        assert_eq!(decimal_literal(3.0), "3.0");
+        let tiny = decimal_literal(1e-7);
+        assert!(tiny.contains('.') && !tiny.contains('e'), "{tiny}");
+    }
+}

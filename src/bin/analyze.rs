@@ -3,11 +3,11 @@
 //!
 //! Reads SQL from file arguments (or stdin when none are given), translates
 //! each statement against the bundled demo schema (the workload generator's
-//! universe: CUSTOMERS / ORDERS / PAYMENTS), and runs the four-layer
+//! universe: CUSTOMERS / ORDERS / PAYMENTS), and runs the five-layer
 //! analyzer over the result in both transports: the stage-2 IR invariant
 //! check, the XQuery lint over the generated text, the type-flow pass with
-//! its translation type-diff, and (on request) the cost layer. Statements
-//! are separated by `;`.
+//! its translation type-diff, and (on request) the cost layer and the
+//! bounded equivalence validator. Statements are separated by `;`.
 //!
 //! The correctness layers (`A`/`T` codes) always run and always count
 //! toward the exit status. The display flags compose:
@@ -18,44 +18,98 @@
 //! * `--cost` prints the layer-4 estimate (rows, fuel, FLWOR-walk fuel),
 //!   seeded with the demo universe's small-scale statistics, and adds any
 //!   `P` performance findings to the report *and* the exit status.
-//! * `--all` is `--types --cost`.
+//! * `--validate` runs the layer-5 bounded equivalence validator (the
+//!   reference relational interpreter against the real evaluator over
+//!   enumerated witness databases); `V` findings are hard errors and
+//!   count toward the exit status.
+//! * `--all` is `--types --cost --validate`.
+//! * `--format json` switches the report to machine-readable NDJSON: one
+//!   JSON object per finding (`sql`, `transport`, `layer`, `code`,
+//!   `severity`, `rule`, `message`) and one per failed translation
+//!   (`sql`, `transport`, `error`). `--format human` is the default.
 //!
 //! ```text
-//! Usage: analyze [--print-xquery] [--types] [--cost] [--all] [FILE ...]
+//! Usage: analyze [--print-xquery] [--types] [--cost] [--validate] [--all]
+//!                [--format human|json] [FILE ...]
 //! ```
 //!
 //! Exit status is 0 when every statement is clean across every requested
 //! layer, 1 when any statement fails to parse/translate or produces
 //! findings in a requested layer, 2 on usage or I/O errors.
 
-use aldsp::analyzer::{analyze_sql_with, CostOptions};
+use aldsp::analyzer::{analyze_sql_validated, analyze_sql_with, CostOptions, ValidateOptions};
 use aldsp::catalog::{CachedMetadataApi, InProcessMetadataApi, TableLocator};
 use aldsp::core::{TranslationOptions, Transport};
 use aldsp::workload::schema::{build_application, stats_for};
 use aldsp::workload::Scale;
 use std::io::Read;
 
+/// Escapes `s` as the contents of a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 fn main() {
     let mut print_xquery = false;
     let mut print_types = false;
     let mut check_cost = false;
+    let mut check_validate = false;
+    let mut json = false;
     let mut files: Vec<String> = Vec::new();
-    for arg in std::env::args().skip(1) {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--print-xquery" => print_xquery = true,
             "--types" => print_types = true,
             "--cost" => check_cost = true,
+            "--validate" => check_validate = true,
             "--all" => {
                 print_types = true;
                 check_cost = true;
+                check_validate = true;
+            }
+            "--format" | "--format=human" | "--format=json" => {
+                let value = match arg.as_str() {
+                    "--format" => match args.next() {
+                        Some(v) => v,
+                        None => {
+                            eprintln!("analyze: --format needs a value (human|json)");
+                            std::process::exit(2);
+                        }
+                    },
+                    other => other["--format=".len()..].to_string(),
+                };
+                match value.as_str() {
+                    "human" => json = false,
+                    "json" => json = true,
+                    other => {
+                        eprintln!("analyze: unknown format `{other}` (human|json)");
+                        std::process::exit(2);
+                    }
+                }
             }
             "--help" | "-h" => {
-                println!("Usage: analyze [--print-xquery] [--types] [--cost] [--all] [FILE ...]");
+                println!("Usage: analyze [--print-xquery] [--types] [--cost] [--validate] [--all]");
+                println!("               [--format human|json] [FILE ...]");
                 println!("Lints SQL statements (from files or stdin, `;`-separated)");
                 println!("through the SQL-to-XQuery pipeline against the demo schema.");
                 println!("--types additionally prints the inferred output typing;");
                 println!("--cost adds the cost/cardinality layer (P findings affect");
-                println!("the exit status); --all is both. Flags compose.");
+                println!("the exit status); --validate runs the bounded equivalence");
+                println!("validator (V findings are hard errors); --all is all three.");
+                println!("--format json emits NDJSON (one finding object per line).");
                 return;
             }
             other if other.starts_with('-') => {
@@ -98,36 +152,68 @@ fn main() {
         stats: stats_for(Scale::small()),
         ..CostOptions::default()
     };
+    let validate_options = ValidateOptions::default();
 
     let mut dirty = false;
     for sql in input.split(';').map(str::trim).filter(|s| !s.is_empty()) {
-        println!("-- {sql}");
+        if !json {
+            println!("-- {sql}");
+        }
         for transport in [Transport::Xml, Transport::DelimitedText] {
-            match analyze_sql_with(
-                sql,
-                &metadata,
-                TranslationOptions { transport },
-                &cost_options,
-            ) {
+            let result = if check_validate {
+                analyze_sql_validated(
+                    sql,
+                    &metadata,
+                    TranslationOptions { transport },
+                    &cost_options,
+                    &validate_options,
+                )
+            } else {
+                analyze_sql_with(
+                    sql,
+                    &metadata,
+                    TranslationOptions { transport },
+                    &cost_options,
+                )
+            };
+            match result {
                 Ok(analysis) => {
                     let report = &analysis.report;
-                    let mut findings: Vec<String> = report
+                    let mut findings: Vec<&aldsp::analyzer::Diagnostic> = report
                         .ir
                         .iter()
                         .chain(report.xquery.iter())
                         .chain(report.types.iter())
-                        .map(|d| d.to_string())
+                        .chain(report.validation.iter())
                         .collect();
                     if check_cost {
-                        findings.extend(report.cost.diagnostics.iter().map(|d| d.to_string()));
+                        findings.extend(report.cost.diagnostics.iter());
+                    }
+                    if !findings.is_empty() {
+                        dirty = true;
+                    }
+                    if json {
+                        for d in &findings {
+                            println!(
+                                "{{\"sql\": \"{}\", \"transport\": \"{transport:?}\", \
+                                 \"layer\": \"{}\", \"code\": \"{}\", \"severity\": \"{}\", \
+                                 \"rule\": \"{}\", \"message\": \"{}\"}}",
+                                json_escape(sql),
+                                d.code.layer(),
+                                d.code.as_str(),
+                                d.severity().as_str(),
+                                json_escape(d.code.rule()),
+                                json_escape(&d.message),
+                            );
+                        }
+                        continue;
                     }
                     if findings.is_empty() {
                         println!("   {transport:?}: clean");
                     } else {
-                        dirty = true;
                         println!("   {transport:?}:");
-                        for line in &findings {
-                            println!("     {line}");
+                        for d in &findings {
+                            println!("     {d}");
                         }
                     }
                     if check_cost && transport == Transport::Xml {
@@ -158,7 +244,16 @@ fn main() {
                 }
                 Err(e) => {
                     dirty = true;
-                    println!("   {transport:?}: translation failed: {e}");
+                    if json {
+                        println!(
+                            "{{\"sql\": \"{}\", \"transport\": \"{transport:?}\", \
+                             \"error\": \"{}\"}}",
+                            json_escape(sql),
+                            json_escape(&e.to_string()),
+                        );
+                    } else {
+                        println!("   {transport:?}: translation failed: {e}");
+                    }
                 }
             }
         }

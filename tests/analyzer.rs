@@ -1364,3 +1364,177 @@ fn fuzzed_workload_cost_analyzes_per_seed() {
         assert!(checked >= 500, "only {checked} queries cost-analyzed");
     }
 }
+
+// ---- layer 5: bounded equivalence validation -------------------------
+//
+// Negative direction: the generated text of a correct translation is
+// corrupted surgically (the corruption pattern is asserted present
+// first, so a change in stage-3 output shape fails loudly instead of
+// silently validating the uncorrupted text), and the validator must
+// refute it with the exact V code. Positive direction: every golden
+// statement validates equivalent in both transports under the default
+// witness budget, and a fuzzed workload sample per seed validates clean
+// under the quick budget.
+
+use aldsp::analyzer::{analyze_sql_validated, validate_translation, ValidateOptions};
+use aldsp::core::{stage1, stage2, wrapper};
+
+fn demo_metadata() -> CachedMetadataApi<InProcessMetadataApi> {
+    CachedMetadataApi::new(InProcessMetadataApi::new(TableLocator::for_application(
+        &aldsp::workload::schema::build_application(),
+    )))
+}
+
+/// Translates `sql` against the demo schema, replaces `pattern` with
+/// `replacement` in the generated (unwrapped) text, and returns the
+/// validator's finding codes for the corrupted translation.
+fn corrupted_codes(sql: &str, pattern: &str, replacement: &str) -> Vec<String> {
+    let metadata = demo_metadata();
+    let parsed = stage1::parse(sql).unwrap_or_else(|e| panic!("`{sql}`: {e}"));
+    let prepared = stage2::prepare(&parsed, &metadata).unwrap_or_else(|e| panic!("`{sql}`: {e}"));
+    let generated = stage3::generate(&prepared).unwrap_or_else(|e| panic!("`{sql}`: {e}"));
+    let xml = generated.into_query_text();
+    assert!(
+        xml.contains(pattern),
+        "corruption pattern `{pattern}` not found in generated text:\n{xml}"
+    );
+    let mutated = xml.replace(pattern, replacement);
+    assert_ne!(xml, mutated, "corruption must change the text");
+    let outcome = validate_translation(&prepared, &mutated, &ValidateOptions::default());
+    outcome
+        .diagnostics
+        .iter()
+        .map(|d| d.code.as_str().to_string())
+        .collect()
+}
+
+#[test]
+fn boundary_constant_corruption_is_v001() {
+    let codes = corrupted_codes(
+        "SELECT CUSTOMERID FROM CUSTOMERS WHERE CUSTOMERID > 0",
+        "CUSTOMERID>xs:integer(0)",
+        "CUSTOMERID>=xs:integer(0)",
+    );
+    assert_eq!(codes, ["V001"]);
+}
+
+#[test]
+fn dropped_distinct_wrapper_is_v002() {
+    let codes = corrupted_codes(
+        "SELECT DISTINCT REGION FROM CUSTOMERS",
+        "fn-bea:distinct-records($tempvar1DT0/RECORD)",
+        "$tempvar1DT0/RECORD",
+    );
+    assert_eq!(codes, ["V002"]);
+}
+
+#[test]
+fn unguarded_nullable_projection_is_v003() {
+    // The guarded loop omits the element for NULL; the corrupted text
+    // always emits it, so the two sides diverge exactly on NULL rows
+    // (an empty element decodes as '', not NULL).
+    let codes = corrupted_codes(
+        "SELECT CUSTOMERNAME FROM CUSTOMERS",
+        "{ for $var1SL0 in fn:data($var1FR0/CUSTOMERNAME) \
+         return <CUSTOMERS.CUSTOMERNAME>{$var1SL0}</CUSTOMERS.CUSTOMERNAME> }",
+        "<CUSTOMERS.CUSTOMERNAME>{fn:data($var1FR0/CUSTOMERNAME)}</CUSTOMERS.CUSTOMERNAME>",
+    );
+    assert_eq!(codes, ["V003"]);
+}
+
+#[test]
+fn flipped_order_direction_is_v004() {
+    let codes = corrupted_codes(
+        "SELECT CUSTOMERID FROM CUSTOMERS ORDER BY CUSTOMERID DESC",
+        " descending",
+        "",
+    );
+    assert_eq!(codes, ["V004"]);
+}
+
+#[test]
+fn perturbed_projection_constant_is_v005() {
+    let codes = corrupted_codes("SELECT CUSTOMERID + 1 AS X FROM CUSTOMERS", "+ 1)", "+ 2)");
+    assert_eq!(codes, ["V005"]);
+}
+
+#[test]
+fn rejected_evaluation_is_v006() {
+    // A source-function call with an argument is rejected by the
+    // evaluator while the reference interpreter executes the IR fine.
+    let codes = corrupted_codes(
+        "SELECT CUSTOMERID FROM CUSTOMERS",
+        "ns0:CUSTOMERS()",
+        "ns0:CUSTOMERS(1)",
+    );
+    assert_eq!(codes, ["V006"]);
+}
+
+#[test]
+fn golden_statements_validate_equivalent_in_both_transports() {
+    let metadata = demo_metadata();
+    let sql_file = include_str!("golden.sql");
+    let cost_options = CostOptions::default();
+    let validate_options = ValidateOptions::default();
+    let mut checked = 0usize;
+    for sql in sql_file
+        .lines()
+        .filter(|l| !l.trim_start().starts_with("--"))
+        .collect::<String>()
+        .split(';')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+    {
+        for transport in [Transport::Xml, Transport::DelimitedText] {
+            let analysis = analyze_sql_validated(
+                sql,
+                &metadata,
+                TranslationOptions { transport },
+                &cost_options,
+                &validate_options,
+            )
+            .unwrap_or_else(|e| panic!("golden `{sql}` failed: {e}"));
+            assert!(
+                analysis.report.validation.is_empty(),
+                "golden `{sql}` ({transport:?}) failed validation: {:?}",
+                analysis.report.validation
+            );
+            assert!(analysis.report.is_clean(), "golden `{sql}` not clean");
+        }
+        checked += 1;
+    }
+    assert!(checked >= 20, "only {checked} golden statements validated");
+}
+
+#[test]
+fn fuzzed_workload_validates_clean_per_seed() {
+    use aldsp::workload::querygen::{ConstructClass, QueryGenerator};
+    let metadata = demo_metadata();
+    let quick = ValidateOptions::quick();
+    for seed in [11u64, 23] {
+        let mut generator = QueryGenerator::new(seed);
+        let mut checked = 0usize;
+        for class in ConstructClass::all() {
+            for _ in 0..46 {
+                let sql = generator.generate(*class);
+                let parsed = stage1::parse(&sql).unwrap_or_else(|e| panic!("`{sql}`: {e}"));
+                let prepared =
+                    stage2::prepare(&parsed, &metadata).unwrap_or_else(|e| panic!("`{sql}`: {e}"));
+                let generated =
+                    stage3::generate(&prepared).unwrap_or_else(|e| panic!("`{sql}`: {e}"));
+                let xml = generated.clone().into_query_text();
+                let delimited = wrapper::wrap_delimited(generated, &prepared);
+                for text in [&xml, &delimited] {
+                    let outcome = validate_translation(&prepared, text, &quick);
+                    assert!(
+                        outcome.diagnostics.is_empty(),
+                        "seed {seed}: `{sql}` failed validation: {:?}",
+                        outcome.diagnostics
+                    );
+                }
+                checked += 1;
+            }
+        }
+        assert!(checked >= 500, "only {checked} fuzzed queries validated");
+    }
+}
