@@ -25,7 +25,7 @@
 //!   through the prepared query's schemas — a structural cross-check on
 //!   the IR-level estimate that sees exactly what the evaluator sees;
 //! * the **`P` lints** on top of the estimates (see [`DiagCode`]):
-//!   cartesian products (P001), unpushed comma-join predicates (P002),
+//!   cartesian products (P001), unpushed join predicates (P002),
 //!   DISTINCT/ORDER-BY work made redundant by a declared-unique key
 //!   (P003/P004), the NULL-literal predicates plan-cache normalization
 //!   cannot extract (P005), estimates past the governor row cap (P006),
@@ -167,7 +167,8 @@ struct Scope {
 }
 
 /// One direct FROM input, for the connectivity (P001) and pushdown
-/// (P002) lints.
+/// (P002) lints — for P002 a flattened INNER/CROSS join operand counts
+/// as its own input (see `flatten_loops`).
 struct FromInput {
     range_vars: Vec<String>,
     rows: f64,
@@ -271,7 +272,7 @@ impl<'a> Estimator<'a> {
         cost += tuples;
 
         self.check_cartesian(select, &inputs);
-        self.check_pushdown(select, &inputs);
+        self.check_pushdown(select);
 
         // WHERE: evaluated once per tuple of the cross stream.
         let mut rows = tuples;
@@ -596,18 +597,29 @@ impl<'a> Estimator<'a> {
         }
     }
 
-    /// P002: over a comma join, a WHERE conjunct that references inputs
-    /// but none bound by the *last* `for` could have filtered the stream
-    /// before the innermost loop multiplied it.
-    fn check_pushdown(&mut self, select: &PreparedSelect, inputs: &[FromInput]) {
-        if inputs.len() < 2 || !self.lint {
+    /// P002: a WHERE conjunct that references inputs but none bound by
+    /// the *last* `for` of the generated loop nest could have filtered
+    /// the stream before the innermost loop multiplied it. The loop nest
+    /// is the comma FROM list with every INNER/CROSS join chain
+    /// flattened the way stage 3 flattens it into sequential `for`s;
+    /// outer-join subtrees stay opaque (their padded-view shape blocks
+    /// pushdown inside them).
+    fn check_pushdown(&mut self, select: &PreparedSelect) {
+        if !self.lint {
             return;
         }
         let Some(w) = &select.where_clause else {
             return;
         };
-        let last = inputs.last().expect("non-empty inputs");
-        let own: Vec<&str> = inputs
+        let mut loops: Vec<FromInput> = Vec::new();
+        for rsn in &select.from {
+            self.flatten_loops(rsn, &mut loops);
+        }
+        if loops.len() < 2 {
+            return;
+        }
+        let last = loops.last().expect("non-empty loops");
+        let own: Vec<&str> = loops
             .iter()
             .flat_map(|i| i.range_vars.iter().map(|v| v.as_str()))
             .collect();
@@ -702,6 +714,44 @@ impl<'a> Estimator<'a> {
                     query.order_by.len() - 1
                 ),
             );
+        }
+    }
+
+    /// The sequential `for` nest stage 3 generates for `rsn`:
+    /// INNER/CROSS join chains flatten left to right into one loop input
+    /// per operand; an outer-join subtree is a single opaque input sized
+    /// by its cross-product upper bound.
+    fn flatten_loops(&mut self, rsn: &Rsn, out: &mut Vec<FromInput>) {
+        match rsn {
+            Rsn::Join {
+                kind: JoinKind::Inner | JoinKind::Cross,
+                left,
+                right,
+                ..
+            } => {
+                self.flatten_loops(left, out);
+                self.flatten_loops(right, out);
+            }
+            Rsn::Join { left, right, .. } => {
+                let mut sides: Vec<FromInput> = Vec::new();
+                self.flatten_loops(left, &mut sides);
+                self.flatten_loops(right, &mut sides);
+                out.push(FromInput {
+                    range_vars: rsn.range_vars().iter().map(|v| v.to_string()).collect(),
+                    rows: sides.iter().map(|i| i.rows.max(1.0)).product(),
+                });
+            }
+            Rsn::Table { range_var, entry } => out.push(FromInput {
+                range_vars: vec![range_var.clone()],
+                rows: self.options.stats.rows(&entry.schema.table_name) as f64,
+            }),
+            Rsn::Derived { range_var, query } => {
+                let rows = self.query(query, false).rows;
+                out.push(FromInput {
+                    range_vars: vec![range_var.clone()],
+                    rows,
+                });
+            }
         }
     }
 

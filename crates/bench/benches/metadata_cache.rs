@@ -25,9 +25,7 @@ fn translator_with_latency(
 }
 
 fn metadata_cache(c: &mut Criterion) {
-    let options = TranslationOptions {
-        transport: Transport::Xml,
-    };
+    let options = TranslationOptions::with_transport(Transport::Xml);
     let mut group = c.benchmark_group("e3_metadata_cache");
     group.sample_size(20);
 

@@ -15,9 +15,7 @@ fn translation_latency(c: &mut Criterion) {
     let app = build_application();
     let locator = TableLocator::for_application(&app);
     let translator = Translator::new(CachedMetadataApi::new(InProcessMetadataApi::new(locator)));
-    let options = TranslationOptions {
-        transport: Transport::Xml,
-    };
+    let options = TranslationOptions::with_transport(Transport::Xml);
     // Warm the metadata cache so E2 measures translation, not fetches.
     for (_, sql) in paper_queries() {
         translator.translate(sql, options).unwrap();
@@ -31,9 +29,7 @@ fn translation_latency(c: &mut Criterion) {
     }
     // The §4 wrapper's extra generation cost.
     group.bench_function("simple_text_transport", |b| {
-        let text_options = TranslationOptions {
-            transport: Transport::DelimitedText,
-        };
+        let text_options = TranslationOptions::with_transport(Transport::DelimitedText);
         b.iter(|| {
             translator
                 .translate("SELECT * FROM CUSTOMERS", text_options)

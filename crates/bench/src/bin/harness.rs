@@ -52,6 +52,9 @@ fn main() {
     if want("e11") || args.iter().any(|a| a == "validation") {
         e11_validation(smoke);
     }
+    if want("e12") || args.iter().any(|a| a == "optimizer") {
+        e12_optimizer(smoke);
+    }
 }
 
 /// `percentile(sorted, 0.95)` — nearest-rank over a sorted sample set.
@@ -127,9 +130,7 @@ fn e2_translation_latency() {
     let app = build_application();
     let locator = TableLocator::for_application(&app);
     let translator = Translator::new(CachedMetadataApi::new(InProcessMetadataApi::new(locator)));
-    let options = TranslationOptions {
-        transport: Transport::Xml,
-    };
+    let options = TranslationOptions::with_transport(Transport::Xml);
     println!(
         "{:>20} {:>10} {:>11} {:>12} {:>10}",
         "class", "parse_us", "prepare_us", "generate_us", "total_us"
@@ -164,9 +165,7 @@ fn e3_metadata_cache() {
     println!("== E3: metadata cache (paper §3.5) ==");
     let sql = "SELECT CUSTOMERS.CUSTOMERNAME, ORDERS.AMOUNT FROM CUSTOMERS \
                INNER JOIN ORDERS ON CUSTOMERS.CUSTOMERID = ORDERS.CUSTID";
-    let options = TranslationOptions {
-        transport: Transport::Xml,
-    };
+    let options = TranslationOptions::with_transport(Transport::Xml);
     println!(
         "{:>12} {:>16} {:>16} {:>9}",
         "rtt_ms", "cold_us", "warm_us", "speedup"
@@ -701,9 +700,7 @@ fn e10_cost_model(smoke: bool) {
     let server = server_at_scale(customers, 42);
     let service = QueryService::new(
         Arc::clone(&server),
-        TranslationOptions {
-            transport: Transport::Xml,
-        },
+        TranslationOptions::with_transport(Transport::Xml),
     );
     let app = aldsp_workload::build_application();
     let metadata = CachedMetadataApi::new(InProcessMetadataApi::new(
@@ -725,9 +722,7 @@ fn e10_cost_model(smoke: bool) {
         let analysis = analyze_sql_with(
             &sql,
             &metadata,
-            TranslationOptions {
-                transport: Transport::Xml,
-            },
+            TranslationOptions::with_transport(Transport::Xml),
             &cost_options,
         )
         .unwrap_or_else(|e| panic!("E10: generated query failed to analyze: {e}\n  {sql}"));
@@ -991,6 +986,288 @@ fn e11_validation(smoke: bool) {
     );
     std::fs::write("BENCH_validation.json", json).unwrap();
     println!("wrote BENCH_validation.json");
+    println!();
+}
+
+/// E12: optimizer effectiveness and safety. Two `QueryService`s over one
+/// server — naive vs the rewrite engine at `Full` — execute the same
+/// fuzzed workload on both transports. Bars: every golden statement
+/// comes out of the optimizer clean through all five analyzer layers,
+/// >= 1000 fuzzed queries produce 0 result mismatches and 0
+/// validator-detected miscompilations, and the median measured-fuel
+/// reduction over the P-dirty rewritten slice is >= 2x. Emits
+/// `BENCH_optimizer.json`.
+fn e12_optimizer(smoke: bool) {
+    use aldsp_analyzer::report::analyze_translation;
+    use aldsp_analyzer::validate::check_equivalence;
+    use aldsp_analyzer::{analyze_sql_with, CostOptions, DiagCode, ValidateOptions};
+    use aldsp_core::{OptimizeLevel, QueryOptimizer};
+    use aldsp_optimizer::Optimizer;
+    use aldsp_workload::{stats_for, QueryGenerator};
+    use std::collections::BTreeMap;
+
+    println!("== E12: cost-driven rewrite engine, gated by the validator ==");
+    // The bars hold at any scale; smoke trims the per-transport fuzz
+    // oversample (total stays >= the 1000-query bar) and the data scale,
+    // never the acceptance thresholds.
+    let customers = if smoke { 25 } else { 40 };
+    let per_transport = if smoke { 500 } else { 1_000 };
+    let scale = Scale::of(customers);
+    let server = server_at_scale(customers, 42);
+    let stats = stats_for(scale);
+    let engine = Optimizer::new(stats.clone()).with_validation(true);
+    let metadata = CachedMetadataApi::new(InProcessMetadataApi::new(
+        TableLocator::for_application(&aldsp_workload::build_application()),
+    ));
+    let translator = Translator::new(CachedMetadataApi::new(InProcessMetadataApi::new(
+        TableLocator::for_application(&aldsp_workload::build_application()),
+    )));
+    // Final-program audit budget: the E11 witness budget, enumerating
+    // only databases that respect the declared keys — optimized plans
+    // are equivalent *relative to those integrity constraints*.
+    let audit = ValidateOptions::default().with_key_columns(stats.unique_columns());
+
+    // -- golden corpus: optimizer-clean through all five layers --------
+    let golden = std::fs::read_to_string("tests/golden.sql")
+        .or_else(|_| {
+            std::fs::read_to_string(concat!(
+                env!("CARGO_MANIFEST_DIR"),
+                "/../../tests/golden.sql"
+            ))
+        })
+        .expect("E12: tests/golden.sql not found");
+    let mut golden_statements = 0usize;
+    let mut golden_rewritten = 0usize;
+    for transport in [Transport::Xml, Transport::DelimitedText] {
+        let options = TranslationOptions::with_transport(transport).optimized(OptimizeLevel::Full);
+        for sql in golden
+            .lines()
+            .filter(|l| !l.trim_start().starts_with("--"))
+            .collect::<String>()
+            .split(';')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+        {
+            golden_statements += 1;
+            let full = translator
+                .translate_full(sql, options)
+                .unwrap_or_else(|e| panic!("E12: golden `{sql}` failed to translate: {e}"));
+            let outcome = engine.optimize(&full.prepared, &full.translation.xquery, options);
+            let report = analyze_translation(&full.prepared, &outcome.xquery);
+            assert!(
+                report.is_clean(),
+                "acceptance: golden `{sql}` optimized dirty on {transport:?}: \
+                 {:?}/{:?}/{:?}",
+                report.ir,
+                report.xquery,
+                report.types
+            );
+            let diagnostics = check_equivalence(&full.prepared, &outcome.xquery, &audit);
+            assert!(
+                diagnostics.is_empty(),
+                "acceptance: golden `{sql}` optimized text diverges on {transport:?}: \
+                 {diagnostics:?}"
+            );
+            if outcome.trace.applied() > 0 {
+                golden_rewritten += 1;
+            }
+        }
+    }
+
+    // -- fuzzed workload: result equality, fuel, validator audit ------
+    // Classification profile for the P-dirty slice: stats-seeded, with
+    // the P008 work threshold zeroed so per-row subquery re-evaluation
+    // is flagged *structurally* — at benchmark scale the default 1e8
+    // threshold would hide every instance of the pattern the hoist rule
+    // exists to fix.
+    let cost_options = CostOptions {
+        stats: stats.clone(),
+        subquery_work: 0.0,
+        ..CostOptions::default()
+    };
+    let mut queries = 0usize;
+    let mut rewritten = 0usize;
+    let mut mismatches: Vec<String> = Vec::new();
+    let mut miscompilations: Vec<String> = Vec::new();
+    let mut audited = 0usize;
+    let mut by_rule: BTreeMap<&'static str, (usize, usize)> = BTreeMap::new();
+    let mut dirty_ratios: Vec<f64> = Vec::new();
+    let mut all_ratios: Vec<f64> = Vec::new();
+    for transport in [Transport::Xml, Transport::DelimitedText] {
+        let naive_service = QueryService::new(
+            Arc::clone(&server),
+            TranslationOptions::with_transport(transport),
+        );
+        let options = TranslationOptions::with_transport(transport).optimized(OptimizeLevel::Full);
+        let optimized_service = QueryService::new(Arc::clone(&server), options).with_optimizer(
+            Arc::new(Optimizer::new(stats.clone()).with_validation(true)),
+        );
+        let mut generator = QueryGenerator::new(77);
+        for _ in 0..per_transport {
+            let (_, sql) = generator.generate_any();
+            queries += 1;
+
+            // The optimized program, produced the same way the service's
+            // plan cache builds it, audited against the prepared IR.
+            let full = translator
+                .translate_full(&sql, options)
+                .unwrap_or_else(|e| panic!("E12: `{sql}` failed to translate: {e}"));
+            let outcome = engine.optimize(&full.prepared, &full.translation.xquery, options);
+            for step in &outcome.trace.steps {
+                let entry = by_rule.entry(step.rule).or_insert((0, 0));
+                entry.0 += 1;
+                if step.applied {
+                    entry.1 += 1;
+                }
+            }
+            let applied = outcome.trace.applied() > 0;
+            if applied {
+                rewritten += 1;
+                audited += 1;
+                for d in check_equivalence(&full.prepared, &outcome.xquery, &audit) {
+                    if miscompilations.len() < 8 {
+                        miscompilations.push(format!("{transport:?} `{sql}`: {d}"));
+                    }
+                }
+            }
+
+            // End to end: both services, same rows, metered fuel.
+            let (naive_rows, naive_fuel) = naive_service
+                .execute_metered(&sql, &[], None)
+                .unwrap_or_else(|e| panic!("E12: naive execution of `{sql}` failed: {e}"));
+            let (opt_rows, opt_fuel) = optimized_service
+                .execute_metered(&sql, &[], None)
+                .unwrap_or_else(|e| panic!("E12: optimized execution of `{sql}` failed: {e}"));
+            let mut expected = naive_rows.rows().to_vec();
+            let mut actual = opt_rows.rows().to_vec();
+            if !sql.to_uppercase().contains("ORDER BY") {
+                expected.sort_by_key(|row| format!("{row:?}"));
+                actual.sort_by_key(|row| format!("{row:?}"));
+            }
+            if expected != actual && mismatches.len() < 8 {
+                mismatches.push(format!("{transport:?} `{sql}`"));
+            }
+
+            let ratio = naive_fuel as f64 / (opt_fuel as f64).max(1.0);
+            all_ratios.push(ratio);
+            // The P-dirty rewritten slice: the layer-4 analyzer flagged
+            // the naive plan with a *work-shaped* lint — P002 (predicate
+            // evaluated after the loops it could have pruned) or P008
+            // (loop-invariant subquery re-evaluated per tuple) — and the
+            // engine applied the rewrite keyed to that lint. This is the
+            // population the tentpole claims >= 2x measured fuel on;
+            // P003/P004 discharges are gated for safety the same way but
+            // remove sub-linear work their ratio cannot witness.
+            if applied {
+                let discharged: Vec<&str> = outcome
+                    .trace
+                    .steps
+                    .iter()
+                    .filter(|s| s.applied)
+                    .map(|s| s.lint)
+                    .collect();
+                let analysis = analyze_sql_with(
+                    &sql,
+                    &metadata,
+                    TranslationOptions::with_transport(transport),
+                    &cost_options,
+                )
+                .unwrap_or_else(|e| panic!("E12: `{sql}` failed to analyze: {e}"));
+                let flagged = |code: DiagCode| {
+                    analysis
+                        .report
+                        .cost
+                        .diagnostics
+                        .iter()
+                        .any(|d| d.code == code)
+                };
+                if (flagged(DiagCode::P002) && discharged.contains(&"P002"))
+                    || (flagged(DiagCode::P008) && discharged.contains(&"P008"))
+                {
+                    dirty_ratios.push(ratio);
+                }
+            }
+        }
+    }
+
+    let median_all = percentile(&sorted_us(all_ratios.clone()), 0.50);
+    let dirty_sorted = sorted_us(dirty_ratios.clone());
+    let median_dirty = percentile(&dirty_sorted, 0.50);
+    let p90_dirty = percentile(&dirty_sorted, 0.90);
+
+    println!(
+        "{:>22} {:>10} {:>10}",
+        "rewrite rule", "attempted", "applied"
+    );
+    for (rule, (attempted, applied)) in &by_rule {
+        println!("{rule:>22} {attempted:>10} {applied:>10}");
+    }
+    println!(
+        "{golden_statements} golden translations (both transports): all five layers clean, \
+         {golden_rewritten} rewritten"
+    );
+    println!(
+        "{queries} fuzzed queries x 2 services: {} result mismatches, \
+         {} validator-detected miscompilations over {audited} audited optimized plans",
+        mismatches.len(),
+        miscompilations.len()
+    );
+    println!(
+        "fuel reduction (naive/optimized): median {median_all:.2}x overall, \
+         median {median_dirty:.2}x / p90 {p90_dirty:.2}x on the P-dirty rewritten slice \
+         ({} queries)",
+        dirty_ratios.len()
+    );
+    for m in mismatches.iter().chain(miscompilations.iter()) {
+        println!("  DIVERGED: {m}");
+    }
+
+    assert!(
+        queries >= 1_000,
+        "acceptance: E12 must execute >= 1000 fuzzed queries, got {queries}"
+    );
+    assert!(
+        mismatches.is_empty(),
+        "acceptance: optimized services must return exactly the naive rows"
+    );
+    assert!(
+        miscompilations.is_empty(),
+        "acceptance: the validator must detect 0 miscompiled optimized plans"
+    );
+    assert!(
+        !dirty_ratios.is_empty(),
+        "acceptance: the P-dirty rewritten slice must be non-empty"
+    );
+    assert!(
+        median_dirty >= 2.0,
+        "acceptance: median fuel reduction on the P-dirty rewritten slice \
+         must be >= 2x, got {median_dirty:.2}x over {} queries",
+        dirty_ratios.len()
+    );
+
+    let by_rule_json = by_rule
+        .iter()
+        .map(|(rule, (attempted, applied))| {
+            format!("    \"{rule}\": {{\"attempted\": {attempted}, \"applied\": {applied}}}")
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let json = format!(
+        "{{\n  \"smoke\": {smoke},\n  \"scale_customers\": {customers},\n  \
+         \"golden_statements\": {golden_statements},\n  \
+         \"golden_rewritten\": {golden_rewritten},\n  \"queries\": {queries},\n  \
+         \"rewritten\": {rewritten},\n  \"audited\": {audited},\n  \
+         \"result_mismatches\": {},\n  \"validator_miscompilations\": {},\n  \
+         \"median_fuel_ratio\": {median_all:.3},\n  \
+         \"median_fuel_ratio_p_dirty\": {median_dirty:.3},\n  \
+         \"p90_fuel_ratio_p_dirty\": {p90_dirty:.3},\n  \
+         \"p_dirty_slice\": {},\n  \"bar\": 2.0,\n  \"by_rule\": {{\n{by_rule_json}\n  }}\n}}\n",
+        mismatches.len(),
+        miscompilations.len(),
+        dirty_ratios.len()
+    );
+    std::fs::write("BENCH_optimizer.json", json).unwrap();
+    println!("wrote BENCH_optimizer.json");
     println!();
 }
 

@@ -21,7 +21,7 @@ pub fn server_at_scale(customers: usize, seed: u64) -> Arc<DspServer> {
 pub fn connect(server: &Arc<DspServer>, transport: Transport) -> Connection {
     Connection::open_with(
         Arc::clone(server),
-        TranslationOptions { transport },
+        TranslationOptions::with_transport(transport),
         Duration::ZERO,
     )
 }

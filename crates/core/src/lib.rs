@@ -59,12 +59,126 @@ pub enum Transport {
     DelimitedText,
 }
 
+/// How hard the optimizer rewrites a generated program before execution.
+///
+/// Part of [`TranslationOptions`], and therefore of plan-cache keys: an
+/// optimized plan and the naive plan for the same SQL are distinct cache
+/// entries, so flipping the knob can never serve the wrong program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub enum OptimizeLevel {
+    /// No rewriting: execute the stage-three program verbatim.
+    #[default]
+    Off,
+    /// Order-preserving rules only (predicate pushdown, let inlining,
+    /// dead-let elimination, DISTINCT elimination, ORDER BY key pruning,
+    /// loop-invariant hoisting).
+    Basic,
+    /// Adds join reordering of independent `for` clauses — sound only up
+    /// to row order, so it is restricted to queries without ORDER BY.
+    Full,
+}
+
 /// Translation options. Part of plan-cache keys (two translations share a
 /// cached plan only when their options agree), hence `Eq + Hash`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct TranslationOptions {
     /// Result transport mode.
     pub transport: Transport,
+    /// Optimizer aggressiveness for this translation.
+    pub optimize: OptimizeLevel,
+}
+
+impl TranslationOptions {
+    /// Options with the given transport and everything else defaulted.
+    pub fn with_transport(transport: Transport) -> TranslationOptions {
+        TranslationOptions {
+            transport,
+            ..TranslationOptions::default()
+        }
+    }
+
+    /// Returns these options with the optimize level replaced.
+    pub fn optimized(mut self, level: OptimizeLevel) -> TranslationOptions {
+        self.optimize = level;
+        self
+    }
+}
+
+/// One rule application (or refusal) in an optimizer's rewrite trace.
+#[derive(Debug, Clone)]
+pub struct RewriteStep {
+    /// Rule name (`predicate_pushdown`, `let_inline`, ...).
+    pub rule: &'static str,
+    /// The layer-4 performance lint the rule discharges (`P002`, ...).
+    pub lint: &'static str,
+    /// Estimated evaluator fuel before the rule ran.
+    pub cost_before: f64,
+    /// Estimated evaluator fuel after the rule ran (equals `cost_before`
+    /// when the rule was rejected).
+    pub cost_after: f64,
+    /// Whether the rewrite was kept. A `false` here means the safety gate
+    /// (analyzer layers 1–3, and in validating builds the layer-5 bounded
+    /// equivalence check) refused the rewritten program, which was then
+    /// discarded — never silently executed.
+    pub applied: bool,
+    /// Human-readable description of what changed (or why it was refused).
+    pub note: String,
+}
+
+/// The rewrite trace of one optimization: per-rule steps plus whole-program
+/// fuel estimates before and after.
+#[derive(Debug, Clone, Default)]
+pub struct RewriteTrace {
+    /// Estimated fuel of the program as generated by stage three.
+    pub cost_before: f64,
+    /// Estimated fuel of the program actually returned.
+    pub cost_after: f64,
+    /// One entry per rule that changed the program or was refused by the
+    /// safety gate; rules that found nothing to do are omitted.
+    pub steps: Vec<RewriteStep>,
+}
+
+impl RewriteTrace {
+    /// Number of rewrites kept.
+    pub fn applied(&self) -> usize {
+        self.steps.iter().filter(|s| s.applied).count()
+    }
+
+    /// Number of rewrites refused by the safety gate.
+    pub fn rejected(&self) -> usize {
+        self.steps.iter().filter(|s| !s.applied).count()
+    }
+}
+
+/// The result of optimizing one generated program.
+#[derive(Debug, Clone)]
+pub struct OptimizeOutcome {
+    /// The program to execute. When no rule applied (or every candidate
+    /// was refused), this is the input program unchanged.
+    pub xquery: String,
+    /// What happened, rule by rule.
+    pub trace: RewriteTrace,
+}
+
+/// A rewrite engine over generated XQuery programs.
+///
+/// Defined here (rather than in the optimizer crate) so the plan cache and
+/// driver can hold an optimizer without depending on its implementation —
+/// the implementation lives in `aldsp-optimizer`, which depends on the
+/// analyzer for its safety gate and would otherwise create a dependency
+/// cycle through this crate.
+pub trait QueryOptimizer {
+    /// Rewrites `xquery` (the stage-three output for `prepared`, in the
+    /// transport of `options`) under `options.optimize`. Implementations
+    /// must be failure-free: a program they cannot improve — or cannot
+    /// even parse — comes back unchanged with an empty or explanatory
+    /// trace, never an error.
+    fn optimize(
+        &self,
+        prepared: &PreparedQuery,
+        xquery: &str,
+        options: TranslationOptions,
+    ) -> OptimizeOutcome;
 }
 
 /// Per-stage wall-clock timings, for the translation-latency experiment
@@ -166,6 +280,33 @@ impl<M: MetadataApi> Translator<M> {
         )
     }
 
+    /// [`Translator::translate_full`] followed by a rewrite pass: when
+    /// `options.optimize` is not [`OptimizeLevel::Off`], runs `optimizer`
+    /// over the generated program and returns the optimized text in
+    /// `translation.xquery`, with the rewrite trace alongside. At
+    /// [`OptimizeLevel::Off`] the optimizer is not consulted and the trace
+    /// is `None`.
+    pub fn translate_optimized(
+        &self,
+        sql: &str,
+        options: TranslationOptions,
+        optimizer: &dyn QueryOptimizer,
+    ) -> Result<OptimizedTranslation, TranslateError> {
+        let mut full = self.translate_full(sql, options)?;
+        let trace = if options.optimize == OptimizeLevel::Off {
+            None
+        } else {
+            let outcome = optimizer.optimize(&full.prepared, &full.translation.xquery, options);
+            full.translation.xquery = outcome.xquery;
+            Some(outcome.trace)
+        };
+        Ok(OptimizedTranslation {
+            translation: full.translation,
+            prepared: full.prepared,
+            trace,
+        })
+    }
+
     /// Runs stages two and three over an already-parsed statement — the
     /// plan-cache path, where stage one ran once on the original text and
     /// the normalized statement is translated without re-parsing.
@@ -227,4 +368,17 @@ pub struct FullTranslation {
     pub translation: Translation,
     /// The stage-two prepared query (the cacheable plan form).
     pub prepared: PreparedQuery,
+}
+
+/// [`FullTranslation`] plus the optimizer's rewrite trace (when the
+/// translation ran at an optimize level above [`OptimizeLevel::Off`];
+/// `translation.xquery` then holds the *optimized* program).
+#[derive(Debug, Clone)]
+pub struct OptimizedTranslation {
+    /// The translation; `xquery` is the program to execute.
+    pub translation: Translation,
+    /// The stage-two prepared query (the cacheable plan form).
+    pub prepared: PreparedQuery,
+    /// The rewrite trace; `None` at [`OptimizeLevel::Off`].
+    pub trace: Option<RewriteTrace>,
 }

@@ -52,12 +52,7 @@ fn translator() -> Translator<CachedMetadataApi<InProcessMetadataApi>> {
 
 fn xml_query(sql: &str) -> String {
     translator()
-        .translate(
-            sql,
-            TranslationOptions {
-                transport: Transport::Xml,
-            },
-        )
+        .translate(sql, TranslationOptions::with_transport(Transport::Xml))
         .unwrap_or_else(|e| panic!("translation failed for `{sql}`: {e}"))
         .xquery
 }
@@ -66,9 +61,7 @@ fn text_query(sql: &str) -> String {
     translator()
         .translate(
             sql,
-            TranslationOptions {
-                transport: Transport::DelimitedText,
-            },
+            TranslationOptions::with_transport(Transport::DelimitedText),
         )
         .unwrap()
         .xquery

@@ -17,7 +17,7 @@ use crate::resultset::ResultSet;
 use crate::server::{sql_value_to_sequence, DspServer};
 use crate::DriverError;
 use aldsp_catalog::{CachedMetadataApi, InProcessMetadataApi, MetadataApi};
-use aldsp_core::{Translation, TranslationOptions, Translator, Transport};
+use aldsp_core::{QueryOptimizer, Translation, TranslationOptions, Translator, Transport};
 use aldsp_governor::QueryBudget;
 use aldsp_plancache::{BoundPlan, PlanCache};
 use aldsp_relational::SqlValue;
@@ -41,6 +41,7 @@ pub struct Connection {
     translator: Translator<CachedMetadataApi<InProcessMetadataApi>>,
     options: TranslationOptions,
     plan_cache: Option<Arc<PlanCache>>,
+    optimizer: Option<Arc<dyn QueryOptimizer + Send + Sync>>,
     retry: Cell<RetryPolicy>,
     retries: Cell<u64>,
     retranslations: Cell<u64>,
@@ -87,6 +88,7 @@ impl Connection {
             server,
             options,
             plan_cache: None,
+            optimizer: None,
             retry: Cell::new(RetryPolicy::default()),
             retries: Cell::new(0),
             retranslations: Cell::new(0),
@@ -96,6 +98,20 @@ impl Connection {
     /// Attaches (or detaches) a shared plan cache.
     pub fn set_plan_cache(&mut self, cache: Option<Arc<PlanCache>>) {
         self.plan_cache = cache;
+    }
+
+    /// Attaches (or detaches) a rewrite engine. Plans built through
+    /// [`Connection::execute_cached`] are optimized after translation when
+    /// the connection's [`TranslationOptions::optimize`] level is not
+    /// `Off`; the engine runs once per cache miss, so the cost is
+    /// amortized over every hit on the optimized plan.
+    pub fn set_optimizer(&mut self, optimizer: Option<Arc<dyn QueryOptimizer + Send + Sync>>) {
+        self.optimizer = optimizer;
+    }
+
+    /// The attached rewrite engine, when one is set.
+    pub fn optimizer(&self) -> Option<&Arc<dyn QueryOptimizer + Send + Sync>> {
+        self.optimizer.as_ref()
     }
 
     /// The shared plan cache, when one is attached.
@@ -383,7 +399,12 @@ impl Connection {
         loop {
             let result = self.retry_transient(budget, || {
                 let (bound, _) = cache
-                    .plan(&self.translator, sql, self.options)
+                    .plan_with(
+                        &self.translator,
+                        sql,
+                        self.options,
+                        self.optimizer.as_deref().map(|o| o as &dyn QueryOptimizer),
+                    )
                     .map_err(DriverError::from)?;
                 self.attempt_cached(&bound, params, budget)
             });
@@ -672,7 +693,11 @@ mod tests {
         }
         db.add_table(table);
         let server = Arc::new(DspServer::new(app, db));
-        Connection::open_with(server, TranslationOptions { transport }, Duration::ZERO)
+        Connection::open_with(
+            server,
+            TranslationOptions::with_transport(transport),
+            Duration::ZERO,
+        )
     }
 
     #[test]

@@ -24,7 +24,7 @@ use crate::connection::Connection;
 use crate::resultset::ResultSet;
 use crate::server::DspServer;
 use crate::DriverError;
-use aldsp_core::TranslationOptions;
+use aldsp_core::{QueryOptimizer, TranslationOptions};
 use aldsp_governor::{AdmissionError, Governor, GovernorConfig, GovernorStats, QueryBudget};
 use aldsp_plancache::{CacheStats, PlanCache};
 use aldsp_relational::SqlValue;
@@ -37,6 +37,7 @@ pub struct QueryService {
     server: Arc<DspServer>,
     options: TranslationOptions,
     cache: Arc<PlanCache>,
+    optimizer: Option<Arc<dyn QueryOptimizer + Send + Sync>>,
     governor: Governor,
     pool: Mutex<Vec<Connection>>,
     executions: AtomicU64,
@@ -59,6 +60,7 @@ impl QueryService {
             server,
             options,
             cache,
+            optimizer: None,
             governor: Governor::default(),
             pool: Mutex::new(Vec::new()),
             executions: AtomicU64::new(0),
@@ -72,6 +74,25 @@ impl QueryService {
     pub fn with_governor(mut self, config: GovernorConfig) -> QueryService {
         self.governor = Governor::new(config);
         self
+    }
+
+    /// Attaches a rewrite engine. Every plan built on a cache miss is
+    /// optimized before it is cached (when the service's
+    /// [`TranslationOptions::optimize`] level is not `Off`), so the
+    /// engine's cost — including its validation gate — is paid once per
+    /// distinct statement shape, not per execution. Builder-style: call
+    /// before sharing the service across threads.
+    pub fn with_optimizer(
+        mut self,
+        optimizer: Arc<dyn QueryOptimizer + Send + Sync>,
+    ) -> QueryService {
+        self.optimizer = Some(optimizer);
+        self
+    }
+
+    /// The attached rewrite engine, when one is set.
+    pub fn optimizer(&self) -> Option<&Arc<dyn QueryOptimizer + Send + Sync>> {
+        self.optimizer.as_ref()
     }
 
     /// Executes one SELECT with positional `?` parameters through the
@@ -201,11 +222,13 @@ impl QueryService {
         if let Some(connection) = self.pool.lock().pop() {
             return connection;
         }
-        Connection::open_with_cache(
+        let mut connection = Connection::open_with_cache(
             Arc::clone(&self.server),
             self.options,
             Arc::clone(&self.cache),
-        )
+        );
+        connection.set_optimizer(self.optimizer.clone());
+        connection
     }
 
     fn check_in(&self, connection: Connection) {

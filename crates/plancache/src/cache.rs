@@ -31,8 +31,8 @@
 use crate::normalize::{normalize, NormalizedStatement, ParamSlot};
 use aldsp_catalog::MetadataApi;
 use aldsp_core::{
-    stage1, OutputColumn, PreparedQuery, TranslateError, Translation, TranslationOptions,
-    Translator,
+    stage1, FullTranslation, OptimizeLevel, OutputColumn, PreparedQuery, QueryOptimizer,
+    RewriteTrace, TranslateError, Translation, TranslationOptions, Translator,
 };
 use aldsp_relational::SqlValue;
 use parking_lot::RwLock;
@@ -67,6 +67,14 @@ pub struct CachedPlan {
     /// cost options. Feeds the [`CacheStats::cost_buckets`] histogram so
     /// eviction tuning has data on what the cache actually holds.
     pub cost_estimate: f64,
+    /// The optimizer's rewrite trace, when the plan was built through
+    /// [`PlanCache::plan_with`] at an optimize level above `Off`:
+    /// `translation.xquery` then holds the optimized program and the
+    /// trace records each rule with the estimated fuel before and after.
+    /// `None` for unoptimized plans. Because [`TranslationOptions`]
+    /// (including the optimize level) is part of the cache key, optimized
+    /// and naive plans for the same SQL never collide.
+    pub rewrite: Option<RewriteTrace>,
 }
 
 impl CachedPlan {
@@ -277,12 +285,30 @@ impl PlanCache {
         sql: &str,
         options: TranslationOptions,
     ) -> Result<(BoundPlan, Lookup), TranslateError> {
+        self.plan_with(translator, sql, options, None)
+    }
+
+    /// [`PlanCache::plan`] with an optional rewrite engine: every plan
+    /// *built* by this call (bypass, miss, or fallback — never a cache
+    /// hit, which is already optimized) runs through `optimizer` when
+    /// `options.optimize` asks for it, and the cached entry holds the
+    /// optimized program plus its [`RewriteTrace`]. Re-optimization after
+    /// epoch invalidation happens exactly once per rebuild, on the same
+    /// build path.
+    pub fn plan_with<M: MetadataApi>(
+        &self,
+        translator: &Translator<M>,
+        sql: &str,
+        options: TranslationOptions,
+        optimizer: Option<&dyn QueryOptimizer>,
+    ) -> Result<(BoundPlan, Lookup), TranslateError> {
         if self.max_statement_bytes > 0 && sql.len() > self.max_statement_bytes {
             // Oversized statement: translate without touching the store,
             // so it can neither evict warm plans nor pin a megabyte of
             // text in a shard.
             self.oversize_bypasses.fetch_add(1, Ordering::Relaxed);
-            let full = translator.translate_full(sql, options)?;
+            let mut full = translator.translate_full(sql, options)?;
+            let rewrite = optimize_full(&mut full, options, optimizer);
             let parameter_count = full.translation.parameter_count;
             let cost_estimate = self.price(&full.prepared);
             let plan = Arc::new(CachedPlan {
@@ -294,6 +320,7 @@ impl PlanCache {
                 translation: full.translation,
                 prepared: full.prepared,
                 cost_estimate,
+                rewrite,
             });
             let bound = BoundPlan {
                 plan,
@@ -321,7 +348,7 @@ impl PlanCache {
         }
 
         self.misses.fetch_add(1, Ordering::Relaxed);
-        if let Some(plan) = self.build_normalized(translator, &norm, options) {
+        if let Some(plan) = self.build_normalized(translator, &norm, options, optimizer) {
             let plan = Arc::new(plan);
             self.insert_plan(&plan);
             let bound = BoundPlan {
@@ -337,7 +364,8 @@ impl PlanCache {
         // and cache it under the exact key only. A failure here is the
         // statement's own error and surfaces unchanged.
         self.fallbacks.fetch_add(1, Ordering::Relaxed);
-        let full = translator.translate_parsed(&parsed, options)?;
+        let mut full = translator.translate_parsed(&parsed, options)?;
+        let rewrite = optimize_full(&mut full, options, optimizer);
         let cost_estimate = self.price(&full.prepared);
         let plan = Arc::new(CachedPlan {
             canonical_sql: sql.to_string(),
@@ -348,6 +376,7 @@ impl PlanCache {
             translation: full.translation,
             prepared: full.prepared,
             cost_estimate,
+            rewrite,
         });
         let bound = BoundPlan {
             plan,
@@ -364,12 +393,14 @@ impl PlanCache {
         translator: &Translator<M>,
         norm: &NormalizedStatement,
         options: TranslationOptions,
+        optimizer: Option<&dyn QueryOptimizer>,
     ) -> Option<CachedPlan> {
         let reparsed = stage1::parse(&norm.canonical_sql).ok()?;
         if reparsed.parameter_count != norm.slots.len() {
             return None;
         }
-        let full = translator.translate_parsed(&reparsed, options).ok()?;
+        let mut full = translator.translate_parsed(&reparsed, options).ok()?;
+        let rewrite = optimize_full(&mut full, options, optimizer);
         let cost_estimate = self.price(&full.prepared);
         Some(CachedPlan {
             canonical_sql: norm.canonical_sql.clone(),
@@ -380,6 +411,7 @@ impl PlanCache {
             translation: full.translation,
             prepared: full.prepared,
             cost_estimate,
+            rewrite,
         })
     }
 
@@ -608,6 +640,24 @@ impl PlanCache {
     fn next_tick(&self) -> u64 {
         self.tick.fetch_add(1, Ordering::Relaxed)
     }
+}
+
+/// Runs the rewrite engine over a freshly built translation, replacing
+/// the program text in place. `None` when no engine was supplied or the
+/// options keep optimization off — the distinction the `rewrite` field
+/// of [`CachedPlan`] preserves.
+fn optimize_full(
+    full: &mut FullTranslation,
+    options: TranslationOptions,
+    optimizer: Option<&dyn QueryOptimizer>,
+) -> Option<RewriteTrace> {
+    let optimizer = optimizer?;
+    if options.optimize == OptimizeLevel::Off {
+        return None;
+    }
+    let outcome = optimizer.optimize(&full.prepared, &full.translation.xquery, options);
+    full.translation.xquery = outcome.xquery;
+    Some(outcome.trace)
 }
 
 fn min_by_tick<'a>(entries: impl Iterator<Item = (&'a Key, &'a AtomicU64)>) -> Option<Key> {

@@ -84,7 +84,7 @@ pub fn run_cached_differential(
 
     let mut report = CachedDifferentialReport::default();
     for (label, transport) in [("text", Transport::DelimitedText), ("xml", Transport::Xml)] {
-        let options = TranslationOptions { transport };
+        let options = TranslationOptions::with_transport(transport);
         let cache = Arc::new(PlanCache::default());
         let fresh = Connection::open_with(Arc::clone(&server), options, Duration::ZERO);
         let cached = Connection::open_with_cache(Arc::clone(&server), options, Arc::clone(&cache));

@@ -157,7 +157,7 @@ pub fn run_chaos(config: &ChaosConfig) -> ChaosReport {
     let open = |transport| {
         let conn = Connection::open_with(
             Arc::clone(&server),
-            aldsp_core::TranslationOptions { transport },
+            aldsp_core::TranslationOptions::with_transport(transport),
             Duration::ZERO,
         );
         conn.set_retry_policy(config.retry);

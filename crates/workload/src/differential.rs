@@ -109,9 +109,11 @@ fn values_agree(a: &SqlValue, b: &SqlValue) -> bool {
 pub fn lint_query(conn: &Connection, sql: &str) -> Option<String> {
     let metadata = conn.translator().metadata();
     for transport in [Transport::DelimitedText, Transport::Xml] {
-        if let Ok(analysis) =
-            aldsp_analyzer::analyze_sql(sql, metadata, TranslationOptions { transport })
-        {
+        if let Ok(analysis) = aldsp_analyzer::analyze_sql(
+            sql,
+            metadata,
+            TranslationOptions::with_transport(transport),
+        ) {
             if !analysis.report.is_clean() {
                 return Some(format!(
                     "analyzer ({transport:?}): {}",
@@ -137,16 +139,12 @@ pub fn run_differential(seed: u64, count_per_class: usize, scale: Scale) -> Diff
 
     let text_conn = Connection::open_with(
         Arc::clone(&server),
-        aldsp_core::TranslationOptions {
-            transport: aldsp_core::Transport::DelimitedText,
-        },
+        aldsp_core::TranslationOptions::with_transport(aldsp_core::Transport::DelimitedText),
         std::time::Duration::ZERO,
     );
     let xml_conn = Connection::open_with(
         Arc::clone(&server),
-        aldsp_core::TranslationOptions {
-            transport: aldsp_core::Transport::Xml,
-        },
+        aldsp_core::TranslationOptions::with_transport(aldsp_core::Transport::Xml),
         std::time::Duration::ZERO,
     );
 

@@ -29,6 +29,19 @@
 //!   branch only.
 //! * [`FlipOrderDirection`](MutationClass::FlipOrderDirection) —
 //!   ascending/descending inverted on an `order by` key.
+//! * [`BadPushdown`](MutationClass::BadPushdown) — predicate pushdown
+//!   overshooting its anchor: a rewriter that places a pushed `where`
+//!   *at* the index of the last clause binding one of its variables
+//!   instead of *after* it. On an outer-join translation the `where`
+//!   lands above the `for` that expands the padded view — the predicate
+//!   crosses the NULL-padding boundary (§3.4.2) and evaluates an
+//!   unbound variable.
+//! * [`UnsoundLetInline`](MutationClass::UnsoundLetInline) — a
+//!   capture-unaware `let` inliner: the binding is removed and its value
+//!   substituted into every use, but one free variable of the value is
+//!   resolved against the wrong (shadowing) binder. The mutant is
+//!   lint-clean — every variable still binds — and silently computes
+//!   from the wrong row.
 //!
 //! Mutants are enumerated deterministically (pre-order site order, one
 //! mutation per mutant), so a harness run is reproducible without any
@@ -54,11 +67,16 @@ pub enum MutationClass {
     DropOuterPad,
     /// Toggle `descending` on an `order by` key.
     FlipOrderDirection,
+    /// Move a `where` to the index of (not after) its last binder.
+    BadPushdown,
+    /// Inline a `let`, resolving one free variable of its value against
+    /// a different in-scope binder.
+    UnsoundLetInline,
 }
 
 impl MutationClass {
     /// Every class, in a stable order.
-    pub fn all() -> [MutationClass; 6] {
+    pub fn all() -> [MutationClass; 8] {
         [
             MutationClass::SwapComparison,
             MutationClass::DropWhere,
@@ -66,6 +84,8 @@ impl MutationClass {
             MutationClass::PositionalOffByOne,
             MutationClass::DropOuterPad,
             MutationClass::FlipOrderDirection,
+            MutationClass::BadPushdown,
+            MutationClass::UnsoundLetInline,
         ]
     }
 
@@ -78,6 +98,8 @@ impl MutationClass {
             MutationClass::PositionalOffByOne => "positional_off_by_one",
             MutationClass::DropOuterPad => "drop_outer_pad",
             MutationClass::FlipOrderDirection => "flip_order_direction",
+            MutationClass::BadPushdown => "bad_pushdown",
+            MutationClass::UnsoundLetInline => "unsound_let_inline",
         }
     }
 }
@@ -245,6 +267,43 @@ fn mutate_expr(
                     }
                 }
             }
+            MutationClass::BadPushdown => {
+                // The optimizer's pushdown anchors a conjunct *after* the
+                // last clause binding one of its variables; the seeded
+                // bug inserts *at* that index — one clause too early.
+                // Sites need the last binder at index >= 1 so the FLWOR
+                // keeps its leading clause (the mutant must still parse).
+                let sites: Vec<(usize, usize)> = flwor
+                    .clauses
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, c)| {
+                        let Clause::Where(cond) = c else { return None };
+                        let mut used = Vec::new();
+                        collect_var_refs(cond, &mut used);
+                        let last_binder = flwor.clauses[..i].iter().rposition(|b| {
+                            binder_vars(b).iter().any(|v| used.iter().any(|u| u == v))
+                        })?;
+                        (last_binder >= 1).then_some((i, last_binder))
+                    })
+                    .collect();
+                for (i, j) in sites {
+                    if bump(counter, target) {
+                        let clause = flwor.clauses.remove(i);
+                        flwor.clauses.insert(j, clause);
+                        return true;
+                    }
+                }
+            }
+            MutationClass::UnsoundLetInline => {
+                if let Some(site) = unsound_inline_sites(flwor)
+                    .into_iter()
+                    .find(|_| bump(counter, target))
+                {
+                    apply_unsound_inline(flwor, site);
+                    return true;
+                }
+            }
             _ => {}
         }
     }
@@ -253,6 +312,155 @@ fn mutate_expr(
     each_child(expr, &mut |child, child_in_pred| {
         mutate_expr(child, class, target, counter, in_predicate || child_in_pred)
     })
+}
+
+/// An `UnsoundLetInline` site: the `let` at clause index `.0`, whose
+/// value's free variable `.1` gets resolved against binder `.2`.
+type InlineSite = (usize, String, String);
+
+/// Enumerates the eligible (let, misresolved var, wrong binder) triples
+/// of one FLWOR, in stable order. A site needs the `let`'s value to
+/// reference a variable, the `let` variable to be used after the
+/// binding (so inlining actually lands somewhere), never as a `group`
+/// source (which syntactically requires a variable), and a *different*
+/// binder among the preceding clauses to capture the reference.
+fn unsound_inline_sites(flwor: &aldsp_xquery::ast::Flwor) -> Vec<InlineSite> {
+    let mut sites = Vec::new();
+    for (i, clause) in flwor.clauses.iter().enumerate() {
+        let Clause::Let { var: w, value } = clause else {
+            continue;
+        };
+        let grouped_on = flwor.clauses[i + 1..]
+            .iter()
+            .any(|c| matches!(c, Clause::GroupBy(g) if g.source_var == *w));
+        if grouped_on {
+            continue;
+        }
+        let mut used_after = Vec::new();
+        for later in &flwor.clauses[i + 1..] {
+            collect_clause_var_refs(later, &mut used_after);
+        }
+        collect_var_refs(&flwor.ret, &mut used_after);
+        if !used_after.iter().any(|u| u == w) {
+            continue;
+        }
+        let mut free: Vec<String> = Vec::new();
+        for v in {
+            let mut refs = Vec::new();
+            collect_var_refs(value, &mut refs);
+            refs
+        } {
+            if !free.contains(&v) {
+                free.push(v);
+            }
+        }
+        let mut binders: Vec<&str> = Vec::new();
+        for earlier in &flwor.clauses[..i] {
+            for v in binder_vars(earlier) {
+                if !binders.contains(&v) {
+                    binders.push(v);
+                }
+            }
+        }
+        for u in &free {
+            for z in &binders {
+                if z != u && *z != w {
+                    sites.push((i, u.clone(), z.to_string()));
+                }
+            }
+        }
+    }
+    sites
+}
+
+/// Applies one [`unsound_inline_sites`] triple: rename `u` to `z`
+/// inside the value, delete the `let`, substitute the misresolved value
+/// into every remaining use.
+fn apply_unsound_inline(flwor: &mut aldsp_xquery::ast::Flwor, (i, u, z): InlineSite) {
+    let Clause::Let { var: w, mut value } = flwor.clauses.remove(i) else {
+        unreachable!("site enumeration only yields let clauses");
+    };
+    rename_var(&mut value, &u, &z);
+    for clause in &mut flwor.clauses[i..] {
+        match clause {
+            Clause::For { source, .. } => substitute_uses(source, &w, &value),
+            Clause::Let { value: v, .. } => substitute_uses(v, &w, &value),
+            Clause::Where(cond) => substitute_uses(cond, &w, &value),
+            Clause::GroupBy(group) => group
+                .keys
+                .iter_mut()
+                .for_each(|(k, _)| substitute_uses(k, &w, &value)),
+            Clause::OrderBy(specs) => specs
+                .iter_mut()
+                .for_each(|s| substitute_uses(&mut s.key, &w, &value)),
+        }
+    }
+    substitute_uses(&mut flwor.ret, &w, &value);
+}
+
+/// [`collect_var_refs`] over one clause's expressions.
+fn collect_clause_var_refs(clause: &Clause, out: &mut Vec<String>) {
+    match clause {
+        Clause::For { source, .. } => collect_var_refs(source, out),
+        Clause::Let { value, .. } => collect_var_refs(value, out),
+        Clause::Where(cond) => collect_var_refs(cond, out),
+        Clause::GroupBy(group) => {
+            out.push(group.source_var.clone());
+            group
+                .keys
+                .iter()
+                .for_each(|(k, _)| collect_var_refs(k, out));
+        }
+        Clause::OrderBy(specs) => specs.iter().for_each(|s| collect_var_refs(&s.key, out)),
+    }
+}
+
+/// Renames every reference to `$from` (as a variable or a path start)
+/// to `$to`, descending into nested scopes (generated names are unique,
+/// so no nested binder can legitimately re-bind `from`).
+fn rename_var(expr: &mut Expr, from: &str, to: &str) {
+    match expr {
+        Expr::VarRef(name) if name == from => *name = to.to_string(),
+        Expr::Path { start, .. } => {
+            if let PathStart::Var(v) = &mut **start {
+                if v == from {
+                    *v = to.to_string();
+                }
+            }
+        }
+        _ => {}
+    }
+    each_child(expr, &mut |child, _| {
+        rename_var(child, from, to);
+        false
+    });
+}
+
+/// Replaces every use of `$var` with `replacement` — bare references
+/// become the expression itself, path starts become parenthesized
+/// expression starts.
+fn substitute_uses(expr: &mut Expr, var: &str, replacement: &Expr) {
+    match expr {
+        Expr::VarRef(name) if name == var => {
+            *expr = replacement.clone();
+            return;
+        }
+        Expr::Path { start, .. } => {
+            if let PathStart::Var(v) = &**start {
+                if v == var {
+                    **start = match replacement {
+                        Expr::VarRef(n) => PathStart::Var(n.clone()),
+                        other => PathStart::Expr(other.clone()),
+                    };
+                }
+            }
+        }
+        _ => {}
+    }
+    each_child(expr, &mut |child, _| {
+        substitute_uses(child, var, replacement);
+        false
+    });
 }
 
 /// Variables a FLWOR clause binds.
@@ -541,5 +749,71 @@ mod tests {
     #[test]
     fn unparsable_text_yields_nothing() {
         assert!(mutants_for("this is not xquery ((").is_empty());
+    }
+
+    #[test]
+    fn bad_pushdown_lands_at_its_binder() {
+        // Outer-join-shaped FLWOR: view let, row for, then the where on
+        // the expanded rows. The pushdown overshoot puts the where at
+        // the `for`'s index — above the padding expansion.
+        let text = "let $t := <RECORDSET>{for $l in ns0:A() return <RECORD/>}</RECORDSET> \
+                    for $v in $t/RECORD where fn:data($v/X) > 1 return $v";
+        let mutants: Vec<Mutant> = mutants_for(text)
+            .into_iter()
+            .filter(|m| m.class == MutationClass::BadPushdown)
+            .collect();
+        assert_eq!(mutants.len(), 1);
+        let mutant = parse_program(&mutants[0].xquery).expect("mutant parses");
+        let Expr::Flwor(flwor) = &mutant.body else {
+            panic!("flwor body")
+        };
+        assert!(
+            matches!(flwor.clauses[1], Clause::Where(_)),
+            "where hoisted to index 1"
+        );
+        assert!(matches!(flwor.clauses[2], Clause::For { .. }));
+        // A where whose last binder is the leading clause is not a site
+        // (the mutant would not parse without a leading binder).
+        let leading_only = "for $v in ns0:A() where $v/X > 1 return $v";
+        assert!(mutants_for(leading_only)
+            .iter()
+            .all(|m| m.class != MutationClass::BadPushdown));
+    }
+
+    #[test]
+    fn unsound_inline_resolves_against_wrong_binder() {
+        let text = "for $a in ns0:A() for $b in ns0:B() \
+                    let $g := fn:data($b/PAYMENT) where $g > 5 return <RECORD>{$g}</RECORD>";
+        let mutants: Vec<Mutant> = mutants_for(text)
+            .into_iter()
+            .filter(|m| m.class == MutationClass::UnsoundLetInline)
+            .collect();
+        // $g's value references $b; the wrong binder is $a: one site.
+        assert_eq!(mutants.len(), 1);
+        let mutated = &mutants[0].xquery;
+        assert!(!mutated.contains("let $g"), "let removed: {mutated}");
+        assert!(
+            mutated.contains("fn:data($a/PAYMENT)"),
+            "value inlined against the wrong binder: {mutated}"
+        );
+        parse_program(mutated).expect("mutant parses");
+    }
+
+    #[test]
+    fn unsound_inline_skips_group_sources_and_dead_lets() {
+        // $g feeds a group clause: a variable is syntactically required
+        // there, so the let is not a site (without the group it would
+        // be: $g's value references $v, and $a is the wrong binder).
+        let grouped = "for $a in ns0:A() for $v in ns0:B() let $g := $v/X \
+                       group $g as $p by fn:data($v/K) as $k return <RECORD>{$k}</RECORD>";
+        parse_program(grouped).expect("group syntax");
+        assert!(mutants_for(grouped)
+            .iter()
+            .all(|m| m.class != MutationClass::UnsoundLetInline));
+        // A let never used afterwards has nowhere to inline to.
+        let dead = "for $v in ns0:A() let $g := $v/X return <RECORD/>";
+        assert!(mutants_for(dead)
+            .iter()
+            .all(|m| m.class != MutationClass::UnsoundLetInline));
     }
 }

@@ -33,12 +33,7 @@ fn main() {
     println!("===== SQL → XQuery (XML transport) =====");
     for (name, sql) in paper_queries() {
         let translation = translator
-            .translate(
-                sql,
-                TranslationOptions {
-                    transport: Transport::Xml,
-                },
-            )
+            .translate(sql, TranslationOptions::with_transport(Transport::Xml))
             .unwrap_or_else(|e| panic!("{name}: {e}"));
         println!("--- {name} ---");
         println!("SQL:    {sql}");

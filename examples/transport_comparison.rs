@@ -30,7 +30,7 @@ fn main() {
         for transport in [Transport::Xml, Transport::DelimitedText] {
             let conn = Connection::open_with(
                 Arc::clone(&server),
-                TranslationOptions { transport },
+                TranslationOptions::with_transport(transport),
                 std::time::Duration::ZERO,
             );
             // Warm the server-side materialization cache so we measure

@@ -15,6 +15,8 @@
 //!   contribution).
 //! * [`analyzer`] — static analysis over the pipeline: IR invariant
 //!   checks and XQuery lint (see the `analyze` bin).
+//! * [`optimizer`] — cost-driven FLWOR rewrite engine, every rewrite
+//!   gated by the analyzer and the bounded-equivalence validator.
 //! * [`driver`] — JDBC-analogue driver with both result-transport modes.
 //! * [`workload`] — schema/data/query generators for tests and benches.
 
@@ -23,6 +25,7 @@ pub use aldsp_catalog as catalog;
 pub use aldsp_core as core;
 pub use aldsp_driver as driver;
 pub use aldsp_governor as governor;
+pub use aldsp_optimizer as optimizer;
 pub use aldsp_plancache as plancache;
 pub use aldsp_relational as relational;
 pub use aldsp_sql as sql;

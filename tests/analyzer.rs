@@ -89,7 +89,7 @@ fn figure3_metadata() -> CachedMetadataApi<InProcessMetadataApi> {
 
 fn assert_clean(metadata: &CachedMetadataApi<InProcessMetadataApi>, sql: &str) {
     for transport in [Transport::Xml, Transport::DelimitedText] {
-        let analysis = analyze_sql(sql, metadata, TranslationOptions { transport })
+        let analysis = analyze_sql(sql, metadata, TranslationOptions::with_transport(transport))
             .unwrap_or_else(|e| panic!("translation failed for `{sql}`: {e}"));
         assert!(
             analysis.report.is_clean(),
@@ -894,8 +894,12 @@ fn fuzzed_workload_type_checks_clean_per_seed() {
             for _ in 0..46 {
                 let sql = generator.generate(*class);
                 for transport in [Transport::Xml, Transport::DelimitedText] {
-                    let analysis = analyze_sql(&sql, &metadata, TranslationOptions { transport })
-                        .unwrap_or_else(|e| panic!("seed {seed}: `{sql}` failed: {e}"));
+                    let analysis = analyze_sql(
+                        &sql,
+                        &metadata,
+                        TranslationOptions::with_transport(transport),
+                    )
+                    .unwrap_or_else(|e| panic!("seed {seed}: `{sql}` failed: {e}"));
                     assert!(
                         analysis.report.types.is_empty(),
                         "seed {seed}: type findings for `{sql}`:\n{}",
@@ -1298,9 +1302,13 @@ fn golden_statements_are_performance_clean() {
         .filter(|s| !s.is_empty())
     {
         for transport in [Transport::Xml, Transport::DelimitedText] {
-            let analysis =
-                analyze_sql_with(sql, &metadata, TranslationOptions { transport }, &options)
-                    .unwrap_or_else(|e| panic!("golden `{sql}` failed: {e}"));
+            let analysis = analyze_sql_with(
+                sql,
+                &metadata,
+                TranslationOptions::with_transport(transport),
+                &options,
+            )
+            .unwrap_or_else(|e| panic!("golden `{sql}` failed: {e}"));
             assert!(
                 analysis.report.is_performance_clean(),
                 "P findings for golden `{sql}` ({transport:?}):\n{}",
@@ -1335,7 +1343,7 @@ fn fuzzed_workload_cost_analyzes_per_seed() {
                     let analysis = analyze_sql_with(
                         &sql,
                         &metadata,
-                        TranslationOptions { transport },
+                        TranslationOptions::with_transport(transport),
                         &options,
                     )
                     .unwrap_or_else(|e| panic!("seed {seed}: `{sql}` failed: {e}"));
@@ -1489,7 +1497,7 @@ fn golden_statements_validate_equivalent_in_both_transports() {
             let analysis = analyze_sql_validated(
                 sql,
                 &metadata,
-                TranslationOptions { transport },
+                TranslationOptions::with_transport(transport),
                 &cost_options,
                 &validate_options,
             )

@@ -174,9 +174,7 @@ fn both_transports_agree_on_every_example() {
     ] {
         let text = Connection::open_with(
             Arc::clone(&server),
-            TranslationOptions {
-                transport: Transport::DelimitedText,
-            },
+            TranslationOptions::with_transport(Transport::DelimitedText),
             std::time::Duration::ZERO,
         )
         .create_statement()
@@ -184,9 +182,7 @@ fn both_transports_agree_on_every_example() {
         .unwrap();
         let xml = Connection::open_with(
             Arc::clone(&server),
-            TranslationOptions {
-                transport: Transport::Xml,
-            },
+            TranslationOptions::with_transport(Transport::Xml),
             std::time::Duration::ZERO,
         )
         .create_statement()

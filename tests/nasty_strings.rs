@@ -54,7 +54,7 @@ fn server_with_nasty() -> Arc<DspServer> {
 fn connection(transport: Transport) -> Connection {
     Connection::open_with(
         server_with_nasty(),
-        TranslationOptions { transport },
+        TranslationOptions::with_transport(transport),
         std::time::Duration::ZERO,
     )
 }
@@ -180,7 +180,7 @@ fn injected_corruption_yields_decode_errors_not_panics() {
             ))));
             let conn = Connection::open_with(
                 server,
-                TranslationOptions { transport },
+                TranslationOptions::with_transport(transport),
                 std::time::Duration::ZERO,
             );
             // No retries: the corrupted payload itself must be rejected.
@@ -214,9 +214,7 @@ fn corruption_is_survivable_with_retries() {
     }))));
     let conn = Connection::open_with(
         server,
-        TranslationOptions {
-            transport: Transport::DelimitedText,
-        },
+        TranslationOptions::with_transport(Transport::DelimitedText),
         std::time::Duration::ZERO,
     );
     let mut recovered = 0;

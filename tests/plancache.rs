@@ -160,16 +160,12 @@ fn transports_do_not_share_cache_entries() {
     let server = server();
     let text = Connection::open_with_cache(
         Arc::clone(&server),
-        TranslationOptions {
-            transport: aldsp_core::Transport::DelimitedText,
-        },
+        TranslationOptions::with_transport(aldsp_core::Transport::DelimitedText),
         Arc::clone(&cache),
     );
     let xml = Connection::open_with_cache(
         Arc::clone(&server),
-        TranslationOptions {
-            transport: aldsp_core::Transport::Xml,
-        },
+        TranslationOptions::with_transport(aldsp_core::Transport::Xml),
         Arc::clone(&cache),
     );
     let sql = "SELECT CUSTOMERID FROM CUSTOMERS ORDER BY CUSTOMERID";

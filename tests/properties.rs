@@ -36,7 +36,7 @@ proptest! {
             let sql = generator.generate(*class);
             for transport in [Transport::Xml, Transport::DelimitedText] {
                 let translation = translator
-                    .translate(&sql, TranslationOptions { transport })
+                    .translate(&sql, TranslationOptions::with_transport(transport))
                     .unwrap_or_else(|e| panic!("translation failed [{}]: {e}\n{sql}", class.label()));
                 parse_program(&translation.xquery).unwrap_or_else(|e| {
                     panic!(
@@ -169,7 +169,7 @@ fn null_heavy_server() -> Arc<DspServer> {
 fn ids_in(transport: Transport, sql: &str) -> Vec<i64> {
     let conn = Connection::open_with(
         null_heavy_server(),
-        TranslationOptions { transport },
+        TranslationOptions::with_transport(transport),
         Duration::ZERO,
     );
     let rs = conn
@@ -269,7 +269,7 @@ fn aggregates_skip_nulls_and_having_drops_unknown_groups() {
         // COUNT(column) counts only non-NULL values; COUNT(*) counts rows.
         let conn = Connection::open_with(
             null_heavy_server(),
-            TranslationOptions { transport: t },
+            TranslationOptions::with_transport(t),
             Duration::ZERO,
         );
         let rs = conn
@@ -306,7 +306,7 @@ fn aggregates_skip_nulls_and_having_drops_unknown_groups() {
         // not treated as 0 (which would pass a `> -1` threshold either).
         let conn = Connection::open_with(
             null_heavy_server(),
-            TranslationOptions { transport: t },
+            TranslationOptions::with_transport(t),
             Duration::ZERO,
         );
         let rs = conn
@@ -326,7 +326,7 @@ fn aggregates_skip_nulls_and_having_drops_unknown_groups() {
         );
         let conn = Connection::open_with(
             null_heavy_server(),
-            TranslationOptions { transport: t },
+            TranslationOptions::with_transport(t),
             Duration::ZERO,
         );
         let rs = conn

@@ -9,11 +9,16 @@
 //! invalidate and retranslate — at most once — instead of returning
 //! silently wrong rows.
 
+use aldsp_catalog::stats::CatalogStats;
 use aldsp_catalog::{Application, ApplicationBuilder, MetadataApi, SqlColumnType};
-use aldsp_core::TranslationOptions;
+use aldsp_core::{
+    OptimizeLevel, OptimizeOutcome, PreparedQuery, QueryOptimizer, TranslationOptions,
+};
 use aldsp_driver::{Connection, DspServer};
+use aldsp_optimizer::Optimizer;
 use aldsp_plancache::PlanCache;
 use aldsp_relational::{Database, SqlValue, Table};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 fn build_app(with_email: bool) -> Application {
@@ -204,6 +209,85 @@ fn cached_plans_are_invalidated_on_reload_never_served_stale() {
     conn.execute_cached("SELECT ID, NAME FROM CUSTOMERS WHERE ID = 3", &[])
         .unwrap();
     assert!(cache.stats().hits() > hits_before);
+}
+
+/// Optimized plans ride the same epoch protocol as naive ones: a reload
+/// invalidates the cached optimized plan, and recovery retranslates and
+/// re-optimizes exactly once — the stale optimized program is never
+/// served, and steady-state cache hits never re-run the rewrite engine.
+#[test]
+fn optimized_plans_reoptimize_once_on_epoch_invalidation() {
+    struct CountingOptimizer {
+        inner: Optimizer,
+        calls: AtomicUsize,
+    }
+    impl QueryOptimizer for CountingOptimizer {
+        fn optimize(
+            &self,
+            prepared: &PreparedQuery,
+            xquery: &str,
+            options: TranslationOptions,
+        ) -> OptimizeOutcome {
+            self.calls.fetch_add(1, Ordering::SeqCst);
+            self.inner.optimize(prepared, xquery, options)
+        }
+    }
+
+    let app = build_app(false);
+    let db = build_db(&app, &[(1, "Joe"), (2, "Sue")]);
+    let server = Arc::new(DspServer::new(app, db));
+    let cache = Arc::new(PlanCache::default());
+    let stats = CatalogStats::new().table("CUSTOMERS", 2, |t| t.unique("ID"));
+    let optimizer = Arc::new(CountingOptimizer {
+        inner: Optimizer::new(stats).with_validation(true),
+        calls: AtomicUsize::new(0),
+    });
+    let options = TranslationOptions::default().optimized(OptimizeLevel::Full);
+    let mut conn = Connection::open_with_cache(Arc::clone(&server), options, Arc::clone(&cache));
+    conn.set_optimizer(Some(
+        Arc::clone(&optimizer) as Arc<dyn QueryOptimizer + Send + Sync>
+    ));
+
+    // Build once: the plan is optimized at build time (DISTINCT over the
+    // declared-unique ID is eliminated), then hits reuse it untouched.
+    let sql = "SELECT DISTINCT ID FROM CUSTOMERS";
+    assert_eq!(conn.execute_cached(sql, &[]).unwrap().row_count(), 2);
+    assert_eq!(optimizer.calls.load(Ordering::SeqCst), 1);
+    assert_eq!(conn.execute_cached(sql, &[]).unwrap().row_count(), 2);
+    assert_eq!(
+        optimizer.calls.load(Ordering::SeqCst),
+        1,
+        "cache hits must not re-optimize"
+    );
+
+    // Catalog redeployment: the cached optimized plan is stale. Recovery
+    // must invalidate, retranslate and re-optimize — exactly once.
+    let app2 = build_app(true);
+    let db2 = build_db(&app2, &[(7, "Ada"), (8, "Bo"), (9, "Cy")]);
+    server.reload(app2, db2);
+    assert_eq!(conn.execute_cached(sql, &[]).unwrap().row_count(), 3);
+    assert_eq!(
+        optimizer.calls.load(Ordering::SeqCst),
+        2,
+        "recovery must re-optimize exactly once"
+    );
+    assert!(cache.stats().epoch_invalidations >= 1);
+
+    // The rebuilt plan is served as a normal hit (no further optimizer
+    // runs) and still carries an applied rewrite trace.
+    let (bound, _) = cache
+        .plan_with(conn.translator(), sql, options, Some(&*optimizer))
+        .unwrap();
+    assert_eq!(optimizer.calls.load(Ordering::SeqCst), 2);
+    let rewrite = bound
+        .plan
+        .rewrite
+        .as_ref()
+        .expect("rebuilt plan has a trace");
+    assert!(
+        rewrite.steps.iter().any(|s| s.applied),
+        "rebuilt plan lost its rewrites: {rewrite:?}"
+    );
 }
 
 #[test]
