@@ -55,6 +55,9 @@ fn main() {
     if want("e12") || args.iter().any(|a| a == "optimizer") {
         e12_optimizer(smoke);
     }
+    if want("e13") || args.iter().any(|a| a == "exec") {
+        e13_exec_engine(smoke);
+    }
 }
 
 /// `percentile(sorted, 0.95)` — nearest-rank over a sorted sample set.
@@ -993,7 +996,7 @@ fn e11_validation(smoke: bool) {
 /// server — naive vs the rewrite engine at `Full` — execute the same
 /// fuzzed workload on both transports. Bars: every golden statement
 /// comes out of the optimizer clean through all five analyzer layers,
-/// >= 1000 fuzzed queries produce 0 result mismatches and 0
+/// the >= 1000 fuzzed queries produce 0 result mismatches and 0
 /// validator-detected miscompilations, and the median measured-fuel
 /// reduction over the P-dirty rewritten slice is >= 2x. Emits
 /// `BENCH_optimizer.json`.
@@ -1268,6 +1271,210 @@ fn e12_optimizer(smoke: bool) {
     );
     std::fs::write("BENCH_optimizer.json", json).unwrap();
     println!("wrote BENCH_optimizer.json");
+    println!();
+}
+
+/// E13: the streaming hash-join execution engine. Two halves:
+///
+/// * **Correctness** — `run_exec_differential`: golden corpus plus at
+///   least 1,000 fuzzed queries per seed run under both execution
+///   strategies in both transports; hash-join results must match
+///   nested-loop results exactly (ordered) and both must match the
+///   relational oracle. The governor's telemetry reports what fraction
+///   of join-shaped FLWORs actually took the hash path.
+/// * **Performance** — the join-heavy slice at scale >= 200 customers
+///   (200 x 500 orders: 100k-pair naive cross products), p50 wall clock
+///   per strategy; the slice's median speedup must reach 5x. The
+///   three-way join stays in the correctness half only — its naive
+///   cross product at this scale (200 x 500 x 300 = 30M tuples) is
+///   exactly the blow-up the streaming engine exists to avoid timing.
+///
+/// Both bars are asserted here (and therefore in CI smoke, which trims
+/// sample counts but never the bars' sample sizes or the scale). Emits
+/// `BENCH_exec.json`.
+fn e13_exec_engine(smoke: bool) {
+    use aldsp_core::ExecStrategy;
+    use aldsp_governor::QueryBudget;
+    use aldsp_workload::run_exec_differential;
+
+    println!("== E13: streaming hash-join execution engine ==");
+
+    // -- correctness: strategy differential over golden + fuzzed ------
+    // 11 construct classes x 91 = 1,001 fuzzed queries per seed; the
+    // >= 1,000-per-seed bar holds in smoke too — smoke drops the second
+    // seed, not the per-seed count.
+    let seeds: &[u64] = if smoke { &[11] } else { &[11, 23] };
+    let per_class = 91usize;
+    let mut fuzzed_per_seed = 0usize;
+    let mut golden_total = 0usize;
+    let mut passed = 0usize;
+    let mut total = 0usize;
+    let mut rejected = 0usize;
+    let mut mismatches = 0usize;
+    let mut hash_joins = 0u64;
+    let mut join_fallbacks = 0u64;
+    for &seed in seeds {
+        let report = run_exec_differential(seed, per_class, Scale::small());
+        let (golden, fuzzed) = report
+            .per_origin
+            .iter()
+            .fold((0, 0), |acc, (origin, &(_, n))| {
+                if origin.starts_with("golden:") {
+                    (acc.0 + n, acc.1)
+                } else {
+                    (acc.0, acc.1 + n)
+                }
+            });
+        golden_total += golden;
+        fuzzed_per_seed = fuzzed;
+        passed += report.passed;
+        total += report.total();
+        rejected += report.rejected;
+        mismatches += report.mismatches.len();
+        hash_joins += report.hash_joins;
+        join_fallbacks += report.join_fallbacks;
+        for m in report.mismatches.iter().take(8) {
+            println!("MISMATCH [{}]: {}\n  {}", m.origin, m.sql, m.reason);
+        }
+    }
+    let fast_path_fraction = hash_joins as f64 / (hash_joins + join_fallbacks).max(1) as f64;
+    println!(
+        "{passed}/{total} queries agree (hash vs naive vs oracle, both transports; \
+         {} seed(s) x ({golden_total} golden / {} + {fuzzed_per_seed} fuzzed)): \
+         {mismatches} mismatches, {rejected} rejected",
+        seeds.len(),
+        seeds.len().max(1),
+    );
+    println!(
+        "join-shaped FLWOR executions: {hash_joins} hash-joined, {join_fallbacks} fell back \
+         (fast-path fraction {fast_path_fraction:.3})"
+    );
+    assert!(
+        fuzzed_per_seed >= 1_000,
+        "acceptance: E13 must fuzz >= 1,000 queries per seed, got {fuzzed_per_seed}"
+    );
+    assert_eq!(
+        mismatches, 0,
+        "acceptance: hash-join execution must produce 0 result mismatches"
+    );
+    assert!(
+        hash_joins > 0,
+        "acceptance: the workload must actually exercise the hash path"
+    );
+
+    // -- performance: the join-heavy slice at scale >= 200 ------------
+    let customers = 200usize;
+    let samples = if smoke { 5 } else { 15 };
+    let server = server_at_scale(customers, 11);
+    let naive_service = QueryService::new(
+        Arc::clone(&server),
+        TranslationOptions::with_transport(Transport::DelimitedText),
+    );
+    let hash_service = QueryService::new(
+        Arc::clone(&server),
+        TranslationOptions::with_transport(Transport::DelimitedText)
+            .with_exec(ExecStrategy::HashJoin),
+    );
+    let slice = [
+        (
+            "inner_join",
+            "SELECT CUSTOMERS.CUSTOMERNAME, ORDERS.AMOUNT FROM CUSTOMERS \
+             INNER JOIN ORDERS ON CUSTOMERS.CUSTOMERID = ORDERS.CUSTID",
+        ),
+        (
+            "join_residual",
+            "SELECT CUSTOMERS.CUSTOMERNAME, ORDERS.AMOUNT FROM CUSTOMERS \
+             INNER JOIN ORDERS ON CUSTOMERS.CUSTOMERID = ORDERS.CUSTID \
+             WHERE ORDERS.AMOUNT > 100",
+        ),
+        (
+            "payments_join",
+            "SELECT CUSTOMERS.CUSTOMERID, PAYMENTS.PAYMENT FROM CUSTOMERS \
+             INNER JOIN PAYMENTS ON CUSTOMERS.CUSTOMERID = PAYMENTS.CUSTID",
+        ),
+        (
+            "grouped_join",
+            "SELECT CUSTOMERS.CUSTOMERID, COUNT(ORDERS.ORDERID), SUM(ORDERS.AMOUNT) \
+             FROM CUSTOMERS INNER JOIN ORDERS ON CUSTOMERS.CUSTOMERID = ORDERS.CUSTID \
+             GROUP BY CUSTOMERS.CUSTOMERID \
+             ORDER BY CUSTOMERS.CUSTOMERID",
+        ),
+    ];
+    let time_service = |service: &QueryService, sql: &str| -> (f64, Vec<Vec<SqlValue>>) {
+        let budget = QueryBudget::unlimited();
+        let rows = service
+            .execute_with_budget(sql, &[], Some(&budget))
+            .unwrap()
+            .rows()
+            .to_vec(); // warm (plan cache + materialization)
+        let mut times = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let budget = QueryBudget::unlimited();
+            let t = Instant::now();
+            std::hint::black_box(
+                service
+                    .execute_with_budget(sql, &[], Some(&budget))
+                    .unwrap(),
+            );
+            times.push(t.elapsed().as_secs_f64() * 1e6);
+        }
+        (percentile(&sorted_us(times), 0.5), rows)
+    };
+    println!(
+        "{:>14} {:>14} {:>14} {:>9}",
+        "query", "naive_p50_us", "hash_p50_us", "speedup"
+    );
+    let mut entries = Vec::new();
+    let mut speedups = Vec::new();
+    for (name, sql) in slice {
+        let (naive_p50, naive_rows) = time_service(&naive_service, sql);
+        let (hash_p50, hash_rows) = time_service(&hash_service, sql);
+        assert_eq!(
+            naive_rows, hash_rows,
+            "acceptance: timed slice query `{name}` must return identical rows"
+        );
+        let speedup = naive_p50 / hash_p50.max(1e-9);
+        println!("{name:>14} {naive_p50:>14.0} {hash_p50:>14.0} {speedup:>8.1}x");
+        entries.push(format!(
+            "    {{ \"query\": \"{name}\", \"naive_p50_us\": {naive_p50:.1}, \
+             \"hash_p50_us\": {hash_p50:.1}, \"speedup\": {speedup:.2} }}"
+        ));
+        speedups.push(speedup);
+    }
+    let slice_p50 = percentile(&sorted_us(speedups.clone()), 0.5);
+    let slice_stats = hash_service.governor_stats();
+    let timed_fraction = slice_stats.hash_joins as f64
+        / (slice_stats.hash_joins + slice_stats.join_fallbacks).max(1) as f64;
+    println!(
+        "join-heavy slice at scale {customers}: p50 speedup {slice_p50:.1}x \
+         (timed-slice fast-path fraction {timed_fraction:.3})"
+    );
+    assert!(
+        customers >= 200,
+        "acceptance: the perf half must run at scale >= 200 customers"
+    );
+    assert!(
+        slice_p50 >= 5.0,
+        "acceptance: p50 speedup on the join-heavy slice must be >= 5x, \
+         got {slice_p50:.1}x"
+    );
+
+    let json = format!(
+        "{{\n  \"smoke\": {smoke},\n  \"correctness\": {{\n    \"seeds\": {},\n    \
+         \"golden\": {golden_total},\n    \"fuzzed_per_seed\": {fuzzed_per_seed},\n    \
+         \"passed\": {passed},\n    \"rejected\": {rejected},\n    \
+         \"mismatches\": {mismatches},\n    \"hash_joins\": {hash_joins},\n    \
+         \"join_fallbacks\": {join_fallbacks},\n    \
+         \"fast_path_fraction\": {fast_path_fraction:.4}\n  }},\n  \
+         \"perf\": {{\n    \"scale_customers\": {customers},\n    \
+         \"samples_per_query\": {samples},\n    \"queries\": [\n{}\n    ],\n    \
+         \"p50_speedup\": {slice_p50:.2},\n    \
+         \"timed_fast_path_fraction\": {timed_fraction:.4},\n    \"bar\": 5.0\n  }}\n}}\n",
+        seeds.len(),
+        entries.join(",\n"),
+    );
+    std::fs::write("BENCH_exec.json", json).unwrap();
+    println!("wrote BENCH_exec.json");
     println!();
 }
 

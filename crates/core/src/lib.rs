@@ -44,6 +44,7 @@ pub use stage2::prepare;
 pub use wrapper::{COLUMN_SEPARATOR, NULL_MARKER, ROW_SEPARATOR};
 
 use aldsp_catalog::MetadataApi;
+pub use aldsp_governor::ExecStrategy;
 use aldsp_governor::QueryBudget;
 use std::time::{Duration, Instant};
 
@@ -86,6 +87,13 @@ pub struct TranslationOptions {
     pub transport: Transport,
     /// Optimizer aggressiveness for this translation.
     pub optimize: OptimizeLevel,
+    /// How the evaluator executes the translated program. Unlike
+    /// `optimize` this never changes the program text — it selects the
+    /// runtime pipeline — but it rides here so connections, prepared
+    /// statements, and services configure it the same way they configure
+    /// the optimizer, and so cached plans stay strategy-agnostic (the
+    /// strategy is applied at execution time, not baked into the plan).
+    pub exec: ExecStrategy,
 }
 
 impl TranslationOptions {
@@ -100,6 +108,12 @@ impl TranslationOptions {
     /// Returns these options with the optimize level replaced.
     pub fn optimized(mut self, level: OptimizeLevel) -> TranslationOptions {
         self.optimize = level;
+        self
+    }
+
+    /// Returns these options with the execution strategy replaced.
+    pub fn with_exec(mut self, exec: ExecStrategy) -> TranslationOptions {
+        self.exec = exec;
         self
     }
 }

@@ -349,11 +349,12 @@ impl Connection {
                 Ok((format!("sqlParam{}", i + 1), sql_value_to_sequence(value)))
             })
             .collect::<Result<_, DriverError>>()?;
-        let payload = self.server.execute_to_payload_governed(
+        let payload = self.server.execute_to_payload_governed_with(
             &translation.xquery,
             &bound,
             Some(translation.metadata_epoch),
             budget,
+            self.options.exec,
         )?;
         match self.options.transport {
             Transport::DelimitedText => {
@@ -440,11 +441,12 @@ impl Connection {
             .map(|(i, v)| (format!("sqlParam{}", i + 1), sql_value_to_sequence(v)))
             .collect();
         let translation = &bound.plan.translation;
-        let payload = self.server.execute_to_payload_governed(
+        let payload = self.server.execute_to_payload_governed_with(
             &translation.xquery,
             &external,
             Some(translation.metadata_epoch),
             budget,
+            self.options.exec,
         )?;
         match self.options.transport {
             Transport::DelimitedText => {
@@ -628,11 +630,12 @@ impl<'a> CallableStatement<'a> {
             .collect::<Result<_, DriverError>>()?;
         let budget = self.connection.budget_from_policy();
         self.connection.retry_transient(budget.as_ref(), || {
-            let payload = self.connection.server.execute_to_payload_governed(
+            let payload = self.connection.server.execute_to_payload_governed_with(
                 &self.xquery,
                 &bound,
                 None,
                 budget.as_ref(),
+                self.connection.options.exec,
             )?;
             ResultSet::from_xml(self.columns.clone(), &payload)
         })

@@ -9,11 +9,11 @@
 use crate::fault::FaultInjector;
 use crate::DriverError;
 use aldsp_catalog::{shared_locator, Application, SharedLocator, TableLocator};
-use aldsp_governor::QueryBudget;
+use aldsp_governor::{ExecStrategy, QueryBudget};
 use aldsp_relational::{Database, SqlValue};
 use aldsp_xml::{flat::build_row, QName, Sequence};
 use aldsp_xquery::{
-    evaluate_program_governed, evaluate_program_with, parse_program, FunctionSource, XqError,
+    evaluate_program_exec, evaluate_program_with, parse_program, FunctionSource, XqError,
 };
 use parking_lot::{Mutex, RwLock};
 use std::collections::{HashMap, HashSet};
@@ -180,13 +180,27 @@ impl DspServer {
         params: &[(String, Sequence)],
         budget: Option<&QueryBudget>,
     ) -> Result<Sequence, DriverError> {
+        self.execute_governed_with(xquery, params, budget, ExecStrategy::default())
+    }
+
+    /// [`DspServer::execute_governed`] with an explicit [`ExecStrategy`]:
+    /// under [`ExecStrategy::HashJoin`] the engine streams recognized
+    /// join-shaped FLWORs through hash-join operators instead of
+    /// materializing cross products. Results are identical either way.
+    pub fn execute_governed_with(
+        &self,
+        xquery: &str,
+        params: &[(String, Sequence)],
+        budget: Option<&QueryBudget>,
+        strategy: ExecStrategy,
+    ) -> Result<Sequence, DriverError> {
         if let Some(injector) = self.fault_injector() {
             injector.on_execute()?;
         }
         let program = parse_program(xquery)
             .map_err(|e| DriverError::Execution(format!("XQuery compilation failed: {e}")))?;
         self.stats.lock().queries += 1;
-        evaluate_program_governed(&program, self, params, budget).map_err(|e| {
+        evaluate_program_exec(&program, self, params, budget, strategy).map_err(|e| {
             match e.budget_error() {
                 Some(b) => DriverError::from_budget(b),
                 None => DriverError::Execution(e.message),
@@ -230,6 +244,25 @@ impl DspServer {
         client_epoch: Option<u64>,
         budget: Option<&QueryBudget>,
     ) -> Result<String, DriverError> {
+        self.execute_to_payload_governed_with(
+            xquery,
+            params,
+            client_epoch,
+            budget,
+            ExecStrategy::default(),
+        )
+    }
+
+    /// [`DspServer::execute_to_payload_governed`] with an explicit
+    /// [`ExecStrategy`] (see [`DspServer::execute_governed_with`]).
+    pub fn execute_to_payload_governed_with(
+        &self,
+        xquery: &str,
+        params: &[(String, Sequence)],
+        client_epoch: Option<u64>,
+        budget: Option<&QueryBudget>,
+        strategy: ExecStrategy,
+    ) -> Result<String, DriverError> {
         if let Some(client_epoch) = client_epoch {
             let server_epoch = self.epoch();
             if client_epoch != server_epoch {
@@ -239,7 +272,7 @@ impl DspServer {
                 });
             }
         }
-        let result = self.execute_governed(xquery, params, budget)?;
+        let result = self.execute_governed_with(xquery, params, budget, strategy)?;
         let mut payload = match result.as_singleton() {
             // A single string item: the delimited-text transport.
             Some(aldsp_xml::Item::Atomic(aldsp_xml::Atomic::String(s))) => s.clone(),

@@ -133,6 +133,14 @@ impl QueryService {
         };
         self.check_in(connection);
         self.observe(&result);
+        // Fold the execution-strategy telemetry the evaluator recorded on
+        // the budget (hash joins taken, join-shaped fallbacks) into the
+        // service-wide governor counters. Only budgeted executions are
+        // metered — the harness and tests always pass one.
+        if let Some(budget) = budget {
+            let (hash_joins, join_fallbacks) = budget.take_exec_counts();
+            self.governor.record_exec(hash_joins, join_fallbacks);
+        }
         result
     }
 

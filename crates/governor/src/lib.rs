@@ -90,6 +90,30 @@ impl fmt::Display for BudgetError {
 impl std::error::Error for BudgetError {}
 
 // ---------------------------------------------------------------------
+// Execution strategy
+// ---------------------------------------------------------------------
+
+/// How the XQuery evaluator executes FLWOR expressions. Lives here — the
+/// zero-dependency crate both `aldsp-core` and `aldsp-xquery` sit on — so
+/// the driver's `TranslationOptions` and the evaluator can share the knob
+/// without a dependency cycle, mirroring how `OptimizeLevel` gates the
+/// translator-side rewrite engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum ExecStrategy {
+    /// The naive interpreter: every `for` clause materializes the full
+    /// tuple cross product, `where` filters afterwards. Always available;
+    /// the reference semantics every other strategy is checked against.
+    #[default]
+    NestedLoop,
+    /// Streaming physical operators: FLWOR prefixes whose `where`
+    /// conjuncts equate variables bound by different `for` clauses run as
+    /// build/probe hash joins with fused residual filters, so the cross
+    /// product is never materialized. Shapes the lowering does not
+    /// recognize fall back to [`ExecStrategy::NestedLoop`] unchanged.
+    HashJoin,
+}
+
+// ---------------------------------------------------------------------
 // Cancellation
 // ---------------------------------------------------------------------
 
@@ -141,6 +165,12 @@ struct BudgetInner {
     fuel_spent: AtomicU64,
     row_cap: u64,
     token: CancellationToken,
+    // Execution telemetry: FLWORs the hash-join lowering ran vs. the
+    // join-shaped ones it declined (or abandoned). Counted here because
+    // the budget is the one object that already rides through every
+    // evaluation layer.
+    hash_joins: AtomicU64,
+    join_fallbacks: AtomicU64,
 }
 
 /// A per-query resource allowance, shared by translation, retries, and
@@ -172,6 +202,8 @@ impl QueryBudget {
                 fuel_spent: AtomicU64::new(0),
                 row_cap: u64::MAX,
                 token: CancellationToken::new(),
+                hash_joins: AtomicU64::new(0),
+                join_fallbacks: AtomicU64::new(0),
             }),
         }
     }
@@ -187,6 +219,8 @@ impl QueryBudget {
             fuel_spent: AtomicU64::new(inner.fuel_spent.load(Ordering::Relaxed)),
             row_cap: inner.row_cap,
             token: inner.token.clone(),
+            hash_joins: AtomicU64::new(inner.hash_joins.load(Ordering::Relaxed)),
+            join_fallbacks: AtomicU64::new(inner.join_fallbacks.load(Ordering::Relaxed)),
         };
         f(&mut next);
         QueryBudget {
@@ -253,6 +287,40 @@ impl QueryBudget {
     /// The row cap (`u64::MAX` when unbounded).
     pub fn row_cap(&self) -> u64 {
         self.inner.row_cap
+    }
+
+    /// Records `n` FLWOR prefixes executed through the streaming
+    /// hash-join pipeline.
+    pub fn record_hash_join(&self, n: u64) {
+        self.inner.hash_joins.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records a join-shaped FLWOR (two or more `for` clauses) that the
+    /// hash-join lowering declined or abandoned back to the nested-loop
+    /// interpreter.
+    pub fn record_join_fallback(&self) {
+        self.inner.join_fallbacks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// FLWOR prefixes executed through the hash-join pipeline so far.
+    pub fn hash_joins(&self) -> u64 {
+        self.inner.hash_joins.load(Ordering::Relaxed)
+    }
+
+    /// Join-shaped FLWORs that fell back to the nested-loop interpreter.
+    pub fn join_fallbacks(&self) -> u64 {
+        self.inner.join_fallbacks.load(Ordering::Relaxed)
+    }
+
+    /// Drains the execution counters, returning `(hash_joins,
+    /// join_fallbacks)` accumulated since the last drain and resetting
+    /// both to zero. A service that reuses one budget across executions
+    /// gets per-execution deltas this way instead of double counting.
+    pub fn take_exec_counts(&self) -> (u64, u64) {
+        (
+            self.inner.hash_joins.swap(0, Ordering::Relaxed),
+            self.inner.join_fallbacks.swap(0, Ordering::Relaxed),
+        )
     }
 
     /// Checks cancellation and the deadline. Call at coarse boundaries
@@ -618,6 +686,14 @@ pub struct GovernorStats {
     pub budget_rejections: u64,
     /// Times the breaker tripped open.
     pub breaker_trips: u64,
+    /// FLWOR prefixes executed through the streaming hash-join pipeline
+    /// (reported by admitted queries; zero unless the service runs with
+    /// [`ExecStrategy::HashJoin`]).
+    pub hash_joins: u64,
+    /// Join-shaped FLWORs that fell back to the nested-loop interpreter.
+    /// Together with `hash_joins` this makes the fast-path fraction of a
+    /// workload an observable number rather than a claim.
+    pub join_fallbacks: u64,
     /// Breaker state at snapshot time.
     pub breaker_state: BreakerState,
 }
@@ -647,6 +723,8 @@ pub struct Governor {
     breaker_rejections: AtomicU64,
     statement_rejections: AtomicU64,
     budget_rejections: AtomicU64,
+    hash_joins: AtomicU64,
+    join_fallbacks: AtomicU64,
 }
 
 impl Default for Governor {
@@ -668,6 +746,8 @@ impl Governor {
             breaker_rejections: AtomicU64::new(0),
             statement_rejections: AtomicU64::new(0),
             budget_rejections: AtomicU64::new(0),
+            hash_joins: AtomicU64::new(0),
+            join_fallbacks: AtomicU64::new(0),
         }
     }
 
@@ -735,6 +815,14 @@ impl Governor {
         self.budget_rejections.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Reports execution-strategy telemetry for one finished query,
+    /// typically the deltas from [`QueryBudget::take_exec_counts`].
+    pub fn record_exec(&self, hash_joins: u64, join_fallbacks: u64) {
+        self.hash_joins.fetch_add(hash_joins, Ordering::Relaxed);
+        self.join_fallbacks
+            .fetch_add(join_fallbacks, Ordering::Relaxed);
+    }
+
     /// A snapshot of the counters.
     pub fn stats(&self) -> GovernorStats {
         GovernorStats {
@@ -745,6 +833,8 @@ impl Governor {
             statement_rejections: self.statement_rejections.load(Ordering::Relaxed),
             budget_rejections: self.budget_rejections.load(Ordering::Relaxed),
             breaker_trips: self.breaker.trips(),
+            hash_joins: self.hash_joins.load(Ordering::Relaxed),
+            join_fallbacks: self.join_fallbacks.load(Ordering::Relaxed),
             breaker_state: self.breaker.state(),
         }
     }
@@ -828,6 +918,36 @@ mod tests {
         assert!(b.charge(1).is_err(), "clone did not share fuel");
         b.cancel();
         assert_eq!(a.check(), Err(BudgetError::Cancelled));
+    }
+
+    #[test]
+    fn exec_counters_accumulate_survive_rebuild_and_drain() {
+        assert_eq!(ExecStrategy::default(), ExecStrategy::NestedLoop);
+        let budget = QueryBudget::unlimited();
+        budget.record_hash_join(2);
+        budget.record_join_fallback();
+        // Builder rebuilds must carry the counters across.
+        let budget = budget.with_fuel(1_000);
+        assert_eq!(budget.hash_joins(), 2);
+        assert_eq!(budget.join_fallbacks(), 1);
+        // Clones share the counters, like fuel.
+        let clone = budget.clone();
+        clone.record_hash_join(1);
+        assert_eq!(budget.hash_joins(), 3);
+        // Draining yields deltas and resets.
+        assert_eq!(budget.take_exec_counts(), (3, 1));
+        assert_eq!(budget.take_exec_counts(), (0, 0));
+    }
+
+    #[test]
+    fn governor_accumulates_exec_telemetry() {
+        let governor = Governor::default();
+        governor.record_exec(5, 2);
+        governor.record_exec(1, 0);
+        let stats = governor.stats();
+        assert_eq!(stats.hash_joins, 6);
+        assert_eq!(stats.join_fallbacks, 2);
+        assert!(stats.is_consistent(), "exec telemetry broke the identity");
     }
 
     #[test]

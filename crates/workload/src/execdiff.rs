@@ -1,0 +1,262 @@
+//! The execution-strategy differential harness (experiment E13's
+//! correctness half).
+//!
+//! PR 10's streaming hash-join engine must be observationally invisible:
+//! for every query, [`aldsp_core::ExecStrategy::HashJoin`] must produce
+//! exactly what [`aldsp_core::ExecStrategy::NestedLoop`] produces —
+//! same rows, same order, same bytes — which must in turn agree with the
+//! relational oracle. This module runs the golden paper corpus plus a
+//! seeded fuzz sweep through two [`QueryService`]s per transport (one
+//! per strategy) and checks all three ways:
+//!
+//! * naive vs oracle (the E6 invariant, re-established here),
+//! * hash vs oracle,
+//! * hash vs naive, compared **ordered** row-by-row even for unordered
+//!   queries — the engines must agree on physical emission order, not
+//!   just on the multiset (the pipeline's probe-major order is designed
+//!   to reproduce the interpreter's cartesian enumeration exactly).
+//!
+//! The report also carries the governor's execution telemetry — how many
+//! hash joins actually ran and how many join-shaped FLWORs fell back —
+//! so E13 can state what fraction of the workload took the fast path
+//! instead of silently claiming coverage.
+
+use crate::querygen::{ConstructClass, QueryGenerator};
+use crate::schema::{build_application, paper_queries, populate_database, Scale};
+use aldsp_core::{ExecStrategy, TranslationOptions, Transport};
+use aldsp_driver::{DriverError, DspServer, QueryService};
+use aldsp_governor::QueryBudget;
+use aldsp_relational::{execute_query, SqlValue};
+use aldsp_sql::parse_select;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One disagreement between strategies (or with the oracle).
+#[derive(Debug, Clone)]
+pub struct ExecMismatch {
+    /// The SQL text.
+    pub sql: String,
+    /// Where it came from: a golden-corpus label or a construct-class
+    /// label.
+    pub origin: String,
+    /// What went wrong.
+    pub reason: String,
+}
+
+/// Aggregate report for one seed.
+#[derive(Debug, Clone, Default)]
+pub struct ExecDifferentialReport {
+    /// Queries that agreed three ways in both transports.
+    pub passed: usize,
+    /// Queries the translator rejected (the generator should produce
+    /// none).
+    pub rejected: usize,
+    /// Disagreements.
+    pub mismatches: Vec<ExecMismatch>,
+    /// Per-origin pass counts `(passed, attempted)`.
+    pub per_origin: HashMap<String, (usize, usize)>,
+    /// Hash joins the streaming engine executed (summed over transports).
+    pub hash_joins: u64,
+    /// Join-shaped FLWORs that fell back to the interpreter.
+    pub join_fallbacks: u64,
+}
+
+impl ExecDifferentialReport {
+    /// Total queries exercised.
+    pub fn total(&self) -> usize {
+        self.passed + self.rejected + self.mismatches.len()
+    }
+
+    /// Fraction of join-shaped FLWOR executions that took the hash
+    /// path; `None` when no join-shaped FLWOR ran.
+    pub fn fast_path_fraction(&self) -> Option<f64> {
+        let total = self.hash_joins + self.join_fallbacks;
+        (total > 0).then(|| self.hash_joins as f64 / total as f64)
+    }
+}
+
+struct StrategyPair {
+    transport: Transport,
+    naive: QueryService,
+    hash: QueryService,
+}
+
+/// Runs the golden corpus plus `count_per_class` fuzzed queries per
+/// construct class at the given seed and scale, in both transports,
+/// comparing hash-join execution against nested-loop execution and the
+/// relational oracle.
+pub fn run_exec_differential(
+    seed: u64,
+    count_per_class: usize,
+    scale: Scale,
+) -> ExecDifferentialReport {
+    let app = build_application();
+    let db = populate_database(&app, scale, seed);
+    let oracle_db = db.clone();
+    let server = Arc::new(DspServer::new(app, db));
+
+    let pairs: Vec<StrategyPair> = [Transport::DelimitedText, Transport::Xml]
+        .into_iter()
+        .map(|transport| StrategyPair {
+            transport,
+            naive: QueryService::new(
+                Arc::clone(&server),
+                TranslationOptions::with_transport(transport),
+            ),
+            hash: QueryService::new(
+                Arc::clone(&server),
+                TranslationOptions::with_transport(transport).with_exec(ExecStrategy::HashJoin),
+            ),
+        })
+        .collect();
+
+    let mut report = ExecDifferentialReport::default();
+    // Scoped: `check` borrows `report` mutably; the telemetry sweep
+    // below needs it back.
+    {
+        let mut check = |origin: &str, sql: &str| {
+            let entry = report
+                .per_origin
+                .entry(origin.to_string())
+                .or_insert((0, 0));
+            entry.1 += 1;
+            match check_one(&pairs, &oracle_db, sql) {
+                Ok(()) => {
+                    report.passed += 1;
+                    entry.0 += 1;
+                }
+                Err(CheckOutcome::Rejected(_)) => report.rejected += 1,
+                Err(CheckOutcome::Mismatch(reason)) => report.mismatches.push(ExecMismatch {
+                    sql: sql.to_string(),
+                    origin: origin.to_string(),
+                    reason,
+                }),
+            }
+        };
+
+        for (label, sql) in paper_queries() {
+            check(&format!("golden:{label}"), sql);
+        }
+        let mut generator = QueryGenerator::new(seed);
+        for class in ConstructClass::all() {
+            for _ in 0..count_per_class {
+                let sql = generator.generate(*class);
+                check(class.label(), &sql);
+            }
+        }
+    }
+
+    for pair in &pairs {
+        let stats = pair.hash.governor_stats();
+        report.hash_joins += stats.hash_joins;
+        report.join_fallbacks += stats.join_fallbacks;
+    }
+    report
+}
+
+enum CheckOutcome {
+    Rejected(String),
+    Mismatch(String),
+}
+
+impl std::fmt::Debug for CheckOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckOutcome::Rejected(m) => write!(f, "Rejected({m})"),
+            CheckOutcome::Mismatch(m) => write!(f, "Mismatch({m})"),
+        }
+    }
+}
+
+fn check_one(
+    pairs: &[StrategyPair],
+    oracle_db: &aldsp_relational::Database,
+    sql: &str,
+) -> Result<(), CheckOutcome> {
+    let parsed = parse_select(sql).map_err(|e| CheckOutcome::Rejected(format!("parse: {e}")))?;
+    let ordered = !parsed.order_by.is_empty();
+    let oracle = execute_query(oracle_db, &parsed, &[])
+        .map_err(|e| CheckOutcome::Mismatch(format!("oracle failed: {e}")))?;
+
+    for pair in pairs {
+        let label = match pair.transport {
+            Transport::DelimitedText => "text",
+            Transport::Xml => "xml",
+        };
+        let naive_rows =
+            run_service(&pair.naive, sql).map_err(|e| e.into_outcome(&format!("{label} naive")))?;
+        let hash_rows =
+            run_service(&pair.hash, sql).map_err(|e| e.into_outcome(&format!("{label} hash")))?;
+
+        crate::differential::compare_results(&naive_rows, &oracle, ordered)
+            .map_err(|r| CheckOutcome::Mismatch(format!("{label} naive vs oracle: {r}")))?;
+        crate::differential::compare_results(&hash_rows, &oracle, ordered)
+            .map_err(|r| CheckOutcome::Mismatch(format!("{label} hash vs oracle: {r}")))?;
+        // Strategy-vs-strategy is exact and ordered: same rows, same
+        // physical order, regardless of ORDER BY.
+        if naive_rows != hash_rows {
+            return Err(CheckOutcome::Mismatch(format!(
+                "{label} hash vs naive: emission differs ({} vs {} rows){}",
+                hash_rows.len(),
+                naive_rows.len(),
+                first_row_diff(&naive_rows, &hash_rows)
+            )));
+        }
+    }
+    Ok(())
+}
+
+fn first_row_diff(naive: &[Vec<SqlValue>], hash: &[Vec<SqlValue>]) -> String {
+    for (i, (n, h)) in naive.iter().zip(hash).enumerate() {
+        if n != h {
+            return format!("; first divergence at row {i}: naive {n:?} vs hash {h:?}");
+        }
+    }
+    String::new()
+}
+
+struct ServiceFailure(DriverError);
+
+impl ServiceFailure {
+    fn into_outcome(self, label: &str) -> CheckOutcome {
+        match self.0 {
+            DriverError::Translation(e) => CheckOutcome::Rejected(format!("translation: {e}")),
+            e => CheckOutcome::Mismatch(format!("{label} execution failed: {e}")),
+        }
+    }
+}
+
+fn run_service(service: &QueryService, sql: &str) -> Result<Vec<Vec<SqlValue>>, ServiceFailure> {
+    // Unlimited budget: the strategies legitimately differ in fuel (that
+    // is the point) and in what the row cap measures (materialized tuple
+    // vector vs build table), so differential runs must not let a limit
+    // fire on one side only.
+    let budget = QueryBudget::unlimited();
+    let rs = service
+        .execute_with_budget(sql, &[], Some(&budget))
+        .map_err(ServiceFailure)?;
+    Ok(rs.rows().to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_exec_differential_run_is_clean() {
+        let report = run_exec_differential(13, 2, Scale::small());
+        assert!(
+            report.mismatches.is_empty(),
+            "mismatches: {:#?}",
+            report.mismatches
+        );
+        assert_eq!(report.rejected, 0, "generator produced rejected queries");
+        assert_eq!(report.passed, report.total());
+        assert!(
+            report.hash_joins > 0,
+            "join classes should exercise the hash path"
+        );
+        let fraction = report.fast_path_fraction().unwrap_or(0.0);
+        assert!(fraction > 0.0, "fast-path fraction should be observable");
+    }
+}

@@ -16,6 +16,10 @@
 //! * [`chaos`] — the same differential check under injected boundary
 //!   faults and a retrying connection: every query must either match the
 //!   oracle or fail with a typed error.
+//! * [`execdiff`] — the E13 correctness harness: every query runs under
+//!   both execution strategies (nested-loop interpreter vs streaming
+//!   hash joins) in both transports; results must agree with each other
+//!   (exact emission order) and with the oracle.
 //! * [`cached`] — the plan-cache harnesses: cached execution must be
 //!   byte-identical to fresh uncached translation, and a multi-threaded
 //!   `QueryService` must never serve a stale plan across a mid-run
@@ -30,6 +34,7 @@
 pub mod cached;
 pub mod chaos;
 pub mod differential;
+pub mod execdiff;
 pub mod mutation;
 pub mod overload;
 pub mod querygen;
@@ -41,6 +46,7 @@ pub use cached::{
 };
 pub use chaos::{run_chaos, ChaosConfig, ChaosReport};
 pub use differential::{compare_results, run_differential, DifferentialReport, Mismatch};
+pub use execdiff::{run_exec_differential, ExecDifferentialReport, ExecMismatch};
 pub use mutation::{mutants_for, Mutant, MutationClass};
 pub use overload::{run_overload, OverloadConfig, OverloadReport};
 pub use querygen::{ConstructClass, QueryGenerator};

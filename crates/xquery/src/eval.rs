@@ -8,8 +8,9 @@
 //! (§3.2), and this engine's job is fidelity, not speed.
 
 use crate::ast::*;
-use crate::functions::{atomic_group_key, call_builtin, coerce_numeric, data};
-use aldsp_governor::{BudgetError, QueryBudget};
+use crate::exec::{self, AtomKey};
+use crate::functions::{call_builtin, coerce_numeric, data};
+use aldsp_governor::{BudgetError, ExecStrategy, QueryBudget};
 use aldsp_xml::{Atomic, Element, Item, Node, QName, Sequence};
 use std::cmp::Ordering;
 use std::collections::HashMap;
@@ -151,6 +152,7 @@ pub struct Evaluator<'a> {
     functions: &'a dyn FunctionSource,
     prefixes: HashMap<String, String>,
     budget: Option<&'a QueryBudget>,
+    strategy: ExecStrategy,
 }
 
 /// Evaluates a parsed program against a function source.
@@ -183,10 +185,28 @@ pub fn evaluate_program_governed(
     vars: &[(String, Sequence)],
     budget: Option<&QueryBudget>,
 ) -> Result<Sequence, XqError> {
+    evaluate_program_exec(program, functions, vars, budget, ExecStrategy::NestedLoop)
+}
+
+/// Evaluates a program under an optional budget and a chosen
+/// [`ExecStrategy`]. Under [`ExecStrategy::HashJoin`] the evaluator
+/// lowers recognized join-shaped FLWORs onto the streaming pipeline in
+/// [`crate::exec`]; everything else — and every FLWOR under
+/// [`ExecStrategy::NestedLoop`] — runs on the naive interpreter. The
+/// strategy never changes observable results, only how (and how fast)
+/// they are produced.
+pub fn evaluate_program_exec(
+    program: &Program,
+    functions: &dyn FunctionSource,
+    vars: &[(String, Sequence)],
+    budget: Option<&QueryBudget>,
+    strategy: ExecStrategy,
+) -> Result<Sequence, XqError> {
     if let Some(budget) = budget {
         budget.check().map_err(XqError::budget)?;
     }
-    let evaluator = Evaluator::with_budget(functions, &program.imports, budget);
+    let mut evaluator = Evaluator::with_budget(functions, &program.imports, budget);
+    evaluator.strategy = strategy;
     let mut env = Env::new();
     for (name, value) in vars {
         env = env.bind(name.clone(), value.clone());
@@ -215,14 +235,25 @@ impl<'a> Evaluator<'a> {
             functions,
             prefixes,
             budget,
+            strategy: ExecStrategy::NestedLoop,
         }
     }
 
     /// Spends `n` fuel units, surfacing deadline/cancellation/fuel
     /// violations as typed budget errors.
-    fn charge(&self, n: u64) -> Result<(), XqError> {
+    pub(crate) fn charge(&self, n: u64) -> Result<(), XqError> {
         match self.budget {
             Some(budget) => budget.charge(n).map_err(XqError::budget),
+            None => Ok(()),
+        }
+    }
+
+    /// Enforces the row cap on a materialized collection size — the
+    /// naive tuple vector, a hash-join build table, or the pipeline's
+    /// output.
+    pub(crate) fn check_rows(&self, rows: usize) -> Result<(), XqError> {
+        match self.budget {
+            Some(budget) => budget.check_rows(rows as u64).map_err(XqError::budget),
             None => Ok(()),
         }
     }
@@ -445,6 +476,25 @@ impl<'a> Evaluator<'a> {
         predicate: &Expr,
         env: &Env,
     ) -> Result<Sequence, XqError> {
+        // Constant positional predicate (`[2]`): index directly instead
+        // of evaluating the literal once per candidate item.
+        if let Expr::Literal(a) = predicate {
+            if a.xs_type().is_numeric() {
+                self.charge(1)?;
+                let mut out = Sequence::empty();
+                if let Some(pos) = a.as_f64() {
+                    if pos >= 1.0 && pos.fract() == 0.0 && pos <= input.len() as f64 {
+                        let item = input
+                            .into_items()
+                            .into_iter()
+                            .nth(pos as usize - 1)
+                            .expect("position checked against length");
+                        out.push(item);
+                    }
+                }
+                return Ok(out);
+            }
+        }
         let mut out = Sequence::empty();
         for (index, item) in input.into_items().into_iter().enumerate() {
             let result = self.eval(predicate, env, Some(&item))?;
@@ -467,8 +517,43 @@ impl<'a> Evaluator<'a> {
         env: &Env,
         context: Option<&Item>,
     ) -> Result<Sequence, XqError> {
+        let mut skip = 0;
         let mut tuples: Vec<Env> = vec![env.clone()];
-        for clause in &flwor.clauses {
+        if self.strategy == ExecStrategy::HashJoin {
+            match exec::plan(flwor) {
+                Some(plan) => match exec::run(self, &plan, env, context) {
+                    Ok(streamed) => {
+                        if let Some(budget) = self.budget {
+                            budget.record_hash_join(plan.joins as u64);
+                        }
+                        tuples = streamed;
+                        skip = plan.consumed;
+                    }
+                    // Budget violations are real limits — propagate.
+                    Err(e) if e.budget_error().is_some() => return Err(e),
+                    // Any other dynamic error: the pipeline may have
+                    // evaluated expressions the interpreter never would
+                    // (or in another order), so the naive run below is
+                    // authoritative for both results and errors.
+                    Err(_) => {
+                        if let Some(budget) = self.budget {
+                            budget.record_join_fallback();
+                        }
+                    }
+                },
+                None => {
+                    // Count declined lowerings only where a join was
+                    // plausible, so the telemetry's fast-path fraction
+                    // is over joins rather than all FLWORs.
+                    if exec::join_shaped(flwor) {
+                        if let Some(budget) = self.budget {
+                            budget.record_join_fallback();
+                        }
+                    }
+                }
+            }
+        }
+        for clause in &flwor.clauses[skip..] {
             match clause {
                 Clause::For { var, source } => {
                     let mut next = Vec::new();
@@ -536,22 +621,24 @@ impl<'a> Evaluator<'a> {
             partition: Sequence,
         }
         let mut partitions: Vec<Partition> = Vec::new();
-        let mut index: HashMap<String, usize> = HashMap::new();
+        // One AtomKey per key expression — a structured map key, so key
+        // values can never collide with a neighboring key's encoding the
+        // way delimiter-joined strings could.
+        let mut index: HashMap<Vec<AtomKey>, usize> = HashMap::new();
         for tuple in tuples {
             let mut keys = Vec::with_capacity(group.keys.len());
-            let mut canonical = String::new();
+            let mut canonical = Vec::with_capacity(group.keys.len());
             for (key_expr, _) in &group.keys {
                 let value = data(&self.eval(key_expr, &tuple, context)?);
                 match value.items() {
-                    [] => canonical.push_str("\u{0}E"),
-                    [Item::Atomic(a)] => canonical.push_str(&atomic_group_key(a)),
+                    [] => canonical.push(AtomKey::Empty),
+                    [Item::Atomic(a)] => canonical.push(AtomKey::group(a)),
                     _ => {
                         return Err(XqError::new(
                             "group-by key must atomize to at most one item",
                         ))
                     }
                 }
-                canonical.push('\u{1}');
                 keys.push(value);
             }
             let source = tuple.lookup(&group.source_var).cloned().ok_or_else(|| {
@@ -853,6 +940,37 @@ mod tests {
                         ],
                     ),
                 ],
+                // A payments table with a NULL (absent) CUSTID row and a
+                // customer id that matches nothing — join edge cases.
+                // Kept separate from PAYMENTS so the exact-output tests
+                // above stay byte-identical.
+                "NULLABLEPAY" => vec![
+                    (
+                        "NULLABLEPAY",
+                        vec![
+                            ("CUSTID", Some(Atomic::Integer(55))),
+                            ("PAYMENT", Some(Atomic::Decimal(10.0))),
+                        ],
+                    ),
+                    (
+                        "NULLABLEPAY",
+                        vec![("CUSTID", None), ("PAYMENT", Some(Atomic::Decimal(20.0)))],
+                    ),
+                    (
+                        "NULLABLEPAY",
+                        vec![
+                            ("CUSTID", Some(Atomic::Integer(55))),
+                            ("PAYMENT", Some(Atomic::Decimal(30.0))),
+                        ],
+                    ),
+                    (
+                        "NULLABLEPAY",
+                        vec![
+                            ("CUSTID", Some(Atomic::Integer(99))),
+                            ("PAYMENT", Some(Atomic::Decimal(40.0))),
+                        ],
+                    ),
+                ],
                 "PAYMENTS" => vec![
                     (
                         "PAYMENTS",
@@ -1149,6 +1267,229 @@ mod tests {
         assert_eq!(
             serialize_sequence(&governed),
             serialize_sequence(&run(&query))
+        );
+    }
+
+    fn run_exec(
+        query: &str,
+        budget: &QueryBudget,
+        strategy: ExecStrategy,
+    ) -> Result<Sequence, XqError> {
+        let program = parse_program(query).unwrap_or_else(|e| panic!("{e}"));
+        evaluate_program_exec(&program, &TestSource, &[], Some(budget), strategy)
+    }
+
+    /// Runs one query under both strategies and asserts byte-identical
+    /// serialized output; returns (hash_joins, join_fallbacks) observed
+    /// on the hash run.
+    fn assert_strategies_agree(query: &str) -> (u64, u64) {
+        let naive = run_exec(query, &QueryBudget::unlimited(), ExecStrategy::NestedLoop)
+            .unwrap_or_else(|e| panic!("naive: {e}"));
+        let budget = QueryBudget::unlimited();
+        let hashed = run_exec(query, &budget, ExecStrategy::HashJoin)
+            .unwrap_or_else(|e| panic!("hash: {e}"));
+        assert_eq!(
+            serialize_sequence(&hashed),
+            serialize_sequence(&naive),
+            "strategies disagree on: {query}"
+        );
+        budget.take_exec_counts()
+    }
+
+    const JOIN: &str = "for $c in ns0:CUSTOMERS() for $p in ns1:PAYMENTS() \
+         where ($c/CUSTOMERID = $p/CUSTID) \
+         return <R><ID>{fn:data($c/CUSTOMERID)}</ID>\
+<PAY>{fn:data($p/PAYMENT)}</PAY></R>";
+
+    #[test]
+    fn hash_join_matches_naive_results_and_order() {
+        let (joins, fallbacks) = assert_strategies_agree(&format!("{IMPORT} {JOIN}"));
+        assert_eq!(joins, 1, "binary join should take the hash path");
+        assert_eq!(fallbacks, 0);
+        // Probe-major order, spot-checked.
+        let out = run_exec(
+            &format!("{IMPORT} {JOIN}"),
+            &QueryBudget::unlimited(),
+            ExecStrategy::HashJoin,
+        )
+        .unwrap();
+        assert_eq!(
+            serialize_sequence(&out),
+            "<R><ID>55</ID><PAY>100</PAY></R><R><ID>23</ID><PAY>50</PAY></R>"
+        );
+    }
+
+    #[test]
+    fn hash_join_null_never_joins_and_duplicates_survive() {
+        // Customer 55 matches two NULLABLEPAY rows; the NULL CUSTID row
+        // and the unmatched 99 row join nothing on either side.
+        let query = format!(
+            "{IMPORT} for $c in ns0:CUSTOMERS() for $p in ns1:NULLABLEPAY() \
+             where ($c/CUSTOMERID = $p/CUSTID) \
+             return <R><ID>{{fn:data($c/CUSTOMERID)}}</ID>\
+<PAY>{{fn:data($p/PAYMENT)}}</PAY></R>"
+        );
+        let (joins, _) = assert_strategies_agree(&query);
+        assert_eq!(joins, 1);
+        let out = run_exec(&query, &QueryBudget::unlimited(), ExecStrategy::HashJoin).unwrap();
+        assert_eq!(
+            serialize_sequence(&out),
+            "<R><ID>55</ID><PAY>10</PAY></R><R><ID>55</ID><PAY>30</PAY></R>"
+        );
+    }
+
+    #[test]
+    fn three_way_join_with_residual_matches_naive() {
+        let query = format!(
+            "{IMPORT} for $c in ns0:CUSTOMERS() for $p in ns1:PAYMENTS() \
+             for $n in ns1:NULLABLEPAY() \
+             where ($c/CUSTOMERID = $p/CUSTID) and ($c/CUSTOMERID = $n/CUSTID) \
+             and ($n/PAYMENT > xs:integer(15)) \
+             return <R><ID>{{fn:data($c/CUSTOMERID)}}</ID>\
+<PAY>{{fn:data($n/PAYMENT)}}</PAY></R>"
+        );
+        let (joins, fallbacks) = assert_strategies_agree(&query);
+        assert_eq!(joins, 2, "both non-first streams should hash-join");
+        assert_eq!(fallbacks, 0);
+    }
+
+    #[test]
+    fn let_view_join_matches_naive() {
+        // Paper Example 8's let-bound RECORDSET views, joined: the
+        // stream-invariant lets must not block lowering.
+        let query = format!(
+            "{IMPORT} let $t1 := <RECORDSET>{{for $x in ns0:CUSTOMERS() return \
+             <RECORD><ID>{{fn:data($x/CUSTOMERID)}}</ID></RECORD>}}</RECORDSET> \
+             let $t2 := <RECORDSET>{{for $y in ns1:PAYMENTS() return \
+             <RECORD><CID>{{fn:data($y/CUSTID)}}</CID>\
+<P>{{fn:data($y/PAYMENT)}}</P></RECORD>}}</RECORDSET> \
+             for $a in $t1/RECORD for $b in $t2/RECORD \
+             where ($a/ID = $b/CID) \
+             return <R>{{fn:data($a/ID)}},{{fn:data($b/P)}}</R>"
+        );
+        let (joins, _) = assert_strategies_agree(&query);
+        assert_eq!(joins, 1);
+    }
+
+    #[test]
+    fn unlowerable_join_shape_counts_a_fallback() {
+        let query = format!(
+            "{IMPORT} for $c in ns0:CUSTOMERS() for $p in ns1:PAYMENTS() \
+             where ($c/CUSTOMERID > $p/CUSTID) \
+             return <R>{{fn:data($c/CUSTOMERID)}}</R>"
+        );
+        let (joins, fallbacks) = assert_strategies_agree(&query);
+        assert_eq!(joins, 0, "non-equi join must not hash");
+        assert_eq!(fallbacks, 1);
+    }
+
+    #[test]
+    fn pipeline_error_falls_back_to_naive_error() {
+        // The residual conjunct divides by zero; the pipeline abandons
+        // the run and the naive interpreter reproduces the error.
+        let query = format!(
+            "{IMPORT} for $c in ns0:CUSTOMERS() for $p in ns1:PAYMENTS() \
+             where ($c/CUSTOMERID = $p/CUSTID) and (1 div 0 = $p/CUSTID) \
+             return <R/>"
+        );
+        let budget = QueryBudget::unlimited();
+        let hashed = run_exec(&query, &budget, ExecStrategy::HashJoin).unwrap_err();
+        let naive =
+            run_exec(&query, &QueryBudget::unlimited(), ExecStrategy::NestedLoop).unwrap_err();
+        assert_eq!(hashed.message, naive.message);
+        let (_, fallbacks) = budget.take_exec_counts();
+        assert_eq!(fallbacks, 1);
+    }
+
+    #[test]
+    fn dead_probe_stream_never_builds_the_table() {
+        // The filter between the two scans kills every tuple before the
+        // first probe, so the (lazy) build never evaluates its source —
+        // which here would error. The naive interpreter also never
+        // reaches it: parity.
+        let query = format!(
+            "{IMPORT} for $c in ns0:CUSTOMERS() where fn:false() \
+             for $p in ns1:NOSUCHTABLE() \
+             where ($c/CUSTOMERID = $p/CUSTID) return <R/>"
+        );
+        for strategy in [ExecStrategy::NestedLoop, ExecStrategy::HashJoin] {
+            let out = run_exec(&query, &QueryBudget::unlimited(), strategy).unwrap();
+            assert!(out.is_empty());
+        }
+    }
+
+    #[test]
+    fn row_cap_applies_to_hash_build_table() {
+        let budget = QueryBudget::unlimited().with_row_cap(1);
+        let err =
+            run_exec(&format!("{IMPORT} {JOIN}"), &budget, ExecStrategy::HashJoin).unwrap_err();
+        let Some(BudgetError::RowCapExceeded { cap: 1, .. }) = err.budget_error() else {
+            panic!("expected row-cap violation, got {err:?}");
+        };
+    }
+
+    #[test]
+    fn hash_join_consumes_less_fuel_than_naive() {
+        let query = format!("{IMPORT} {JOIN}");
+        let naive_budget = QueryBudget::unlimited();
+        run_exec(&query, &naive_budget, ExecStrategy::NestedLoop).unwrap();
+        let hash_budget = QueryBudget::unlimited();
+        run_exec(&query, &hash_budget, ExecStrategy::HashJoin).unwrap();
+        assert!(
+            hash_budget.fuel_consumed() < naive_budget.fuel_consumed(),
+            "hash {} vs naive {}",
+            hash_budget.fuel_consumed(),
+            naive_budget.fuel_consumed()
+        );
+    }
+
+    #[test]
+    fn constant_positional_predicate_fast_path() {
+        // In-range, out-of-range (both ends), fractional, and the
+        // non-literal cast form that still takes the general path.
+        let by_position = |pred: &str| {
+            run_text(&format!(
+                "{IMPORT} for $c in ns0:CUSTOMERS(){pred} \
+                 return <ID>{{fn:data($c/CUSTOMERID)}}</ID>"
+            ))
+        };
+        assert_eq!(by_position("[1]"), "<ID>55</ID>");
+        assert_eq!(by_position("[3]"), "<ID>7</ID>");
+        assert_eq!(by_position("[0]"), "");
+        assert_eq!(by_position("[5]"), "");
+        assert_eq!(by_position("[2.5]"), "");
+        assert_eq!(by_position("[xs:integer(2)]"), "<ID>23</ID>");
+    }
+
+    #[test]
+    fn group_by_keys_with_delimiter_bytes_do_not_collide() {
+        // The retired String-concatenation encoding ("s" + value +
+        // "\u{1}" per key) mapped the two-key tuples ("a\u{1}sb", "c")
+        // and ("a", "b\u{1}sc") to the same canonical string; the
+        // structured key keeps them apart, so this query has 2 groups.
+        let query = format!(
+            "{IMPORT} let $rows := <RECORDSET>{{
+               for $c in ns0:CUSTOMERS()
+               where ($c/CUSTOMERID = 55) or ($c/CUSTOMERID = 23)
+               return <RECORD><ID>{{fn:data($c/CUSTOMERID)}}</ID></RECORD>
+             }}</RECORDSET>
+             for $r in $rows/RECORD
+             group $r as $part
+               by (if ($r/ID = 55) then \"a\u{1}sb\" else \"a\") as $k1,
+                  (if ($r/ID = 55) then \"c\" else \"b\u{1}sc\") as $k2
+             return <G>{{fn:count($part)}}</G>"
+        );
+        assert_eq!(run_text(&query), "<G>1</G><G>1</G>");
+
+        // The ISSUE's headline pair — key lists ["a\u{1}b"] and
+        // ["a", "b"] — now differ structurally, not just by luck of
+        // delimiter placement.
+        assert_ne!(
+            vec![AtomKey::group(&Atomic::String("a\u{1}b".into()))],
+            vec![
+                AtomKey::group(&Atomic::String("a".into())),
+                AtomKey::group(&Atomic::String("b".into())),
+            ]
         );
     }
 }

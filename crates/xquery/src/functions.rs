@@ -174,7 +174,7 @@ pub fn call_builtin(name: &str, args: &[Sequence]) -> Result<Option<Sequence>, X
             let mut out = Sequence::empty();
             for a in data(&args[0]).into_items() {
                 let Item::Atomic(a) = a else { continue };
-                if seen.insert(atomic_group_key(&a)) {
+                if seen.insert(crate::exec::AtomKey::group(&a)) {
                     out.push(a);
                 }
             }
@@ -721,18 +721,6 @@ fn record_counts(seq: &Sequence) -> std::collections::HashMap<String, usize> {
         }
     }
     counts
-}
-
-/// Canonical grouping key for an atomic (numeric types of equal magnitude
-/// collapse; untyped keys group as strings).
-pub fn atomic_group_key(a: &Atomic) -> String {
-    match a {
-        Atomic::Integer(i) => format!("n{}", *i as f64),
-        Atomic::Decimal(d) | Atomic::Double(d) => format!("n{d}"),
-        Atomic::String(s) | Atomic::Untyped(s) => format!("s{s}"),
-        Atomic::Boolean(b) => format!("b{b}"),
-        Atomic::Date(d) => format!("d{d}"),
-    }
 }
 
 #[cfg(test)]

@@ -17,6 +17,11 @@
 //! * [`eval`] — a tuple-stream evaluator over the `aldsp-xml` data model.
 //!   Untyped node content coerces per XQuery 1.0 rules, so comparisons
 //!   like the paper's `$var1FR2/ID > xs:integer(10)` behave numerically.
+//! * [`exec`] — the streaming physical layer: under
+//!   [`ExecStrategy::HashJoin`], join-shaped FLWORs lower onto
+//!   scan/hash-join/filter operators instead of materialized
+//!   cartesian tuple vectors; unrecognized shapes fall back to the
+//!   interpreter unchanged.
 //!
 //! Data-service functions (`ns0:CUSTOMERS()`) resolve through the
 //! [`FunctionSource`] trait; the driver crate wires that to catalog-backed
@@ -24,15 +29,18 @@
 
 pub mod ast;
 pub mod eval;
+pub mod exec;
 pub mod functions;
 pub mod parser;
 pub mod unparse;
 pub mod visit;
 
+pub use aldsp_governor::ExecStrategy;
 pub use ast::{Clause, Expr, Flwor, Program, SchemaImport};
 pub use eval::{
-    evaluate_program, evaluate_program_governed, evaluate_program_with, EmptyFunctionSource, Env,
-    Evaluator, FunctionSource, XqError, XqErrorKind,
+    evaluate_program, evaluate_program_exec, evaluate_program_governed, evaluate_program_with,
+    EmptyFunctionSource, Env, Evaluator, FunctionSource, XqError, XqErrorKind,
 };
+pub use exec::AtomKey;
 pub use parser::{parse_program, XqParseError, XqParseErrorKind, MAX_PARSE_DEPTH};
 pub use unparse::{unparse_expr, unparse_program};

@@ -1,0 +1,159 @@
+//! Execution-engine integration tests (the `execcheck` CI step): the
+//! streaming hash-join engine run end-to-end through the `QueryService`
+//! against the nested-loop interpreter and the relational oracle.
+//!
+//! The evaluator-level unit tests (`aldsp-xquery`'s `exec` and `eval`
+//! modules) pin lowering decisions, NULL-join semantics, emission order,
+//! and budget parity on hand-built FLWORs; these tests pin the same
+//! properties on *translated SQL* across both transports, plus the
+//! governor telemetry that reports hash-path coverage.
+
+use aldsp::core::{ExecStrategy, TranslationOptions, Transport};
+use aldsp::driver::{DspServer, QueryService};
+use aldsp::governor::QueryBudget;
+use aldsp::relational::SqlValue;
+use aldsp::workload::{
+    build_application, paper_queries, populate_database, run_exec_differential, Scale,
+};
+use std::sync::Arc;
+
+fn server(seed: u64) -> Arc<DspServer> {
+    let app = build_application();
+    let db = populate_database(&app, Scale::small(), seed);
+    Arc::new(DspServer::new(app, db))
+}
+
+fn service(server: &Arc<DspServer>, transport: Transport, exec: ExecStrategy) -> QueryService {
+    QueryService::new(
+        Arc::clone(server),
+        TranslationOptions::with_transport(transport).with_exec(exec),
+    )
+}
+
+fn rows(service: &QueryService, sql: &str) -> Vec<Vec<SqlValue>> {
+    let budget = QueryBudget::unlimited();
+    service
+        .execute_with_budget(sql, &[], Some(&budget))
+        .unwrap_or_else(|e| panic!("`{sql}` failed: {e}"))
+        .rows()
+        .to_vec()
+}
+
+/// The golden paper corpus comes back row-for-row identical (same rows,
+/// same physical order) under both strategies, in both transports.
+#[test]
+fn golden_corpus_is_strategy_invariant() {
+    let server = server(41);
+    for transport in [Transport::DelimitedText, Transport::Xml] {
+        let naive = service(&server, transport, ExecStrategy::NestedLoop);
+        let hash = service(&server, transport, ExecStrategy::HashJoin);
+        for (label, sql) in paper_queries() {
+            assert_eq!(
+                rows(&naive, sql),
+                rows(&hash, sql),
+                "{transport:?} golden `{label}` diverged"
+            );
+        }
+    }
+}
+
+/// The full differential harness (golden + fuzzed, both transports,
+/// three-way comparison against the oracle) is clean, and the hash path
+/// actually fires — a run that silently fell back everywhere would pass
+/// the equality checks while testing nothing.
+#[test]
+fn exec_differential_is_clean_and_covers_the_fast_path() {
+    let report = run_exec_differential(29, 4, Scale::small());
+    assert!(
+        report.mismatches.is_empty(),
+        "mismatches: {:#?}",
+        report.mismatches
+    );
+    assert_eq!(report.rejected, 0, "generator produced rejected queries");
+    assert!(report.hash_joins > 0, "hash path never fired");
+    assert!(
+        report.fast_path_fraction().unwrap_or(0.0) > 0.5,
+        "most join-shaped FLWORs should lower: {} joined / {} fell back",
+        report.hash_joins,
+        report.join_fallbacks
+    );
+}
+
+/// SQL NULL never joins: rows whose key column is NULL disappear from an
+/// inner join under both strategies, even though the column is stored as
+/// an absent element (an empty XQuery sequence) on the wire.
+#[test]
+fn null_keys_never_join_under_either_strategy() {
+    let server = server(17);
+    // CUSTOMERNAME is nullable; self-join CUSTOMERS on it. Every
+    // surviving row must have a name, and the strategies must agree.
+    let sql = "SELECT A.CUSTOMERID, B.CUSTOMERID FROM CUSTOMERS A \
+               INNER JOIN CUSTOMERS B ON A.CUSTOMERNAME = B.CUSTOMERNAME";
+    let naive = service(&server, Transport::DelimitedText, ExecStrategy::NestedLoop);
+    let hash = service(&server, Transport::DelimitedText, ExecStrategy::HashJoin);
+    let naive_rows = rows(&naive, sql);
+    let hash_rows = rows(&hash, sql);
+    assert_eq!(naive_rows, hash_rows);
+    let stats = hash.governor_stats();
+    assert!(stats.hash_joins > 0, "self-join should take the hash path");
+}
+
+/// The service-level governor counters aggregate the evaluator's
+/// telemetry: hash-join executions show up in `GovernorStats`, and a
+/// nested-loop service records none.
+#[test]
+fn governor_stats_expose_hash_join_counts() {
+    let server = server(41);
+    let (_, join_sql) = paper_queries()
+        .into_iter()
+        .find(|(label, _)| *label == "inner_join")
+        .expect("golden corpus has the inner_join query");
+
+    let hash = service(&server, Transport::DelimitedText, ExecStrategy::HashJoin);
+    rows(&hash, join_sql);
+    rows(&hash, join_sql);
+    let stats = hash.governor_stats();
+    assert_eq!(stats.hash_joins, 2, "one hash join per execution");
+    assert_eq!(stats.join_fallbacks, 0);
+
+    let naive = service(&server, Transport::DelimitedText, ExecStrategy::NestedLoop);
+    rows(&naive, join_sql);
+    let stats = naive.governor_stats();
+    assert_eq!(stats.hash_joins, 0, "naive service must not hash-join");
+    assert_eq!(stats.join_fallbacks, 0);
+}
+
+/// Budget semantics survive the strategy switch: a fuel-starved budget
+/// still kills a hash-joined query with a typed budget error, and the
+/// hash strategy consumes no more fuel than the interpreter.
+#[test]
+fn budgets_still_bind_under_hash_join() {
+    use aldsp::driver::DriverError;
+
+    let server = server(41);
+    let (_, join_sql) = paper_queries()
+        .into_iter()
+        .find(|(label, _)| *label == "inner_join")
+        .expect("golden corpus has the inner_join query");
+    let hash = service(&server, Transport::DelimitedText, ExecStrategy::HashJoin);
+
+    let starved = QueryBudget::unlimited().with_fuel(5);
+    match hash.execute_with_budget(join_sql, &[], Some(&starved)) {
+        Err(DriverError::BudgetExceeded(_)) => {}
+        other => panic!("starved budget must surface as BudgetExceeded, got {other:?}"),
+    }
+
+    let naive = service(&server, Transport::DelimitedText, ExecStrategy::NestedLoop);
+    let fuel = |svc: &QueryService| {
+        let budget = QueryBudget::unlimited();
+        svc.execute_with_budget(join_sql, &[], Some(&budget))
+            .unwrap();
+        budget.fuel_consumed()
+    };
+    let naive_fuel = fuel(&naive);
+    let hash_fuel = fuel(&hash);
+    assert!(
+        hash_fuel < naive_fuel,
+        "hash join should consume less fuel: {hash_fuel} vs {naive_fuel}"
+    );
+}
